@@ -1,0 +1,111 @@
+//! Baseline estimators the CME method is compared against.
+//!
+//! * [`probabilistic`] — an independence-assumption probabilistic model in
+//!   the style of Fraguela et al. (the Δ_P column of Table 7);
+//! * [`CacheModel`] — a small trait unifying every way of obtaining a miss
+//!   ratio in this workspace (simulation, exact CMEs, sampled CMEs,
+//!   probabilistic), so benches and examples can sweep them uniformly.
+
+pub mod probabilistic;
+
+pub use probabilistic::{estimate as probabilistic_estimate, ProbEstimate};
+
+use cme_cache::{CacheConfig, Simulator};
+use cme_ir::Program;
+
+/// Anything that can predict (or measure) a program's miss ratio.
+pub trait CacheModel {
+    /// Human-readable model name for tables.
+    fn name(&self) -> &'static str;
+
+    /// The whole-program miss ratio in `[0, 1]`.
+    fn miss_ratio(&self, program: &Program, config: CacheConfig) -> f64;
+}
+
+/// Ground truth: trace-driven LRU simulation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimulationModel;
+
+impl CacheModel for SimulationModel {
+    fn name(&self) -> &'static str {
+        "simulator"
+    }
+
+    fn miss_ratio(&self, program: &Program, config: CacheConfig) -> f64 {
+        Simulator::new(config).run(program).miss_ratio()
+    }
+}
+
+/// Exact cache-miss-equation analysis (`FindMisses`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactCmeModel;
+
+impl CacheModel for ExactCmeModel {
+    fn name(&self) -> &'static str {
+        "FindMisses"
+    }
+
+    fn miss_ratio(&self, program: &Program, config: CacheConfig) -> f64 {
+        cme_analysis::FindMisses::new(program, config).run().miss_ratio()
+    }
+}
+
+/// Sampled cache-miss-equation analysis (`EstimateMisses`).
+#[derive(Debug, Clone, Default)]
+pub struct SampledCmeModel {
+    /// Sampling parameters (defaults to the paper's `c = 95 %, w = 0.05`).
+    pub options: cme_analysis::SamplingOptions,
+}
+
+impl CacheModel for SampledCmeModel {
+    fn name(&self) -> &'static str {
+        "EstimateMisses"
+    }
+
+    fn miss_ratio(&self, program: &Program, config: CacheConfig) -> f64 {
+        cme_analysis::EstimateMisses::new(program, config, self.options.clone())
+            .run()
+            .miss_ratio()
+    }
+}
+
+/// The probabilistic baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProbabilisticModel;
+
+impl CacheModel for ProbabilisticModel {
+    fn name(&self) -> &'static str {
+        "probabilistic"
+    }
+
+    fn miss_ratio(&self, program: &Program, config: CacheConfig) -> f64 {
+        probabilistic::estimate(program, config).miss_ratio()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cme_ir::{LinExpr, ProgramBuilder, SNode, SRef};
+
+    #[test]
+    fn models_agree_on_trivial_stream() {
+        let mut b = ProgramBuilder::new("s");
+        b.array("A", &[256], 8);
+        b.push(SNode::loop_(
+            "I",
+            1,
+            256,
+            vec![SNode::reads_only(vec![SRef::new(
+                "A",
+                vec![LinExpr::var("I")],
+            )])],
+        ));
+        let p = b.build().unwrap();
+        let cfg = CacheConfig::new(32 * 1024, 32, 2).unwrap();
+        let truth = SimulationModel.miss_ratio(&p, cfg);
+        assert!((ExactCmeModel.miss_ratio(&p, cfg) - truth).abs() < 1e-12);
+        assert!((SampledCmeModel::default().miss_ratio(&p, cfg) - truth).abs() < 0.05);
+        assert!((ProbabilisticModel.miss_ratio(&p, cfg) - truth).abs() < 0.08);
+    }
+}

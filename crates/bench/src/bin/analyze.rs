@@ -1,0 +1,103 @@
+//! Command-line analyser: run the cache model on a bundled workload (or a
+//! FORTRAN file) and print the per-reference miss breakdown.
+//!
+//! ```text
+//! cargo run -p cme-bench --bin analyze --release -- --workload hydro --n 50
+//! cargo run -p cme-bench --bin analyze --release -- --file prog.f --param N=64 --exact
+//! ```
+//!
+//! Options:
+//! * `--workload <hydro|mgrid|mmt|tomcatv|swim|applu|livermore1|livermore5|dgefa|mxm>`
+//! * `--file <path>` — parse a FORTRAN file instead (calls are inlined)
+//! * `--param NAME=VALUE` — compile-time binding (repeatable)
+//! * `--n <size>` — problem size for bundled workloads (default 32)
+//! * `--iters <t>` — time steps for whole-program workloads (default 2)
+//! * `--cache <bytes>` `--line <bytes>` `--assoc <k>` — geometry
+//!   (default 32KB/32B/2)
+//! * `--exact` — run `FindMisses` instead of `EstimateMisses`
+//! * `--simulate` — also run the trace-driven simulator for comparison
+
+use cme_analysis::{EstimateMisses, FindMisses, SamplingOptions};
+use cme_cache::{CacheConfig, Simulator};
+use cme_ir::Program;
+use std::collections::HashMap;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+
+    let n: i64 = get("--n").map_or(32, |v| v.parse().expect("--n"));
+    let iters: i64 = get("--iters").map_or(2, |v| v.parse().expect("--iters"));
+    let cache_bytes: u64 = get("--cache").map_or(32 * 1024, |v| v.parse().expect("--cache"));
+    let line: u64 = get("--line").map_or(32, |v| v.parse().expect("--line"));
+    let assoc: u32 = get("--assoc").map_or(2, |v| v.parse().expect("--assoc"));
+    let cfg = CacheConfig::new(cache_bytes, line, assoc).expect("valid cache geometry");
+
+    let program: Program = if let Some(path) = get("--file") {
+        let text = std::fs::read_to_string(&path).expect("readable FORTRAN file");
+        let mut params: HashMap<String, i64> = HashMap::new();
+        let mut i = 0;
+        while i < args.len() {
+            if args[i] == "--param" {
+                let kv = args.get(i + 1).expect("--param NAME=VALUE");
+                let (k, v) = kv.split_once('=').expect("--param NAME=VALUE");
+                params.insert(k.to_uppercase(), v.parse().expect("numeric value"));
+            }
+            i += 1;
+        }
+        let source = cme_fortran::parse_program(&text, &params).expect("parse");
+        let inlined = cme_inline::Inliner::new().inline(&source).expect("inline");
+        cme_ir::normalize(&inlined, &Default::default()).expect("normalise")
+    } else {
+        match get("--workload").as_deref().unwrap_or("hydro") {
+            "hydro" => cme_workloads::hydro(n, n),
+            "mgrid" => cme_workloads::mgrid(n),
+            "mmt" => cme_workloads::mmt(n, (n / 2).max(1), (n / 4).max(1)),
+            "tomcatv" => cme_workloads::tomcatv_like(n, iters),
+            "swim" => cme_workloads::swim_like(n, iters),
+            "applu" => cme_workloads::applu_like(n, iters),
+            "livermore1" => cme_workloads::livermore1(n * n),
+            "livermore5" => cme_workloads::livermore5(n * n),
+            "dgefa" => cme_workloads::dgefa(n),
+            "mxm" => cme_workloads::mxm(n),
+            other => panic!("unknown workload `{other}`"),
+        }
+    };
+
+    println!(
+        "program `{}`: {} references, {} dynamic accesses, cache {}",
+        program.name(),
+        program.references().len(),
+        program.total_accesses(),
+        cfg
+    );
+
+    let report = if has("--exact") {
+        FindMisses::new(&program, cfg).run()
+    } else {
+        EstimateMisses::new(&program, cfg, SamplingOptions::paper_default()).run()
+    };
+    print!("{}", report.render(&program));
+    println!(
+        "\n{} in {:?}: miss ratio {:.2}%",
+        if has("--exact") { "FindMisses" } else { "EstimateMisses" },
+        report.elapsed(),
+        100.0 * report.miss_ratio()
+    );
+
+    if has("--simulate") {
+        let t = std::time::Instant::now();
+        let sim = Simulator::new(cfg).run(&program);
+        println!(
+            "Simulator in {:?}: miss ratio {:.2}% ({} misses)",
+            t.elapsed(),
+            100.0 * sim.miss_ratio(),
+            sim.total_misses()
+        );
+    }
+}

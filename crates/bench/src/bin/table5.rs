@@ -1,0 +1,50 @@
+//! Regenerates Table 5: statistics of the three whole programs.
+//!
+//! ```text
+//! cargo run -p cme-bench --bin table5 --release
+//! ```
+//!
+//! The workloads are structural stand-ins for the SPECfp95 originals (see
+//! `cme-workloads`); the paper's numbers are printed alongside.
+
+use cme_bench::Table;
+
+fn main() {
+    println!("Table 5: whole-program statistics (stand-ins; paper values in brackets)\n");
+    let rows = [
+        (
+            "tomcatv-like",
+            cme_workloads::tomcatv_like_source(64, 5),
+            ("[190]", "[1]", "[0]", "[79]"),
+        ),
+        (
+            "swim-like",
+            cme_workloads::swim_like_source(64, 5),
+            ("[429]", "[6]", "[6]", "[52]"),
+        ),
+        (
+            "applu-like",
+            cme_workloads::applu_like_source(16, 2),
+            ("[3868]", "[16]", "[27]", "[2565]"),
+        ),
+    ];
+    let mut t = Table::new(&[
+        "Program", "#lines", "", "#subroutines", "", "#calls", "", "#references", "",
+    ]);
+    for (name, src, paper) in rows {
+        let s = src.stats();
+        t.row(vec![
+            name.to_string(),
+            s.lines.to_string(),
+            paper.0.into(),
+            s.subroutines.to_string(),
+            paper.1.into(),
+            s.calls.to_string(),
+            paper.2.into(),
+            s.references.to_string(),
+            paper.3.into(),
+        ]);
+    }
+    t.print();
+    println!("\n(Reference counts are source-level; scalars later register-allocate away.)");
+}

@@ -1,0 +1,170 @@
+//! Shared plumbing for the table-regeneration binaries.
+//!
+//! Every binary accepts `--scale small|medium|paper` (default `small`):
+//!
+//! * `small` — reduced problem sizes so a full table regenerates in
+//!   seconds; the qualitative shape (who wins, error magnitudes, speedups)
+//!   is preserved;
+//! * `medium` — intermediate sizes;
+//! * `paper` — the paper's exact problem sizes (Hydro 100×100, MGRID 100,
+//!   MMT 100/100/50 and the N=200/400 sweep). Simulation columns can take
+//!   a long time at this scale, exactly as the paper reports.
+
+use cme_cache::CacheConfig;
+use std::time::{Duration, Instant};
+
+/// Problem-size scale for the table binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Fast CI-friendly sizes.
+    Small,
+    /// Intermediate sizes.
+    Medium,
+    /// The paper's sizes.
+    Paper,
+}
+
+impl Scale {
+    /// Parses `--scale <s>` from the process arguments (default `small`).
+    pub fn from_args() -> Scale {
+        let args: Vec<String> = std::env::args().collect();
+        for i in 0..args.len() {
+            if args[i] == "--scale" {
+                match args.get(i + 1).map(String::as_str) {
+                    Some("paper") => return Scale::Paper,
+                    Some("medium") => return Scale::Medium,
+                    Some("small") => return Scale::Small,
+                    other => panic!("unknown --scale {other:?} (small|medium|paper)"),
+                }
+            }
+        }
+        Scale::Small
+    }
+
+    /// A human-readable suffix for table captions.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scale::Small => "small",
+            Scale::Medium => "medium",
+            Scale::Paper => "paper",
+        }
+    }
+}
+
+/// The paper's three cache configurations: 32KB, 32B lines,
+/// direct/2-way/4-way.
+pub fn paper_caches() -> Vec<(&'static str, CacheConfig)> {
+    vec![
+        ("direct", CacheConfig::new(32 * 1024, 32, 1).expect("valid")),
+        ("2-way", CacheConfig::new(32 * 1024, 32, 2).expect("valid")),
+        ("4-way", CacheConfig::new(32 * 1024, 32, 4).expect("valid")),
+    ]
+}
+
+/// Scaled-down caches keeping the sets×ways shape for small problem sizes
+/// (a 32KB cache trivialises tiny working sets).
+pub fn scaled_caches(kb: u64) -> Vec<(&'static str, CacheConfig)> {
+    vec![
+        ("direct", CacheConfig::new(kb * 1024, 32, 1).expect("valid")),
+        ("2-way", CacheConfig::new(kb * 1024, 32, 2).expect("valid")),
+        ("4-way", CacheConfig::new(kb * 1024, 32, 4).expect("valid")),
+    ]
+}
+
+/// Times a closure, returning its value and the wall-clock duration.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed())
+}
+
+/// Formats a duration in seconds with sensible precision.
+pub fn secs(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s < 0.01 {
+        format!("{:.4}", s)
+    } else if s < 10.0 {
+        format!("{:.2}", s)
+    } else {
+        format!("{:.1}", s)
+    }
+}
+
+/// Minimal fixed-width table printer.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                out.push_str(&format!("{:>width$}  ", c, width = widths[i]));
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new(&["a", "bbbb"]);
+        t.row(vec!["123".into(), "4".into()]);
+        let s = t.render();
+        assert!(s.contains("123"));
+        assert!(s.lines().count() == 3);
+    }
+
+    #[test]
+    fn caches_are_valid() {
+        assert_eq!(paper_caches().len(), 3);
+        assert_eq!(scaled_caches(4)[2].1.assoc(), 4);
+    }
+
+    #[test]
+    fn secs_formats() {
+        assert_eq!(secs(Duration::from_millis(1)), "0.0010");
+        assert_eq!(secs(Duration::from_secs(5)), "5.00");
+        assert_eq!(secs(Duration::from_secs(100)), "100.0");
+    }
+}

@@ -1,0 +1,219 @@
+//! Cache geometry (§2 of the paper).
+//!
+//! A uniprocessor data cache: `k`-way set associative, LRU replacement,
+//! fetch-on-write (so reads and writes are modelled identically).
+
+use std::fmt;
+
+/// Error constructing a [`CacheConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheConfigError {
+    /// A parameter was zero.
+    Zero {
+        /// Which parameter.
+        what: &'static str,
+    },
+    /// `line_bytes` must divide `size_bytes`.
+    LineDoesNotDivideSize,
+    /// `assoc · line_bytes` must divide `size_bytes` (whole number of sets).
+    AssocDoesNotDivide,
+    /// Sizes must be powers of two so addresses split into bit fields.
+    NotPowerOfTwo {
+        /// Which parameter.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for CacheConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheConfigError::Zero { what } => write!(f, "{what} must be non-zero"),
+            CacheConfigError::LineDoesNotDivideSize => {
+                write!(f, "line size must divide cache size")
+            }
+            CacheConfigError::AssocDoesNotDivide => {
+                write!(f, "associativity x line size must divide cache size")
+            }
+            CacheConfigError::NotPowerOfTwo { what } => {
+                write!(f, "{what} must be a power of two")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CacheConfigError {}
+
+/// A `k`-way set-associative cache with LRU replacement.
+///
+/// # Examples
+///
+/// ```
+/// use cme_cache::CacheConfig;
+/// // The paper's default: 32KB, 32-byte lines.
+/// let direct = CacheConfig::new(32 * 1024, 32, 1)?;
+/// assert_eq!(direct.num_sets(), 1024);
+/// let four_way = CacheConfig::new(32 * 1024, 32, 4)?;
+/// assert_eq!(four_way.num_sets(), 256);
+/// # Ok::<(), cme_cache::CacheConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    size_bytes: u64,
+    line_bytes: u64,
+    assoc: u32,
+}
+
+impl CacheConfig {
+    /// Creates a configuration of `size_bytes` total capacity, `line_bytes`
+    /// per cache line and `assoc` ways.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CacheConfigError`] when a parameter is zero, not a power
+    /// of two, or the geometry does not divide evenly.
+    pub fn new(size_bytes: u64, line_bytes: u64, assoc: u32) -> Result<Self, CacheConfigError> {
+        if size_bytes == 0 {
+            return Err(CacheConfigError::Zero { what: "cache size" });
+        }
+        if line_bytes == 0 {
+            return Err(CacheConfigError::Zero { what: "line size" });
+        }
+        if assoc == 0 {
+            return Err(CacheConfigError::Zero {
+                what: "associativity",
+            });
+        }
+        if !size_bytes.is_power_of_two() {
+            return Err(CacheConfigError::NotPowerOfTwo { what: "cache size" });
+        }
+        if !line_bytes.is_power_of_two() {
+            return Err(CacheConfigError::NotPowerOfTwo { what: "line size" });
+        }
+        if !size_bytes.is_multiple_of(line_bytes) {
+            return Err(CacheConfigError::LineDoesNotDivideSize);
+        }
+        if !size_bytes.is_multiple_of(line_bytes * assoc as u64) {
+            return Err(CacheConfigError::AssocDoesNotDivide);
+        }
+        Ok(CacheConfig {
+            size_bytes,
+            line_bytes,
+            assoc,
+        })
+    }
+
+    /// Total capacity in bytes (`C_s`).
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Line size in bytes (`L_s`).
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    /// Number of ways (`k`).
+    pub fn assoc(&self) -> u32 {
+        self.assoc
+    }
+
+    /// Number of cache sets.
+    pub fn num_sets(&self) -> u64 {
+        self.size_bytes / (self.line_bytes * self.assoc as u64)
+    }
+
+    /// `Mem_Line(addr)`: the memory line containing a byte address.
+    /// Negative addresses floor correctly (they never occur for well-formed
+    /// layouts but keep the maths total).
+    pub fn mem_line(&self, addr: i64) -> i64 {
+        addr.div_euclid(self.line_bytes as i64)
+    }
+
+    /// `Cache_Set(addr)`: the set a byte address maps to.
+    pub fn cache_set(&self, addr: i64) -> i64 {
+        self.mem_line(addr).rem_euclid(self.num_sets() as i64)
+    }
+
+    /// The set a *memory line* maps to.
+    pub fn set_of_line(&self, line: i64) -> i64 {
+        line.rem_euclid(self.num_sets() as i64)
+    }
+}
+
+impl fmt::Display for CacheConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let assoc = match self.assoc {
+            1 => "direct".to_string(),
+            k => format!("{k}-way"),
+        };
+        write!(
+            f,
+            "{}KB/{}B/{}",
+            self.size_bytes / 1024,
+            self.line_bytes,
+            assoc
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometries() {
+        for k in [1u32, 2, 4] {
+            let c = CacheConfig::new(32 * 1024, 32, k).unwrap();
+            assert_eq!(c.num_sets(), 1024 / k as u64);
+        }
+    }
+
+    #[test]
+    fn invalid_geometries() {
+        assert!(matches!(
+            CacheConfig::new(0, 32, 1),
+            Err(CacheConfigError::Zero { .. })
+        ));
+        assert!(matches!(
+            CacheConfig::new(1024, 0, 1),
+            Err(CacheConfigError::Zero { .. })
+        ));
+        assert!(matches!(
+            CacheConfig::new(1024, 32, 0),
+            Err(CacheConfigError::Zero { .. })
+        ));
+        assert!(matches!(
+            CacheConfig::new(1000, 32, 1),
+            Err(CacheConfigError::NotPowerOfTwo { .. })
+        ));
+        assert!(matches!(
+            CacheConfig::new(1024, 24, 1),
+            Err(CacheConfigError::NotPowerOfTwo { .. })
+        ));
+        // 64B cache, 32B lines, 4 ways: 64 % 128 != 0.
+        assert!(matches!(
+            CacheConfig::new(64, 32, 4),
+            Err(CacheConfigError::AssocDoesNotDivide)
+        ));
+    }
+
+    #[test]
+    fn address_mapping() {
+        let c = CacheConfig::new(1024, 32, 2).unwrap(); // 16 sets
+        assert_eq!(c.num_sets(), 16);
+        assert_eq!(c.mem_line(0), 0);
+        assert_eq!(c.mem_line(31), 0);
+        assert_eq!(c.mem_line(32), 1);
+        assert_eq!(c.cache_set(32 * 16), 0); // wraps around
+        assert_eq!(c.cache_set(32 * 17), 1);
+        assert_eq!(c.set_of_line(33), 1);
+    }
+
+    #[test]
+    fn display() {
+        let c = CacheConfig::new(32 * 1024, 32, 1).unwrap();
+        assert_eq!(c.to_string(), "32KB/32B/direct");
+        let c = CacheConfig::new(32 * 1024, 32, 4).unwrap();
+        assert_eq!(c.to_string(), "32KB/32B/4-way");
+    }
+}

@@ -1,0 +1,33 @@
+//! Cache model and trace-driven simulator (§2 of the paper).
+//!
+//! A `k`-way set-associative data cache with LRU replacement and
+//! fetch-on-write. The [`Simulator`] drives the cache with the access trace
+//! of a normalised [`cme_ir::Program`] and is the ground truth every
+//! analytical prediction in this workspace is validated against (the
+//! "Simulator" columns of Tables 3 and 6).
+//!
+//! # Example
+//!
+//! ```
+//! use cme_cache::{CacheConfig, Simulator};
+//! use cme_ir::{ProgramBuilder, SNode, SRef, LinExpr};
+//!
+//! let mut b = ProgramBuilder::new("demo");
+//! b.array("A", &[256], 8);
+//! b.push(SNode::loop_("I", 1, 256,
+//!     vec![SNode::reads_only(vec![SRef::new("A", vec![LinExpr::var("I")])])]));
+//! let program = b.build()?;
+//!
+//! let cfg = CacheConfig::new(32 * 1024, 32, 2).expect("valid geometry");
+//! let stats = Simulator::new(cfg).run(&program);
+//! assert_eq!(stats.total_misses(), 64); // 2KB of data / 32B lines
+//! # Ok::<(), cme_ir::IrError>(())
+//! ```
+
+pub mod config;
+pub mod lru;
+pub mod simulator;
+
+pub use config::{CacheConfig, CacheConfigError};
+pub use lru::Cache;
+pub use simulator::{RefCounts, SimStats, Simulator};

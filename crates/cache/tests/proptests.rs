@@ -1,0 +1,75 @@
+//! Property tests: the set-associative LRU cache against a naive reference
+//! model on random traces.
+
+use cme_cache::{Cache, CacheConfig};
+use proptest::prelude::*;
+
+/// A deliberately simple (and slow) LRU model: one global list of
+/// (set, line) with per-set counting.
+struct NaiveLru {
+    cfg: CacheConfig,
+    /// Per set: lines in MRU→LRU order.
+    sets: Vec<Vec<i64>>,
+}
+
+impl NaiveLru {
+    fn new(cfg: CacheConfig) -> Self {
+        NaiveLru {
+            sets: vec![Vec::new(); cfg.num_sets() as usize],
+            cfg,
+        }
+    }
+
+    fn access(&mut self, addr: i64) -> bool {
+        let line = addr.div_euclid(self.cfg.line_bytes() as i64);
+        let set = line.rem_euclid(self.cfg.num_sets() as i64) as usize;
+        let lines = &mut self.sets[set];
+        if let Some(pos) = lines.iter().position(|&l| l == line) {
+            let l = lines.remove(pos);
+            lines.insert(0, l);
+            false
+        } else {
+            lines.insert(0, line);
+            lines.truncate(self.cfg.assoc() as usize);
+            true
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn lru_matches_reference_model(
+        size_log in 6u32..12,
+        line_log in 4u32..7,
+        assoc_idx in 0usize..4,
+        trace in proptest::collection::vec(0i64..4096, 1..400),
+    ) {
+        let assoc = [1u32, 2, 4, 8][assoc_idx];
+        let size = 1u64 << size_log;
+        let line = 1u64 << line_log;
+        prop_assume!(size >= line * assoc as u64);
+        let cfg = CacheConfig::new(size, line, assoc).unwrap();
+        let mut real = Cache::new(cfg);
+        let mut naive = NaiveLru::new(cfg);
+        for &addr in &trace {
+            prop_assert_eq!(real.access(addr), naive.access(addr), "addr {}", addr);
+        }
+    }
+
+    #[test]
+    fn misses_monotone_in_cache_size(
+        trace in proptest::collection::vec(0i64..2048, 1..300),
+    ) {
+        // With fixed line size and full associativity growth by doubling
+        // size, LRU miss counts must not increase (inclusion property holds
+        // for same-#set doubling of ways).
+        let mut last = u64::MAX;
+        for ways in [1u32, 2, 4, 8] {
+            let cfg = CacheConfig::new(1024 * ways as u64, 32, ways).unwrap();
+            let mut cache = Cache::new(cfg);
+            let misses = trace.iter().filter(|&&a| cache.access(a)).count() as u64;
+            prop_assert!(misses <= last, "ways {}: {} > {}", ways, misses, last);
+            last = misses;
+        }
+    }
+}

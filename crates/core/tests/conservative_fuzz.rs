@@ -1,0 +1,184 @@
+//! The central soundness invariant of the implementation, fuzzed:
+//! `FindMisses` may overestimate misses (incomplete reuse vectors) but must
+//! **never underestimate** — a `Hit` verdict is only ever issued after
+//! verifying a same-line producer access and counting the distinct
+//! contentions since the line's last touch, which is exactly LRU residency.
+
+use cme_analysis::FindMisses;
+use cme_cache::{CacheConfig, Simulator};
+use cme_ir::{
+    LinExpr, LinRel, NormalizeOptions, ProgramBuilder, RelOp, SNode, SRef,
+};
+use proptest::prelude::*;
+
+/// Random 2-deep programs over three arrays with mixed subscript shapes:
+/// stencils, transposes, strided rows, guards.
+fn arb_program() -> impl Strategy<Value = cme_ir::Program> {
+    let sub2 = (0..5u8, -2..3i64).prop_map(|(kind, off)| match kind {
+        0 => (LinExpr::var("I").offset(off), LinExpr::var("J")),
+        1 => (LinExpr::var("J").offset(off), LinExpr::var("I")), // transposed
+        2 => (LinExpr::var("I"), LinExpr::var("J").offset(off)),
+        3 => (
+            LinExpr::var("I").scale(2).offset(off.abs()),
+            LinExpr::var("J"),
+        ),
+        _ => (LinExpr::constant(off.abs() + 1), LinExpr::var("J")),
+    });
+    let sref = (0..3u8, sub2).prop_map(|(a, (s1, s2))| {
+        let name = ["X", "Y", "Z"][a as usize];
+        SRef::new(name, vec![s1, s2])
+    });
+    let stmt = proptest::collection::vec(sref, 1..4).prop_map(|mut refs| {
+        let w = refs.pop().unwrap();
+        SNode::assign(w, refs)
+    });
+    let guarded = (stmt, proptest::bool::ANY).prop_map(|(s, g)| {
+        if g {
+            SNode::if_(
+                vec![LinRel::new(LinExpr::var("J"), RelOp::Ge, LinExpr::constant(3))],
+                vec![s],
+            )
+        } else {
+            s
+        }
+    });
+    (
+        proptest::collection::vec(guarded, 1..4),
+        3..9i64,
+        proptest::bool::ANY,
+    )
+        .prop_map(|(body, n, second_nest)| {
+            let mut b = ProgramBuilder::new("fuzz");
+            // Sizes chosen so subscripts (incl. 2I+c) stay in bounds.
+            b.array("X", &[24, 12], 8);
+            b.array("Y", &[24, 12], 8);
+            b.array("Z", &[24, 12], 8);
+            b.options(NormalizeOptions::default());
+            b.push(SNode::loop_(
+                "J",
+                1,
+                n,
+                vec![SNode::loop_("I", 1, n, body.clone())],
+            ));
+            if second_nest {
+                let i = LinExpr::var("I2");
+                let j = LinExpr::var("J2");
+                b.push(SNode::loop_(
+                    "J2",
+                    1,
+                    n,
+                    vec![SNode::loop_(
+                        "I2",
+                        1,
+                        n,
+                        vec![SNode::assign(
+                            SRef::new("X", vec![i.clone(), j.clone()]),
+                            vec![SRef::new("Y", vec![i.clone(), j.clone()])],
+                        )],
+                    )],
+                ));
+            }
+            b.build().expect("fuzz program normalises")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn findmisses_never_underestimates(
+        program in arb_program(),
+        size_log in 8u32..12,
+        assoc_idx in 0usize..3,
+    ) {
+        let assoc = [1u32, 2, 4][assoc_idx];
+        let cfg = CacheConfig::new(1u64 << size_log, 32, assoc).unwrap();
+        let report = FindMisses::new(&program, cfg).run();
+        let sim = Simulator::new(cfg).run(&program);
+        prop_assert_eq!(report.total_accesses(), sim.total_accesses());
+        let predicted = report.exact_misses().unwrap();
+        prop_assert!(
+            predicted >= sim.total_misses(),
+            "underestimate: {} < {}",
+            predicted,
+            sim.total_misses()
+        );
+    }
+
+    /// On programs whose references are all uniformly generated
+    /// (stencil-only, no transposes/strides), the prediction is exact.
+    #[test]
+    fn exact_on_uniform_stencils(
+        offs in proptest::collection::vec((-1i64..2, -1i64..2), 1..4),
+        n in 4..10i64,
+        size_log in 8u32..11,
+    ) {
+        let mut b = ProgramBuilder::new("stencil");
+        b.array("X", &[16, 16], 8);
+        b.array("Y", &[16, 16], 8);
+        let (i, j) = (LinExpr::var("I"), LinExpr::var("J"));
+        let reads: Vec<SRef> = offs
+            .iter()
+            .map(|&(a, bo)| SRef::new("X", vec![i.offset(a + 2), j.offset(bo + 2)]))
+            .collect();
+        b.push(SNode::loop_(
+            "J",
+            1,
+            n,
+            vec![SNode::loop_(
+                "I",
+                1,
+                n,
+                vec![SNode::assign(
+                    SRef::new("Y", vec![i.offset(2), j.offset(2)]),
+                    reads,
+                )],
+            )],
+        ));
+        let program = b.build().unwrap();
+        let cfg = CacheConfig::new(1u64 << size_log, 32, 2).unwrap();
+        let report = FindMisses::new(&program, cfg).run();
+        let sim = Simulator::new(cfg).run(&program);
+        prop_assert_eq!(report.exact_misses(), Some(sim.total_misses()));
+    }
+}
+
+/// The Fig. 6 fallback sampling tier stays within its coarser guarantee.
+#[test]
+fn fallback_tier_estimates_within_coarse_interval() {
+    use cme_analysis::{EstimateMisses, SamplingOptions};
+    use cme_cache::Simulator;
+    // Mid-size RISs (~200 points): the faithful options sample ~30 points.
+    let mut b = ProgramBuilder::new("mid");
+    b.array("U", &[16, 16], 8);
+    let (i, j) = (LinExpr::var("I"), LinExpr::var("J"));
+    b.push(SNode::loop_(
+        "J",
+        2,
+        15,
+        vec![SNode::loop_(
+            "I",
+            2,
+            15,
+            vec![SNode::assign(
+                SRef::new("U", vec![i.clone(), j.clone()]),
+                vec![SRef::new("U", vec![i.offset(-1), j.clone()])],
+            )],
+        )],
+    ));
+    let program = b.build().unwrap();
+    let cfg = CacheConfig::new(1024, 32, 1).unwrap();
+    let sim = Simulator::new(cfg).run(&program).miss_ratio();
+    let report = EstimateMisses::new(&program, cfg, SamplingOptions::paper_faithful()).run();
+    // Coverage must be the sampled coarse tier, not exhaustive.
+    assert!(report
+        .references()
+        .iter()
+        .all(|r| matches!(r.coverage, cme_analysis::Coverage::Sampled { samples } if samples < 50)));
+    // Within the coarse ±0.15 guarantee (with margin for the 90% level).
+    assert!(
+        (report.miss_ratio() - sim).abs() < 0.2,
+        "estimate {} vs sim {sim}",
+        report.miss_ratio()
+    );
+}

@@ -1,0 +1,104 @@
+//! Diagnostic harness (ignored by default): per-reference and per-point
+//! diff between `FindMisses` and an outcome-attributing simulator run on
+//! the Figure 1/2 program. Run with
+//! `cargo test -p cme-analysis --test debug_diff -- --ignored --nocapture`
+//! when investigating a prediction/simulation divergence.
+
+use cme_analysis::{Classifier, FindMisses};
+use cme_cache::{CacheConfig, Simulator};
+use cme_ir::{LinExpr, LinRel, ProgramBuilder, Program, RelOp, SNode, SRef};
+use cme_reuse::ReuseAnalysis;
+use std::ops::ControlFlow;
+
+fn fig2(n: i64) -> Program {
+    let mut b = ProgramBuilder::new("fig2");
+    b.array("A", &[n], 8);
+    b.array("B", &[n, n], 8);
+    let i1 = LinExpr::var("I1");
+    let i2 = LinExpr::var("I2");
+    b.push(SNode::loop_(
+        "I1",
+        2,
+        n,
+        vec![
+            SNode::assign(SRef::new("A", vec![i1.offset(-1)]), vec![]).labelled("S1"),
+            SNode::loop_(
+                "I2",
+                i1.clone(),
+                n,
+                vec![SNode::assign(
+                    SRef::new("B", vec![i2.offset(-1), i1.clone()]),
+                    vec![SRef::new("A", vec![i2.offset(-1)])],
+                )
+                .labelled("S2")],
+            ),
+            SNode::loop_(
+                "I2",
+                1,
+                n,
+                vec![
+                    SNode::reads_only(vec![SRef::new("B", vec![i2.clone(), i1.clone()])])
+                        .labelled("S3"),
+                    SNode::if_(
+                        vec![LinRel::new(i2.clone(), RelOp::Eq, LinExpr::constant(n))],
+                        vec![SNode::reads_only(vec![SRef::new("A", vec![i1.clone()])])
+                            .labelled("S4")],
+                    ),
+                ],
+            ),
+        ],
+    ));
+    b.push(SNode::loop_(
+        "I1",
+        1,
+        n - 1,
+        vec![SNode::assign(SRef::new("A", vec![i1.offset(1)]), vec![]).labelled("S5")],
+    ));
+    b.build().unwrap()
+}
+
+#[test]
+#[ignore]
+fn diff() {
+    let p = fig2(16);
+    let cfg = CacheConfig::new(512, 32, 1).unwrap();
+    let report = FindMisses::new(&p, cfg).run();
+    let sim = Simulator::new(cfg).run(&p);
+    for r in 0..p.references().len() {
+        let rr = report.reference(r);
+        let sc = sim.reference(r);
+        println!(
+            "ref {r} {} stmt {:?}: find misses {} vs sim {} (accesses {} vs {})",
+            p.reference(r).display,
+            p.statement(p.reference(r).stmt).name,
+            rr.cold + rr.replacement,
+            sc.misses,
+            rr.ris_size,
+            sc.accesses,
+        );
+    }
+    // Per-point diff for the worst reference: replay simulation recording
+    // per (ref, point) outcomes.
+    let mut sim_outcomes: Vec<(usize, Vec<i64>, bool)> = Vec::new();
+    let mut cache = cme_cache::Cache::new(cfg);
+    cme_ir::walk::for_each_access(&p, |a| {
+        let miss = cache.access(a.addr);
+        sim_outcomes.push((a.r, a.point.to_vec(), miss));
+        ControlFlow::Continue(())
+    });
+    let reuse = ReuseAnalysis::analyze(&p, cfg.line_bytes());
+    let cl = Classifier::new(&p, &reuse, cfg);
+    let mut shown = 0;
+    for (r, point, sim_miss) in &sim_outcomes {
+        let pred = cl.classify(*r, point);
+        if pred.is_miss() != *sim_miss && shown < 12 {
+            println!(
+                "MISMATCH ref {r} {} at {:?}: predicted {:?}, simulated miss={sim_miss}",
+                p.reference(*r).display,
+                point,
+                pred
+            );
+            shown += 1;
+        }
+    }
+}

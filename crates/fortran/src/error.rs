@@ -1,0 +1,98 @@
+//! Front-end errors with line information.
+
+use std::fmt;
+
+/// A parse or lowering error, tagged with the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FortranError {
+    /// 1-based line number in the original source.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: FortranErrorKind,
+}
+
+/// The kinds of front-end errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FortranErrorKind {
+    /// Unexpected character during lexing.
+    Lex {
+        /// The offending character.
+        ch: char,
+    },
+    /// Unexpected token or malformed statement.
+    Parse {
+        /// Description of what was expected.
+        message: String,
+    },
+    /// An expression that must be affine (subscript, bound) is not.
+    NonAffine {
+        /// Rendered expression context.
+        context: String,
+    },
+    /// A name that must be a compile-time constant is not bound.
+    UnboundSymbol {
+        /// The name.
+        name: String,
+    },
+    /// Structural error (unbalanced DO/IF, duplicate unit, …).
+    Structure {
+        /// Description.
+        message: String,
+    },
+}
+
+impl FortranError {
+    pub(crate) fn parse(line: usize, message: impl Into<String>) -> Self {
+        FortranError {
+            line,
+            kind: FortranErrorKind::Parse {
+                message: message.into(),
+            },
+        }
+    }
+
+    pub(crate) fn structure(line: usize, message: impl Into<String>) -> Self {
+        FortranError {
+            line,
+            kind: FortranErrorKind::Structure {
+                message: message.into(),
+            },
+        }
+    }
+}
+
+impl fmt::Display for FortranError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            FortranErrorKind::Lex { ch } => write!(f, "unexpected character `{ch}`"),
+            FortranErrorKind::Parse { message } => write!(f, "{message}"),
+            FortranErrorKind::NonAffine { context } => {
+                write!(f, "expression is not affine in the loop indices: {context}")
+            }
+            FortranErrorKind::UnboundSymbol { name } => write!(
+                f,
+                "`{name}` must be a compile-time constant (PARAMETER or a supplied binding)"
+            ),
+            FortranErrorKind::Structure { message } => write!(f, "{message}"),
+        }
+    }
+}
+
+impl std::error::Error for FortranError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_has_line() {
+        let e = FortranError::parse(12, "expected `)`");
+        assert_eq!(e.to_string(), "line 12: expected `)`");
+        let e = FortranError {
+            line: 3,
+            kind: FortranErrorKind::UnboundSymbol { name: "N".into() },
+        };
+        assert!(e.to_string().contains("`N`"));
+    }
+}

@@ -1,0 +1,372 @@
+//! Line-oriented lexer for the FORTRAN subset.
+//!
+//! Input is pre-processed into *logical lines*: comment lines (`C`/`c`/`*`
+//! in column one, or `!` anywhere) are stripped and `&`-continuations are
+//! joined. Each logical line then lexes into tokens. Keywords are not
+//! distinguished here — the parser decides from context — but all
+//! identifiers are upper-cased (FORTRAN is case-insensitive).
+
+use crate::error::{FortranError, FortranErrorKind};
+
+/// One token of a logical line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword, upper-cased.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Real literal (kept as text; never legal in subscripts or bounds).
+    Real(String),
+    /// `.EQ.`, `.AND.`, `.TRUE.`, … — the dotted word, upper-cased.
+    Dotted(String),
+    /// Single-character punctuation: `( ) , = + - / : '`.
+    Punct(char),
+    /// `*` (also used in dimension lists).
+    Star,
+    /// `**`
+    Pow,
+}
+
+/// A logical line: original 1-based line number plus its tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Line {
+    /// 1-based number of the first physical line.
+    pub number: usize,
+    /// Numeric statement label, if the line started with one.
+    pub label: Option<i64>,
+    /// The tokens after the label.
+    pub tokens: Vec<Token>,
+}
+
+/// Splits source text into logical lines and lexes each.
+///
+/// # Errors
+///
+/// Returns a [`FortranError`] on unexpected characters.
+pub fn lex(source: &str) -> Result<Vec<Line>, FortranError> {
+    // Join continuations and strip comments.
+    let mut logical: Vec<(usize, String)> = Vec::new();
+    for (i, raw) in source.lines().enumerate() {
+        let lineno = i + 1;
+        let trimmed_start = raw.trim_start();
+        if trimmed_start.is_empty() {
+            continue;
+        }
+        let first = raw.chars().next().unwrap_or(' ');
+        if matches!(first, 'C' | 'c' | '*') && raw.len() > 1 && raw.chars().nth(1) == Some(' ') {
+            continue; // classic comment line
+        }
+        if matches!(first, 'C' | 'c') && raw.trim_end().len() == 1 {
+            continue;
+        }
+        let mut text = match raw.find('!') {
+            Some(p) => raw[..p].to_string(),
+            None => raw.to_string(),
+        };
+        if text.trim().is_empty() {
+            continue;
+        }
+        // `&` continuation: a trailing & joins the next line; a leading &
+        // joins to the previous.
+        let leading_amp = text.trim_start().starts_with('&');
+        if leading_amp {
+            let t = text.trim_start()[1..].to_string();
+            if let Some(last) = logical.last_mut() {
+                last.1.push(' ');
+                last.1.push_str(&t);
+                continue;
+            }
+            text = t;
+        }
+        logical.push((lineno, text));
+    }
+    // Second pass: merge a line into its predecessor when the predecessor
+    // ends with a trailing `&`.
+    let mut merged: Vec<(usize, String)> = Vec::new();
+    for (n, t) in logical {
+        if let Some(last) = merged.last_mut() {
+            if last.1.trim_end().ends_with('&') {
+                let base = last.1.trim_end();
+                last.1 = format!("{} {}", &base[..base.len() - 1], t.trim_start());
+                continue;
+            }
+        }
+        merged.push((n, t));
+    }
+
+    let mut out = Vec::with_capacity(merged.len());
+    for (number, text) in merged {
+        let mut tokens = lex_line(&text, number)?;
+        // Leading integer literal is a statement label.
+        let label = match tokens.first() {
+            Some(Token::Int(l)) => {
+                let l = *l;
+                tokens.remove(0);
+                Some(l)
+            }
+            _ => None,
+        };
+        if tokens.is_empty() && label.is_none() {
+            continue;
+        }
+        out.push(Line {
+            number,
+            label,
+            tokens,
+        });
+    }
+    Ok(out)
+}
+
+fn lex_line(text: &str, lineno: usize) -> Result<Vec<Token>, FortranError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\r' => i += 1,
+            '(' | ')' | ',' | '=' | '+' | '-' | '/' | ':' | '\'' => {
+                out.push(Token::Punct(c));
+                i += 1;
+            }
+            '*' => {
+                if chars.get(i + 1) == Some(&'*') {
+                    out.push(Token::Pow);
+                    i += 2;
+                } else {
+                    out.push(Token::Star);
+                    i += 1;
+                }
+            }
+            '.' => {
+                // Dotted operator (.EQ.) or a real literal (.5D0).
+                if chars.get(i + 1).is_some_and(|c| c.is_ascii_alphabetic()) {
+                    let mut j = i + 1;
+                    while j < chars.len() && chars[j].is_ascii_alphabetic() {
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'.') {
+                        let word: String =
+                            chars[i + 1..j].iter().collect::<String>().to_uppercase();
+                        out.push(Token::Dotted(word));
+                        i = j + 1;
+                    } else {
+                        return Err(FortranError {
+                            line: lineno,
+                            kind: FortranErrorKind::Lex { ch: '.' },
+                        });
+                    }
+                } else {
+                    let (tok, ni) = lex_number(&chars, i);
+                    out.push(tok);
+                    i = ni;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let (tok, ni) = lex_number(&chars, i);
+                out.push(tok);
+                i = ni;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < chars.len()
+                    && (chars[j].is_ascii_alphanumeric() || chars[j] == '_')
+                {
+                    j += 1;
+                }
+                let word: String = chars[i..j].iter().collect::<String>().to_uppercase();
+                out.push(Token::Ident(word));
+                i = j;
+            }
+            other => {
+                return Err(FortranError {
+                    line: lineno,
+                    kind: FortranErrorKind::Lex { ch: other },
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Lexes a numeric literal starting at `i`; returns the token and the next
+/// index. `12` → Int; `1.5`, `2.0D0`, `1E-3`, `.25` → Real.
+fn lex_number(chars: &[char], start: usize) -> (Token, usize) {
+    let mut i = start;
+    let mut is_real = false;
+    let mut text = String::new();
+    while i < chars.len() && chars[i].is_ascii_digit() {
+        text.push(chars[i]);
+        i += 1;
+    }
+    if i < chars.len() && chars[i] == '.' {
+        // Don't swallow a dotted operator after a number (1.EQ.…).
+        let next_alpha = chars.get(i + 1).is_some_and(|c| c.is_ascii_alphabetic());
+        let dotted_after = next_alpha && {
+            let mut j = i + 1;
+            while j < chars.len() && chars[j].is_ascii_alphabetic() {
+                j += 1;
+            }
+            chars.get(j) == Some(&'.')
+        };
+        if !dotted_after {
+            is_real = true;
+            text.push('.');
+            i += 1;
+            while i < chars.len() && chars[i].is_ascii_digit() {
+                text.push(chars[i]);
+                i += 1;
+            }
+        }
+    }
+    if i < chars.len() && matches!(chars[i], 'D' | 'd' | 'E' | 'e') {
+        // Exponent part only if followed by digits or a sign+digits.
+        let mut j = i + 1;
+        if j < chars.len() && matches!(chars[j], '+' | '-') {
+            j += 1;
+        }
+        if j < chars.len() && chars[j].is_ascii_digit() {
+            is_real = true;
+            text.push(chars[i].to_ascii_uppercase());
+            i += 1;
+            if matches!(chars[i], '+' | '-') {
+                text.push(chars[i]);
+                i += 1;
+            }
+            while i < chars.len() && chars[i].is_ascii_digit() {
+                text.push(chars[i]);
+                i += 1;
+            }
+        }
+    }
+    if is_real {
+        (Token::Real(text), i)
+    } else {
+        (Token::Int(text.parse().unwrap_or(i64::MAX)), i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        let lines = lex(src).unwrap();
+        assert_eq!(lines.len(), 1);
+        lines[0].tokens.clone()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("A(I1-1) = B * 2"),
+            vec![
+                Token::Ident("A".into()),
+                Token::Punct('('),
+                Token::Ident("I1".into()),
+                Token::Punct('-'),
+                Token::Int(1),
+                Token::Punct(')'),
+                Token::Punct('='),
+                Token::Ident("B".into()),
+                Token::Star,
+                Token::Int(2),
+            ]
+        );
+    }
+
+    #[test]
+    fn labels_are_extracted() {
+        let lines = lex("100 CONTINUE\n      DO 400 I = 1, 10").unwrap();
+        assert_eq!(lines[0].label, Some(100));
+        assert_eq!(lines[0].tokens, vec![Token::Ident("CONTINUE".into())]);
+        assert_eq!(lines[1].label, None);
+        assert_eq!(lines[1].tokens[0], Token::Ident("DO".into()));
+        assert_eq!(lines[1].tokens[1], Token::Int(400));
+    }
+
+    #[test]
+    fn dotted_operators_and_reals() {
+        assert_eq!(
+            toks("IF (I .EQ. N) X = 0.5D0"),
+            vec![
+                Token::Ident("IF".into()),
+                Token::Punct('('),
+                Token::Ident("I".into()),
+                Token::Dotted("EQ".into()),
+                Token::Ident("N".into()),
+                Token::Punct(')'),
+                Token::Ident("X".into()),
+                Token::Punct('='),
+                Token::Real("0.5D0".into()),
+            ]
+        );
+        // 1.EQ.2 must not lex `1.` as a real.
+        assert_eq!(
+            toks("IF (1.EQ.2) CONTINUE"),
+            vec![
+                Token::Ident("IF".into()),
+                Token::Punct('('),
+                Token::Int(1),
+                Token::Dotted("EQ".into()),
+                Token::Int(2),
+                Token::Punct(')'),
+                Token::Ident("CONTINUE".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let src = "C this is a comment\n\n      A = 1 ! trailing\nc another\n* starred comment\n      B = 2";
+        let lines = lex(src).unwrap();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].number, 3);
+        assert_eq!(lines[1].number, 6);
+    }
+
+    #[test]
+    fn continuations_join() {
+        let src = "      A(I) = B(I) + &\n     C(I)";
+        let lines = lex(src).unwrap();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0]
+            .tokens
+            .iter()
+            .any(|t| *t == Token::Ident("C".into())));
+        // Leading-& style:
+        let src = "      A(I) = B(I)\n      & + C(I)";
+        let lines = lex(src).unwrap();
+        assert_eq!(lines.len(), 1);
+    }
+
+    #[test]
+    fn power_and_star() {
+        assert_eq!(
+            toks("X = Y ** 2 * Z"),
+            vec![
+                Token::Ident("X".into()),
+                Token::Punct('='),
+                Token::Ident("Y".into()),
+                Token::Pow,
+                Token::Int(2),
+                Token::Star,
+                Token::Ident("Z".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn exponent_forms() {
+        assert_eq!(toks("X = 1E-3")[2], Token::Real("1E-3".into()));
+        assert_eq!(toks("X = 0.003700D0")[2], Token::Real("0.003700D0".into()));
+        assert_eq!(toks("X = 2D0")[2], Token::Real("2D0".into()));
+    }
+
+    #[test]
+    fn bad_character_errors() {
+        let err = lex("      A = #").unwrap_err();
+        assert!(matches!(err.kind, FortranErrorKind::Lex { ch: '#' }));
+    }
+}

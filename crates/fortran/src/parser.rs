@@ -1,0 +1,1185 @@
+//! Recursive-descent parser and lowering to the `cme-ir` source AST.
+//!
+//! The accepted subset covers the paper's program model: `PROGRAM` /
+//! `SUBROUTINE` units, type and `DIMENSION` declarations, `PARAMETER`
+//! constants, unit-or-stepped `DO` loops (both `ENDDO` and labelled
+//! `CONTINUE` forms, including shared termination labels), logical and
+//! block `IF` with `.AND.`-conjunctions of relational conditions, `CALL`
+//! statements and assignments. Arithmetic right-hand sides are scanned for
+//! memory references only — the arithmetic itself is irrelevant to cache
+//! behaviour. `WRITE`/`PRINT`/`READ`/`FORMAT` lines are skipped.
+//!
+//! Symbols that must be compile-time constants (the paper initialises
+//! `READ` variables from the reference inputs) are supplied through a
+//! bindings map.
+
+use crate::error::{FortranError, FortranErrorKind};
+use crate::lexer::{lex, Line, Token};
+use cme_ir::{
+    Actual, DimSize, LinExpr, LinRel, RelOp, SAssign, SCall, SIf, SLoop, SNode, SRef,
+    SourceProgram, Subroutine, VarDecl, VarKind,
+};
+use std::collections::HashMap;
+
+/// Parses FORTRAN source into a multi-subroutine [`SourceProgram`].
+///
+/// `params` binds names (e.g. problem sizes read at run time) to
+/// compile-time constants, as the paper does with the reference inputs.
+///
+/// # Errors
+///
+/// Returns the first [`FortranError`] encountered.
+///
+/// # Examples
+///
+/// ```
+/// use cme_fortran::parse_program;
+/// let src = "
+///       PROGRAM COPY
+///       REAL*8 A, B
+///       DIMENSION A(N), B(N)
+///       DO I = 1, N
+///         A(I) = B(I)
+///       ENDDO
+///       END
+/// ";
+/// let params = [("N".to_string(), 64i64)].into_iter().collect();
+/// let program = parse_program(src, &params)?;
+/// assert_eq!(program.entry, "COPY");
+/// assert_eq!(program.stats().references, 2);
+/// # Ok::<(), cme_fortran::FortranError>(())
+/// ```
+pub fn parse_program(
+    source: &str,
+    params: &HashMap<String, i64>,
+) -> Result<SourceProgram, FortranError> {
+    let lines = lex(source)?;
+    let mut parser = Parser {
+        lines,
+        pos: 0,
+        params,
+    };
+    let mut subroutines = Vec::new();
+    let mut entry: Option<String> = None;
+    while parser.pos < parser.lines.len() {
+        let (sub, is_program) = parser.parse_unit()?;
+        if is_program {
+            if entry.is_some() {
+                return Err(FortranError::structure(
+                    parser.current_line(),
+                    "multiple PROGRAM units",
+                ));
+            }
+            entry = Some(sub.name.clone());
+        }
+        subroutines.push(sub);
+    }
+    let entry = entry
+        .or_else(|| subroutines.first().map(|s| s.name.clone()))
+        .ok_or_else(|| FortranError::structure(1, "empty source"))?;
+    let name = entry.clone();
+    Ok(SourceProgram {
+        name,
+        subroutines,
+        entry,
+    })
+}
+
+struct Parser<'a> {
+    lines: Vec<Line>,
+    pos: usize,
+    params: &'a HashMap<String, i64>,
+}
+
+/// Scope info while parsing one unit.
+struct Unit {
+    sub: Subroutine,
+    /// Declared element sizes (by type statements) awaiting dims.
+    elem_bytes: HashMap<String, u32>,
+    /// Declared dimensions (by DIMENSION or type statements).
+    dims: HashMap<String, Vec<DimSize>>,
+    /// PARAMETER constants local to the unit.
+    consts: HashMap<String, i64>,
+    /// Loop variables currently in scope (parse-time check only).
+    loop_vars: Vec<String>,
+}
+
+impl Unit {
+    fn is_array(&self, name: &str) -> bool {
+        self.dims.contains_key(name)
+    }
+}
+
+/// An open structural frame while parsing a unit body.
+enum Frame {
+    Loop {
+        var: String,
+        lb: LinExpr,
+        ub: LinExpr,
+        step: i64,
+        end_label: Option<i64>,
+        body: Vec<SNode>,
+    },
+    If {
+        conds: Vec<LinRel>,
+        then_body: Vec<SNode>,
+        else_body: Option<Vec<SNode>>,
+    },
+}
+
+impl<'a> Parser<'a> {
+    fn current_line(&self) -> usize {
+        self.lines
+            .get(self.pos)
+            .or_else(|| self.lines.last())
+            .map_or(1, |l| l.number)
+    }
+
+    /// Parses one `PROGRAM`/`SUBROUTINE` unit up to its `END`.
+    fn parse_unit(&mut self) -> Result<(Subroutine, bool), FortranError> {
+        let line = self.lines[self.pos].clone();
+        let mut t = Cursor::new(&line);
+        let kw = t.ident().ok_or_else(|| {
+            FortranError::parse(line.number, "expected PROGRAM or SUBROUTINE")
+        })?;
+        let (name, formals, is_program) = match kw.as_str() {
+            "PROGRAM" => {
+                let name = t
+                    .ident()
+                    .ok_or_else(|| FortranError::parse(line.number, "expected program name"))?;
+                (name, Vec::new(), true)
+            }
+            "SUBROUTINE" => {
+                let name = t
+                    .ident()
+                    .ok_or_else(|| FortranError::parse(line.number, "expected subroutine name"))?;
+                let mut formals = Vec::new();
+                if t.eat_punct('(') {
+                    loop {
+                        if t.eat_punct(')') {
+                            break;
+                        }
+                        let f = t.ident().ok_or_else(|| {
+                            FortranError::parse(line.number, "expected formal parameter name")
+                        })?;
+                        formals.push(f);
+                        if !t.eat_punct(',') && !t.peek_punct(')') {
+                            return Err(FortranError::parse(
+                                line.number,
+                                "expected `,` or `)` in formal list",
+                            ));
+                        }
+                    }
+                }
+                (name, formals, false)
+            }
+            other => {
+                return Err(FortranError::parse(
+                    line.number,
+                    format!("expected PROGRAM or SUBROUTINE, found `{other}`"),
+                ))
+            }
+        };
+        self.pos += 1;
+
+        let mut unit = Unit {
+            sub: Subroutine::new(name),
+            elem_bytes: HashMap::new(),
+            dims: HashMap::new(),
+            consts: HashMap::new(),
+            loop_vars: Vec::new(),
+        };
+        unit.sub.formals = formals;
+
+        let mut frames: Vec<Frame> = Vec::new();
+        let mut body: Vec<SNode> = Vec::new();
+
+        loop {
+            let Some(line) = self.lines.get(self.pos).cloned() else {
+                return Err(FortranError::structure(
+                    self.current_line(),
+                    "missing END of unit",
+                ));
+            };
+            self.pos += 1;
+            let c = Cursor::new(&line);
+            let Some(first) = c.clone().ident() else {
+                // A statement starting with something else: must be an
+                // assignment? Assignments start with an identifier, so this
+                // is unexpected.
+                return Err(FortranError::parse(line.number, "unexpected statement"));
+            };
+            let handled = match first.as_str() {
+                "END" => {
+                    // END, END DO, END IF
+                    let mut c2 = c.clone();
+                    c2.ident();
+                    match c2.ident().as_deref() {
+                        Some("DO") => {
+                            self.close_loop(&line, &mut frames, &mut body, &mut unit)?;
+                            true
+                        }
+                        Some("IF") => {
+                            self.close_if(&line, &mut frames, &mut body)?;
+                            true
+                        }
+                        _ => {
+                            if !frames.is_empty() {
+                                return Err(FortranError::structure(
+                                    line.number,
+                                    "END of unit inside an open DO or IF",
+                                ));
+                            }
+                            self.finish_decls(&mut unit)?;
+                            unit.sub.body = body;
+                            return Ok((unit.sub, is_program));
+                        }
+                    }
+                }
+                "ENDDO" => {
+                    self.close_loop(&line, &mut frames, &mut body, &mut unit)?;
+                    true
+                }
+                "ENDIF" => {
+                    self.close_if(&line, &mut frames, &mut body)?;
+                    true
+                }
+                "ELSE" => {
+                    match frames.last_mut() {
+                        Some(Frame::If { else_body, .. }) if else_body.is_none() => {
+                            *else_body = Some(Vec::new());
+                        }
+                        _ => {
+                            return Err(FortranError::structure(
+                                line.number,
+                                "ELSE without a matching block IF",
+                            ))
+                        }
+                    }
+                    true
+                }
+                "REAL" | "INTEGER" | "DOUBLE" | "DIMENSION" | "PARAMETER" | "COMMON" => {
+                    self.parse_decl(&line, &mut unit)?;
+                    true
+                }
+                "WRITE" | "PRINT" | "READ" | "FORMAT" | "RETURN" | "STOP" | "IMPLICIT" => true,
+                "CONTINUE" => true,
+                "DO" => {
+                    let frame = self.parse_do(&line, &mut unit)?;
+                    frames.push(frame);
+                    true
+                }
+                "IF" => {
+                    self.parse_if(&line, &mut unit, &mut frames, &mut body)?;
+                    true
+                }
+                "CALL" => {
+                    let node = self.parse_call(&line, &mut unit)?;
+                    push_stmt(&mut frames, &mut body, node);
+                    true
+                }
+                _ => {
+                    let node = self.parse_assign(&line, &mut unit)?;
+                    push_stmt(&mut frames, &mut body, node);
+                    true
+                }
+            };
+            debug_assert!(handled);
+            // Labelled statement: close every labelled DO ending here.
+            if let Some(label) = line.label {
+                while let Some(Frame::Loop {
+                    end_label: Some(l), ..
+                }) = frames.last()
+                {
+                    if *l != label {
+                        break;
+                    }
+                    self.close_loop(&line, &mut frames, &mut body, &mut unit)?;
+                }
+            }
+        }
+    }
+
+    /// Registers declarations collected in `elem_bytes`/`dims` as
+    /// [`VarDecl`]s on the subroutine.
+    fn finish_decls(&mut self, unit: &mut Unit) -> Result<(), FortranError> {
+        let mut names: Vec<String> = unit.dims.keys().cloned().collect();
+        // Scalars with an explicit type but no dims.
+        for n in unit.elem_bytes.keys() {
+            if !unit.dims.contains_key(n) {
+                names.push(n.clone());
+            }
+        }
+        names.sort();
+        names.dedup();
+        for name in names {
+            if unit.consts.contains_key(&name) || self.params.contains_key(&name) {
+                continue;
+            }
+            let elem = *unit.elem_bytes.get(&name).unwrap_or(&8);
+            let dims = unit.dims.get(&name).cloned().unwrap_or_default();
+            let kind = if unit.sub.formals.contains(&name) {
+                VarKind::Formal
+            } else {
+                VarKind::Local
+            };
+            unit.sub.decls.push(VarDecl {
+                name,
+                elem_bytes: elem,
+                dims,
+                kind,
+                alias_of: None,
+            });
+        }
+        // Formals without any declaration default to scalars.
+        for f in unit.sub.formals.clone() {
+            if unit.sub.decls.iter().all(|d| d.name != f) {
+                unit.sub.decls.push(VarDecl::scalar(f, 8).formal());
+            }
+        }
+        // COMMON members without any other declaration default to scalars.
+        let common_vars: Vec<String> = unit
+            .sub
+            .commons
+            .iter()
+            .flat_map(|b| b.vars.iter().cloned())
+            .collect();
+        for v in common_vars {
+            if unit.sub.decls.iter().all(|d| d.name != v) {
+                unit.sub.decls.push(VarDecl::scalar(v, 8));
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_decl(&mut self, line: &Line, unit: &mut Unit) -> Result<(), FortranError> {
+        let mut c = Cursor::new(line);
+        let kw = c.ident().unwrap();
+        let elem: Option<u32> = match kw.as_str() {
+            "REAL" => {
+                if c.eat_star() {
+                    let n = c.int().ok_or_else(|| {
+                        FortranError::parse(line.number, "expected size after REAL*")
+                    })?;
+                    Some(n as u32)
+                } else {
+                    Some(4)
+                }
+            }
+            "DOUBLE" => {
+                let p = c.ident();
+                if p.as_deref() != Some("PRECISION") {
+                    return Err(FortranError::parse(
+                        line.number,
+                        "expected PRECISION after DOUBLE",
+                    ));
+                }
+                Some(8)
+            }
+            "INTEGER" => {
+                if c.eat_star() {
+                    let n = c.int().ok_or_else(|| {
+                        FortranError::parse(line.number, "expected size after INTEGER*")
+                    })?;
+                    Some(n as u32)
+                } else {
+                    Some(4)
+                }
+            }
+            "DIMENSION" => None,
+            "COMMON" => {
+                // COMMON /BLK/ A, B [, /BLK2/ C …]; blank COMMON uses the
+                // empty block name.
+                let mut block = String::new();
+                loop {
+                    if c.eat_punct('/') {
+                        block = c.ident().ok_or_else(|| {
+                            FortranError::parse(line.number, "expected COMMON block name")
+                        })?;
+                        if !c.eat_punct('/') {
+                            return Err(FortranError::parse(
+                                line.number,
+                                "expected closing / after COMMON block name",
+                            ));
+                        }
+                    }
+                    let Some(name) = c.ident() else {
+                        return Err(FortranError::parse(
+                            line.number,
+                            "expected variable name in COMMON",
+                        ));
+                    };
+                    match unit.sub.commons.iter_mut().find(|b| b.block == block) {
+                        Some(b) => b.vars.push(name),
+                        None => unit.sub.commons.push(cme_ir::CommonBlock {
+                            block: block.clone(),
+                            vars: vec![name],
+                        }),
+                    }
+                    if !c.eat_punct(',') {
+                        break;
+                    }
+                }
+                return Ok(());
+            }
+            "PARAMETER" => {
+                // PARAMETER (N=100, M=200)
+                if !c.eat_punct('(') {
+                    return Err(FortranError::parse(line.number, "expected ( after PARAMETER"));
+                }
+                loop {
+                    let name = c.ident().ok_or_else(|| {
+                        FortranError::parse(line.number, "expected parameter name")
+                    })?;
+                    if !c.eat_punct('=') {
+                        return Err(FortranError::parse(line.number, "expected ="));
+                    }
+                    let value = self.const_expr(&mut c, line, unit)?;
+                    unit.consts.insert(name, value);
+                    if c.eat_punct(')') {
+                        break;
+                    }
+                    if !c.eat_punct(',') {
+                        return Err(FortranError::parse(line.number, "expected , or )"));
+                    }
+                }
+                return Ok(());
+            }
+            _ => unreachable!(),
+        };
+        // Name list, each optionally with dims.
+        loop {
+            let Some(name) = c.ident() else {
+                return Err(FortranError::parse(line.number, "expected variable name"));
+            };
+            if let Some(e) = elem {
+                unit.elem_bytes.insert(name.clone(), e);
+            }
+            if c.eat_punct('(') {
+                let mut dims = Vec::new();
+                loop {
+                    if c.eat_star() {
+                        dims.push(DimSize::Assumed);
+                    } else {
+                        let v = self.const_expr(&mut c, line, unit)?;
+                        dims.push(DimSize::Fixed(v));
+                    }
+                    if c.eat_punct(')') {
+                        break;
+                    }
+                    if !c.eat_punct(',') {
+                        return Err(FortranError::parse(line.number, "expected , or ) in dims"));
+                    }
+                }
+                unit.dims.insert(name, dims);
+            }
+            if !c.eat_punct(',') {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_do(&mut self, line: &Line, unit: &mut Unit) -> Result<Frame, FortranError> {
+        let mut c = Cursor::new(line);
+        c.ident(); // DO
+        let end_label = c.int();
+        let var = c
+            .ident()
+            .ok_or_else(|| FortranError::parse(line.number, "expected DO variable"))?;
+        if !c.eat_punct('=') {
+            return Err(FortranError::parse(line.number, "expected = in DO"));
+        }
+        unit.loop_vars.push(var.clone());
+        let lb_tree = parse_expr(&mut c, line.number)?;
+        if !c.eat_punct(',') {
+            return Err(FortranError::parse(line.number, "expected , in DO bounds"));
+        }
+        let ub_tree = parse_expr(&mut c, line.number)?;
+        let step = if c.eat_punct(',') {
+            let e = parse_expr(&mut c, line.number)?;
+            self.linearize(&e, line, unit)?
+                .eval(&|_| None)
+                .ok_or_else(|| FortranError::parse(line.number, "DO step must be constant"))?
+        } else {
+            1
+        };
+        let lb = self.linearize(&lb_tree, line, unit)?;
+        let ub = self.linearize(&ub_tree, line, unit)?;
+        Ok(Frame::Loop {
+            var,
+            lb,
+            ub,
+            step,
+            end_label,
+            body: Vec::new(),
+        })
+    }
+
+    fn parse_if(
+        &mut self,
+        line: &Line,
+        unit: &mut Unit,
+        frames: &mut Vec<Frame>,
+        body: &mut Vec<SNode>,
+    ) -> Result<(), FortranError> {
+        let mut c = Cursor::new(line);
+        c.ident(); // IF
+        if !c.eat_punct('(') {
+            return Err(FortranError::parse(line.number, "expected ( after IF"));
+        }
+        let conds = self.parse_conditions(&mut c, line, unit)?;
+        if !c.eat_punct(')') {
+            return Err(FortranError::parse(line.number, "expected ) closing IF"));
+        }
+        // Block IF?
+        let mut c2 = c.clone();
+        if c2.ident().as_deref() == Some("THEN") && c2.at_end() {
+            frames.push(Frame::If {
+                conds,
+                then_body: Vec::new(),
+                else_body: None,
+            });
+            return Ok(());
+        }
+        // Logical IF: the rest of the line is a single statement.
+        let rest_tokens: Vec<Token> = c.rest();
+        let inner_line = Line {
+            number: line.number,
+            label: None,
+            tokens: rest_tokens,
+        };
+        let ic = Cursor::new(&inner_line);
+        let node = match ic.clone().ident().as_deref() {
+            Some("CALL") => self.parse_call(&inner_line, unit)?,
+            Some("CONTINUE") | Some("RETURN") | Some("STOP") => return Ok(()),
+            Some("GOTO") | Some("GO") => {
+                return Err(FortranError::parse(
+                    line.number,
+                    "GOTO is a data-dependent construct outside the program model",
+                ))
+            }
+            _ => self.parse_assign(&inner_line, unit)?,
+        };
+        push_stmt(
+            frames,
+            body,
+            SNode::If(SIf {
+                conds,
+                then_body: vec![node],
+                else_body: Vec::new(),
+            }),
+        );
+        Ok(())
+    }
+
+    fn parse_conditions(
+        &mut self,
+        c: &mut Cursor,
+        line: &Line,
+        unit: &mut Unit,
+    ) -> Result<Vec<LinRel>, FortranError> {
+        let mut out = Vec::new();
+        loop {
+            let lhs = parse_expr(c, line.number)?;
+            let op = match c.dotted() {
+                Some(op) => match op.as_str() {
+                    "EQ" => RelOp::Eq,
+                    "NE" => RelOp::Ne,
+                    "LE" => RelOp::Le,
+                    "LT" => RelOp::Lt,
+                    "GE" => RelOp::Ge,
+                    "GT" => RelOp::Gt,
+                    other => {
+                        return Err(FortranError::parse(
+                            line.number,
+                            format!("unsupported operator .{other}."),
+                        ))
+                    }
+                },
+                None => {
+                    return Err(FortranError::parse(
+                        line.number,
+                        "expected relational operator in IF condition",
+                    ))
+                }
+            };
+            let rhs = parse_expr(c, line.number)?;
+            out.push(LinRel {
+                lhs: self.linearize(&lhs, line, unit)?,
+                op,
+                rhs: self.linearize(&rhs, line, unit)?,
+            });
+            match c.dotted_peek() {
+                Some(w) if w == "AND" => {
+                    c.dotted();
+                }
+                _ => break,
+            }
+        }
+        Ok(out)
+    }
+
+    fn parse_call(&mut self, line: &Line, unit: &mut Unit) -> Result<SNode, FortranError> {
+        let mut c = Cursor::new(line);
+        c.ident(); // CALL
+        let callee = c
+            .ident()
+            .ok_or_else(|| FortranError::parse(line.number, "expected callee name"))?;
+        let mut args = Vec::new();
+        if c.eat_punct('(') {
+            loop {
+                if c.eat_punct(')') {
+                    break;
+                }
+                let tree = parse_expr(&mut c, line.number)?;
+                args.push(self.tree_to_actual(&tree, line, unit)?);
+                if !c.eat_punct(',') && !c.peek_punct(')') {
+                    return Err(FortranError::parse(line.number, "expected , or ) in CALL"));
+                }
+            }
+        }
+        Ok(SNode::Call(SCall { callee, args }))
+    }
+
+    fn tree_to_actual(
+        &mut self,
+        tree: &ETree,
+        line: &Line,
+        unit: &mut Unit,
+    ) -> Result<Actual, FortranError> {
+        match tree {
+            ETree::Name(n) => {
+                // Implicit typing: an undeclared scalar used as an argument
+                // gets declared on first use.
+                if !unit.is_array(n)
+                    && !unit.elem_bytes.contains_key(n)
+                    && !unit.consts.contains_key(n)
+                    && !self.params.contains_key(n)
+                    && !unit.loop_vars.contains(n)
+                {
+                    unit.elem_bytes.insert(n.clone(), 8);
+                }
+                Ok(Actual::var(n.clone()))
+            }
+            ETree::Call(n, args) if unit.is_array(n) => {
+                let subs = args
+                    .iter()
+                    .map(|a| self.linearize(a, line, unit))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Actual::element(n.clone(), subs))
+            }
+            _ => Err(FortranError::parse(
+                line.number,
+                "CALL arguments must be variables or array elements",
+            )),
+        }
+    }
+
+    fn parse_assign(&mut self, line: &Line, unit: &mut Unit) -> Result<SNode, FortranError> {
+        // lhs = rhs; find the top-level `=` by parsing the lhs reference.
+        let mut c = Cursor::new(line);
+        let name = c
+            .ident()
+            .ok_or_else(|| FortranError::parse(line.number, "expected assignment target"))?;
+        let mut lhs_subs = Vec::new();
+        let lhs_is_array = c.peek_punct('(');
+        if c.eat_punct('(') {
+            loop {
+                let t = parse_expr(&mut c, line.number)?;
+                lhs_subs.push(self.linearize(&t, line, unit)?);
+                if c.eat_punct(')') {
+                    break;
+                }
+                if !c.eat_punct(',') {
+                    return Err(FortranError::parse(line.number, "expected , or ) on LHS"));
+                }
+            }
+        }
+        if !c.eat_punct('=') {
+            return Err(FortranError::parse(line.number, "expected = in assignment"));
+        }
+        let rhs = parse_expr(&mut c, line.number)?;
+        if !c.at_end() {
+            return Err(FortranError::parse(
+                line.number,
+                "trailing tokens after assignment",
+            ));
+        }
+        let mut reads = Vec::new();
+        self.collect_refs(&rhs, line, unit, &mut reads)?;
+        // LHS: array write, or scalar (declared or implicit).
+        let write = if lhs_is_array && unit.is_array(&name) {
+            Some(SRef::new(name, lhs_subs))
+        } else if lhs_is_array {
+            return Err(FortranError::parse(
+                line.number,
+                format!("assignment to undeclared array `{name}`"),
+            ));
+        } else {
+            // Scalar target; implicitly declare it.
+            if !unit.elem_bytes.contains_key(&name)
+                && !unit.consts.contains_key(&name)
+                && !self.params.contains_key(&name)
+                && !unit.loop_vars.contains(&name)
+            {
+                unit.elem_bytes.insert(name.clone(), 8);
+            }
+            if unit.loop_vars.contains(&name) {
+                return Err(FortranError::parse(
+                    line.number,
+                    format!("assignment to active loop variable `{name}`"),
+                ));
+            }
+            Some(SRef::scalar(name))
+        };
+        Ok(SNode::Assign(SAssign {
+            reads,
+            write,
+            label: line.label.map(|l| format!("L{l}")),
+        }))
+    }
+
+    /// Collects the memory references of an arithmetic expression, in
+    /// left-to-right order.
+    fn collect_refs(
+        &mut self,
+        tree: &ETree,
+        line: &Line,
+        unit: &mut Unit,
+        out: &mut Vec<SRef>,
+    ) -> Result<(), FortranError> {
+        match tree {
+            ETree::Num(_) | ETree::RealNum => Ok(()),
+            ETree::Name(n) => {
+                if unit.loop_vars.contains(n)
+                    || unit.consts.contains_key(n)
+                    || self.params.contains_key(n)
+                {
+                    return Ok(());
+                }
+                if unit.is_array(n) {
+                    return Err(FortranError::parse(
+                        line.number,
+                        format!("array `{n}` used without subscripts"),
+                    ));
+                }
+                if !unit.elem_bytes.contains_key(n) {
+                    unit.elem_bytes.insert(n.clone(), 8); // implicit scalar
+                }
+                out.push(SRef::scalar(n.clone()));
+                Ok(())
+            }
+            ETree::Call(n, args) => {
+                if unit.is_array(n) {
+                    let subs = args
+                        .iter()
+                        .map(|a| self.linearize(a, line, unit))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    out.push(SRef::new(n.clone(), subs));
+                    Ok(())
+                } else {
+                    // Intrinsic function: scan the arguments.
+                    for a in args {
+                        self.collect_refs(a, line, unit, out)?;
+                    }
+                    Ok(())
+                }
+            }
+            ETree::Un(_, a) => self.collect_refs(a, line, unit, out),
+            ETree::Bin(_, a, b) => {
+                self.collect_refs(a, line, unit, out)?;
+                self.collect_refs(b, line, unit, out)
+            }
+        }
+    }
+
+    /// Turns an expression tree into an affine [`LinExpr`] over loop
+    /// variables, folding parameters.
+    fn linearize(
+        &self,
+        tree: &ETree,
+        line: &Line,
+        unit: &Unit,
+    ) -> Result<LinExpr, FortranError> {
+        match tree {
+            ETree::Num(v) => Ok(LinExpr::constant(*v)),
+            ETree::RealNum => Err(FortranError {
+                line: line.number,
+                kind: FortranErrorKind::NonAffine {
+                    context: "real literal in an index expression".into(),
+                },
+            }),
+            ETree::Name(n) => {
+                if let Some(v) = unit.consts.get(n).or_else(|| self.params.get(n)) {
+                    Ok(LinExpr::constant(*v))
+                } else if unit.loop_vars.contains(n) {
+                    Ok(LinExpr::var(n.clone()))
+                } else {
+                    Err(FortranError {
+                        line: line.number,
+                        kind: FortranErrorKind::UnboundSymbol { name: n.clone() },
+                    })
+                }
+            }
+            ETree::Un(neg, a) => {
+                let e = self.linearize(a, line, unit)?;
+                Ok(if *neg { e.scale(-1) } else { e })
+            }
+            ETree::Bin(op, a, b) => {
+                let ea = self.linearize(a, line, unit)?;
+                let eb = self.linearize(b, line, unit)?;
+                match op {
+                    '+' => Ok(ea.add(&eb)),
+                    '-' => Ok(ea.sub(&eb)),
+                    '*' => {
+                        if ea.is_constant() {
+                            Ok(eb.scale(ea.constant_term()))
+                        } else if eb.is_constant() {
+                            Ok(ea.scale(eb.constant_term()))
+                        } else {
+                            Err(self.non_affine(line, "product of two variables"))
+                        }
+                    }
+                    '/' => {
+                        if eb.is_constant() && eb.constant_term() != 0 {
+                            let d = eb.constant_term();
+                            if ea.is_constant() && ea.constant_term() % d == 0 {
+                                Ok(LinExpr::constant(ea.constant_term() / d))
+                            } else {
+                                Err(self.non_affine(line, "non-exact division"))
+                            }
+                        } else {
+                            Err(self.non_affine(line, "division by a variable"))
+                        }
+                    }
+                    '^' => {
+                        if ea.is_constant() && eb.is_constant() && eb.constant_term() >= 0 {
+                            let mut v = 1i64;
+                            for _ in 0..eb.constant_term() {
+                                v *= ea.constant_term();
+                            }
+                            Ok(LinExpr::constant(v))
+                        } else {
+                            Err(self.non_affine(line, "non-constant power"))
+                        }
+                    }
+                    _ => Err(self.non_affine(line, "unsupported operator")),
+                }
+            }
+            ETree::Call(n, _) => Err(FortranError {
+                line: line.number,
+                kind: FortranErrorKind::NonAffine {
+                    context: format!("call to `{n}` in an index expression"),
+                },
+            }),
+        }
+    }
+
+    fn non_affine(&self, line: &Line, what: &str) -> FortranError {
+        FortranError {
+            line: line.number,
+            kind: FortranErrorKind::NonAffine {
+                context: what.to_string(),
+            },
+        }
+    }
+
+    /// Evaluates a constant expression (dimension bound, PARAMETER value).
+    fn const_expr(
+        &self,
+        c: &mut Cursor,
+        line: &Line,
+        unit: &Unit,
+    ) -> Result<i64, FortranError> {
+        let tree = parse_expr(c, line.number)?;
+        let e = self.linearize(&tree, line, unit)?;
+        if !e.is_constant() {
+            return Err(self.non_affine(line, "expected a compile-time constant"));
+        }
+        Ok(e.constant_term())
+    }
+
+    fn close_loop(
+        &mut self,
+        line: &Line,
+        frames: &mut Vec<Frame>,
+        body: &mut Vec<SNode>,
+        unit: &mut Unit,
+    ) -> Result<(), FortranError> {
+        match frames.pop() {
+            Some(Frame::Loop {
+                var,
+                lb,
+                ub,
+                step,
+                body: lbody,
+                ..
+            }) => {
+                unit.loop_vars.retain(|v| v != &var);
+                push_stmt(
+                    frames,
+                    body,
+                    SNode::Loop(SLoop {
+                        var,
+                        lb,
+                        ub,
+                        step,
+                        body: lbody,
+                    }),
+                );
+                Ok(())
+            }
+            _ => Err(FortranError::structure(
+                line.number,
+                "loop end without a matching DO",
+            )),
+        }
+    }
+
+    fn close_if(
+        &mut self,
+        line: &Line,
+        frames: &mut Vec<Frame>,
+        body: &mut Vec<SNode>,
+    ) -> Result<(), FortranError> {
+        match frames.pop() {
+            Some(Frame::If {
+                conds,
+                then_body,
+                else_body,
+            }) => {
+                push_stmt(
+                    frames,
+                    body,
+                    SNode::If(SIf {
+                        conds,
+                        then_body,
+                        else_body: else_body.unwrap_or_default(),
+                    }),
+                );
+                Ok(())
+            }
+            _ => Err(FortranError::structure(
+                line.number,
+                "ENDIF without a matching IF",
+            )),
+        }
+    }
+}
+
+/// Appends a parsed statement to the innermost open frame (or the unit
+/// body).
+fn push_stmt(frames: &mut [Frame], body: &mut Vec<SNode>, node: SNode) {
+    match frames.last_mut() {
+        Some(Frame::Loop { body: b, .. }) => b.push(node),
+        Some(Frame::If {
+            then_body,
+            else_body,
+            ..
+        }) => match else_body {
+            Some(eb) => eb.push(node),
+            None => then_body.push(node),
+        },
+        None => body.push(node),
+    }
+}
+
+/// Arithmetic expression tree (only the reference structure matters).
+#[derive(Debug, Clone, PartialEq)]
+enum ETree {
+    Num(i64),
+    /// A real literal — opaque, never affine.
+    RealNum,
+    Name(String),
+    /// `name(args…)`: array reference or intrinsic call.
+    Call(String, Vec<ETree>),
+    /// Unary minus (`true`) or plus.
+    Un(bool, Box<ETree>),
+    /// Binary op: `+ - * / ^`(power).
+    Bin(char, Box<ETree>, Box<ETree>),
+}
+
+/// Token cursor over a logical line.
+#[derive(Clone)]
+struct Cursor<'l> {
+    tokens: &'l [Token],
+    pos: usize,
+}
+
+impl<'l> Cursor<'l> {
+    fn new(line: &'l Line) -> Self {
+        Cursor {
+            tokens: &line.tokens,
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn ident(&mut self) -> Option<String> {
+        match self.peek() {
+            Some(Token::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Some(s)
+            }
+            _ => None,
+        }
+    }
+
+    fn int(&mut self) -> Option<i64> {
+        match self.peek() {
+            Some(Token::Int(v)) => {
+                let v = *v;
+                self.pos += 1;
+                Some(v)
+            }
+            _ => None,
+        }
+    }
+
+    fn dotted(&mut self) -> Option<String> {
+        match self.peek() {
+            Some(Token::Dotted(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Some(s)
+            }
+            _ => None,
+        }
+    }
+
+    fn dotted_peek(&self) -> Option<String> {
+        match self.peek() {
+            Some(Token::Dotted(s)) => Some(s.clone()),
+            _ => None,
+        }
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if self.peek() == Some(&Token::Punct(ch)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn peek_punct(&self, ch: char) -> bool {
+        self.peek() == Some(&Token::Punct(ch))
+    }
+
+    fn eat_star(&mut self) -> bool {
+        if self.peek() == Some(&Token::Star) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn rest(&self) -> Vec<Token> {
+        self.tokens[self.pos..].to_vec()
+    }
+}
+
+/// Expression grammar:
+/// `expr := term (± term)*`, `term := factor (*/ factor)*`,
+/// `factor := [±] primary (** factor)?`.
+fn parse_expr(c: &mut Cursor, line: usize) -> Result<ETree, FortranError> {
+    let mut acc = parse_term(c, line)?;
+    loop {
+        if c.eat_punct('+') {
+            let rhs = parse_term(c, line)?;
+            acc = ETree::Bin('+', Box::new(acc), Box::new(rhs));
+        } else if c.eat_punct('-') {
+            let rhs = parse_term(c, line)?;
+            acc = ETree::Bin('-', Box::new(acc), Box::new(rhs));
+        } else {
+            return Ok(acc);
+        }
+    }
+}
+
+fn parse_term(c: &mut Cursor, line: usize) -> Result<ETree, FortranError> {
+    let mut acc = parse_factor(c, line)?;
+    loop {
+        if c.eat_star() {
+            let rhs = parse_factor(c, line)?;
+            acc = ETree::Bin('*', Box::new(acc), Box::new(rhs));
+        } else if c.eat_punct('/') {
+            let rhs = parse_factor(c, line)?;
+            acc = ETree::Bin('/', Box::new(acc), Box::new(rhs));
+        } else {
+            return Ok(acc);
+        }
+    }
+}
+
+fn parse_factor(c: &mut Cursor, line: usize) -> Result<ETree, FortranError> {
+    if c.eat_punct('-') {
+        let inner = parse_factor(c, line)?;
+        return Ok(ETree::Un(true, Box::new(inner)));
+    }
+    if c.eat_punct('+') {
+        let inner = parse_factor(c, line)?;
+        return Ok(ETree::Un(false, Box::new(inner)));
+    }
+    let base = parse_primary(c, line)?;
+    if matches!(c.peek(), Some(Token::Pow)) {
+        c.pos += 1;
+        let exp = parse_factor(c, line)?;
+        return Ok(ETree::Bin('^', Box::new(base), Box::new(exp)));
+    }
+    Ok(base)
+}
+
+fn parse_primary(c: &mut Cursor, line: usize) -> Result<ETree, FortranError> {
+    match c.peek().cloned() {
+        Some(Token::Int(v)) => {
+            c.pos += 1;
+            Ok(ETree::Num(v))
+        }
+        Some(Token::Real(_)) => {
+            c.pos += 1;
+            Ok(ETree::RealNum)
+        }
+        Some(Token::Ident(name)) => {
+            c.pos += 1;
+            if c.eat_punct('(') {
+                let mut args = Vec::new();
+                loop {
+                    if c.eat_punct(')') {
+                        break;
+                    }
+                    args.push(parse_expr(c, line)?);
+                    if !c.eat_punct(',') && !c.peek_punct(')') {
+                        return Err(FortranError::parse(line, "expected , or ) in reference"));
+                    }
+                }
+                Ok(ETree::Call(name, args))
+            } else {
+                Ok(ETree::Name(name))
+            }
+        }
+        Some(Token::Punct('(')) => {
+            c.pos += 1;
+            let inner = parse_expr(c, line)?;
+            if !c.eat_punct(')') {
+                return Err(FortranError::parse(line, "expected )"));
+            }
+            Ok(inner)
+        }
+        other => Err(FortranError::parse(
+            line,
+            format!("unexpected token {other:?} in expression"),
+        )),
+    }
+}

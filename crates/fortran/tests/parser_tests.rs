@@ -1,0 +1,283 @@
+//! Parser integration tests, including the structural features the paper's
+//! kernels need (shared DO termination labels, logical IF, block IF/ELSE,
+//! CALL statements, PARAMETER constants).
+
+use cme_fortran::{parse_program, parse_with_params, FortranErrorKind};
+use cme_ir::{normalize, NormalizeOptions, SNode};
+use std::collections::HashMap;
+
+fn no_params() -> HashMap<String, i64> {
+    HashMap::new()
+}
+
+#[test]
+fn shared_do_labels_nest_correctly() {
+    // The MGRID style: two DO loops ending on the same CONTINUE, plus an
+    // inner loop with its own label whose last statement is labelled.
+    let src = "
+      PROGRAM SHARED
+      REAL*8 U(8,8)
+      DO 400 J = 1, 8
+      DO 100 I = 1, 8
+         U(I,J) = U(I,J)
+  100 CONTINUE
+      DO 400 I = 1, 8
+         U(I,J) = U(I,J)
+  400 CONTINUE
+      END
+";
+    let p = parse_program(src, &no_params()).unwrap();
+    let sub = p.entry_subroutine();
+    // Top level: one loop (J).
+    assert_eq!(sub.body.len(), 1);
+    let SNode::Loop(j) = &sub.body[0] else {
+        panic!("expected J loop")
+    };
+    assert_eq!(j.var, "J");
+    assert_eq!(j.body.len(), 2, "two inner I loops");
+    let norm = normalize(&p, &NormalizeOptions::default()).unwrap();
+    assert_eq!(norm.total_accesses(), 2 * 8 * 8 * 2);
+}
+
+#[test]
+fn labelled_statement_terminates_do() {
+    // DO 300 I1 … with the loop's last *statement* carrying the label.
+    let src = "
+      PROGRAM LBL
+      REAL*8 U(16)
+      DO 300 I = 2, 15
+  300 U(I) = U(I-1) + U(I+1)
+      END
+";
+    let p = parse_program(src, &no_params()).unwrap();
+    let norm = normalize(&p, &NormalizeOptions::default()).unwrap();
+    assert_eq!(norm.references().len(), 3);
+    assert_eq!(norm.total_accesses(), 3 * 14);
+}
+
+#[test]
+fn logical_if_and_block_if_else() {
+    let src = "
+      PROGRAM IFS
+      REAL*8 A(10), B(10)
+      DO I = 1, 10
+        IF (I .EQ. 10) A(I) = 0.0D0
+        IF (I .GE. 2 .AND. I .LE. 4) THEN
+          B(I) = A(I)
+        ENDIF
+        IF (I .LT. 5) THEN
+          A(I) = 1.0D0
+        ELSE
+          B(I) = 2.0D0
+        ENDIF
+      ENDDO
+      END
+";
+    let p = parse_program(src, &no_params()).unwrap();
+    let norm = normalize(&p, &NormalizeOptions::default()).unwrap();
+    // A(10): 1; B+A for I in 2..4: 6; A for I<5: 4; B else: 6 → 17 accesses.
+    assert_eq!(norm.total_accesses(), 1 + 6 + 4 + 6);
+}
+
+#[test]
+fn parameters_and_bindings_fold() {
+    let src = "
+      PROGRAM PAR
+      PARAMETER (M=4)
+      REAL*8 A(M+1, N)
+      DO J = 1, N
+      DO I = 1, M
+        A(I, J) = A(I+1, J)
+      ENDDO
+      ENDDO
+      END
+";
+    let p = parse_with_params(src, &[("N", 6)]).unwrap();
+    let decl = p.entry_subroutine().decl("A").unwrap();
+    assert_eq!(decl.total_elems(), Some(30));
+    let norm = normalize(&p, &NormalizeOptions::default()).unwrap();
+    assert_eq!(norm.total_accesses(), 2 * 4 * 6);
+}
+
+#[test]
+fn unbound_symbol_is_reported() {
+    let src = "
+      PROGRAM BAD
+      REAL*8 A(N)
+      END
+";
+    let err = parse_program(src, &no_params()).unwrap_err();
+    assert!(matches!(err.kind, FortranErrorKind::UnboundSymbol { .. }));
+}
+
+#[test]
+fn calls_with_array_element_arguments() {
+    let src = "
+      PROGRAM CALLS
+      REAL*8 A(8,8), B(8)
+      DO I = 1, 8
+        CALL F(A(1, I), B, X)
+      ENDDO
+      END
+      SUBROUTINE F(COL, V, S)
+      REAL*8 COL(8), V(8), S
+      DO K = 1, 8
+        COL(K) = V(K) + S
+      ENDDO
+      END
+";
+    let p = parse_program(src, &no_params()).unwrap();
+    assert_eq!(p.subroutines.len(), 2);
+    assert_eq!(p.stats().calls, 1);
+    let f = p.subroutine("F").unwrap();
+    assert_eq!(f.formals, vec!["COL", "V", "S"]);
+    // S has no declaration line → defaults to a scalar formal.
+    assert!(f.decl("S").unwrap().is_scalar());
+    // End-to-end through the inliner:
+    let inlined = cme_inline::Inliner::new().inline(&p).unwrap();
+    assert_eq!(inlined.stats().calls, 0);
+    let norm = normalize(&inlined, &NormalizeOptions::default()).unwrap();
+    // COL(K) ← A column slice; V(K) ← B; S ← scalar X (register-allocated).
+    assert_eq!(norm.total_accesses(), 2 * 8 * 8);
+}
+
+#[test]
+fn rhs_arithmetic_only_contributes_references() {
+    let src = "
+      PROGRAM ARITH
+      REAL*8 Z(4,4), W(4,4)
+      T = 0.003700D0
+      DO K = 2, 3
+      DO J = 2, 3
+        Z(J,K) = T * (W(J-1,K+1) + W(J+1,K-1)) / (2.0D0 * W(J,K)) ** 2
+      ENDDO
+      ENDDO
+      END
+";
+    let p = parse_program(src, &no_params()).unwrap();
+    let norm = normalize(&p, &NormalizeOptions::default()).unwrap();
+    // Per iteration: T (scalar, register) + 3 W reads + 1 Z write = 4.
+    assert_eq!(norm.total_accesses(), 4 * 4);
+    // With scalars kept in memory the T reads (and the initial store) appear.
+    let opts = NormalizeOptions {
+        scalars_in_registers: false,
+        layout_base: 0,
+    };
+    let norm2 = normalize(&p, &opts).unwrap();
+    assert_eq!(norm2.total_accesses(), 1 + 5 * 4);
+}
+
+#[test]
+fn stepped_and_negative_do_loops() {
+    let src = "
+      PROGRAM STEPS
+      REAL*8 A(32)
+      DO I = 1, 32, 4
+        A(I) = 0.0D0
+      ENDDO
+      DO J = 8, 1, -2
+        A(J) = 0.0D0
+      ENDDO
+      END
+";
+    let p = parse_program(src, &no_params()).unwrap();
+    let norm = normalize(&p, &NormalizeOptions::default()).unwrap();
+    assert_eq!(norm.total_accesses(), 8 + 4);
+}
+
+#[test]
+fn write_and_intrinsics_are_tolerated() {
+    let src = "
+      PROGRAM TOL
+      REAL*8 A(8)
+      DO I = 1, 8
+        A(I) = SQRT(A(I)) + MOD(I, 2)
+      ENDDO
+      WRITE (6, 100) A(1)
+  100 FORMAT (F8.3)
+      STOP
+      END
+";
+    let p = parse_program(src, &no_params()).unwrap();
+    let norm = normalize(&p, &NormalizeOptions::default()).unwrap();
+    // SQRT's argument A(I) is a real reference; MOD's args are loop
+    // vars/constants.
+    assert_eq!(norm.total_accesses(), 2 * 8);
+}
+
+#[test]
+fn goto_is_rejected() {
+    let src = "
+      PROGRAM BADGOTO
+      REAL*8 A(4)
+      DO I = 1, 4
+        IF (I .EQ. 2) GOTO 10
+        A(I) = 0.0D0
+      ENDDO
+   10 CONTINUE
+      END
+";
+    let err = parse_program(src, &no_params()).unwrap_err();
+    assert!(err.to_string().contains("GOTO"));
+}
+
+#[test]
+fn subroutine_without_program_uses_first_as_entry() {
+    let src = "
+      SUBROUTINE SOLO(A)
+      REAL*8 A(4)
+      DO I = 1, 4
+        A(I) = A(I)
+      ENDDO
+      END
+";
+    let p = parse_program(src, &no_params()).unwrap();
+    assert_eq!(p.entry, "SOLO");
+}
+
+#[test]
+fn common_blocks_parse() {
+    let src = "
+      PROGRAM C
+      REAL*8 A, B, S
+      COMMON /GRID/ A, B, /MISC/ S
+      COMMON T
+      DIMENSION A(4,4), B(4)
+      DO I = 1, 4
+        B(I) = A(I,1) + S + T
+      ENDDO
+      END
+";
+    let p = parse_program(src, &no_params()).unwrap();
+    let sub = p.entry_subroutine();
+    assert_eq!(sub.commons.len(), 3);
+    let grid = sub.commons.iter().find(|c| c.block == "GRID").unwrap();
+    assert_eq!(grid.vars, vec!["A", "B"]);
+    let misc = sub.commons.iter().find(|c| c.block == "MISC").unwrap();
+    assert_eq!(misc.vars, vec!["S"]);
+    // Blank COMMON gets the empty block name; T is implicitly a scalar.
+    let blank = sub.commons.iter().find(|c| c.block.is_empty()).unwrap();
+    assert_eq!(blank.vars, vec!["T"]);
+    assert!(sub.decl("T").unwrap().is_scalar());
+    assert_eq!(sub.common_of("B").unwrap().block, "GRID");
+    assert!(sub.common_of("Q").is_none());
+}
+
+#[test]
+fn common_without_slash_continues_same_block() {
+    let src = "
+      PROGRAM C2
+      REAL*8 X, Y
+      COMMON /B/ X
+      COMMON /B/ Y
+      DIMENSION X(4), Y(4)
+      DO I = 1, 4
+        X(I) = Y(I)
+      ENDDO
+      END
+";
+    let p = parse_program(src, &no_params()).unwrap();
+    let sub = p.entry_subroutine();
+    assert_eq!(sub.commons.len(), 1);
+    assert_eq!(sub.commons[0].vars, vec!["X", "Y"]);
+}

@@ -1,0 +1,61 @@
+//! Round-trip property: parse → unparse → parse produces an
+//! access-equivalent program (identical normalised trace).
+
+use cme_ir::{normalize, NormalizeOptions};
+use std::ops::ControlFlow;
+
+fn trace(p: &cme_ir::Program) -> Vec<i64> {
+    let mut out = Vec::new();
+    cme_ir::walk::for_each_access(p, |a| {
+        out.push(a.addr);
+        ControlFlow::Continue(())
+    });
+    out
+}
+
+fn roundtrip(src: &str, params: &[(&str, i64)]) {
+    let first = cme_fortran::parse_with_params(src, params).expect("parse 1");
+    let text = cme_ir::unparse::unparse(&first);
+    let second = cme_fortran::parse_with_params(&text, params)
+        .unwrap_or_else(|e| panic!("reparse failed: {e}\n---\n{text}"));
+    // Same call/subroutine structure.
+    assert_eq!(first.stats().subroutines, second.stats().subroutines);
+    assert_eq!(first.stats().calls, second.stats().calls);
+    // Access-equivalent after inlining + normalisation.
+    let p1 = normalize(
+        &cme_inline::Inliner::new().inline(&first).expect("inline 1"),
+        &NormalizeOptions::default(),
+    )
+    .expect("normalise 1");
+    let p2 = normalize(
+        &cme_inline::Inliner::new().inline(&second).expect("inline 2"),
+        &NormalizeOptions::default(),
+    )
+    .expect("normalise 2");
+    assert_eq!(trace(&p1), trace(&p2), "traces differ\n---\n{text}");
+}
+
+#[test]
+fn roundtrip_hydro() {
+    roundtrip(cme_workloads::HYDRO_SRC, &[("JN", 12), ("KN", 12)]);
+}
+
+#[test]
+fn roundtrip_mgrid() {
+    roundtrip(cme_workloads::MGRID_SRC, &[("M", 8)]);
+}
+
+#[test]
+fn roundtrip_mmt() {
+    roundtrip(cme_workloads::MMT_SRC, &[("N", 8), ("BJ", 4), ("BK", 2)]);
+}
+
+#[test]
+fn roundtrip_tomcatv_like() {
+    roundtrip(cme_workloads::TOMCATV_LIKE_SRC, &[("N", 10), ("ITMAX", 2)]);
+}
+
+#[test]
+fn roundtrip_swim_like_with_common() {
+    roundtrip(cme_workloads::SWIM_LIKE_SRC, &[("N", 10), ("ITMAX", 2)]);
+}

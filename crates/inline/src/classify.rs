@@ -1,0 +1,366 @@
+//! Actual-parameter classification and the Table 2 census.
+//!
+//! An actual parameter `AP` bound to a formal `FP` is (paper §3.6):
+//!
+//! * **propagateable** — every callee reference to `FP` can be rewritten as
+//!   a reference to `AP` itself, preserving reuse between caller and
+//!   callees. This holds when `FP` is a scalar, a one-dimensional array, or
+//!   both are arrays of the same dimensionality with matching sizes in all
+//!   but the last dimension;
+//! * **renameable** — references to `FP` are rewritten against a fresh view
+//!   `AP'` with `@AP = @AP'`, preserving reuse within the callee. This
+//!   holds when all but the last dimensions of both are statically known;
+//! * **non-analysable** — otherwise; such a call cannot be abstractly
+//!   inlined.
+
+use crate::error::InlineError;
+use cme_ir::{Actual, SCall, SNode, SourceProgram, Subroutine, VarDecl};
+
+/// Classification of one actual parameter (Table 2 columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActualClass {
+    /// `P-able`: the actual's own declaration is usable in the callee.
+    Propagateable,
+    /// `R-able`: a renamed view with the same base address is needed.
+    Renameable,
+    /// `N-able`: the call cannot be analysed.
+    NonAnalysable,
+}
+
+/// Classifies an actual/formal binding.
+///
+/// # Errors
+///
+/// Returns [`InlineError::UnknownActual`] when the actual's variable is not
+/// declared in the caller.
+pub fn classify_actual(
+    caller: &Subroutine,
+    actual: &Actual,
+    formal: &VarDecl,
+) -> Result<ActualClass, InlineError> {
+    let Some(ap) = caller.decl(&actual.name) else {
+        return Err(InlineError::UnknownActual {
+            name: actual.name.clone(),
+            caller: caller.name.clone(),
+        });
+    };
+    if ap.elem_bytes != formal.elem_bytes {
+        return Ok(ActualClass::NonAnalysable);
+    }
+    // Scalar or 1-D formals are always propagateable.
+    if formal.is_scalar() || formal.dims.len() == 1 {
+        return Ok(ActualClass::Propagateable);
+    }
+    // Same rank with matching sizes in all but the last dimension.
+    if ap.dims.len() == formal.dims.len() {
+        let all_but_last_match = ap
+            .dims
+            .iter()
+            .zip(&formal.dims)
+            .take(formal.dims.len() - 1)
+            .all(|(a, b)| match (a.fixed(), b.fixed()) {
+                (Some(x), Some(y)) => x == y,
+                _ => false,
+            });
+        if all_but_last_match {
+            return Ok(ActualClass::Propagateable);
+        }
+    }
+    // Renameable: all but the last dimension statically known on both sides.
+    let known = |d: &VarDecl| {
+        d.dims
+            .iter()
+            .take(d.dims.len().saturating_sub(1))
+            .all(|x| x.fixed().is_some())
+    };
+    if known(ap) && known(formal) {
+        return Ok(ActualClass::Renameable);
+    }
+    Ok(ActualClass::NonAnalysable)
+}
+
+/// The census of Table 2: actual-parameter classes and analysable calls.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Census {
+    /// Propagateable actuals.
+    pub propagateable: usize,
+    /// Renameable actuals.
+    pub renameable: usize,
+    /// Non-analysable actuals.
+    pub non_analysable: usize,
+    /// Total call statements.
+    pub calls: usize,
+    /// Calls whose actuals are all analysable (`A-able`).
+    pub analysable_calls: usize,
+}
+
+impl Census {
+    /// Total actuals examined.
+    pub fn total_actuals(&self) -> usize {
+        self.propagateable + self.renameable + self.non_analysable
+    }
+
+    /// Fraction of analysable calls, in percent (`100` for call-free
+    /// programs, matching the convention of Table 2's TOTAL row).
+    pub fn analysable_pct(&self) -> f64 {
+        if self.calls == 0 {
+            100.0
+        } else {
+            100.0 * self.analysable_calls as f64 / self.calls as f64
+        }
+    }
+
+    /// Element-wise sum, for suite-level totals.
+    pub fn add(&self, other: &Census) -> Census {
+        Census {
+            propagateable: self.propagateable + other.propagateable,
+            renameable: self.renameable + other.renameable,
+            non_analysable: self.non_analysable + other.non_analysable,
+            calls: self.calls + other.calls,
+            analysable_calls: self.analysable_calls + other.analysable_calls,
+        }
+    }
+}
+
+/// Walks every call site of the program (examining only the call and its
+/// callee, as in Table 2) and tallies the census.
+///
+/// Calls to unknown subroutines count as non-analysable (one `N-able`
+/// actual is charged when the callee cannot even be resolved).
+pub fn census(program: &SourceProgram) -> Census {
+    let mut out = Census::default();
+    for sub in &program.subroutines {
+        census_nodes(program, sub, &sub.body, &mut out);
+    }
+    out
+}
+
+fn census_nodes(program: &SourceProgram, caller: &Subroutine, nodes: &[SNode], out: &mut Census) {
+    for n in nodes {
+        match n {
+            SNode::Loop(l) => census_nodes(program, caller, &l.body, out),
+            SNode::If(i) => {
+                census_nodes(program, caller, &i.then_body, out);
+                census_nodes(program, caller, &i.else_body, out);
+            }
+            SNode::Call(call) => {
+                out.calls += 1;
+                if census_call(program, caller, call, out) {
+                    out.analysable_calls += 1;
+                }
+            }
+            SNode::Assign(_) => {}
+        }
+    }
+}
+
+fn census_call(
+    program: &SourceProgram,
+    caller: &Subroutine,
+    call: &SCall,
+    out: &mut Census,
+) -> bool {
+    let Some(callee) = program.subroutine(&call.callee) else {
+        out.non_analysable += 1;
+        return false;
+    };
+    if callee.formals.len() != call.args.len() {
+        out.non_analysable += call.args.len().max(1);
+        return false;
+    }
+    let mut ok = true;
+    for (actual, fname) in call.args.iter().zip(&callee.formals) {
+        let class = callee
+            .decl(fname)
+            .map(|fp| classify_actual(caller, actual, fp).unwrap_or(ActualClass::NonAnalysable))
+            .unwrap_or(ActualClass::NonAnalysable);
+        match class {
+            ActualClass::Propagateable => out.propagateable += 1,
+            ActualClass::Renameable => out.renameable += 1,
+            ActualClass::NonAnalysable => {
+                out.non_analysable += 1;
+                // A non-analysable actual only blocks inlining when the
+                // callee actually references the formal; a dead formal has
+                // no memory accesses to rewrite. (Several Table 2 rows —
+                // hydro2d, CSS, MTSI — have N-able actuals yet count every
+                // call as analysable, which is only consistent under this
+                // rule.)
+                if cme_ir::ast::references_name(&callee.body, fname) {
+                    ok = false;
+                }
+            }
+        }
+    }
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cme_ir::{LinExpr, VarKind};
+
+    fn caller_with(decls: Vec<VarDecl>) -> Subroutine {
+        let mut s = Subroutine::new("caller");
+        s.decls = decls;
+        s
+    }
+
+    #[test]
+    fn scalar_formal_is_propagateable() {
+        let caller = caller_with(vec![VarDecl::scalar("X", 8), VarDecl::array("A", &[10, 10], 8)]);
+        let fp = VarDecl::scalar("Y", 8).formal();
+        assert_eq!(
+            classify_actual(&caller, &Actual::var("X"), &fp).unwrap(),
+            ActualClass::Propagateable
+        );
+        // Array element to scalar formal: also propagateable.
+        let elem = Actual::element("A", vec![LinExpr::var("I"), LinExpr::var("J")]);
+        assert_eq!(
+            classify_actual(&caller, &elem, &fp).unwrap(),
+            ActualClass::Propagateable
+        );
+    }
+
+    #[test]
+    fn one_dimensional_formal_is_propagateable() {
+        // Fig 5: D(400) bound to B(20,20).
+        let caller = caller_with(vec![VarDecl::array("B", &[20, 20], 8)]);
+        let fp = VarDecl::array("D", &[400], 8).formal();
+        assert_eq!(
+            classify_actual(&caller, &Actual::var("B"), &fp).unwrap(),
+            ActualClass::Propagateable
+        );
+    }
+
+    #[test]
+    fn matching_dims_propagateable() {
+        // Fig 5: C(10,10) bound to A(10,10).
+        let caller = caller_with(vec![VarDecl::array("A", &[10, 10], 8)]);
+        let fp = VarDecl::array("C", &[10, 10], 8).formal();
+        assert_eq!(
+            classify_actual(&caller, &Actual::var("A"), &fp).unwrap(),
+            ActualClass::Propagateable
+        );
+        // Mismatching last dimension is fine.
+        let fp2 = VarDecl::array("C", &[10, 99], 8).formal();
+        assert_eq!(
+            classify_actual(&caller, &Actual::var("A"), &fp2).unwrap(),
+            ActualClass::Propagateable
+        );
+    }
+
+    #[test]
+    fn shape_change_is_renameable() {
+        // Fig 5: T(100,4) bound to B(20,20); S(10,10,*) bound to B(I1,I2).
+        let caller = caller_with(vec![VarDecl::array("B", &[20, 20], 8)]);
+        let t = VarDecl::array("T", &[100, 4], 8).formal();
+        assert_eq!(
+            classify_actual(&caller, &Actual::var("B"), &t).unwrap(),
+            ActualClass::Renameable
+        );
+        let s = VarDecl::array("S", &[10, 10, 1], 8).formal().assumed_last_dim();
+        let elem = Actual::element("B", vec![LinExpr::var("I1"), LinExpr::var("I2")]);
+        assert_eq!(
+            classify_actual(&caller, &elem, &s).unwrap(),
+            ActualClass::Renameable
+        );
+    }
+
+    #[test]
+    fn unknown_or_mismatched_is_rejected() {
+        let caller = caller_with(vec![VarDecl::array("B", &[20, 20], 4)]);
+        let fp = VarDecl::array("C", &[10, 10], 8).formal();
+        // Element size mismatch: non-analysable.
+        assert_eq!(
+            classify_actual(&caller, &Actual::var("B"), &fp).unwrap(),
+            ActualClass::NonAnalysable
+        );
+        assert!(matches!(
+            classify_actual(&caller, &Actual::var("Q"), &fp),
+            Err(InlineError::UnknownActual { .. })
+        ));
+    }
+
+    #[test]
+    fn census_counts_fig5_like_program() {
+        // Caller passes: X (scalar→scalar P), A (match P), B (1-D view P),
+        // B elem (assumed-size R) to f; and to g: A elems (P, P) and B→T (R).
+        let mut main = Subroutine::new("MAIN");
+        main.decls = vec![
+            VarDecl::scalar("X", 8),
+            VarDecl::array("A", &[10, 10], 8),
+            VarDecl::array("B", &[20, 20], 8),
+        ];
+        main.body = vec![
+            SNode::call(
+                "f",
+                vec![
+                    Actual::var("X"),
+                    Actual::var("A"),
+                    Actual::var("B"),
+                    Actual::element("B", vec![LinExpr::constant(1), LinExpr::constant(1)]),
+                ],
+            ),
+            SNode::call(
+                "g",
+                vec![
+                    Actual::element("A", vec![LinExpr::constant(1), LinExpr::constant(1)]),
+                    Actual::element("A", vec![LinExpr::constant(1), LinExpr::constant(2)]),
+                    Actual::var("B"),
+                ],
+            ),
+        ];
+        let mut f = Subroutine::new("f");
+        f.formals = vec!["Y".into(), "C".into(), "D".into(), "S".into()];
+        f.decls = vec![
+            VarDecl::scalar("Y", 8).formal(),
+            VarDecl::array("C", &[10, 10], 8).formal(),
+            VarDecl::array("D", &[400], 8).formal(),
+            VarDecl::array("S", &[10, 10, 1], 8).formal().assumed_last_dim(),
+        ];
+        let mut g = Subroutine::new("g");
+        g.formals = vec!["E".into(), "F".into(), "T".into()];
+        g.decls = vec![
+            VarDecl::array("E", &[10, 10], 8).formal(),
+            VarDecl::array("F", &[10], 8).formal(),
+            VarDecl::array("T", &[100, 4], 8).formal(),
+        ];
+        let prog = SourceProgram {
+            name: "fig5".into(),
+            subroutines: vec![main, f, g],
+            entry: "MAIN".into(),
+        };
+        let c = census(&prog);
+        assert_eq!(c.calls, 2);
+        assert_eq!(c.analysable_calls, 2);
+        assert_eq!(c.propagateable, 5);
+        assert_eq!(c.renameable, 2);
+        assert_eq!(c.non_analysable, 0);
+        assert_eq!(c.total_actuals(), 7);
+        assert!((c.analysable_pct() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn census_flags_unknown_callee() {
+        let mut main = Subroutine::new("MAIN");
+        main.body = vec![SNode::call("nope", vec![])];
+        let prog = SourceProgram::single("p", main);
+        let c = census(&prog);
+        assert_eq!(c.calls, 1);
+        assert_eq!(c.analysable_calls, 0);
+        assert_eq!(c.non_analysable, 1);
+    }
+
+    #[test]
+    fn formal_kind_is_orthogonal() {
+        // classify_actual never looks at VarKind of the caller's decl.
+        let mut caller = caller_with(vec![VarDecl::array("A", &[10, 10], 8).formal()]);
+        caller.formals = vec!["A".into()];
+        assert_eq!(caller.decl("A").unwrap().kind, VarKind::Formal);
+        let fp = VarDecl::array("C", &[10, 10], 8).formal();
+        assert_eq!(
+            classify_actual(&caller, &Actual::var("A"), &fp).unwrap(),
+            ActualClass::Propagateable
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Errors from abstract inlining.
+
+use std::fmt;
+
+/// An error during call-site classification or abstract inlining.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InlineError {
+    /// A `CALL` names a subroutine that does not exist in the program.
+    UnknownSubroutine {
+        /// The callee name.
+        name: String,
+    },
+    /// The static call graph has a cycle (recursion is a data-dependent
+    /// construct, outside the program model).
+    Recursion {
+        /// The subroutine where the cycle closes.
+        name: String,
+    },
+    /// Argument count differs from the formal parameter count.
+    ArityMismatch {
+        /// The callee.
+        callee: String,
+        /// Actuals supplied.
+        supplied: usize,
+        /// Formals declared.
+        declared: usize,
+    },
+    /// An actual parameter is neither propagateable nor renameable, so the
+    /// call cannot be abstractly inlined (the `N-able` column of Table 2).
+    NonAnalysable {
+        /// The callee.
+        callee: String,
+        /// The formal parameter the actual is bound to.
+        formal: String,
+    },
+    /// A `COMMON` block is declared with different member layouts in two
+    /// subroutines (supported layouts must match name-for-name).
+    CommonMismatch {
+        /// The block name.
+        block: String,
+        /// The subroutine with the conflicting declaration.
+        subroutine: String,
+    },
+    /// An actual names a variable not declared in the caller.
+    UnknownActual {
+        /// The variable name.
+        name: String,
+        /// The calling subroutine.
+        caller: String,
+    },
+}
+
+impl fmt::Display for InlineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InlineError::UnknownSubroutine { name } => {
+                write!(f, "call to unknown subroutine `{name}`")
+            }
+            InlineError::Recursion { name } => {
+                write!(f, "recursive call chain through `{name}` is not analysable")
+            }
+            InlineError::ArityMismatch {
+                callee,
+                supplied,
+                declared,
+            } => write!(
+                f,
+                "call to `{callee}` passes {supplied} arguments but {declared} are declared"
+            ),
+            InlineError::NonAnalysable { callee, formal } => write!(
+                f,
+                "actual bound to formal `{formal}` of `{callee}` is not analysable"
+            ),
+            InlineError::CommonMismatch { block, subroutine } => write!(
+                f,
+                "COMMON /{block}/ declared with a different layout in `{subroutine}`"
+            ),
+            InlineError::UnknownActual { name, caller } => {
+                write!(f, "actual `{name}` not declared in caller `{caller}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InlineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(InlineError::Recursion { name: "f".into() }
+            .to_string()
+            .contains("recursive"));
+        assert!(InlineError::ArityMismatch {
+            callee: "g".into(),
+            supplied: 1,
+            declared: 2
+        }
+        .to_string()
+        .contains("1 arguments"));
+    }
+}

@@ -1,0 +1,645 @@
+//! Abstract inlining of call statements (§3.6, Figs. 4–5 of the paper).
+//!
+//! Every analysable `CALL` is replaced by the callee's body with:
+//!
+//! * **propagated** actuals — callee references to a matching-shape formal
+//!   are rewritten against the actual itself (with element offsets folded
+//!   into the subscripts), so reuse between caller and callee is preserved;
+//! * **renamed** actuals — a fresh *view* declaration with the formal's
+//!   shape and the actual's base address (`@AP = @AP'`) carries the
+//!   callee's references, preserving reuse within the callee (Fig. 5's
+//!   `B1`, `B2`);
+//! * hoisted callee **locals** — FORTRAN locals are statically allocated,
+//!   so all call sites share one storage (`f.WB`);
+//! * **COMMON blocks** — every subroutine's members of `COMMON /B/` are
+//!   renamed onto one program-level storage (`B.X`), laid out contiguously
+//!   in member order, so parameterless calls communicating through COMMON
+//!   (the paper's Swim) analyse exactly;
+//! * renamed callee **loop variables** — fresh names per call site;
+//! * optional **run-time stack** accesses (Fig. 4) — frame writes/reads to
+//!   a distinguished `STACK` array at compile-time-known offsets (possible
+//!   because recursion is excluded).
+//!
+//! No code is generated or compiled; the output is another
+//! [`SourceProgram`] (single subroutine, call-free) carrying exactly the
+//! information the analysis needs — hence *abstract* inlining.
+
+use crate::error::InlineError;
+use cme_ir::{
+    Actual, DimSize, LinExpr, SAssign, SCall, SIf, SLoop, SNode, SRef, SourceProgram, Subroutine,
+    VarDecl, VarKind,
+};
+use std::collections::HashMap;
+
+/// Options for [`Inliner`].
+#[derive(Debug, Clone, Default)]
+pub struct InlineOptions {
+    /// Model the call-frame stack accesses of Fig. 4. Off by default: the
+    /// paper notes the impact is insignificant for large programs.
+    pub model_stack: bool,
+}
+
+/// Abstract inliner: turns a multi-subroutine program into an equivalent
+/// single-subroutine, call-free program.
+///
+/// # Examples
+///
+/// ```
+/// use cme_inline::Inliner;
+/// use cme_ir::*;
+///
+/// // MAIN calls f(A), f copies its formal C into itself shifted by one.
+/// let mut main = Subroutine::new("MAIN");
+/// main.decls = vec![VarDecl::array("A", &[64], 8)];
+/// main.body = vec![SNode::call("f", vec![Actual::var("A")])];
+/// let mut f = Subroutine::new("f");
+/// f.formals = vec!["C".into()];
+/// f.decls = vec![VarDecl::array("C", &[64], 8).formal()];
+/// let i = LinExpr::var("I");
+/// f.body = vec![SNode::loop_("I", 2, 64, vec![SNode::assign(
+///     SRef::new("C", vec![i.clone()]),
+///     vec![SRef::new("C", vec![i.offset(-1)])],
+/// )])];
+/// let program = SourceProgram {
+///     name: "demo".into(),
+///     subroutines: vec![main, f],
+///     entry: "MAIN".into(),
+/// };
+///
+/// let inlined = Inliner::new().inline(&program)?;
+/// assert_eq!(inlined.stats().calls, 0);
+/// assert_eq!(inlined.stats().references, 2); // C(I), C(I-1) → A(I), A(I-1)
+/// # Ok::<(), cme_inline::InlineError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Inliner {
+    opts: InlineOptions,
+}
+
+/// How a callee name is rewritten in the inlined body.
+#[derive(Debug, Clone)]
+enum Binding {
+    /// Scalar formal bound to a caller scalar.
+    Scalar(String),
+    /// Scalar formal bound to an array element.
+    Element { array: String, subs: Vec<LinExpr> },
+    /// Array formal: `FP(s₁…s_d)` ↦ `array(s₁+off₁, …, s_d+off_d)`.
+    Array { array: String, offs: Vec<LinExpr> },
+    /// Plain rename (hoisted locals).
+    Rename(String),
+}
+
+struct Ctx<'a> {
+    src: &'a SourceProgram,
+    decls: Vec<VarDecl>,
+    /// hoisted local name per (subroutine, local).
+    hoisted: HashMap<(String, String), String>,
+    /// canonical member list per hoisted COMMON block, for mismatch checks.
+    commons: HashMap<String, Vec<VarDecl>>,
+    /// view alias per (root array, shape, elem size).
+    aliases: HashMap<(String, Vec<DimSize>, u32), String>,
+    var_counter: usize,
+    alias_counter: usize,
+    /// Current stack pointer in elements (Fig. 4); compile-time because
+    /// recursion is excluded.
+    sp: i64,
+    max_sp: i64,
+    model_stack: bool,
+    stack_name: String,
+}
+
+impl<'a> Ctx<'a> {
+    fn decl(&self, name: &str) -> Option<&VarDecl> {
+        self.decls.iter().find(|d| d.name == name)
+    }
+
+    /// The non-alias array a name's storage belongs to.
+    fn root_of(&self, name: &str) -> String {
+        let mut cur = name.to_string();
+        while let Some(d) = self.decl(&cur) {
+            match &d.alias_of {
+                Some(t) => cur = t.clone(),
+                None => break,
+            }
+        }
+        cur
+    }
+
+    fn fresh_alias(&mut self, base: &str) -> String {
+        self.alias_counter += 1;
+        format!("{base}#v{}", self.alias_counter)
+    }
+
+    /// Column-major strides (in elements) of a declared shape; `None` when
+    /// a non-last dimension is assumed.
+    fn strides(d: &VarDecl) -> Option<Vec<i64>> {
+        let mut acc = 1i64;
+        let mut out = Vec::with_capacity(d.dims.len());
+        for (i, dim) in d.dims.iter().enumerate() {
+            out.push(acc);
+            if i + 1 < d.dims.len() {
+                acc *= dim.fixed()?;
+            }
+        }
+        Some(out)
+    }
+}
+
+impl Inliner {
+    /// An inliner with default options (no stack modelling).
+    pub fn new() -> Self {
+        Inliner::default()
+    }
+
+    /// An inliner that also models the Fig. 4 run-time-stack accesses.
+    pub fn with_stack_model() -> Self {
+        Inliner {
+            opts: InlineOptions { model_stack: true },
+        }
+    }
+
+    /// Inlines every call reachable from the entry subroutine, producing a
+    /// call-free single-subroutine program ready for normalisation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InlineError`] for unknown callees, recursion, arity
+    /// mismatches or non-analysable actuals.
+    pub fn inline(&self, src: &SourceProgram) -> Result<SourceProgram, InlineError> {
+        let entry = src.entry_subroutine();
+        let stack_name = {
+            let mut name = "STACK".to_string();
+            while src.subroutines.iter().any(|s| s.decls.iter().any(|d| d.name == name)) {
+                name.push('_');
+            }
+            name
+        };
+        // Entry declarations minus COMMON members (those hoist to shared
+        // block storage below).
+        let entry_common: HashMap<&str, &str> = entry
+            .commons
+            .iter()
+            .flat_map(|c| c.vars.iter().map(move |v| (v.as_str(), c.block.as_str())))
+            .collect();
+        let mut ctx = Ctx {
+            src,
+            decls: entry
+                .decls
+                .iter()
+                .filter(|d| !entry_common.contains_key(d.name.as_str()))
+                .map(|d| {
+                    let mut d = d.clone();
+                    d.kind = VarKind::Local;
+                    d
+                })
+                .collect(),
+            hoisted: HashMap::new(),
+            commons: HashMap::new(),
+            aliases: HashMap::new(),
+            var_counter: 0,
+            alias_counter: 0,
+            sp: 0,
+            max_sp: 0,
+            model_stack: self.opts.model_stack,
+            stack_name,
+        };
+        // Hoist the entry's COMMON members and bind its references to them.
+        let mut bind: HashMap<String, Binding> = HashMap::new();
+        hoist_commons(entry, &mut ctx, &mut bind)?;
+        let mut path = vec![entry.name.clone()];
+        let body = self.process(&entry.body, &bind, &HashMap::new(), &mut ctx, &mut path)?;
+        let mut decls = ctx.decls;
+        if ctx.model_stack && ctx.max_sp > 0 {
+            decls.push(VarDecl::array(ctx.stack_name.clone(), &[ctx.max_sp], 8));
+        }
+        let sub = Subroutine {
+            name: entry.name.clone(),
+            decls,
+            formals: Vec::new(),
+            commons: Vec::new(),
+            body,
+        };
+        Ok(SourceProgram {
+            name: src.name.clone(),
+            subroutines: vec![sub],
+            entry: entry.name.clone(),
+        })
+    }
+
+    /// Rewrites a node list under `bind` (formal/local bindings) and
+    /// `vars` (loop-variable renames), expanding calls recursively.
+    fn process(
+        &self,
+        nodes: &[SNode],
+        bind: &HashMap<String, Binding>,
+        vars: &HashMap<String, String>,
+        ctx: &mut Ctx<'_>,
+        path: &mut Vec<String>,
+    ) -> Result<Vec<SNode>, InlineError> {
+        let mut out = Vec::with_capacity(nodes.len());
+        for n in nodes {
+            match n {
+                SNode::Loop(l) => {
+                    out.push(SNode::Loop(SLoop {
+                        var: vars.get(&l.var).cloned().unwrap_or_else(|| l.var.clone()),
+                        lb: rewrite_expr(&l.lb, vars),
+                        ub: rewrite_expr(&l.ub, vars),
+                        step: l.step,
+                        body: self.process(&l.body, bind, vars, ctx, path)?,
+                    }));
+                }
+                SNode::If(i) => {
+                    out.push(SNode::If(SIf {
+                        conds: i
+                            .conds
+                            .iter()
+                            .map(|c| cme_ir::LinRel {
+                                lhs: rewrite_expr(&c.lhs, vars),
+                                op: c.op,
+                                rhs: rewrite_expr(&c.rhs, vars),
+                            })
+                            .collect(),
+                        then_body: self.process(&i.then_body, bind, vars, ctx, path)?,
+                        else_body: self.process(&i.else_body, bind, vars, ctx, path)?,
+                    }));
+                }
+                SNode::Assign(a) => {
+                    out.push(SNode::Assign(SAssign {
+                        reads: a
+                            .reads
+                            .iter()
+                            .map(|r| rewrite_ref(r, bind, vars))
+                            .collect(),
+                        write: a.write.as_ref().map(|r| rewrite_ref(r, bind, vars)),
+                        label: a.label.clone(),
+                    }));
+                }
+                SNode::Call(call) => {
+                    let rewritten = SCall {
+                        callee: call.callee.clone(),
+                        args: call
+                            .args
+                            .iter()
+                            .map(|a| rewrite_actual(a, bind, vars))
+                            .collect(),
+                    };
+                    out.extend(self.expand_call(&rewritten, ctx, path)?);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Expands one call whose actuals are already expressed in output-
+    /// program terms.
+    fn expand_call(
+        &self,
+        call: &SCall,
+        ctx: &mut Ctx<'_>,
+        path: &mut Vec<String>,
+    ) -> Result<Vec<SNode>, InlineError> {
+        let Some(callee) = ctx.src.subroutine(&call.callee) else {
+            return Err(InlineError::UnknownSubroutine {
+                name: call.callee.clone(),
+            });
+        };
+        if path.contains(&callee.name) {
+            return Err(InlineError::Recursion {
+                name: callee.name.clone(),
+            });
+        }
+        if callee.formals.len() != call.args.len() {
+            return Err(InlineError::ArityMismatch {
+                callee: callee.name.clone(),
+                supplied: call.args.len(),
+                declared: callee.formals.len(),
+            });
+        }
+
+        // Formal bindings. A formal the callee never references needs no
+        // binding at all — its actual may even be non-analysable (see the
+        // census rule in `classify`).
+        let mut bind: HashMap<String, Binding> = HashMap::new();
+        for (actual, fname) in call.args.iter().zip(&callee.formals) {
+            let fp = callee
+                .decl(fname)
+                .ok_or_else(|| InlineError::UnknownSubroutine {
+                    name: format!("{}::{fname}", callee.name),
+                })?
+                .clone();
+            match self.bind_actual(actual, &fp, &callee.name, ctx) {
+                Ok(b) => {
+                    bind.insert(fname.clone(), b);
+                }
+                Err(e) => {
+                    if cme_ir::ast::references_name(&callee.body, fname) {
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        // COMMON members bind to the shared block storage.
+        hoist_commons(callee, ctx, &mut bind)?;
+        // Hoisted locals (shared across call sites, FORTRAN static storage).
+        for d in &callee.decls {
+            if d.kind == VarKind::Formal || bind.contains_key(&d.name) {
+                continue;
+            }
+            let key = (callee.name.clone(), d.name.clone());
+            let hoisted = match ctx.hoisted.get(&key) {
+                Some(h) => h.clone(),
+                None => {
+                    let h = format!("{}.{}", callee.name, d.name);
+                    let mut nd = d.clone();
+                    nd.name = h.clone();
+                    ctx.decls.push(nd);
+                    ctx.hoisted.insert(key, h.clone());
+                    h
+                }
+            };
+            bind.insert(d.name.clone(), Binding::Rename(hoisted));
+        }
+        // Loop-variable renames, fresh per call site.
+        let mut vars: HashMap<String, String> = HashMap::new();
+        collect_loop_vars(&callee.body, &mut |v| {
+            if !vars.contains_key(v) {
+                ctx.var_counter += 1;
+                vars.insert(v.to_string(), format!("{v}~{}", ctx.var_counter));
+            }
+        });
+
+        // Stack frame (Fig. 4): return address + one pointer per argument.
+        let mut out = Vec::new();
+        let frame = call.args.len() as i64 + 1;
+        let frame_base = ctx.sp;
+        if ctx.model_stack {
+            let slot =
+                |k: i64| SRef::new(ctx.stack_name.clone(), vec![LinExpr::constant(frame_base + k)]);
+            // Caller writes the return address and argument pointers …
+            for k in 1..=frame {
+                out.push(SNode::assign(slot(k), vec![]));
+            }
+            // … and the callee reads the argument pointers on entry.
+            out.push(SNode::reads_only((2..=frame).map(slot).collect()));
+            ctx.sp += frame;
+            ctx.max_sp = ctx.max_sp.max(ctx.sp);
+        }
+
+        path.push(callee.name.clone());
+        let body = self.process(&callee.body, &bind, &vars, ctx, path)?;
+        path.pop();
+        out.extend(body);
+
+        if ctx.model_stack {
+            // Return: the callee reads the return address back.
+            out.push(SNode::reads_only(vec![SRef::new(
+                ctx.stack_name.clone(),
+                vec![LinExpr::constant(frame_base + 1)],
+            )]));
+            ctx.sp -= frame;
+        }
+        Ok(out)
+    }
+
+    /// Builds the binding for one actual/formal pair, creating view aliases
+    /// as needed.
+    fn bind_actual(
+        &self,
+        actual: &Actual,
+        fp: &VarDecl,
+        callee: &str,
+        ctx: &mut Ctx<'_>,
+    ) -> Result<Binding, InlineError> {
+        let Some(ap) = ctx.decl(&actual.name).cloned() else {
+            return Err(InlineError::UnknownActual {
+                name: actual.name.clone(),
+                caller: callee.to_string(),
+            });
+        };
+        if ap.elem_bytes != fp.elem_bytes {
+            return Err(InlineError::NonAnalysable {
+                callee: callee.to_string(),
+                formal: fp.name.clone(),
+            });
+        }
+        if fp.is_scalar() {
+            return Ok(if ap.is_scalar() {
+                Binding::Scalar(actual.name.clone())
+            } else {
+                let subs = if actual.subs.is_empty() {
+                    vec![LinExpr::constant(1); ap.dims.len()]
+                } else {
+                    actual.subs.clone()
+                };
+                Binding::Element {
+                    array: actual.name.clone(),
+                    subs,
+                }
+            });
+        }
+
+        // Propagation with matching shape: same rank, matching sizes in all
+        // but the last dimension, and the actual's own declaration is used.
+        let rank_match = ap.dims.len() == fp.dims.len()
+            && ap
+                .dims
+                .iter()
+                .zip(&fp.dims)
+                .take(fp.dims.len() - 1)
+                .all(|(a, b)| matches!((a.fixed(), b.fixed()), (Some(x), Some(y)) if x == y));
+        if rank_match && !ap.is_scalar() {
+            let offs = if actual.subs.is_empty() {
+                vec![LinExpr::constant(0); fp.dims.len()]
+            } else {
+                actual.subs.iter().map(|s| s.offset(-1)).collect()
+            };
+            return Ok(Binding::Array {
+                array: actual.name.clone(),
+                offs,
+            });
+        }
+
+        // View (Fig. 5's renaming, also used for 1-D reshapes): a fresh
+        // alias with the formal's shape sharing the actual's base address;
+        // the element offset of a subscripted actual folds into the first
+        // subscript.
+        let Some(ap_strides) = Ctx::strides(&ap) else {
+            return Err(InlineError::NonAnalysable {
+                callee: callee.to_string(),
+                formal: fp.name.clone(),
+            });
+        };
+        if Ctx::strides(fp).is_none() {
+            return Err(InlineError::NonAnalysable {
+                callee: callee.to_string(),
+                formal: fp.name.clone(),
+            });
+        }
+        let root = ctx.root_of(&actual.name);
+        let key = (root.clone(), fp.dims.clone(), fp.elem_bytes);
+        let alias = match ctx.aliases.get(&key) {
+            Some(a) => a.clone(),
+            None => {
+                let name = ctx.fresh_alias(&root);
+                let decl = VarDecl {
+                    name: name.clone(),
+                    elem_bytes: fp.elem_bytes,
+                    dims: fp.dims.clone(),
+                    kind: VarKind::Local,
+                    alias_of: Some(root.clone()),
+                };
+                ctx.decls.push(decl);
+                ctx.aliases.insert(key, name.clone());
+                name
+            }
+        };
+        // Linearised 0-based element offset of the actual within its array.
+        let mut lin = LinExpr::constant(0);
+        for (i, s) in actual.subs.iter().enumerate() {
+            lin = lin.add(&s.offset(-1).scale(ap_strides[i]));
+        }
+        let mut offs = vec![LinExpr::constant(0); fp.dims.len()];
+        offs[0] = lin;
+        Ok(Binding::Array {
+            array: alias,
+            offs,
+        })
+    }
+
+    /// Table 2 census for a whole program (delegates to
+    /// [`crate::classify::census`]).
+    pub fn census(program: &SourceProgram) -> crate::classify::Census {
+        crate::classify::census(program)
+    }
+}
+
+/// Hoists a subroutine's `COMMON` members onto the program-level block
+/// storage (`BLOCK.NAME`) and records `Rename` bindings for them. Layouts
+/// must match name-for-name across subroutines.
+fn hoist_commons(
+    sub: &Subroutine,
+    ctx: &mut Ctx<'_>,
+    bind: &mut HashMap<String, Binding>,
+) -> Result<(), InlineError> {
+    for cb in &sub.commons {
+        // Collect the member declarations in block order.
+        let mut members: Vec<VarDecl> = Vec::with_capacity(cb.vars.len());
+        for v in &cb.vars {
+            let d = sub.decl(v).ok_or_else(|| InlineError::CommonMismatch {
+                block: cb.block.clone(),
+                subroutine: sub.name.clone(),
+            })?;
+            members.push(d.clone());
+        }
+        match ctx.commons.get(&cb.block) {
+            Some(canon) => {
+                let same = canon.len() == members.len()
+                    && canon.iter().zip(&members).all(|(a, b)| {
+                        a.name == b.name && a.dims == b.dims && a.elem_bytes == b.elem_bytes
+                    });
+                if !same {
+                    return Err(InlineError::CommonMismatch {
+                        block: cb.block.clone(),
+                        subroutine: sub.name.clone(),
+                    });
+                }
+            }
+            None => {
+                // First sight of the block: create the shared storage, in
+                // member order so the block is contiguous in the layout.
+                for d in &members {
+                    let mut nd = d.clone();
+                    nd.name = format!("{}.{}", cb.block, d.name);
+                    nd.kind = VarKind::Local;
+                    ctx.decls.push(nd);
+                }
+                ctx.commons.insert(cb.block.clone(), members.clone());
+            }
+        }
+        for d in &members {
+            bind.insert(
+                d.name.clone(),
+                Binding::Rename(format!("{}.{}", cb.block, d.name)),
+            );
+        }
+    }
+    Ok(())
+}
+
+fn rewrite_expr(e: &LinExpr, vars: &HashMap<String, String>) -> LinExpr {
+    let mut out = e.clone();
+    for (from, to) in vars {
+        out = out.rename(from, to);
+    }
+    out
+}
+
+fn rewrite_ref(r: &SRef, bind: &HashMap<String, Binding>, vars: &HashMap<String, String>) -> SRef {
+    let subs: Vec<LinExpr> = r.subs.iter().map(|s| rewrite_expr(s, vars)).collect();
+    match bind.get(&r.array) {
+        None => SRef::new(r.array.clone(), subs),
+        Some(Binding::Scalar(n)) => SRef::scalar(n.clone()),
+        Some(Binding::Element { array, subs: es }) => SRef::new(array.clone(), es.clone()),
+        Some(Binding::Rename(n)) => SRef::new(n.clone(), subs),
+        Some(Binding::Array { array, offs }) => SRef::new(
+            array.clone(),
+            subs.iter()
+                .zip(offs)
+                .map(|(s, o)| s.add(o))
+                .collect(),
+        ),
+    }
+}
+
+fn rewrite_actual(
+    a: &Actual,
+    bind: &HashMap<String, Binding>,
+    vars: &HashMap<String, String>,
+) -> Actual {
+    let subs: Vec<LinExpr> = a.subs.iter().map(|s| rewrite_expr(s, vars)).collect();
+    match bind.get(&a.name) {
+        None => Actual {
+            name: a.name.clone(),
+            subs,
+        },
+        Some(Binding::Scalar(n)) => Actual::var(n.clone()),
+        Some(Binding::Element { array, subs: es }) => Actual::element(array.clone(), es.clone()),
+        Some(Binding::Rename(n)) => Actual {
+            name: n.clone(),
+            subs,
+        },
+        Some(Binding::Array { array, offs }) => {
+            if subs.is_empty() {
+                if offs.iter().all(|o| o.is_constant() && o.constant_term() == 0) {
+                    Actual::var(array.clone())
+                } else {
+                    Actual::element(
+                        array.clone(),
+                        offs.iter().map(|o| o.offset(1)).collect(),
+                    )
+                }
+            } else {
+                Actual::element(
+                    array.clone(),
+                    subs.iter().zip(offs).map(|(s, o)| s.add(o)).collect(),
+                )
+            }
+        }
+    }
+}
+
+fn collect_loop_vars(nodes: &[SNode], f: &mut impl FnMut(&str)) {
+    for n in nodes {
+        match n {
+            SNode::Loop(l) => {
+                f(&l.var);
+                collect_loop_vars(&l.body, f);
+            }
+            SNode::If(i) => {
+                collect_loop_vars(&i.then_body, f);
+                collect_loop_vars(&i.else_body, f);
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Abstract inlining of call statements (§3.6 of the paper).
+//!
+//! FORTRAN passes all arguments by reference; to analyse a program with
+//! `CALL` statements exactly, every analysable call is *abstractly
+//! inlined*: the callee's references are rewritten into the caller without
+//! generating compilable code. This crate provides:
+//!
+//! * [`classify`] — the propagateable / renameable / non-analysable
+//!   classification of actual parameters and the Table 2 census;
+//! * [`Inliner`] — the inlining transformation itself, including parameter
+//!   propagation with subscript composition, renamed base-sharing views
+//!   (`@AP = @AP'`), hoisting of statically-allocated callee locals, and an
+//!   optional model of the run-time-stack accesses of Fig. 4.
+//!
+//! The output is a call-free, single-subroutine [`cme_ir::SourceProgram`],
+//! ready for normalisation and cache analysis.
+
+pub mod classify;
+pub mod error;
+pub mod inliner;
+
+pub use classify::{census, classify_actual, ActualClass, Census};
+pub use error::InlineError;
+pub use inliner::{InlineOptions, Inliner};

@@ -1,0 +1,539 @@
+//! Integration tests for abstract inlining, including the paper's Fig. 5
+//! worked example and end-to-end equivalence with hand-inlined programs.
+
+use cme_inline::{census, ActualClass, InlineError, Inliner};
+use cme_ir::{
+    normalize, Actual, DimSize, LinExpr, NormalizeOptions, SNode, SRef, SourceProgram, Storage,
+    Subroutine, VarDecl,
+};
+
+fn ivar(n: &str) -> LinExpr {
+    LinExpr::var(n)
+}
+
+/// The Figure 5 program: MAIN calls f(X, A, B, B(I1,I2)) and
+/// g(A(I1,I2), A(1,I2), B) inside a 2-deep nest.
+fn figure5() -> SourceProgram {
+    let (i1, i2) = (ivar("I1"), ivar("I2"));
+    let mut main = Subroutine::new("MAIN");
+    main.decls = vec![
+        VarDecl::scalar("X", 8),
+        VarDecl::array("A", &[10, 10], 8),
+        VarDecl::array("B", &[20, 20], 8),
+    ];
+    main.body = vec![SNode::loop_(
+        "I1",
+        1,
+        8,
+        vec![SNode::loop_(
+            "I2",
+            1,
+            8,
+            vec![
+                SNode::assign(SRef::new("A", vec![i1.clone(), i2.clone()]), vec![]),
+                SNode::call(
+                    "f",
+                    vec![
+                        Actual::var("X"),
+                        Actual::var("A"),
+                        Actual::var("B"),
+                        Actual::element("B", vec![i1.clone(), i2.clone()]),
+                    ],
+                ),
+                SNode::call(
+                    "g",
+                    vec![
+                        Actual::element("A", vec![i1.clone(), i2.clone()]),
+                        Actual::element("A", vec![LinExpr::constant(1), i2.clone()]),
+                        Actual::var("B"),
+                    ],
+                ),
+            ],
+        )],
+    )];
+
+    let (i3, i4) = (ivar("I3"), ivar("I4"));
+    let mut f = Subroutine::new("f");
+    f.formals = vec!["Y".into(), "C".into(), "D".into(), "S".into()];
+    f.decls = vec![
+        VarDecl::scalar("Y", 8).formal(),
+        VarDecl::array("C", &[10, 10], 8).formal(),
+        VarDecl::array("D", &[400], 8).formal(),
+        VarDecl::array("S", &[10, 10, 1], 8).formal().assumed_last_dim(),
+    ];
+    f.body = vec![SNode::loop_(
+        "I3",
+        1,
+        4,
+        vec![SNode::loop_(
+            "I4",
+            2,
+            4,
+            vec![
+                SNode::assign(
+                    SRef::new("C", vec![i3.clone(), i4.offset(-1)]),
+                    vec![
+                        SRef::scalar("Y"),
+                        SRef::new(
+                            "D",
+                            vec![i3.offset(-1).add(&i4.offset(-1).scale(20))],
+                        ),
+                    ],
+                ),
+                SNode::assign(
+                    SRef::new("S", vec![i3.clone(), i4.clone(), LinExpr::constant(2)]),
+                    vec![],
+                ),
+            ],
+        )],
+    )];
+
+    let mut g = Subroutine::new("g");
+    g.formals = vec!["E".into(), "F".into(), "T".into()];
+    g.decls = vec![
+        VarDecl::array("E", &[10, 10], 8).formal(),
+        VarDecl::array("F", &[10], 8).formal(),
+        VarDecl::array("T", &[100, 4], 8).formal(),
+    ];
+    g.body = vec![SNode::loop_(
+        "I3",
+        1,
+        4,
+        vec![SNode::loop_(
+            "I4",
+            1,
+            4,
+            vec![SNode::assign(
+                SRef::new("E", vec![i3.clone(), i4.clone()]),
+                vec![
+                    SRef::new("F", vec![i4.clone()]),
+                    SRef::new("T", vec![i3.clone(), i4.clone()]),
+                ],
+            )],
+        )],
+    )];
+
+    SourceProgram {
+        name: "fig5".into(),
+        subroutines: vec![main, f, g],
+        entry: "MAIN".into(),
+    }
+}
+
+#[test]
+fn figure5_census() {
+    let c = census(&figure5());
+    assert_eq!(c.calls, 2);
+    assert_eq!(c.analysable_calls, 2);
+    // f: X→Y (P), A→C (P), B→D (P, 1-D formal), B(I1,I2)→S (R)
+    // g: A(I1,I2)→E (P), A(1,I2)→F (P, 1-D formal), B→T (R)
+    assert_eq!(c.propagateable, 5);
+    assert_eq!(c.renameable, 2);
+    assert_eq!(c.non_analysable, 0);
+}
+
+#[test]
+fn figure5_inlines_to_call_free_program() {
+    let inlined = Inliner::new().inline(&figure5()).unwrap();
+    let stats = inlined.stats();
+    assert_eq!(stats.calls, 0);
+    assert_eq!(stats.subroutines, 1);
+    // References: MAIN's A write + f's (Y, D, C write, S write) + g's
+    // (F, T, E write) = 8 memory references per iteration, but Y→X is a
+    // scalar (register-allocated at normalisation, still present in the
+    // source form).
+    assert_eq!(stats.references, 8);
+
+    // All views must share the base address of their root after
+    // normalisation.
+    let p = normalize(&inlined, &NormalizeOptions::default()).unwrap();
+    let arrays = p.arrays();
+    let find = |n: &str| arrays.iter().position(|a| a.name == n).unwrap();
+    let b = find("B");
+    let b_aliases: Vec<usize> = (0..arrays.len())
+        .filter(|&i| arrays[i].storage == Storage::AliasOf(b))
+        .collect();
+    // D's 1-D view (B1: 400), S's view (10×10×*) and T's view (B2: 100×4).
+    assert_eq!(b_aliases.len(), 3, "{arrays:?}");
+    for id in b_aliases {
+        assert_eq!(p.base_address(id), p.base_address(b), "@B = @B1 = @B2");
+    }
+    // F's 1-D view of A also shares A's base.
+    let a = find("A");
+    let a_aliases: Vec<usize> = (0..arrays.len())
+        .filter(|&i| arrays[i].storage == Storage::AliasOf(a))
+        .collect();
+    assert_eq!(a_aliases.len(), 1, "{arrays:?}");
+    assert_eq!(p.base_address(a_aliases[0]), p.base_address(a));
+}
+
+#[test]
+fn figure5_propagated_subscripts_compose() {
+    // g's E(I3,I4) with actual A(I1,I2) must become A(I1+I3−1, I2+I4−1).
+    let inlined = Inliner::new().inline(&figure5()).unwrap();
+    let p = normalize(&inlined, &NormalizeOptions::default()).unwrap();
+    // Find a write reference to A whose display mentions two renamed loop
+    // vars; verify via addresses instead of display: at I1=2,I2=3,I3=1,I4=1
+    // the write must hit A(2,3).
+    // The normalised program is 4-deep: (I1, I2, I3~i, I4~i).
+    let a_id = p
+        .arrays()
+        .iter()
+        .position(|a| a.name == "A")
+        .expect("A exists");
+    let writes_to_a: Vec<usize> = (0..p.references().len())
+        .filter(|&r| {
+            p.reference(r).array == a_id && p.reference(r).kind == cme_ir::AccessKind::Write
+        })
+        .collect();
+    // MAIN's write, f's C write (propagated to A), g's E write (propagated
+    // with offsets).
+    assert_eq!(writes_to_a.len(), 3);
+    // The E write: subscripts (I1+I3−1, I2+I4−1); at point (2,3,1,1) that is
+    // A(2,3) → elem (2−1) + (3−1)*10 = 21.
+    let e_write = *writes_to_a
+        .iter()
+        .find(|&&r| {
+            let subs = &p.reference(r).subs;
+            subs[0].coeffs().iter().filter(|&&c| c != 0).count() == 2
+        })
+        .expect("composed write exists");
+    assert_eq!(p.elem_index(e_write, &[2, 3, 1, 1]), 21);
+}
+
+#[test]
+fn hand_inlined_equivalence() {
+    // A two-subroutine program and its hand-inlined equivalent must produce
+    // identical simulated miss counts (identical traces module layout).
+    let n = 24i64;
+    let (i, j) = (ivar("I"), ivar("J"));
+
+    // Version 1: MAIN initialises V, then CALL smooth(V, W) twice.
+    let mut main = Subroutine::new("MAIN");
+    main.decls = vec![
+        VarDecl::array("V", &[n], 8),
+        VarDecl::array("W", &[n], 8),
+    ];
+    main.body = vec![
+        SNode::loop_(
+            "I",
+            1,
+            n,
+            vec![SNode::assign(SRef::new("V", vec![i.clone()]), vec![])],
+        ),
+        SNode::call("smooth", vec![Actual::var("V"), Actual::var("W")]),
+        SNode::call("smooth", vec![Actual::var("W"), Actual::var("V")]),
+    ];
+    let mut smooth = Subroutine::new("smooth");
+    smooth.formals = vec!["SRC".into(), "DST".into()];
+    smooth.decls = vec![
+        VarDecl::array("SRC", &[n], 8).formal(),
+        VarDecl::array("DST", &[n], 8).formal(),
+    ];
+    smooth.body = vec![SNode::loop_(
+        "J",
+        2,
+        n - 1,
+        vec![SNode::assign(
+            SRef::new("DST", vec![j.clone()]),
+            vec![
+                SRef::new("SRC", vec![j.offset(-1)]),
+                SRef::new("SRC", vec![j.offset(1)]),
+            ],
+        )],
+    )];
+    let with_calls = SourceProgram {
+        name: "calls".into(),
+        subroutines: vec![main, smooth],
+        entry: "MAIN".into(),
+    };
+
+    // Version 2: hand-inlined.
+    let mut flat = Subroutine::new("MAIN");
+    flat.decls = vec![
+        VarDecl::array("V", &[n], 8),
+        VarDecl::array("W", &[n], 8),
+    ];
+    let mk_smooth = |src: &str, dst: &str, var: &str| {
+        let v = ivar(var);
+        SNode::loop_(
+            var,
+            2,
+            n - 1,
+            vec![SNode::assign(
+                SRef::new(dst, vec![v.clone()]),
+                vec![
+                    SRef::new(src, vec![v.offset(-1)]),
+                    SRef::new(src, vec![v.offset(1)]),
+                ],
+            )],
+        )
+    };
+    flat.body = vec![
+        SNode::loop_(
+            "I",
+            1,
+            n,
+            vec![SNode::assign(SRef::new("V", vec![i.clone()]), vec![])],
+        ),
+        mk_smooth("V", "W", "J1"),
+        mk_smooth("W", "V", "J2"),
+    ];
+    let hand = SourceProgram::single("hand", flat);
+
+    let inlined = Inliner::new().inline(&with_calls).unwrap();
+    let p1 = normalize(&inlined, &NormalizeOptions::default()).unwrap();
+    let p2 = normalize(&hand, &NormalizeOptions::default()).unwrap();
+    let cfg = cme_cache::CacheConfig::new(256, 32, 2).unwrap();
+    let s1 = cme_cache::Simulator::new(cfg).run(&p1);
+    let s2 = cme_cache::Simulator::new(cfg).run(&p2);
+    assert_eq!(s1.total_accesses(), s2.total_accesses());
+    assert_eq!(s1.total_misses(), s2.total_misses());
+}
+
+#[test]
+fn nested_calls_inline_transitively() {
+    let n = 16i64;
+    let i = ivar("I");
+    let mut main = Subroutine::new("MAIN");
+    main.decls = vec![VarDecl::array("A", &[n], 8)];
+    main.body = vec![SNode::call("outer", vec![Actual::var("A")])];
+    let mut outer = Subroutine::new("outer");
+    outer.formals = vec!["P".into()];
+    outer.decls = vec![VarDecl::array("P", &[n], 8).formal()];
+    outer.body = vec![SNode::call("inner", vec![Actual::var("P")])];
+    let mut inner = Subroutine::new("inner");
+    inner.formals = vec!["Q".into()];
+    inner.decls = vec![VarDecl::array("Q", &[n], 8).formal()];
+    inner.body = vec![SNode::loop_(
+        "I",
+        1,
+        n,
+        vec![SNode::assign(SRef::new("Q", vec![i.clone()]), vec![])],
+    )];
+    let src = SourceProgram {
+        name: "nest".into(),
+        subroutines: vec![main, outer, inner],
+        entry: "MAIN".into(),
+    };
+    let inlined = Inliner::new().inline(&src).unwrap();
+    assert_eq!(inlined.stats().calls, 0);
+    let p = normalize(&inlined, &NormalizeOptions::default()).unwrap();
+    assert_eq!(p.references().len(), 1);
+    // The write lands on A directly (propagated through two levels).
+    assert_eq!(p.arrays()[p.reference(0).array].name, "A");
+}
+
+#[test]
+fn recursion_is_rejected() {
+    let mut main = Subroutine::new("MAIN");
+    main.body = vec![SNode::call("f", vec![])];
+    let mut f = Subroutine::new("f");
+    f.body = vec![SNode::call("f", vec![])];
+    let src = SourceProgram {
+        name: "rec".into(),
+        subroutines: vec![main, f],
+        entry: "MAIN".into(),
+    };
+    assert!(matches!(
+        Inliner::new().inline(&src),
+        Err(InlineError::Recursion { .. })
+    ));
+}
+
+#[test]
+fn locals_are_shared_across_call_sites() {
+    // f has a local buffer; two calls must use the same storage.
+    let n = 8i64;
+    let i = ivar("I");
+    let mut main = Subroutine::new("MAIN");
+    main.decls = vec![VarDecl::array("A", &[n], 8)];
+    main.body = vec![
+        SNode::call("f", vec![Actual::var("A")]),
+        SNode::call("f", vec![Actual::var("A")]),
+    ];
+    let mut f = Subroutine::new("f");
+    f.formals = vec!["P".into()];
+    f.decls = vec![
+        VarDecl::array("P", &[n], 8).formal(),
+        VarDecl::array("BUF", &[n], 8),
+    ];
+    f.body = vec![SNode::loop_(
+        "I",
+        1,
+        n,
+        vec![SNode::assign(
+            SRef::new("BUF", vec![i.clone()]),
+            vec![SRef::new("P", vec![i.clone()])],
+        )],
+    )];
+    let src = SourceProgram {
+        name: "locals".into(),
+        subroutines: vec![main, f],
+        entry: "MAIN".into(),
+    };
+    let inlined = Inliner::new().inline(&src).unwrap();
+    let bufs: Vec<&VarDecl> = inlined.subroutines[0]
+        .decls
+        .iter()
+        .filter(|d| d.name.contains("BUF"))
+        .collect();
+    assert_eq!(bufs.len(), 1, "one shared storage for f.BUF");
+    assert_eq!(bufs[0].name, "f.BUF");
+}
+
+#[test]
+fn stack_model_emits_frame_accesses() {
+    let n = 8i64;
+    let i = ivar("I");
+    let mut main = Subroutine::new("MAIN");
+    main.decls = vec![VarDecl::array("A", &[n], 8)];
+    main.body = vec![SNode::call("f", vec![Actual::var("A")])];
+    let mut f = Subroutine::new("f");
+    f.formals = vec!["P".into()];
+    f.decls = vec![VarDecl::array("P", &[n], 8).formal()];
+    f.body = vec![SNode::loop_(
+        "I",
+        1,
+        n,
+        vec![SNode::assign(SRef::new("P", vec![i.clone()]), vec![])],
+    )];
+    let src = SourceProgram {
+        name: "stack".into(),
+        subroutines: vec![main, f],
+        entry: "MAIN".into(),
+    };
+    let inlined = Inliner::with_stack_model().inline(&src).unwrap();
+    let stack_decl = inlined.subroutines[0]
+        .decls
+        .iter()
+        .find(|d| d.name == "STACK")
+        .expect("stack declared");
+    assert_eq!(stack_decl.dims, vec![DimSize::Fixed(2)]); // ret addr + 1 arg
+    // Frame accesses present: 2 writes + 1 ptr read + 1 ret read + loop body.
+    let stats = inlined.stats();
+    assert_eq!(stats.references, 2 + 1 + 1 + 1);
+    // Without the stack model they are absent.
+    let plain = Inliner::new().inline(&src).unwrap();
+    assert_eq!(plain.stats().references, 1);
+}
+
+#[test]
+fn non_analysable_actual_is_rejected() {
+    // Element-size mismatch makes the call non-analysable.
+    let mut main = Subroutine::new("MAIN");
+    main.decls = vec![VarDecl::array("A", &[8, 8], 4)];
+    main.body = vec![SNode::call("f", vec![Actual::var("A")])];
+    let mut f = Subroutine::new("f");
+    f.formals = vec!["P".into()];
+    f.decls = vec![VarDecl::array("P", &[8, 8], 8).formal()];
+    f.body = vec![SNode::loop_(
+        "I",
+        1,
+        8,
+        vec![SNode::assign(
+            SRef::new("P", vec![ivar("I"), LinExpr::constant(1)]),
+            vec![],
+        )],
+    )];
+    let src = SourceProgram {
+        name: "bad".into(),
+        subroutines: vec![main, f],
+        entry: "MAIN".into(),
+    };
+    assert_eq!(
+        census(&src).non_analysable,
+        1,
+        "census counts the N-able actual"
+    );
+    // The callee references the formal, so the call cannot be inlined …
+    assert!(matches!(
+        Inliner::new().inline(&src),
+        Err(InlineError::NonAnalysable { .. })
+    ));
+    // … but a callee that never touches the formal inlines fine.
+    let mut dead = src.clone();
+    dead.subroutines[1].body.clear();
+    let inlined = Inliner::new().inline(&dead).unwrap();
+    assert_eq!(inlined.stats().calls, 0);
+}
+
+#[test]
+fn classification_exports() {
+    // classify_actual is part of the public API.
+    let mut caller = Subroutine::new("c");
+    caller.decls = vec![VarDecl::scalar("X", 8)];
+    let fp = VarDecl::scalar("Y", 8).formal();
+    assert_eq!(
+        cme_inline::classify_actual(&caller, &Actual::var("X"), &fp).unwrap(),
+        ActualClass::Propagateable
+    );
+}
+
+#[test]
+fn stack_model_only_adds_stack_accesses() {
+    // Filtering the STACK accesses out of the stack-modelled trace must
+    // yield exactly the plain inlined trace (Fig. 4 is additive).
+    let n = 12i64;
+    let (i, j) = (ivar("I"), ivar("J"));
+    let mut main = Subroutine::new("MAIN");
+    main.decls = vec![VarDecl::array("G", &[n, n], 8)];
+    main.body = vec![
+        SNode::call("STEP", vec![Actual::var("G")]),
+        SNode::call("STEP", vec![Actual::var("G")]),
+    ];
+    let mut step = Subroutine::new("STEP");
+    step.formals = vec!["A".into()];
+    step.decls = vec![VarDecl::array("A", &[n, n], 8).formal()];
+    step.body = vec![SNode::loop_(
+        "J",
+        2,
+        n - 1,
+        vec![SNode::loop_(
+            "I",
+            2,
+            n - 1,
+            vec![SNode::assign(
+                SRef::new("A", vec![i.clone(), j.clone()]),
+                vec![SRef::new("A", vec![i.offset(-1), j.clone()])],
+            )],
+        )],
+    )];
+    let src = SourceProgram {
+        name: "stacked".into(),
+        subroutines: vec![main, step],
+        entry: "MAIN".into(),
+    };
+
+    let collect = |program: &cme_ir::Program, skip_stack: bool| -> Vec<(String, i64)> {
+        let stack_id = program.arrays().iter().position(|a| a.name == "STACK");
+        let mut out = Vec::new();
+        cme_ir::walk::for_each_access(program, |a| {
+            let arr = program.reference(a.r).array;
+            if !(skip_stack && Some(arr) == stack_id) {
+                // Record the array name + offset from its base so the two
+                // layouts compare (STACK shifts absolute addresses).
+                out.push((
+                    program.arrays()[arr].name.clone(),
+                    a.addr - program.base_address(arr),
+                ));
+            }
+            std::ops::ControlFlow::Continue(())
+        });
+        out
+    };
+
+    let plain = normalize(
+        &Inliner::new().inline(&src).unwrap(),
+        &NormalizeOptions::default(),
+    )
+    .unwrap();
+    let stacked = normalize(
+        &Inliner::with_stack_model().inline(&src).unwrap(),
+        &NormalizeOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(collect(&stacked, true), collect(&plain, false));
+    // And the stack accesses themselves exist.
+    assert!(collect(&stacked, false).len() > collect(&plain, false).len());
+}

@@ -1,0 +1,690 @@
+//! Source-level program model (pre-normalisation).
+//!
+//! This is the structured form a front end (the FORTRAN parser or the
+//! programmatic builder) produces: subroutines containing declarations,
+//! arbitrarily nested `DO` loops with affine bounds, `IF` statements with
+//! affine conditions, assignments whose array references have affine
+//! subscripts, and `CALL` statements. Normalisation (`crate::normalize`)
+//! turns a call-free [`SourceProgram`] into an analysis-ready
+//! [`crate::Program`]; abstract inlining (the `cme-inline` crate) removes
+//! calls first.
+
+use crate::expr::{LinExpr, LinRel};
+use std::fmt;
+
+/// One dimension of an array declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DimSize {
+    /// A compile-time-known extent (FORTRAN dimensions are 1-based).
+    Fixed(i64),
+    /// An assumed-size last dimension (`*` in FORTRAN). Only legal as the
+    /// last dimension of a formal parameter.
+    Assumed,
+}
+
+impl DimSize {
+    /// The fixed extent, if any.
+    pub fn fixed(self) -> Option<i64> {
+        match self {
+            DimSize::Fixed(n) => Some(n),
+            DimSize::Assumed => None,
+        }
+    }
+}
+
+/// Whether a variable is local to its subroutine or a formal parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VarKind {
+    /// Declared in the subroutine itself; gets storage in the layout.
+    Local,
+    /// Received by reference from the caller.
+    Formal,
+}
+
+/// A variable declaration: scalars are arrays with zero dimensions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarDecl {
+    /// Variable name, unique within its subroutine.
+    pub name: String,
+    /// Element size in bytes (`REAL*8` ⇒ 8).
+    pub elem_bytes: u32,
+    /// Dimension extents, column-major; empty for scalars.
+    pub dims: Vec<DimSize>,
+    /// Local or formal.
+    pub kind: VarKind,
+    /// When set, this declaration is a *view* created by abstract inlining's
+    /// renaming: it shares the base address of the named variable instead of
+    /// getting its own storage (`@AP = @AP'`, Fig. 5 of the paper).
+    pub alias_of: Option<String>,
+}
+
+impl VarDecl {
+    /// A local array with fixed dimensions.
+    pub fn array(name: impl Into<String>, dims: &[i64], elem_bytes: u32) -> Self {
+        VarDecl {
+            name: name.into(),
+            elem_bytes,
+            dims: dims.iter().map(|&d| DimSize::Fixed(d)).collect(),
+            kind: VarKind::Local,
+            alias_of: None,
+        }
+    }
+
+    /// A local scalar.
+    pub fn scalar(name: impl Into<String>, elem_bytes: u32) -> Self {
+        VarDecl {
+            name: name.into(),
+            elem_bytes,
+            dims: Vec::new(),
+            kind: VarKind::Local,
+            alias_of: None,
+        }
+    }
+
+    /// Marks the declaration as an alias (view) of another variable.
+    pub fn aliasing(mut self, target: impl Into<String>) -> Self {
+        self.alias_of = Some(target.into());
+        self
+    }
+
+    /// Marks the declaration as a formal parameter.
+    pub fn formal(mut self) -> Self {
+        self.kind = VarKind::Formal;
+        self
+    }
+
+    /// Replaces the last dimension with an assumed size (`*`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable is a scalar.
+    pub fn assumed_last_dim(mut self) -> Self {
+        let last = self.dims.last_mut().expect("scalar cannot be assumed-size");
+        *last = DimSize::Assumed;
+        self
+    }
+
+    /// Whether the variable is a scalar.
+    pub fn is_scalar(&self) -> bool {
+        self.dims.is_empty()
+    }
+
+    /// Total elements if all dimensions are fixed.
+    pub fn total_elems(&self) -> Option<i64> {
+        let mut total = 1i64;
+        for d in &self.dims {
+            total = total.checked_mul(d.fixed()?)?;
+        }
+        Some(total)
+    }
+}
+
+/// A reference to a (possibly subscripted) variable inside a statement.
+#[derive(Clone, PartialEq, Eq)]
+pub struct SRef {
+    /// The variable name.
+    pub array: String,
+    /// Affine subscripts, one per dimension; empty for scalars.
+    pub subs: Vec<LinExpr>,
+}
+
+impl SRef {
+    /// Builds a reference.
+    pub fn new(array: impl Into<String>, subs: Vec<LinExpr>) -> Self {
+        SRef {
+            array: array.into(),
+            subs,
+        }
+    }
+
+    /// A scalar reference.
+    pub fn scalar(array: impl Into<String>) -> Self {
+        SRef::new(array, Vec::new())
+    }
+
+    /// Substitutes a variable in every subscript.
+    pub fn substitute(&self, name: &str, replacement: &LinExpr) -> SRef {
+        SRef {
+            array: self.array.clone(),
+            subs: self
+                .subs
+                .iter()
+                .map(|s| s.substitute(name, replacement))
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Debug for SRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.array)?;
+        if !self.subs.is_empty() {
+            write!(f, "(")?;
+            for (i, s) in self.subs.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{s}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// An actual argument at a call site: a variable or a subscripted variable.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Actual {
+    /// The variable passed (by reference, as in FORTRAN).
+    pub name: String,
+    /// Subscripts if an array element is passed (e.g. `B(I1, I2)`); empty
+    /// when the whole variable is passed.
+    pub subs: Vec<LinExpr>,
+}
+
+impl Actual {
+    /// Passes a whole variable.
+    pub fn var(name: impl Into<String>) -> Self {
+        Actual {
+            name: name.into(),
+            subs: Vec::new(),
+        }
+    }
+
+    /// Passes an array element.
+    pub fn element(name: impl Into<String>, subs: Vec<LinExpr>) -> Self {
+        Actual {
+            name: name.into(),
+            subs,
+        }
+    }
+}
+
+impl fmt::Debug for Actual {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        if !self.subs.is_empty() {
+            write!(f, "(")?;
+            for (i, s) in self.subs.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{s}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// A `DO` loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SLoop {
+    /// Loop variable name.
+    pub var: String,
+    /// Lower bound (affine in enclosing loop variables).
+    pub lb: LinExpr,
+    /// Upper bound (affine in enclosing loop variables).
+    pub ub: LinExpr,
+    /// Step; non-zero. Normalisation rewrites non-unit steps.
+    pub step: i64,
+    /// Loop body.
+    pub body: Vec<SNode>,
+}
+
+/// An `IF` statement; the condition is a conjunction of affine relations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SIf {
+    /// Conjunction of relations guarding `then_body`.
+    pub conds: Vec<LinRel>,
+    /// Statements executed when all conditions hold.
+    pub then_body: Vec<SNode>,
+    /// Statements executed otherwise. Normalisation supports an `ELSE`
+    /// branch only for single-relation conditions (whose negation is again
+    /// a conjunction).
+    pub else_body: Vec<SNode>,
+}
+
+/// An assignment statement: `write = f(reads…)`. Only the memory references
+/// matter for cache analysis; the arithmetic is irrelevant and not recorded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SAssign {
+    /// Right-hand-side references, in access order.
+    pub reads: Vec<SRef>,
+    /// Left-hand-side reference, if it is a memory access.
+    pub write: Option<SRef>,
+    /// Optional debugging label (`"S1"`).
+    pub label: Option<String>,
+}
+
+/// A `CALL` statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SCall {
+    /// Name of the called subroutine.
+    pub callee: String,
+    /// Actual arguments, in positional order.
+    pub args: Vec<Actual>,
+}
+
+/// A node of a subroutine body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SNode {
+    /// A `DO` loop.
+    Loop(SLoop),
+    /// An `IF` statement.
+    If(SIf),
+    /// An assignment.
+    Assign(SAssign),
+    /// A `CALL`.
+    Call(SCall),
+}
+
+impl SNode {
+    /// A unit-step loop.
+    pub fn loop_(
+        var: impl Into<String>,
+        lb: impl Into<LinExpr>,
+        ub: impl Into<LinExpr>,
+        body: Vec<SNode>,
+    ) -> SNode {
+        SNode::Loop(SLoop {
+            var: var.into(),
+            lb: lb.into(),
+            ub: ub.into(),
+            step: 1,
+            body,
+        })
+    }
+
+    /// A loop with an explicit step.
+    pub fn loop_step(
+        var: impl Into<String>,
+        lb: impl Into<LinExpr>,
+        ub: impl Into<LinExpr>,
+        step: i64,
+        body: Vec<SNode>,
+    ) -> SNode {
+        SNode::Loop(SLoop {
+            var: var.into(),
+            lb: lb.into(),
+            ub: ub.into(),
+            step,
+            body,
+        })
+    }
+
+    /// An `IF` with no `ELSE`.
+    pub fn if_(conds: Vec<LinRel>, then_body: Vec<SNode>) -> SNode {
+        SNode::If(SIf {
+            conds,
+            then_body,
+            else_body: Vec::new(),
+        })
+    }
+
+    /// An `IF` with an `ELSE`.
+    pub fn if_else(conds: Vec<LinRel>, then_body: Vec<SNode>, else_body: Vec<SNode>) -> SNode {
+        SNode::If(SIf {
+            conds,
+            then_body,
+            else_body,
+        })
+    }
+
+    /// An assignment from reads to a written reference.
+    pub fn assign(write: SRef, reads: Vec<SRef>) -> SNode {
+        SNode::Assign(SAssign {
+            reads,
+            write: Some(write),
+            label: None,
+        })
+    }
+
+    /// A statement with only reads (the written value stays in a register).
+    pub fn reads_only(reads: Vec<SRef>) -> SNode {
+        SNode::Assign(SAssign {
+            reads,
+            write: None,
+            label: None,
+        })
+    }
+
+    /// Attaches a debugging label to an assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not an assignment.
+    pub fn labelled(mut self, label: impl Into<String>) -> SNode {
+        match &mut self {
+            SNode::Assign(a) => a.label = Some(label.into()),
+            _ => panic!("only assignments can be labelled"),
+        }
+        self
+    }
+
+    /// A call statement.
+    pub fn call(callee: impl Into<String>, args: Vec<Actual>) -> SNode {
+        SNode::Call(SCall {
+            callee: callee.into(),
+            args,
+        })
+    }
+}
+
+/// A named `COMMON` block membership: the listed variables of this
+/// subroutine occupy the block's (shared, statically allocated) storage in
+/// list order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommonBlock {
+    /// Block name (`//` blank COMMON is the empty string).
+    pub block: String,
+    /// Member variable names, in storage order; each must have a
+    /// [`VarDecl`] in the subroutine.
+    pub vars: Vec<String>,
+}
+
+/// A subroutine (or the main program, which is just a subroutine with no
+/// formals that acts as the entry point).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Subroutine {
+    /// Subroutine name.
+    pub name: String,
+    /// All variable declarations (locals and formals).
+    pub decls: Vec<VarDecl>,
+    /// Names of the formal parameters, in positional order. Every entry must
+    /// have a matching [`VarDecl`] with [`VarKind::Formal`].
+    pub formals: Vec<String>,
+    /// `COMMON` block memberships (storage shared across subroutines).
+    pub commons: Vec<CommonBlock>,
+    /// Statement list.
+    pub body: Vec<SNode>,
+}
+
+impl Subroutine {
+    /// Creates an empty subroutine.
+    pub fn new(name: impl Into<String>) -> Self {
+        Subroutine {
+            name: name.into(),
+            decls: Vec::new(),
+            formals: Vec::new(),
+            commons: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Finds a declaration by name.
+    pub fn decl(&self, name: &str) -> Option<&VarDecl> {
+        self.decls.iter().find(|d| d.name == name)
+    }
+
+    /// The `COMMON` block (if any) a variable belongs to.
+    pub fn common_of(&self, name: &str) -> Option<&CommonBlock> {
+        self.commons.iter().find(|c| c.vars.iter().any(|v| v == name))
+    }
+}
+
+/// A whole source program: a set of subroutines plus the entry name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceProgram {
+    /// Program name (used in reports).
+    pub name: String,
+    /// All subroutines, entry included.
+    pub subroutines: Vec<Subroutine>,
+    /// Name of the entry subroutine.
+    pub entry: String,
+}
+
+impl SourceProgram {
+    /// Creates a program with a single (entry) subroutine.
+    pub fn single(name: impl Into<String>, sub: Subroutine) -> Self {
+        let entry = sub.name.clone();
+        SourceProgram {
+            name: name.into(),
+            subroutines: vec![sub],
+            entry,
+        }
+    }
+
+    /// Finds a subroutine by name.
+    pub fn subroutine(&self, name: &str) -> Option<&Subroutine> {
+        self.subroutines.iter().find(|s| s.name == name)
+    }
+
+    /// The entry subroutine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry name does not resolve (programs from the builder
+    /// and the front end are always well-formed).
+    pub fn entry_subroutine(&self) -> &Subroutine {
+        self.subroutine(&self.entry).expect("entry subroutine exists")
+    }
+
+    /// Statistics in the spirit of Table 5 of the paper: an estimated source
+    /// line count, subroutine count, call-statement count and memory
+    /// reference count.
+    pub fn stats(&self) -> SourceStats {
+        let mut stats = SourceStats {
+            subroutines: self.subroutines.len(),
+            ..SourceStats::default()
+        };
+        for sub in &self.subroutines {
+            stats.lines += 2 + sub.decls.len(); // header + END + declarations
+            count_nodes(&sub.body, &mut stats);
+        }
+        stats
+    }
+}
+
+/// Source-program statistics (Table 5).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SourceStats {
+    /// Estimated number of source lines.
+    pub lines: usize,
+    /// Number of subroutines (entry included).
+    pub subroutines: usize,
+    /// Number of call statements.
+    pub calls: usize,
+    /// Number of array/scalar memory references in statements.
+    pub references: usize,
+}
+
+fn count_nodes(nodes: &[SNode], stats: &mut SourceStats) {
+    for n in nodes {
+        match n {
+            SNode::Loop(l) => {
+                stats.lines += 2; // DO + ENDDO
+                count_nodes(&l.body, stats);
+            }
+            SNode::If(i) => {
+                stats.lines += 2; // IF + ENDIF
+                count_nodes(&i.then_body, stats);
+                if !i.else_body.is_empty() {
+                    stats.lines += 1; // ELSE
+                    count_nodes(&i.else_body, stats);
+                }
+            }
+            SNode::Assign(a) => {
+                stats.lines += 1;
+                stats.references += a.reads.len() + usize::from(a.write.is_some());
+            }
+            SNode::Call(_) => {
+                stats.lines += 1;
+                stats.calls += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::RelOp;
+
+    /// Builds the `foo` subroutine of Figure 1 of the paper.
+    pub(crate) fn figure1() -> Subroutine {
+        let n = 10i64;
+        let mut sub = Subroutine::new("foo");
+        sub.decls.push(VarDecl::array("A", &[n], 8));
+        sub.decls.push(VarDecl::array("B", &[n, n], 8));
+        let i1 = LinExpr::var("I1");
+        let i2 = LinExpr::var("I2");
+        sub.body = vec![
+            SNode::loop_(
+                "I1",
+                2,
+                n,
+                vec![
+                    SNode::assign(SRef::new("A", vec![i1.offset(-1)]), vec![]).labelled("S1"),
+                    SNode::loop_(
+                        "I2",
+                        i1.clone(),
+                        n,
+                        vec![SNode::assign(
+                            SRef::new("B", vec![i2.offset(-1), i1.clone()]),
+                            vec![SRef::new("A", vec![i2.offset(-1)])],
+                        )
+                        .labelled("S2")],
+                    ),
+                    SNode::loop_(
+                        "I2",
+                        1,
+                        n,
+                        vec![
+                            SNode::reads_only(vec![SRef::new("B", vec![i2.clone(), i1.clone()])])
+                                .labelled("S3"),
+                            SNode::if_(
+                                vec![LinRel::new(i2.clone(), RelOp::Eq, n)],
+                                vec![SNode::reads_only(vec![SRef::new("A", vec![i1.clone()])])
+                                    .labelled("S4")],
+                            ),
+                        ],
+                    ),
+                ],
+            ),
+            SNode::loop_(
+                "I1",
+                1,
+                n - 1,
+                vec![SNode::assign(SRef::new("A", vec![i1.offset(1)]), vec![]).labelled("S5")],
+            ),
+        ];
+        sub
+    }
+
+    #[test]
+    fn figure1_shape() {
+        let sub = figure1();
+        assert_eq!(sub.decls.len(), 2);
+        assert_eq!(sub.body.len(), 2);
+        let prog = SourceProgram::single("fig1", sub);
+        let stats = prog.stats();
+        assert_eq!(stats.subroutines, 1);
+        assert_eq!(stats.calls, 0);
+        // S1: 1 ref, S2: 2, S3: 1, S4: 1, S5: 1
+        assert_eq!(stats.references, 6);
+        assert!(stats.lines > 10);
+    }
+
+    #[test]
+    fn decl_helpers() {
+        let d = VarDecl::array("B", &[20, 20], 8);
+        assert_eq!(d.total_elems(), Some(400));
+        assert!(!d.is_scalar());
+        let s = VarDecl::scalar("X", 8);
+        assert!(s.is_scalar());
+        assert_eq!(s.total_elems(), Some(1));
+        let f = VarDecl::array("S", &[10, 10, 1], 8).formal().assumed_last_dim();
+        assert_eq!(f.kind, VarKind::Formal);
+        assert_eq!(f.total_elems(), None);
+        assert_eq!(f.dims.last(), Some(&DimSize::Assumed));
+    }
+
+    #[test]
+    fn sref_substitution_applies_to_all_subscripts() {
+        let r = SRef::new(
+            "B",
+            vec![LinExpr::var("I").offset(-1), LinExpr::var("I").scale(2)],
+        );
+        let s = r.substitute("I", &LinExpr::var("J").offset(3));
+        assert_eq!(s.subs[0], LinExpr::var("J").offset(2));
+        assert_eq!(s.subs[1], LinExpr::var("J").scale(2).offset(6));
+    }
+
+    #[test]
+    fn debug_formatting() {
+        let r = SRef::new("A", vec![LinExpr::var("I1").offset(-1)]);
+        assert_eq!(format!("{r:?}"), "A(I1 - 1)");
+        let a = Actual::element("B", vec![LinExpr::var("I1"), LinExpr::var("I2")]);
+        assert_eq!(format!("{a:?}"), "B(I1,I2)");
+        assert_eq!(format!("{:?}", Actual::var("X")), "X");
+        assert_eq!(format!("{:?}", SRef::scalar("X")), "X");
+    }
+
+    #[test]
+    #[should_panic(expected = "only assignments")]
+    fn labelling_non_assignment_panics() {
+        SNode::call("f", vec![]).labelled("S1");
+    }
+}
+
+/// Whether any statement in `nodes` references the variable `name` — as an
+/// array/scalar reference, a call argument, or inside a loop bound, guard
+/// or subscript expression. Abstract inlining uses this to decide whether a
+/// non-analysable actual actually matters: a formal that is never
+/// referenced cannot affect cache behaviour.
+pub fn references_name(nodes: &[SNode], name: &str) -> bool {
+    fn expr_uses(e: &crate::expr::LinExpr, name: &str) -> bool {
+        e.coeff(name) != 0
+    }
+    fn sref_uses(r: &SRef, name: &str) -> bool {
+        r.array == name || r.subs.iter().any(|s| expr_uses(s, name))
+    }
+    nodes.iter().any(|n| match n {
+        SNode::Loop(l) => {
+            expr_uses(&l.lb, name) || expr_uses(&l.ub, name) || references_name(&l.body, name)
+        }
+        SNode::If(i) => {
+            i.conds
+                .iter()
+                .any(|c| expr_uses(&c.lhs, name) || expr_uses(&c.rhs, name))
+                || references_name(&i.then_body, name)
+                || references_name(&i.else_body, name)
+        }
+        SNode::Assign(a) => {
+            a.reads.iter().any(|r| sref_uses(r, name))
+                || a.write.as_ref().is_some_and(|w| sref_uses(w, name))
+        }
+        SNode::Call(c) => c
+            .args
+            .iter()
+            .any(|a| a.name == name || a.subs.iter().any(|s| expr_uses(s, name))),
+    })
+}
+
+#[cfg(test)]
+mod references_tests {
+    use super::*;
+    use crate::expr::LinExpr;
+
+    #[test]
+    fn detects_uses_everywhere() {
+        let i = LinExpr::var("I");
+        let nodes = vec![SNode::loop_(
+            "I",
+            1,
+            LinExpr::var("N"),
+            vec![SNode::assign(
+                SRef::new("A", vec![i.clone()]),
+                vec![SRef::new("B", vec![i.clone()])],
+            )],
+        )];
+        assert!(references_name(&nodes, "A"));
+        assert!(references_name(&nodes, "B"));
+        assert!(references_name(&nodes, "N")); // in the bound
+        assert!(!references_name(&nodes, "C"));
+        let call = vec![SNode::call("f", vec![Actual::var("Q")])];
+        assert!(references_name(&call, "Q"));
+        assert!(!references_name(&call, "A"));
+    }
+}

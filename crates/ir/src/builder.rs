@@ -1,0 +1,151 @@
+//! Convenience builder for single-subroutine programs.
+//!
+//! Workload kernels (Hydro, MGRID, MMT, …) and tests construct programs
+//! programmatically; [`ProgramBuilder`] wraps declaration bookkeeping and
+//! runs normalisation in one call.
+
+use crate::ast::{SNode, SourceProgram, Subroutine, VarDecl};
+use crate::error::IrError;
+use crate::normalize::{normalize_subroutine, NormalizeOptions};
+use crate::program::Program;
+
+/// Builds a single-subroutine [`SourceProgram`] and normalises it.
+///
+/// # Examples
+///
+/// ```
+/// use cme_ir::{ProgramBuilder, SNode, SRef, LinExpr};
+/// let mut b = ProgramBuilder::new("copy");
+/// b.array("A", &[64], 8);
+/// b.array("B", &[64], 8);
+/// let i = LinExpr::var("I");
+/// b.push(SNode::assign(
+///     SRef::new("A", vec![i.clone()]),
+///     vec![SRef::new("B", vec![i.clone()])],
+/// ));
+/// // oops — the statement references I outside a loop:
+/// assert!(b.build().is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProgramBuilder {
+    name: String,
+    sub: Subroutine,
+    opts: NormalizeOptions,
+}
+
+impl ProgramBuilder {
+    /// Starts a builder for a program with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        let name = name.into();
+        ProgramBuilder {
+            sub: Subroutine::new(name.clone()),
+            name,
+            opts: NormalizeOptions::default(),
+        }
+    }
+
+    /// Declares a local array with fixed dimensions (column-major).
+    pub fn array(&mut self, name: impl Into<String>, dims: &[i64], elem_bytes: u32) -> &mut Self {
+        self.sub.decls.push(VarDecl::array(name, dims, elem_bytes));
+        self
+    }
+
+    /// Declares a local scalar.
+    pub fn scalar(&mut self, name: impl Into<String>, elem_bytes: u32) -> &mut Self {
+        self.sub.decls.push(VarDecl::scalar(name, elem_bytes));
+        self
+    }
+
+    /// Appends a top-level statement or loop.
+    pub fn push(&mut self, node: SNode) -> &mut Self {
+        self.sub.body.push(node);
+        self
+    }
+
+    /// Overrides the normalisation options.
+    pub fn options(&mut self, opts: NormalizeOptions) -> &mut Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Keeps scalar references in the memory model instead of assuming
+    /// register allocation.
+    pub fn scalars_in_memory(&mut self) -> &mut Self {
+        self.opts.scalars_in_registers = false;
+        self
+    }
+
+    /// Sets the byte address of the first array.
+    pub fn layout_base(&mut self, base: i64) -> &mut Self {
+        self.opts.layout_base = base;
+        self
+    }
+
+    /// The source form (before normalisation), e.g. for the inliner.
+    pub fn build_source(&self) -> SourceProgram {
+        SourceProgram::single(self.name.clone(), self.sub.clone())
+    }
+
+    /// Normalises and returns the analysis-ready program.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`IrError`] from normalisation.
+    pub fn build(&self) -> Result<Program, IrError> {
+        normalize_subroutine(&self.name, &self.sub, &self.opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::SRef;
+    use crate::expr::LinExpr;
+
+    #[test]
+    fn builder_roundtrip() {
+        let mut b = ProgramBuilder::new("p");
+        b.array("A", &[8], 8).scalar("X", 8);
+        let i = LinExpr::var("I");
+        b.push(SNode::loop_(
+            "I",
+            1,
+            8,
+            vec![SNode::assign(
+                SRef::new("A", vec![i.clone()]),
+                vec![SRef::scalar("X")],
+            )],
+        ));
+        let p = b.build().unwrap();
+        // X is register-allocated by default: only the A write remains.
+        assert_eq!(p.references().len(), 1);
+        assert_eq!(p.depth(), 1);
+
+        let p2 = b.scalars_in_memory().build().unwrap();
+        assert_eq!(p2.references().len(), 2);
+    }
+
+    #[test]
+    fn layout_base_is_respected() {
+        let mut b = ProgramBuilder::new("p");
+        b.array("A", &[8], 8).layout_base(4096);
+        b.push(SNode::loop_(
+            "I",
+            1,
+            8,
+            vec![SNode::assign(SRef::new("A", vec![LinExpr::var("I")]), vec![])],
+        ));
+        let p = b.build().unwrap();
+        assert_eq!(p.base_address(0), 4096);
+    }
+
+    #[test]
+    fn source_form_keeps_calls() {
+        let mut b = ProgramBuilder::new("p");
+        b.push(SNode::call("f", vec![]));
+        let src = b.build_source();
+        assert_eq!(src.stats().calls, 1);
+        // …but normalisation refuses them:
+        assert!(matches!(b.build(), Err(IrError::UnexpectedCall { .. })));
+    }
+}

@@ -1,0 +1,120 @@
+//! Error type shared by IR construction, normalisation and lowering.
+
+use std::fmt;
+
+/// An error building or normalising a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrError {
+    /// A statement references a variable with no declaration in scope.
+    UndeclaredVariable {
+        /// The unresolved name.
+        name: String,
+        /// The subroutine being processed.
+        subroutine: String,
+    },
+    /// A reference uses the wrong number of subscripts.
+    SubscriptArity {
+        /// The array name.
+        array: String,
+        /// Number of subscripts found.
+        found: usize,
+        /// Number of dimensions declared.
+        declared: usize,
+    },
+    /// A loop bound or subscript references a variable that is not a loop
+    /// index of an *enclosing* loop (data-dependent constructs are outside
+    /// the program model, §3 of the paper).
+    DataDependent {
+        /// The offending variable.
+        name: String,
+        /// What referenced it.
+        context: String,
+    },
+    /// A loop has step zero.
+    ZeroStep {
+        /// Loop variable name.
+        var: String,
+    },
+    /// Two loops in the same scope chain use the same index name.
+    ShadowedLoopVariable {
+        /// The reused name.
+        name: String,
+    },
+    /// An `ELSE` branch is attached to a multi-relation condition, whose
+    /// negation is not a conjunction.
+    UnsupportedElse,
+    /// An iteration space could not be bounded.
+    Unbounded {
+        /// Description of the space.
+        what: String,
+    },
+    /// A call statement survived to normalisation (run abstract inlining
+    /// first).
+    UnexpectedCall {
+        /// The callee name.
+        callee: String,
+    },
+    /// Any other structural error.
+    Invalid {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::UndeclaredVariable { name, subroutine } => {
+                write!(f, "undeclared variable `{name}` in subroutine `{subroutine}`")
+            }
+            IrError::SubscriptArity {
+                array,
+                found,
+                declared,
+            } => write!(
+                f,
+                "reference to `{array}` has {found} subscripts but {declared} dimensions"
+            ),
+            IrError::DataDependent { name, context } => {
+                write!(f, "data-dependent construct: `{name}` used in {context}")
+            }
+            IrError::ZeroStep { var } => write!(f, "loop over `{var}` has step 0"),
+            IrError::ShadowedLoopVariable { name } => {
+                write!(f, "loop variable `{name}` shadows an enclosing loop")
+            }
+            IrError::UnsupportedElse => write!(
+                f,
+                "ELSE branch of a multi-relation condition is not analysable"
+            ),
+            IrError::Unbounded { what } => write!(f, "iteration space of {what} is unbounded"),
+            IrError::UnexpectedCall { callee } => write!(
+                f,
+                "call to `{callee}` not inlined; run abstract inlining before normalisation"
+            ),
+            IrError::Invalid { message } => write!(f, "{message}"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = IrError::UndeclaredVariable {
+            name: "Q".into(),
+            subroutine: "foo".into(),
+        };
+        assert!(e.to_string().contains("`Q`"));
+        assert!(IrError::UnsupportedElse.to_string().contains("ELSE"));
+        let e = IrError::SubscriptArity {
+            array: "A".into(),
+            found: 1,
+            declared: 2,
+        };
+        assert!(e.to_string().contains("1 subscripts"));
+    }
+}

@@ -1,0 +1,422 @@
+//! Source-level affine expressions over *named* variables.
+//!
+//! Before normalisation, loop bounds, subscripts and guards are written in
+//! terms of the program's own loop-variable names (`I`, `J`, `K2`, …).
+//! [`LinExpr`] is an exact affine expression over such names; conditions are
+//! conjunctions of [`LinRel`]s. Normalisation resolves names to canonical
+//! loop depths and converts everything to [`cme_poly::Affine`].
+
+use cme_poly::Affine;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An affine expression `constant + Σ coeff · name` over named variables.
+///
+/// # Examples
+///
+/// ```
+/// use cme_ir::expr::LinExpr;
+/// let e = LinExpr::var("I").add(&LinExpr::constant(-1)); // I - 1
+/// assert_eq!(e.eval(&|n| if n == "I" { Some(7) } else { None }), Some(6));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct LinExpr {
+    /// Sorted map from variable name to coefficient; zero coefficients are
+    /// never stored.
+    terms: BTreeMap<String, i64>,
+    constant: i64,
+}
+
+impl LinExpr {
+    /// The constant expression.
+    pub fn constant(c: i64) -> Self {
+        LinExpr {
+            terms: BTreeMap::new(),
+            constant: c,
+        }
+    }
+
+    /// The expression `1 · name`.
+    pub fn var(name: impl Into<String>) -> Self {
+        let mut terms = BTreeMap::new();
+        terms.insert(name.into(), 1);
+        LinExpr { terms, constant: 0 }
+    }
+
+    /// An expression from explicit terms; zero coefficients are dropped.
+    pub fn from_terms(terms: impl IntoIterator<Item = (String, i64)>, constant: i64) -> Self {
+        let mut map = BTreeMap::new();
+        for (name, c) in terms {
+            if c != 0 {
+                *map.entry(name).or_insert(0) += c;
+            }
+        }
+        map.retain(|_, c| *c != 0);
+        LinExpr {
+            terms: map,
+            constant,
+        }
+    }
+
+    /// The constant term.
+    pub fn constant_term(&self) -> i64 {
+        self.constant
+    }
+
+    /// The coefficient of `name` (zero if absent).
+    pub fn coeff(&self, name: &str) -> i64 {
+        self.terms.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterates over the (name, coefficient) terms in name order.
+    pub fn terms(&self) -> impl Iterator<Item = (&str, i64)> {
+        self.terms.iter().map(|(n, &c)| (n.as_str(), c))
+    }
+
+    /// Whether the expression is constant.
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The variable names referenced, in name order.
+    pub fn vars(&self) -> impl Iterator<Item = &str> {
+        self.terms.keys().map(String::as_str)
+    }
+
+    /// Sum.
+    pub fn add(&self, other: &LinExpr) -> LinExpr {
+        let mut out = self.clone();
+        for (n, c) in &other.terms {
+            *out.terms.entry(n.clone()).or_insert(0) += c;
+        }
+        out.terms.retain(|_, c| *c != 0);
+        out.constant += other.constant;
+        out
+    }
+
+    /// Difference.
+    pub fn sub(&self, other: &LinExpr) -> LinExpr {
+        self.add(&other.scale(-1))
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&self, k: i64) -> LinExpr {
+        if k == 0 {
+            return LinExpr::constant(0);
+        }
+        LinExpr {
+            terms: self.terms.iter().map(|(n, c)| (n.clone(), c * k)).collect(),
+            constant: self.constant * k,
+        }
+    }
+
+    /// Adds a constant.
+    pub fn offset(&self, k: i64) -> LinExpr {
+        let mut out = self.clone();
+        out.constant += k;
+        out
+    }
+
+    /// Substitutes `name := replacement`, leaving other variables intact.
+    pub fn substitute(&self, name: &str, replacement: &LinExpr) -> LinExpr {
+        let c = self.coeff(name);
+        if c == 0 {
+            return self.clone();
+        }
+        let mut out = self.clone();
+        out.terms.remove(name);
+        out.add(&replacement.scale(c))
+    }
+
+    /// Renames a variable. If the new name already occurs, coefficients are
+    /// merged.
+    pub fn rename(&self, from: &str, to: &str) -> LinExpr {
+        self.substitute(from, &LinExpr::var(to))
+    }
+
+    /// Evaluates with a name-resolution function; `None` if any referenced
+    /// variable is unresolved.
+    pub fn eval(&self, lookup: &dyn Fn(&str) -> Option<i64>) -> Option<i64> {
+        let mut acc = self.constant;
+        for (n, c) in &self.terms {
+            acc += c * lookup(n)?;
+        }
+        Some(acc)
+    }
+
+    /// Converts to a [`cme_poly::Affine`] over an ordered variable list.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending name if the expression references a variable
+    /// not present in `order`.
+    pub fn to_affine(&self, order: &[String]) -> Result<Affine, String> {
+        let mut coeffs = vec![0i64; order.len()];
+        for (n, c) in &self.terms {
+            match order.iter().position(|o| o == n) {
+                Some(i) => coeffs[i] += c,
+                None => return Err(n.clone()),
+            }
+        }
+        Ok(Affine::new(coeffs, self.constant))
+    }
+}
+
+impl From<i64> for LinExpr {
+    fn from(c: i64) -> Self {
+        LinExpr::constant(c)
+    }
+}
+
+impl From<&str> for LinExpr {
+    fn from(name: &str) -> Self {
+        LinExpr::var(name)
+    }
+}
+
+impl fmt::Debug for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LinExpr({self})")
+    }
+}
+
+impl fmt::Display for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut wrote = false;
+        for (n, c) in &self.terms {
+            if wrote {
+                write!(f, " {} ", if *c < 0 { "-" } else { "+" })?;
+            } else if *c < 0 {
+                write!(f, "-")?;
+            }
+            if c.abs() != 1 {
+                write!(f, "{}*", c.abs())?;
+            }
+            write!(f, "{n}")?;
+            wrote = true;
+        }
+        if !wrote {
+            write!(f, "{}", self.constant)?;
+        } else if self.constant != 0 {
+            write!(
+                f,
+                " {} {}",
+                if self.constant < 0 { "-" } else { "+" },
+                self.constant.abs()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Relational operators usable in IF conditions and DO-loop contexts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RelOp {
+    /// `.EQ.`
+    Eq,
+    /// `.NE.`
+    Ne,
+    /// `.LE.`
+    Le,
+    /// `.LT.`
+    Lt,
+    /// `.GE.`
+    Ge,
+    /// `.GT.`
+    Gt,
+}
+
+impl RelOp {
+    /// The operator satisfied exactly when `self` is not.
+    pub fn negated(self) -> RelOp {
+        match self {
+            RelOp::Eq => RelOp::Ne,
+            RelOp::Ne => RelOp::Eq,
+            RelOp::Le => RelOp::Gt,
+            RelOp::Gt => RelOp::Le,
+            RelOp::Lt => RelOp::Ge,
+            RelOp::Ge => RelOp::Lt,
+        }
+    }
+
+    /// Evaluates `lhs ⋈ rhs`.
+    pub fn holds(self, lhs: i64, rhs: i64) -> bool {
+        match self {
+            RelOp::Eq => lhs == rhs,
+            RelOp::Ne => lhs != rhs,
+            RelOp::Le => lhs <= rhs,
+            RelOp::Lt => lhs < rhs,
+            RelOp::Ge => lhs >= rhs,
+            RelOp::Gt => lhs > rhs,
+        }
+    }
+}
+
+impl fmt::Display for RelOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RelOp::Eq => ".EQ.",
+            RelOp::Ne => ".NE.",
+            RelOp::Le => ".LE.",
+            RelOp::Lt => ".LT.",
+            RelOp::Ge => ".GE.",
+            RelOp::Gt => ".GT.",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A single affine relation `lhs ⋈ rhs`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct LinRel {
+    /// Left-hand side.
+    pub lhs: LinExpr,
+    /// Relational operator.
+    pub op: RelOp,
+    /// Right-hand side.
+    pub rhs: LinExpr,
+}
+
+impl LinRel {
+    /// Builds `lhs ⋈ rhs`.
+    pub fn new(lhs: impl Into<LinExpr>, op: RelOp, rhs: impl Into<LinExpr>) -> Self {
+        LinRel {
+            lhs: lhs.into(),
+            op,
+            rhs: rhs.into(),
+        }
+    }
+
+    /// The negated relation.
+    pub fn negated(&self) -> LinRel {
+        LinRel {
+            lhs: self.lhs.clone(),
+            op: self.op.negated(),
+            rhs: self.rhs.clone(),
+        }
+    }
+
+    /// Substitutes a variable on both sides.
+    pub fn substitute(&self, name: &str, replacement: &LinExpr) -> LinRel {
+        LinRel {
+            lhs: self.lhs.substitute(name, replacement),
+            op: self.op,
+            rhs: self.rhs.substitute(name, replacement),
+        }
+    }
+
+    /// Renames a variable on both sides.
+    pub fn rename(&self, from: &str, to: &str) -> LinRel {
+        LinRel {
+            lhs: self.lhs.rename(from, to),
+            op: self.op,
+            rhs: self.rhs.rename(from, to),
+        }
+    }
+}
+
+impl fmt::Debug for LinRel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.lhs, self.op, self.rhs)
+    }
+}
+
+impl fmt::Display for LinRel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.lhs, self.op, self.rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_arith() {
+        let e = LinExpr::var("I").scale(2).add(&LinExpr::var("J")).offset(-3);
+        assert_eq!(e.coeff("I"), 2);
+        assert_eq!(e.coeff("J"), 1);
+        assert_eq!(e.coeff("K"), 0);
+        assert_eq!(e.constant_term(), -3);
+        let z = e.sub(&e);
+        assert!(z.is_constant());
+        assert_eq!(z.constant_term(), 0);
+    }
+
+    #[test]
+    fn zero_coefficients_are_dropped() {
+        let e = LinExpr::from_terms([("I".to_string(), 1), ("J".to_string(), 0)], 5);
+        assert_eq!(e.vars().collect::<Vec<_>>(), vec!["I"]);
+        let cancelled = LinExpr::var("I").sub(&LinExpr::var("I"));
+        assert_eq!(cancelled.vars().count(), 0);
+    }
+
+    #[test]
+    fn substitution() {
+        // 2I + J - 3 with I := K + 1  ⇒  2K + J - 1
+        let e = LinExpr::var("I").scale(2).add(&LinExpr::var("J")).offset(-3);
+        let s = e.substitute("I", &LinExpr::var("K").offset(1));
+        assert_eq!(s.coeff("K"), 2);
+        assert_eq!(s.coeff("I"), 0);
+        assert_eq!(s.constant_term(), -1);
+        // substitution of absent variable is identity
+        assert_eq!(e.substitute("Z", &LinExpr::constant(0)), e);
+    }
+
+    #[test]
+    fn rename_merges() {
+        let e = LinExpr::var("I").add(&LinExpr::var("J"));
+        let r = e.rename("J", "I");
+        assert_eq!(r.coeff("I"), 2);
+    }
+
+    #[test]
+    fn eval_and_to_affine_agree() {
+        let e = LinExpr::var("I").scale(3).add(&LinExpr::var("J").scale(-2)).offset(7);
+        let order = vec!["I".to_string(), "J".to_string()];
+        let a = e.to_affine(&order).unwrap();
+        for i in -3..3 {
+            for j in -3..3 {
+                let via_eval = e
+                    .eval(&|n| match n {
+                        "I" => Some(i),
+                        "J" => Some(j),
+                        _ => None,
+                    })
+                    .unwrap();
+                assert_eq!(a.eval(&[i, j]), via_eval);
+            }
+        }
+        assert_eq!(e.to_affine(&["I".to_string()]), Err("J".to_string()));
+    }
+
+    #[test]
+    fn relop_negation_is_involutive_and_exact() {
+        for op in [RelOp::Eq, RelOp::Ne, RelOp::Le, RelOp::Lt, RelOp::Ge, RelOp::Gt] {
+            assert_eq!(op.negated().negated(), op);
+            for l in -2..=2 {
+                for r in -2..=2 {
+                    assert_eq!(op.holds(l, r), !op.negated().holds(l, r));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn linrel_negate_and_substitute() {
+        let rel = LinRel::new(LinExpr::var("I2"), RelOp::Eq, LinExpr::var("I1"));
+        let neg = rel.negated();
+        assert_eq!(neg.op, RelOp::Ne);
+        let sub = rel.substitute("I1", &LinExpr::constant(4));
+        assert_eq!(sub.rhs, LinExpr::constant(4));
+    }
+
+    #[test]
+    fn display() {
+        let e = LinExpr::var("I").sub(&LinExpr::constant(1));
+        assert_eq!(format!("{e}"), "I - 1");
+        assert_eq!(format!("{}", LinExpr::constant(0)), "0");
+        let rel = LinRel::new(LinExpr::var("I2"), RelOp::Eq, LinExpr::var("N"));
+        assert_eq!(format!("{rel}"), "I2 .EQ. N");
+    }
+}

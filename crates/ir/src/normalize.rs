@@ -1,0 +1,1019 @@
+//! Loop-nest normalisation (§3.1 of the paper).
+//!
+//! Five steps put a call-free source program into the canonical analysis
+//! form:
+//!
+//! 1. all loops get unit steps;
+//! 2. statements outside any loop are wrapped in `1..1` loops;
+//! 3. statements at depth `k < n` get `n − k` inner `1..1` loops;
+//! 4. *loop sinking* moves statements between sibling loops into a
+//!    neighbouring loop, guarded by an `I = bound` conditional (Fig. 2:
+//!    `S₁` sinks into `L₍₁,₁₎` under `I₂ .EQ. I₁`, `S₄` into `L₍₁,₂₎` under
+//!    `I₂ .EQ. N`);
+//! 5. loop variables are renamed so depth `k` always uses the canonical
+//!    index `I_k`.
+//!
+//! `IF` statements dissolve into per-statement guards in the same pass.
+//!
+//! The result is a [`Program`]: a forest of `n`-deep unit-step loop nests
+//! with all statements at depth `n`.
+//!
+//! # Assumptions
+//!
+//! Loop sinking assumes the target sibling loop is non-empty whenever the
+//! sunk statement would have executed (true for all the paper's benchmarks;
+//! constant bounds are checked, symbolic bounds are accepted as-is).
+
+use crate::ast::{SAssign, SLoop, SNode, SourceProgram, Subroutine};
+use crate::error::IrError;
+use crate::expr::{LinExpr, LinRel, RelOp};
+use crate::program::{
+    AccessKind, Array, LoopNode, Program, Reference, Statement, StmtId, Storage,
+};
+use cme_poly::{Affine, Constraint};
+use std::collections::HashMap;
+
+/// Options controlling normalisation and lowering.
+#[derive(Debug, Clone)]
+pub struct NormalizeOptions {
+    /// When `true` (default, matching the paper's `Opts` component), scalar
+    /// references are assumed register-allocated and dropped from the memory
+    /// model. When `false`, scalars occupy storage and their accesses are
+    /// analysed like one-element arrays.
+    pub scalars_in_registers: bool,
+    /// Byte address of the first array in the layout.
+    pub layout_base: i64,
+}
+
+impl Default for NormalizeOptions {
+    fn default() -> Self {
+        NormalizeOptions {
+            scalars_in_registers: true,
+            layout_base: 0,
+        }
+    }
+}
+
+/// Normalises the entry subroutine of a call-free source program into an
+/// analysis-ready [`Program`].
+///
+/// # Errors
+///
+/// Returns an [`IrError`] if the program still contains `CALL` statements
+/// (run abstract inlining first), uses data-dependent constructs, shadows
+/// loop variables, or cannot be bounded.
+pub fn normalize(source: &SourceProgram, opts: &NormalizeOptions) -> Result<Program, IrError> {
+    let sub = source.entry_subroutine();
+    normalize_subroutine(&source.name, sub, opts)
+}
+
+/// Normalises a single subroutine (see [`normalize`]).
+///
+/// # Errors
+///
+/// Same conditions as [`normalize`].
+pub fn normalize_subroutine(
+    program_name: &str,
+    sub: &Subroutine,
+    opts: &NormalizeOptions,
+) -> Result<Program, IrError> {
+    // Step 1: rewrite non-unit steps.
+    let body = sub
+        .body
+        .iter()
+        .map(normalize_steps)
+        .collect::<Result<Vec<_>, _>>()?;
+
+    // Depth of the deepest loop nest.
+    let n = max_loop_depth(&body).max(1);
+
+    // Arrays: every declaration becomes an owned array (scalars may be
+    // dropped from statements below, but declaring them is harmless).
+    let mut arrays = Vec::new();
+    let mut array_ids: HashMap<String, usize> = HashMap::new();
+    for d in &sub.decls {
+        if opts.scalars_in_registers && d.is_scalar() {
+            continue;
+        }
+        if d.alias_of.is_none() && d.dims.iter().any(|x| x.fixed().is_none()) {
+            return Err(IrError::Invalid {
+                message: format!(
+                    "non-alias variable `{}` has an assumed size; cannot lay out",
+                    d.name
+                ),
+            });
+        }
+        array_ids.insert(d.name.clone(), arrays.len());
+        arrays.push(Array {
+            name: d.name.clone(),
+            elem_bytes: d.elem_bytes,
+            dims: d.dims.clone(),
+            storage: Storage::Owned,
+        });
+    }
+    // Resolve alias declarations (inliner-created views) to their targets;
+    // targets must be plain declarations.
+    for d in &sub.decls {
+        let Some(target) = &d.alias_of else { continue };
+        let Some(&self_id) = array_ids.get(&d.name) else {
+            continue;
+        };
+        let Some(&target_id) = array_ids.get(target) else {
+            return Err(IrError::UndeclaredVariable {
+                name: target.clone(),
+                subroutine: sub.name.clone(),
+            });
+        };
+        if sub
+            .decls
+            .iter()
+            .any(|t| &t.name == target && t.alias_of.is_some())
+        {
+            return Err(IrError::Invalid {
+                message: format!("alias `{}` targets another alias `{target}`", d.name),
+            });
+        }
+        arrays[self_id].storage = Storage::AliasOf(target_id);
+    }
+
+    let mut lower = Lowerer {
+        sub_name: sub.name.to_string(),
+        n,
+        opts,
+        array_ids: &array_ids,
+        arrays: &arrays,
+        stmts: Vec::new(),
+        refs: Vec::new(),
+        fresh: 0,
+    };
+    let roots = lower.level(body.iter().map(guarded).collect(), 1, &mut Vec::new())?;
+
+    // Patch statement labels from tree positions, then assign global
+    // lexical ranks in tree order.
+    assign_labels(&roots, &mut lower.stmts);
+    let mut rank = 0usize;
+    fn rank_loop(l: &LoopNode, stmts: &[Statement], refs: &mut [Reference], rank: &mut usize) {
+        for &sid in &l.stmts {
+            for &rid in &stmts[sid].refs {
+                refs[rid].lex_rank = *rank;
+                *rank += 1;
+            }
+        }
+        for inner in &l.inner {
+            rank_loop(inner, stmts, refs, rank);
+        }
+    }
+    for r in &roots {
+        rank_loop(r, &lower.stmts, &mut lower.refs, &mut rank);
+    }
+    let Lowerer { stmts, refs, .. } = lower;
+
+    Program::from_parts(program_name, n, arrays, roots, stmts, refs, opts.layout_base)
+}
+
+/// A body item with the accumulated guard of its enclosing `IF`s.
+#[derive(Clone)]
+struct Guarded {
+    guard: Vec<LinRel>,
+    node: SNode,
+}
+
+fn guarded(node: &SNode) -> Guarded {
+    Guarded {
+        guard: Vec::new(),
+        node: node.clone(),
+    }
+}
+
+/// Step 1: rewrite non-unit steps as unit-step loops. `DO I = lb, ub, s`
+/// becomes `DO I' = 1, count` with `I := lb + (I' − 1)·s`.
+fn normalize_steps(node: &SNode) -> Result<SNode, IrError> {
+    match node {
+        SNode::Loop(l) => {
+            let body = l
+                .body
+                .iter()
+                .map(normalize_steps)
+                .collect::<Result<Vec<_>, _>>()?;
+            if l.step == 1 {
+                return Ok(SNode::Loop(SLoop {
+                    var: l.var.clone(),
+                    lb: l.lb.clone(),
+                    ub: l.ub.clone(),
+                    step: 1,
+                    body,
+                }));
+            }
+            if l.step == 0 {
+                return Err(IrError::ZeroStep { var: l.var.clone() });
+            }
+            let s = l.step;
+            let span = l.ub.sub(&l.lb);
+            // count = floor(span / s) + 1; affine only when s divides span's
+            // coefficients, or when the span is a constant.
+            let count = if span.is_constant() {
+                let c = span.constant_term();
+                let cnt = if s > 0 {
+                    cme_poly::vector::div_floor(c, s) + 1
+                } else {
+                    cme_poly::vector::div_floor(-c, -s) + 1
+                };
+                LinExpr::constant(cnt.max(0))
+            } else if span.terms().all(|(_, c)| c % s == 0) && span.constant_term() % s == 0 {
+                span.scale(1).terms().fold(
+                    LinExpr::constant(span.constant_term() / s + 1),
+                    |acc, (name, c)| acc.add(&LinExpr::var(name).scale(c / s)),
+                )
+            } else {
+                return Err(IrError::Invalid {
+                    message: format!(
+                        "loop over `{}`: step {s} does not divide symbolic bound span",
+                        l.var
+                    ),
+                });
+            };
+            // I := lb + (I' − 1)·s with I' reusing the original name (its
+            // old meaning is fully substituted away).
+            let fresh = format!("{}#step", l.var);
+            let replacement = l
+                .lb
+                .add(&LinExpr::var(fresh.clone()).offset(-1).scale(s));
+            let body = body
+                .iter()
+                .map(|b| substitute_node(b, &l.var, &replacement))
+                .collect();
+            Ok(SNode::Loop(SLoop {
+                var: fresh,
+                lb: LinExpr::constant(1),
+                ub: count,
+                step: 1,
+                body,
+            }))
+        }
+        SNode::If(i) => Ok(SNode::If(crate::ast::SIf {
+            conds: i.conds.clone(),
+            then_body: i
+                .then_body
+                .iter()
+                .map(normalize_steps)
+                .collect::<Result<_, _>>()?,
+            else_body: i
+                .else_body
+                .iter()
+                .map(normalize_steps)
+                .collect::<Result<_, _>>()?,
+        })),
+        other => Ok(other.clone()),
+    }
+}
+
+fn substitute_node(node: &SNode, name: &str, replacement: &LinExpr) -> SNode {
+    match node {
+        SNode::Loop(l) => SNode::Loop(SLoop {
+            var: l.var.clone(),
+            lb: l.lb.substitute(name, replacement),
+            ub: l.ub.substitute(name, replacement),
+            step: l.step,
+            body: l
+                .body
+                .iter()
+                .map(|b| substitute_node(b, name, replacement))
+                .collect(),
+        }),
+        SNode::If(i) => SNode::If(crate::ast::SIf {
+            conds: i.conds.iter().map(|c| c.substitute(name, replacement)).collect(),
+            then_body: i
+                .then_body
+                .iter()
+                .map(|b| substitute_node(b, name, replacement))
+                .collect(),
+            else_body: i
+                .else_body
+                .iter()
+                .map(|b| substitute_node(b, name, replacement))
+                .collect(),
+        }),
+        SNode::Assign(a) => SNode::Assign(SAssign {
+            reads: a.reads.iter().map(|r| r.substitute(name, replacement)).collect(),
+            write: a.write.as_ref().map(|r| r.substitute(name, replacement)),
+            label: a.label.clone(),
+        }),
+        SNode::Call(c) => SNode::Call(crate::ast::SCall {
+            callee: c.callee.clone(),
+            args: c
+                .args
+                .iter()
+                .map(|a| crate::ast::Actual {
+                    name: a.name.clone(),
+                    subs: a.subs.iter().map(|s| s.substitute(name, replacement)).collect(),
+                })
+                .collect(),
+        }),
+    }
+}
+
+fn max_loop_depth(nodes: &[SNode]) -> usize {
+    nodes
+        .iter()
+        .map(|n| match n {
+            SNode::Loop(l) => 1 + max_loop_depth(&l.body),
+            SNode::If(i) => max_loop_depth(&i.then_body).max(max_loop_depth(&i.else_body)),
+            _ => 0,
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+struct Lowerer<'a> {
+    sub_name: String,
+    n: usize,
+    opts: &'a NormalizeOptions,
+    array_ids: &'a HashMap<String, usize>,
+    arrays: &'a [Array],
+    stmts: Vec<Statement>,
+    refs: Vec<Reference>,
+    fresh: usize,
+}
+
+impl<'a> Lowerer<'a> {
+    /// Normalises one level of body items into the loops at `depth`.
+    /// `scope` maps loop-variable names to canonical indices for the
+    /// enclosing loops (`scope.len() == depth − 1`).
+    fn level(
+        &mut self,
+        items: Vec<Guarded>,
+        depth: usize,
+        scope: &mut Vec<String>,
+    ) -> Result<Vec<LoopNode>, IrError> {
+        // Dissolve IFs into guards, flattening the item list.
+        let items = self.flatten_ifs(items)?;
+
+        // Partition pass: sink stray statements into sibling loops.
+        let has_loop = items.iter().any(|g| matches!(g.node, SNode::Loop(_)));
+        if !has_loop {
+            // No loops at this level: wrap all statements in one shared
+            // 1..1 loop (normalisation steps 2/3) and recurse.
+            let wrapped = self.wrap_singleton(items);
+            return self.level(vec![wrapped], depth, scope);
+        }
+
+        // Sink statements forward into the next sibling loop (guard
+        // `var = lb`), or backward into the previous one (guard `var = ub`).
+        let mut loops: Vec<SLoop> = Vec::new();
+        let mut pending: Vec<Guarded> = Vec::new(); // statements awaiting a target
+        for g in items {
+            match g.node {
+                SNode::Loop(mut l) => {
+                    if !pending.is_empty() {
+                        let lb = l.lb.clone();
+                        let var = l.var.clone();
+                        let mut front: Vec<SNode> = Vec::new();
+                        for mut p in pending.drain(..) {
+                            p.guard.push(LinRel::new(
+                                LinExpr::var(var.clone()),
+                                RelOp::Eq,
+                                lb.clone(),
+                            ));
+                            front.push(reify(p));
+                        }
+                        front.extend(l.body);
+                        l.body = front;
+                    }
+                    // The guard of an IF around a whole loop is pushed into
+                    // the loop (the guard cannot reference the loop's own
+                    // variable).
+                    if !g.guard.is_empty() {
+                        let inner = std::mem::take(&mut l.body);
+                        l.body = vec![SNode::If(crate::ast::SIf {
+                            conds: g.guard,
+                            then_body: inner,
+                            else_body: vec![],
+                        })];
+                    }
+                    loops.push(l);
+                }
+                node @ SNode::Assign(_) => pending.push(Guarded { guard: g.guard, node }),
+                SNode::Call(c) => return Err(IrError::UnexpectedCall { callee: c.callee }),
+                SNode::If(_) => unreachable!("IFs flattened above"),
+            }
+        }
+        if !pending.is_empty() {
+            // Trailing statements: sink backward into the last loop.
+            let last = loops.last_mut().expect("has_loop guaranteed a loop");
+            let ub = last.ub.clone();
+            let var = last.var.clone();
+            for mut p in pending.drain(..) {
+                p.guard.push(LinRel::new(LinExpr::var(var.clone()), RelOp::Eq, ub.clone()));
+                last.body.push(reify(p));
+            }
+        }
+
+        // Recurse into each sibling loop.
+        let mut out = Vec::with_capacity(loops.len());
+        for l in loops {
+            out.push(self.lower_loop(l, depth, scope)?);
+        }
+        Ok(out)
+    }
+
+    /// Converts one source loop into a normalised [`LoopNode`] at `depth`.
+    fn lower_loop(
+        &mut self,
+        l: SLoop,
+        depth: usize,
+        scope: &mut Vec<String>,
+    ) -> Result<LoopNode, IrError> {
+        if scope.contains(&l.var) {
+            return Err(IrError::ShadowedLoopVariable { name: l.var });
+        }
+        let lb = self.to_affine(&l.lb, scope, "loop lower bound")?;
+        let ub = self.to_affine(&l.ub, scope, "loop upper bound")?;
+        scope.push(l.var.clone());
+        let result = (|| {
+            if depth == self.n {
+                // Leaf depth: the body must be statements (possibly under
+                // IFs) only.
+                let items = self.flatten_ifs(l.body.iter().map(guarded).collect())?;
+                let mut stmt_ids = Vec::new();
+                for g in items {
+                    match g.node {
+                        SNode::Assign(a) => {
+                            if let Some(id) = self.emit_statement(&a, &g.guard, scope, depth)? {
+                                stmt_ids.push(id);
+                            }
+                        }
+                        SNode::Call(c) => {
+                            return Err(IrError::UnexpectedCall { callee: c.callee })
+                        }
+                        SNode::Loop(_) => {
+                            return Err(IrError::Invalid {
+                                message: "loop deeper than computed maximal depth".into(),
+                            })
+                        }
+                        SNode::If(_) => unreachable!(),
+                    }
+                }
+                Ok(LoopNode {
+                    lb,
+                    ub,
+                    inner: vec![],
+                    stmts: stmt_ids,
+                })
+            } else {
+                let inner = self.level(l.body.iter().map(guarded).collect(), depth + 1, scope)?;
+                Ok(LoopNode {
+                    lb,
+                    ub,
+                    inner,
+                    stmts: vec![],
+                })
+            }
+        })();
+        scope.pop();
+        result
+    }
+
+    /// Emits one normalised statement (or `None` if all of its references
+    /// are register-allocated scalars).
+    fn emit_statement(
+        &mut self,
+        a: &SAssign,
+        guard: &[LinRel],
+        scope: &[String],
+        depth: usize,
+    ) -> Result<Option<StmtId>, IrError> {
+        debug_assert_eq!(depth, self.n);
+        // The label is derived from the tree position once the forest is
+        // complete (`assign_labels`); a placeholder goes in for now.
+        let mut stmt = Statement {
+            label: vec![0; self.n],
+            guard: Vec::new(),
+            refs: Vec::new(),
+            name: a.label.clone(),
+        };
+        for rel in guard {
+            stmt.guard.push(self.rel_to_constraint(rel, scope)?);
+        }
+        let stmt_id = self.stmts.len();
+        let mut refs = Vec::new();
+        for (r, kind) in a
+            .reads
+            .iter()
+            .map(|r| (r, AccessKind::Read))
+            .chain(a.write.iter().map(|r| (r, AccessKind::Write)))
+        {
+            let Some(&aid) = self.array_ids.get(&r.array) else {
+                // Either a register-allocated scalar or an undeclared name.
+                if self.opts.scalars_in_registers && r.subs.is_empty() {
+                    continue;
+                }
+                return Err(IrError::UndeclaredVariable {
+                    name: r.array.clone(),
+                    subroutine: self.sub_name.clone(),
+                });
+            };
+            let arr = &self.arrays[aid];
+            if r.subs.len() != arr.dims.len() {
+                return Err(IrError::SubscriptArity {
+                    array: r.array.clone(),
+                    found: r.subs.len(),
+                    declared: arr.dims.len(),
+                });
+            }
+            let subs = r
+                .subs
+                .iter()
+                .map(|s| self.to_affine(s, scope, &format!("subscript of {}", r.array)))
+                .collect::<Result<Vec<_>, _>>()?;
+            let rid = self.refs.len();
+            self.refs.push(Reference {
+                array: aid,
+                subs,
+                kind,
+                stmt: stmt_id,
+                lex_rank: 0, // assigned later in tree order
+                display: format!("{r:?}"),
+            });
+            refs.push(rid);
+        }
+        if refs.is_empty() {
+            return Ok(None);
+        }
+        stmt.refs = refs;
+        self.stmts.push(stmt);
+        Ok(Some(stmt_id))
+    }
+
+    fn to_affine(&self, e: &LinExpr, scope: &[String], context: &str) -> Result<Affine, IrError> {
+        let order: Vec<String> = scope.to_vec();
+        match e.to_affine(&order) {
+            Ok(a) => {
+                // Widen to n variables.
+                let map: Vec<usize> = (0..order.len()).collect();
+                Ok(a.remap(self.n, &map))
+            }
+            Err(name) => Err(IrError::DataDependent {
+                name,
+                context: context.to_string(),
+            }),
+        }
+    }
+
+    fn rel_to_constraint(&self, rel: &LinRel, scope: &[String]) -> Result<Constraint, IrError> {
+        let l = self.to_affine(&rel.lhs, scope, "IF condition")?;
+        let r = self.to_affine(&rel.rhs, scope, "IF condition")?;
+        let diff = l.sub(&r);
+        Ok(match rel.op {
+            RelOp::Eq => Constraint::eq(diff),
+            RelOp::Ne => Constraint::ne(diff),
+            RelOp::Ge => Constraint::ge(diff),
+            RelOp::Gt => Constraint::ge(diff.offset(-1)),
+            RelOp::Le => Constraint::ge(diff.scale(-1)),
+            RelOp::Lt => Constraint::ge(diff.scale(-1).offset(-1)),
+        })
+    }
+
+    /// Dissolves `IF` items into guard annotations on their children.
+    fn flatten_ifs(&mut self, items: Vec<Guarded>) -> Result<Vec<Guarded>, IrError> {
+        let mut out = Vec::with_capacity(items.len());
+        for g in items {
+            match g.node {
+                SNode::If(i) => {
+                    let mut then_items = Vec::new();
+                    for child in &i.then_body {
+                        let mut cg = g.guard.clone();
+                        cg.extend(i.conds.iter().cloned());
+                        then_items.push(Guarded {
+                            guard: cg,
+                            node: child.clone(),
+                        });
+                    }
+                    out.extend(self.flatten_ifs(then_items)?);
+                    if !i.else_body.is_empty() {
+                        if i.conds.len() != 1 {
+                            return Err(IrError::UnsupportedElse);
+                        }
+                        let neg = i.conds[0].negated();
+                        let mut else_items = Vec::new();
+                        for child in &i.else_body {
+                            let mut cg = g.guard.clone();
+                            cg.push(neg.clone());
+                            else_items.push(Guarded {
+                                guard: cg,
+                                node: child.clone(),
+                            });
+                        }
+                        out.extend(self.flatten_ifs(else_items)?);
+                    }
+                }
+                _ => out.push(g),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Wraps a run of statements in a fresh `1..1` loop.
+    fn wrap_singleton(&mut self, items: Vec<Guarded>) -> Guarded {
+        self.fresh += 1;
+        let var = format!("__w{}", self.fresh);
+        let body = items.into_iter().map(reify).collect();
+        Guarded {
+            guard: Vec::new(),
+            node: SNode::Loop(SLoop {
+                var,
+                lb: LinExpr::constant(1),
+                ub: LinExpr::constant(1),
+                step: 1,
+                body,
+            }),
+        }
+    }
+}
+
+/// Turns a guarded node back into a plain node (wrapping in an `IF` when a
+/// guard is present), for re-insertion into a loop body.
+fn reify(g: Guarded) -> SNode {
+    if g.guard.is_empty() {
+        g.node
+    } else {
+        SNode::If(crate::ast::SIf {
+            conds: g.guard,
+            then_body: vec![g.node],
+            else_body: vec![],
+        })
+    }
+}
+
+/// Patches statement labels from tree positions. Called by
+/// [`normalize_subroutine`] after the forest is built — exposed for the
+/// inliner, which assembles forests manually.
+pub(crate) fn assign_labels(roots: &[LoopNode], stmts: &mut [Statement]) {
+    fn walk(l: &LoopNode, path: &mut Vec<i64>, stmts: &mut [Statement]) {
+        for &sid in &l.stmts {
+            stmts[sid].label = path.clone();
+        }
+        for (i, inner) in l.inner.iter().enumerate() {
+            path.push(i as i64 + 1);
+            walk(inner, path, stmts);
+            path.pop();
+        }
+    }
+    for (i, root) in roots.iter().enumerate() {
+        let mut path = vec![i as i64 + 1];
+        walk(root, &mut path, stmts);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{SourceProgram, SRef, VarDecl};
+    use crate::expr::LinExpr;
+    use crate::program::AccessKind;
+
+    /// The `foo` subroutine of Figure 1 (N = 10).
+    fn figure1(n: i64) -> Subroutine {
+        let mut sub = Subroutine::new("foo");
+        sub.decls.push(VarDecl::array("A", &[n], 8));
+        sub.decls.push(VarDecl::array("B", &[n, n], 8));
+        let i1 = LinExpr::var("I1");
+        let i2 = LinExpr::var("I2");
+        sub.body = vec![
+            SNode::loop_(
+                "I1",
+                2,
+                n,
+                vec![
+                    SNode::assign(SRef::new("A", vec![i1.offset(-1)]), vec![]).labelled("S1"),
+                    SNode::loop_(
+                        "I2",
+                        i1.clone(),
+                        n,
+                        vec![SNode::assign(
+                            SRef::new("B", vec![i2.offset(-1), i1.clone()]),
+                            vec![SRef::new("A", vec![i2.offset(-1)])],
+                        )
+                        .labelled("S2")],
+                    ),
+                    SNode::loop_(
+                        "I2",
+                        1,
+                        n,
+                        vec![
+                            SNode::reads_only(vec![SRef::new("B", vec![i2.clone(), i1.clone()])])
+                                .labelled("S3"),
+                            SNode::if_(
+                                vec![LinRel::new(i2.clone(), RelOp::Eq, LinExpr::constant(n))],
+                                vec![SNode::reads_only(vec![SRef::new("A", vec![i1.clone()])])
+                                    .labelled("S4")],
+                            ),
+                        ],
+                    ),
+                ],
+            ),
+            SNode::loop_(
+                "I1",
+                1,
+                n - 1,
+                vec![SNode::assign(SRef::new("A", vec![i1.offset(1)]), vec![]).labelled("S5")],
+            ),
+        ];
+        sub
+    }
+
+    fn norm_figure1(n: i64) -> Program {
+        let src = SourceProgram::single("fig2", figure1(n));
+        normalize(&src, &NormalizeOptions::default()).unwrap()
+    }
+
+    fn stmt_by_name<'p>(p: &'p Program, name: &str) -> &'p Statement {
+        p.statements()
+            .iter()
+            .find(|s| s.name.as_deref() == Some(name))
+            .unwrap_or_else(|| panic!("statement {name} not found"))
+    }
+
+    #[test]
+    fn figure2_labels_match_table1() {
+        // Table 1: S₁,S₂ → (1,·,1,·); S₃,S₄ → (1,·,2,·); S₅ → (2,·,1,·).
+        let p = norm_figure1(10);
+        assert_eq!(p.depth(), 2);
+        assert_eq!(stmt_by_name(&p, "S1").label, vec![1, 1]);
+        assert_eq!(stmt_by_name(&p, "S2").label, vec![1, 1]);
+        assert_eq!(stmt_by_name(&p, "S3").label, vec![1, 2]);
+        assert_eq!(stmt_by_name(&p, "S4").label, vec![1, 2]);
+        assert_eq!(stmt_by_name(&p, "S5").label, vec![2, 1]);
+    }
+
+    #[test]
+    fn figure2_sinking_guards() {
+        let p = norm_figure1(10);
+        // S1 sank under IF (I2 .EQ. I1); S4 keeps its IF (I2 .EQ. N); S2 and
+        // S3 are unguarded; S5 sits in an added 1..1 loop, unguarded.
+        assert_eq!(stmt_by_name(&p, "S1").guard.len(), 1);
+        assert!(stmt_by_name(&p, "S2").guard.is_empty());
+        assert!(stmt_by_name(&p, "S3").guard.is_empty());
+        assert_eq!(stmt_by_name(&p, "S4").guard.len(), 1);
+        assert!(stmt_by_name(&p, "S5").guard.is_empty());
+        // S1 executes exactly when I2 = I1.
+        let g = &stmt_by_name(&p, "S1").guard[0];
+        assert!(g.holds(&[4, 4]));
+        assert!(!g.holds(&[4, 5]));
+    }
+
+    #[test]
+    fn figure2_ris_volumes() {
+        // §3.3 lists the five RISs; with N = 10 their sizes are
+        // 9, 45, 90, 9, 9.
+        let p = norm_figure1(10);
+        let sizes: Vec<(String, u64)> = p
+            .statements()
+            .iter()
+            .map(|s| {
+                (
+                    s.name.clone().unwrap(),
+                    p.ris(s.refs[0]).count(),
+                )
+            })
+            .collect();
+        let get = |n: &str| sizes.iter().find(|(m, _)| m == n).unwrap().1;
+        assert_eq!(get("S1"), 9);
+        assert_eq!(get("S2"), 45);
+        assert_eq!(get("S3"), 90);
+        assert_eq!(get("S4"), 9);
+        assert_eq!(get("S5"), 9);
+    }
+
+    #[test]
+    fn figure2_statement_order_within_loop() {
+        // Within L(1,1), the sunk S1 precedes S2.
+        let p = norm_figure1(10);
+        let l11 = &p.roots()[0].inner[0];
+        let names: Vec<_> = l11
+            .stmts
+            .iter()
+            .map(|&s| p.statement(s).name.clone().unwrap())
+            .collect();
+        assert_eq!(names, vec!["S1", "S2"]);
+    }
+
+    #[test]
+    fn execution_order_matches_source_semantics() {
+        // The normalised program must perform exactly the accesses of the
+        // original (Fig. 1) program, in the original order. Compute the
+        // original order by hand for N = 4.
+        let n = 4i64;
+        let p = norm_figure1(n);
+        let mut got: Vec<(String, i64)> = Vec::new();
+        crate::walk::for_each_access(&p, |a| {
+            let name = p
+                .statement(p.reference(a.r).stmt)
+                .name
+                .clone()
+                .unwrap();
+            got.push((name, a.addr));
+            std::ops::ControlFlow::Continue(())
+        });
+        let a_base = p.base_address(0);
+        let b_base = p.base_address(1);
+        let a_addr = |i: i64| a_base + (i - 1) * 8;
+        let b_addr = |r: i64, c: i64| b_base + ((r - 1) + (c - 1) * n) * 8;
+        let mut expect: Vec<(String, i64)> = Vec::new();
+        for i1 in 2..=n {
+            expect.push(("S1".into(), a_addr(i1 - 1)));
+            for i2 in i1..=n {
+                expect.push(("S2".into(), a_addr(i2 - 1))); // read
+                expect.push(("S2".into(), b_addr(i2 - 1, i1))); // write
+            }
+            for i2 in 1..=n {
+                expect.push(("S3".into(), b_addr(i2, i1)));
+                if i2 == n {
+                    expect.push(("S4".into(), a_addr(i1)));
+                }
+            }
+        }
+        for i1 in 1..=n - 1 {
+            expect.push(("S5".into(), a_addr(i1 + 1)));
+        }
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn step_normalisation_constant_bounds() {
+        // DO I = 1, 10, 3 visits 1, 4, 7, 10.
+        let mut sub = Subroutine::new("s");
+        sub.decls.push(VarDecl::array("A", &[16], 8));
+        sub.body = vec![SNode::loop_step(
+            "I",
+            1,
+            10,
+            3,
+            vec![SNode::assign(SRef::new("A", vec![LinExpr::var("I")]), vec![])],
+        )];
+        let p = normalize_subroutine("steps", &sub, &NormalizeOptions::default()).unwrap();
+        let t = crate::walk::trace(&p);
+        let addrs: Vec<i64> = t.iter().map(|&(_, a)| a).collect();
+        assert_eq!(addrs, vec![0, 3 * 8, 6 * 8, 9 * 8]);
+    }
+
+    #[test]
+    fn step_normalisation_negative_step() {
+        // DO I = 8, 2, -2 visits 8, 6, 4, 2.
+        let mut sub = Subroutine::new("s");
+        sub.decls.push(VarDecl::array("A", &[16], 8));
+        sub.body = vec![SNode::loop_step(
+            "I",
+            8,
+            2,
+            -2,
+            vec![SNode::assign(SRef::new("A", vec![LinExpr::var("I")]), vec![])],
+        )];
+        let p = normalize_subroutine("steps", &sub, &NormalizeOptions::default()).unwrap();
+        let addrs: Vec<i64> = crate::walk::trace(&p).iter().map(|&(_, a)| a).collect();
+        assert_eq!(addrs, vec![7 * 8, 5 * 8, 3 * 8, 8]);
+    }
+
+    #[test]
+    fn step_normalisation_symbolic_divisible() {
+        // DO J = 1, 2*M, 2 for M = 4 visits 1,3,5,7 — span 2M−1 with step 2
+        // does NOT divide, so this must error; with bounds 2..2*M it works.
+        let mut sub = Subroutine::new("s");
+        sub.decls.push(VarDecl::array("A", &[64], 8));
+        sub.body = vec![SNode::loop_(
+            "M",
+            4,
+            4,
+            vec![SNode::loop_step(
+                "J",
+                2,
+                LinExpr::var("M").scale(2),
+                2,
+                vec![SNode::assign(SRef::new("A", vec![LinExpr::var("J")]), vec![])],
+            )],
+        )];
+        let p = normalize_subroutine("steps", &sub, &NormalizeOptions::default()).unwrap();
+        let addrs: Vec<i64> = crate::walk::trace(&p).iter().map(|&(_, a)| a).collect();
+        assert_eq!(addrs, vec![8, 3 * 8, 5 * 8, 7 * 8]);
+    }
+
+    #[test]
+    fn else_branch_single_relation() {
+        let mut sub = Subroutine::new("s");
+        sub.decls.push(VarDecl::array("A", &[8], 8));
+        sub.decls.push(VarDecl::array("B", &[8], 8));
+        let i = LinExpr::var("I");
+        sub.body = vec![SNode::loop_(
+            "I",
+            1,
+            8,
+            vec![SNode::if_else(
+                vec![LinRel::new(i.clone(), RelOp::Le, LinExpr::constant(3))],
+                vec![SNode::assign(SRef::new("A", vec![i.clone()]), vec![])],
+                vec![SNode::assign(SRef::new("B", vec![i.clone()]), vec![])],
+            )],
+        )];
+        let p = normalize_subroutine("ifelse", &sub, &NormalizeOptions::default()).unwrap();
+        let t = crate::walk::trace(&p);
+        // A written for I ≤ 3 (3 accesses), B for I ≥ 4 (5 accesses).
+        let a_writes = t.iter().filter(|&&(r, _)| p.reference(r).array == 0).count();
+        let b_writes = t.iter().filter(|&&(r, _)| p.reference(r).array == 1).count();
+        assert_eq!((a_writes, b_writes), (3, 5));
+    }
+
+    #[test]
+    fn else_branch_multi_relation_rejected() {
+        let mut sub = Subroutine::new("s");
+        sub.decls.push(VarDecl::array("A", &[8], 8));
+        let i = LinExpr::var("I");
+        sub.body = vec![SNode::loop_(
+            "I",
+            1,
+            8,
+            vec![SNode::if_else(
+                vec![
+                    LinRel::new(i.clone(), RelOp::Ge, LinExpr::constant(2)),
+                    LinRel::new(i.clone(), RelOp::Le, LinExpr::constant(5)),
+                ],
+                vec![SNode::assign(SRef::new("A", vec![i.clone()]), vec![])],
+                vec![SNode::assign(SRef::new("A", vec![i.clone()]), vec![])],
+            )],
+        )];
+        let err = normalize_subroutine("bad", &sub, &NormalizeOptions::default()).unwrap_err();
+        assert_eq!(err, IrError::UnsupportedElse);
+    }
+
+    #[test]
+    fn shadowed_loop_variable_rejected() {
+        let mut sub = Subroutine::new("s");
+        sub.decls.push(VarDecl::array("A", &[8], 8));
+        let i = LinExpr::var("I");
+        sub.body = vec![SNode::loop_(
+            "I",
+            1,
+            4,
+            vec![SNode::loop_(
+                "I",
+                1,
+                4,
+                vec![SNode::assign(SRef::new("A", vec![i.clone()]), vec![])],
+            )],
+        )];
+        let err = normalize_subroutine("bad", &sub, &NormalizeOptions::default()).unwrap_err();
+        assert!(matches!(err, IrError::ShadowedLoopVariable { .. }));
+    }
+
+    #[test]
+    fn data_dependent_subscript_rejected() {
+        let mut sub = Subroutine::new("s");
+        sub.decls.push(VarDecl::array("A", &[8], 8));
+        sub.body = vec![SNode::loop_(
+            "I",
+            1,
+            4,
+            vec![SNode::assign(SRef::new("A", vec![LinExpr::var("Q")]), vec![])],
+        )];
+        let err = normalize_subroutine("bad", &sub, &NormalizeOptions::default()).unwrap_err();
+        assert!(matches!(err, IrError::DataDependent { .. }));
+    }
+
+    #[test]
+    fn lex_ranks_follow_tree_order() {
+        let p = norm_figure1(6);
+        let mut ranks: Vec<usize> = p.references().iter().map(|r| r.lex_rank).collect();
+        let mut sorted = ranks.clone();
+        sorted.sort_unstable();
+        ranks.sort_unstable();
+        assert_eq!(ranks, sorted);
+        assert_eq!(
+            p.references().iter().map(|r| r.lex_rank).collect::<std::collections::HashSet<_>>().len(),
+            p.references().len()
+        );
+        // S1's write is the first reference lexically.
+        let s1 = stmt_by_name(&p, "S1");
+        assert_eq!(p.reference(s1.refs[0]).lex_rank, 0);
+    }
+
+    #[test]
+    fn reads_precede_write_within_statement() {
+        let p = norm_figure1(6);
+        let s2 = stmt_by_name(&p, "S2");
+        assert_eq!(s2.refs.len(), 2);
+        assert_eq!(p.reference(s2.refs[0]).kind, AccessKind::Read);
+        assert_eq!(p.reference(s2.refs[1]).kind, AccessKind::Write);
+        assert!(p.reference(s2.refs[0]).lex_rank < p.reference(s2.refs[1]).lex_rank);
+    }
+
+    #[test]
+    fn top_level_statements_get_wrapped() {
+        // A statement outside any loop (normalisation step 2).
+        let mut sub = Subroutine::new("s");
+        sub.decls.push(VarDecl::array("A", &[8], 8));
+        sub.body = vec![SNode::assign(
+            SRef::new("A", vec![LinExpr::constant(1)]),
+            vec![],
+        )];
+        let p = normalize_subroutine("wrap", &sub, &NormalizeOptions::default()).unwrap();
+        assert_eq!(p.depth(), 1);
+        assert_eq!(crate::walk::trace(&p).len(), 1);
+    }
+}

@@ -1,0 +1,221 @@
+//! Pretty-printing of normalised programs (Fig. 2 style).
+
+use crate::program::{LoopNode, Program};
+use std::fmt::Write;
+
+/// Renders the normalised loop forest with labels, bounds, guards and
+/// statements, in the style of Fig. 2 of the paper.
+///
+/// # Examples
+///
+/// ```
+/// use cme_ir::{ProgramBuilder, SNode, SRef, LinExpr};
+/// let mut b = ProgramBuilder::new("p");
+/// b.array("A", &[4], 8);
+/// b.push(SNode::loop_("I", 1, 4,
+///     vec![SNode::assign(SRef::new("A", vec![LinExpr::var("I")]), vec![])]));
+/// let text = cme_ir::pretty::render(&b.build().unwrap());
+/// assert!(text.contains("DO I1 = 1, 4"));
+/// ```
+pub fn render(program: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "PROGRAM {} (depth {})", program.name(), program.depth());
+    for a in program.arrays() {
+        let dims: Vec<String> = a
+            .dims
+            .iter()
+            .map(|d| match d.fixed() {
+                Some(n) => n.to_string(),
+                None => "*".to_string(),
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "  VAR {}({}) elem={}B",
+            a.name,
+            dims.join(","),
+            a.elem_bytes
+        );
+    }
+    for (i, root) in program.roots().iter().enumerate() {
+        render_loop(program, root, &mut vec![i as i64 + 1], &mut out);
+    }
+    out
+}
+
+fn affine_str(a: &cme_poly::Affine) -> String {
+    // Render with I1.. names instead of x0..
+    let mut s = String::new();
+    let mut wrote = false;
+    for i in 0..a.nvars() {
+        let c = a.coeff(i);
+        if c == 0 {
+            continue;
+        }
+        if wrote {
+            s.push_str(if c < 0 { " - " } else { " + " });
+        } else if c < 0 {
+            s.push('-');
+        }
+        if c.abs() != 1 {
+            let _ = write!(s, "{}*", c.abs());
+        }
+        let _ = write!(s, "I{}", i + 1);
+        wrote = true;
+    }
+    if !wrote {
+        let _ = write!(s, "{}", a.constant_term());
+    } else if a.constant_term() != 0 {
+        let _ = write!(
+            s,
+            " {} {}",
+            if a.constant_term() < 0 { "-" } else { "+" },
+            a.constant_term().abs()
+        );
+    }
+    s
+}
+
+fn render_loop(program: &Program, node: &LoopNode, path: &mut Vec<i64>, out: &mut String) {
+    let depth = path.len();
+    let indent = "  ".repeat(depth);
+    let label: Vec<String> = path.iter().map(|l| l.to_string()).collect();
+    let _ = writeln!(
+        out,
+        "{indent}L({}): DO I{} = {}, {}",
+        label.join(","),
+        depth,
+        affine_str(&node.lb),
+        affine_str(&node.ub)
+    );
+    for &sid in &node.stmts {
+        let stmt = program.statement(sid);
+        let sindent = "  ".repeat(depth + 1);
+        if !stmt.guard.is_empty() {
+            let conds: Vec<String> = stmt
+                .guard
+                .iter()
+                .map(|c| {
+                    let rel = match c.kind {
+                        cme_poly::ConstraintKind::Eq => "== 0",
+                        cme_poly::ConstraintKind::Ge => ">= 0",
+                        cme_poly::ConstraintKind::Ne => "!= 0",
+                    };
+                    format!("{} {rel}", affine_str(&c.expr))
+                })
+                .collect();
+            let _ = writeln!(out, "{sindent}IF ({}) THEN", conds.join(" .AND. "));
+        }
+        let name = stmt.name.as_deref().unwrap_or("S");
+        let refs: Vec<String> = stmt
+            .refs
+            .iter()
+            .map(|&r| {
+                let rf = program.reference(r);
+                let k = match rf.kind {
+                    crate::program::AccessKind::Read => "r",
+                    crate::program::AccessKind::Write => "w",
+                };
+                format!("{}:{k}", rf.display)
+            })
+            .collect();
+        let extra = if stmt.guard.is_empty() { "" } else { "  " };
+        let _ = writeln!(out, "{sindent}{extra}{name}: {}", refs.join(", "));
+    }
+    for (i, inner) in node.inner.iter().enumerate() {
+        path.push(i as i64 + 1);
+        render_loop(program, inner, path, out);
+        path.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{SNode, SRef};
+    use crate::builder::ProgramBuilder;
+    use crate::expr::{LinExpr, LinRel, RelOp};
+
+    #[test]
+    fn render_contains_structure() {
+        let mut b = ProgramBuilder::new("demo");
+        b.array("A", &[4], 8);
+        let i = LinExpr::var("I");
+        let j = LinExpr::var("J");
+        b.push(SNode::loop_(
+            "I",
+            1,
+            4,
+            vec![SNode::loop_(
+                "J",
+                i.clone(),
+                4,
+                vec![SNode::if_(
+                    vec![LinRel::new(j.clone(), RelOp::Eq, i.clone())],
+                    vec![SNode::assign(SRef::new("A", vec![j.clone()]), vec![]).labelled("S1")],
+                )],
+            )],
+        ));
+        let p = b.build().unwrap();
+        let text = render(&p);
+        assert!(text.contains("L(1): DO I1 = 1, 4"), "{text}");
+        assert!(text.contains("L(1,1): DO I2 = I1, 4"), "{text}");
+        assert!(text.contains("IF ("), "{text}");
+        assert!(text.contains("S1: A(J):w"), "{text}");
+        assert!(text.contains("VAR A(4) elem=8B"), "{text}");
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use crate::builder::ProgramBuilder;
+    use crate::expr::LinExpr;
+    use crate::ast::{SNode, SRef};
+
+    #[test]
+    fn renders_alias_and_assumed_dims() {
+        use crate::ast::VarDecl;
+        use crate::normalize::{normalize, NormalizeOptions};
+        use crate::ast::SourceProgram;
+        use crate::ast::Subroutine;
+        let mut sub = Subroutine::new("S");
+        sub.decls = vec![
+            VarDecl::array("B", &[6, 6], 8),
+            VarDecl::array("BV", &[6, 6, 1], 8).assumed_last_dim().aliasing("B"),
+        ];
+        sub.body = vec![SNode::loop_(
+            "I",
+            1,
+            6,
+            vec![SNode::assign(
+                SRef::new("BV", vec![LinExpr::var("I"), LinExpr::constant(1), LinExpr::constant(1)]),
+                vec![],
+            )],
+        )];
+        let p = normalize(&SourceProgram::single("alias", sub), &NormalizeOptions::default()).unwrap();
+        let text = super::render(&p);
+        assert!(text.contains("BV(6,6,*)"), "{text}");
+        assert!(text.contains("VAR B(6,6)"), "{text}");
+    }
+
+    #[test]
+    fn renders_negative_coefficients_and_constants() {
+        let mut b = ProgramBuilder::new("neg");
+        b.array("A", &[32], 8);
+        let i = LinExpr::var("I");
+        b.push(SNode::loop_(
+            "I",
+            1,
+            8,
+            vec![SNode::assign(
+                SRef::new("A", vec![i.scale(-2).offset(24)]),
+                vec![],
+            )],
+        ));
+        let p = b.build().unwrap();
+        let text = super::render(&p);
+        assert!(text.contains("DO I1 = 1, 8"), "{text}");
+        // -2*I + 24 subscripts render through the display field of the ref.
+        assert!(text.contains("A("), "{text}");
+    }
+}

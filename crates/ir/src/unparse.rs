@@ -1,0 +1,214 @@
+//! Regenerates FORTRAN source text from the AST ("unparsing").
+//!
+//! The AST records only what cache analysis needs — memory references,
+//! not arithmetic — so unparsed assignments sum their reads
+//! (`W = R1 + R2`). That program is *access-equivalent* to the original:
+//! it performs the same references in the same order, which is the
+//! property the round-trip tests pin (parse ∘ unparse preserves the
+//! normalised trace).
+
+use crate::ast::{DimSize, SNode, SourceProgram, SRef, Subroutine};
+use crate::expr::LinExpr;
+use std::fmt::Write;
+
+/// Renders a whole source program as FORTRAN text parseable by
+/// `cme-fortran`.
+///
+/// # Examples
+///
+/// ```
+/// use cme_ir::{ProgramBuilder, SNode, SRef, LinExpr};
+/// let mut b = ProgramBuilder::new("P");
+/// b.array("A", &[8], 8);
+/// b.push(SNode::loop_("I", 1, 8,
+///     vec![SNode::assign(SRef::new("A", vec![LinExpr::var("I")]), vec![])]));
+/// let text = cme_ir::unparse::unparse(&b.build_source());
+/// assert!(text.contains("DO I = 1, 8"));
+/// assert!(text.contains("A(I) ="));
+/// ```
+pub fn unparse(program: &SourceProgram) -> String {
+    let mut out = String::new();
+    for (i, sub) in program.subroutines.iter().enumerate() {
+        let is_entry = sub.name == program.entry;
+        unparse_unit(sub, is_entry, &mut out);
+        if i + 1 < program.subroutines.len() {
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn unparse_unit(sub: &Subroutine, is_entry: bool, out: &mut String) {
+    if is_entry {
+        let _ = writeln!(out, "      PROGRAM {}", sub.name);
+    } else if sub.formals.is_empty() {
+        let _ = writeln!(out, "      SUBROUTINE {}", sub.name);
+    } else {
+        let _ = writeln!(out, "      SUBROUTINE {}({})", sub.name, sub.formals.join(", "));
+    }
+    // Type declarations grouped by element size.
+    let mut by_size: std::collections::BTreeMap<u32, Vec<&str>> = Default::default();
+    for d in &sub.decls {
+        by_size.entry(d.elem_bytes).or_default().push(&d.name);
+    }
+    for (bytes, names) in &by_size {
+        let _ = writeln!(out, "      REAL*{} {}", bytes, names.join(", "));
+    }
+    for cb in &sub.commons {
+        if cb.block.is_empty() {
+            let _ = writeln!(out, "      COMMON {}", cb.vars.join(", "));
+        } else {
+            let _ = writeln!(out, "      COMMON /{}/ {}", cb.block, cb.vars.join(", "));
+        }
+    }
+    for d in &sub.decls {
+        if d.dims.is_empty() {
+            continue;
+        }
+        let dims: Vec<String> = d
+            .dims
+            .iter()
+            .map(|x| match x {
+                DimSize::Fixed(n) => n.to_string(),
+                DimSize::Assumed => "*".to_string(),
+            })
+            .collect();
+        let _ = writeln!(out, "      DIMENSION {}({})", d.name, dims.join(","));
+    }
+    unparse_nodes(&sub.body, 1, out);
+    let _ = writeln!(out, "      END");
+}
+
+fn indent(depth: usize) -> String {
+    " ".repeat(6 + 2 * depth)
+}
+
+fn expr(e: &LinExpr) -> String {
+    format!("{e}")
+}
+
+fn sref(r: &SRef) -> String {
+    if r.subs.is_empty() {
+        r.array.clone()
+    } else {
+        let subs: Vec<String> = r.subs.iter().map(expr).collect();
+        format!("{}({})", r.array, subs.join(","))
+    }
+}
+
+fn unparse_nodes(nodes: &[SNode], depth: usize, out: &mut String) {
+    let pad = indent(depth);
+    for n in nodes {
+        match n {
+            SNode::Loop(l) => {
+                if l.step == 1 {
+                    let _ = writeln!(out, "{pad}DO {} = {}, {}", l.var, expr(&l.lb), expr(&l.ub));
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "{pad}DO {} = {}, {}, {}",
+                        l.var,
+                        expr(&l.lb),
+                        expr(&l.ub),
+                        l.step
+                    );
+                }
+                unparse_nodes(&l.body, depth + 1, out);
+                let _ = writeln!(out, "{pad}ENDDO");
+            }
+            SNode::If(i) => {
+                let conds: Vec<String> = i
+                    .conds
+                    .iter()
+                    .map(|c| format!("{} {} {}", expr(&c.lhs), c.op, expr(&c.rhs)))
+                    .collect();
+                let _ = writeln!(out, "{pad}IF ({}) THEN", conds.join(" .AND. "));
+                unparse_nodes(&i.then_body, depth + 1, out);
+                if !i.else_body.is_empty() {
+                    let _ = writeln!(out, "{pad}ELSE");
+                    unparse_nodes(&i.else_body, depth + 1, out);
+                }
+                let _ = writeln!(out, "{pad}ENDIF");
+            }
+            SNode::Assign(a) => {
+                // The AST has no arithmetic: sum the reads (access-
+                // equivalent). A missing write targets a scratch scalar the
+                // parser implicitly declares (register-allocated away).
+                let rhs = if a.reads.is_empty() {
+                    "0.0D0".to_string()
+                } else {
+                    a.reads.iter().map(sref).collect::<Vec<_>>().join(" + ")
+                };
+                let lhs = a
+                    .write
+                    .as_ref()
+                    .map(sref)
+                    .unwrap_or_else(|| "SCRATCH".to_string());
+                let _ = writeln!(out, "{pad}{lhs} = {rhs}");
+            }
+            SNode::Call(c) => {
+                if c.args.is_empty() {
+                    let _ = writeln!(out, "{pad}CALL {}", c.callee);
+                } else {
+                    let args: Vec<String> = c
+                        .args
+                        .iter()
+                        .map(|a| {
+                            if a.subs.is_empty() {
+                                a.name.clone()
+                            } else {
+                                let subs: Vec<String> = a.subs.iter().map(expr).collect();
+                                format!("{}({})", a.name, subs.join(","))
+                            }
+                        })
+                        .collect();
+                    let _ = writeln!(out, "{pad}CALL {}({})", c.callee, args.join(", "));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::expr::{LinRel, RelOp};
+
+    #[test]
+    fn unparse_structure() {
+        let mut b = ProgramBuilder::new("DEMO");
+        b.array("A", &[8, 8], 8);
+        let (i, j) = (LinExpr::var("I"), LinExpr::var("J"));
+        b.push(SNode::loop_(
+            "J",
+            1,
+            8,
+            vec![SNode::loop_step(
+                "I",
+                1,
+                8,
+                2,
+                vec![SNode::if_else(
+                    vec![LinRel::new(i.clone(), RelOp::Le, LinExpr::constant(4))],
+                    vec![SNode::assign(
+                        SRef::new("A", vec![i.clone(), j.clone()]),
+                        vec![SRef::new("A", vec![i.offset(-1), j.clone()])],
+                    )],
+                    vec![SNode::reads_only(vec![SRef::new(
+                        "A",
+                        vec![i.clone(), j.clone()],
+                    )])],
+                )],
+            )],
+        ));
+        let text = unparse(&b.build_source());
+        assert!(text.contains("PROGRAM DEMO"), "{text}");
+        assert!(text.contains("DO I = 1, 8, 2"), "{text}");
+        assert!(text.contains("IF (I .LE. 4) THEN"), "{text}");
+        assert!(text.contains("ELSE"), "{text}");
+        assert!(text.contains("A(I,J) = A(I - 1,J)"), "{text}");
+        assert!(text.contains("SCRATCH = A(I,J)"), "{text}");
+        assert!(text.contains("ENDIF") && text.contains("ENDDO"), "{text}");
+    }
+}

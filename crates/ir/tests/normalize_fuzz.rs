@@ -1,0 +1,270 @@
+//! Normalisation fuzzing: a direct interpreter of the *source* program
+//! must produce exactly the access sequence of the *normalised* program.
+//!
+//! This pins down the semantics of all five normalisation steps (step
+//! rewriting, wrapping, padding, sinking, renaming) at once: any divergence
+//! in order, multiplicity or address is a bug.
+
+use cme_ir::{
+    normalize, LinExpr, LinRel, NormalizeOptions, Program, RelOp, SAssign, SCall, SIf, SLoop,
+    SNode, SRef, SourceProgram, Subroutine, VarDecl,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::ops::ControlFlow;
+
+/// Reference interpreter: walks the source AST directly.
+fn interpret(sub: &Subroutine, program: &Program) -> Vec<i64> {
+    // Map array name → (array id) in the normalised program for address
+    // computation.
+    let ids: HashMap<&str, usize> = program
+        .arrays()
+        .iter()
+        .enumerate()
+        .map(|(i, a)| (a.name.as_str(), i))
+        .collect();
+    let mut env: HashMap<String, i64> = HashMap::new();
+    let mut out = Vec::new();
+    run_nodes(&sub.body, &mut env, &ids, program, &mut out);
+    out
+}
+
+fn eval(e: &LinExpr, env: &HashMap<String, i64>) -> i64 {
+    e.eval(&|n| env.get(n).copied()).expect("closed expression")
+}
+
+fn holds(r: &LinRel, env: &HashMap<String, i64>) -> bool {
+    r.op.holds(eval(&r.lhs, env), eval(&r.rhs, env))
+}
+
+fn run_nodes(
+    nodes: &[SNode],
+    env: &mut HashMap<String, i64>,
+    ids: &HashMap<&str, usize>,
+    program: &Program,
+    out: &mut Vec<i64>,
+) {
+    for n in nodes {
+        match n {
+            SNode::Loop(SLoop {
+                var,
+                lb,
+                ub,
+                step,
+                body,
+            }) => {
+                let (lo, hi, s) = (eval(lb, env), eval(ub, env), *step);
+                let mut v = lo;
+                loop {
+                    if (s > 0 && v > hi) || (s < 0 && v < hi) {
+                        break;
+                    }
+                    env.insert(var.clone(), v);
+                    run_nodes(body, env, ids, program, out);
+                    v += s;
+                }
+                env.remove(var);
+            }
+            SNode::If(SIf {
+                conds,
+                then_body,
+                else_body,
+            }) => {
+                if conds.iter().all(|c| holds(c, env)) {
+                    run_nodes(then_body, env, ids, program, out);
+                } else {
+                    run_nodes(else_body, env, ids, program, out);
+                }
+            }
+            SNode::Assign(SAssign { reads, write, .. }) => {
+                for r in reads.iter().chain(write.iter()) {
+                    if let Some(addr) = address(r, env, ids, program) {
+                        out.push(addr);
+                    }
+                }
+            }
+            SNode::Call(SCall { .. }) => panic!("no calls in these programs"),
+        }
+    }
+}
+
+fn address(
+    r: &SRef,
+    env: &HashMap<String, i64>,
+    ids: &HashMap<&str, usize>,
+    program: &Program,
+) -> Option<i64> {
+    let &id = ids.get(r.array.as_str())?; // scalars may be register-allocated
+    let arr = &program.arrays()[id];
+    let strides = arr.strides();
+    let mut elem = 0i64;
+    for (d, s) in r.subs.iter().enumerate() {
+        elem += (eval(s, env) - 1) * strides[d];
+    }
+    Some(program.base_address(id) + elem * arr.elem_bytes as i64)
+}
+
+/// Strategy: a random program over two arrays with ≤3 nested loops,
+/// optional guards, optional steps, statements at every level.
+fn arb_program() -> impl Strategy<Value = SourceProgram> {
+    let subscript = (0..3i64, -2..3i64).prop_map(|(kind, off)| match kind {
+        0 => LinExpr::var("I").offset(off),
+        1 => LinExpr::var("J").offset(off),
+        _ => LinExpr::constant(off.abs() + 1),
+    });
+    let sref = (0..2u8, subscript).prop_map(|(a, s)| {
+        let name = if a == 0 { "A" } else { "B" };
+        SRef::new(name, vec![s])
+    });
+    let stmt = proptest::collection::vec(sref, 1..3).prop_map(|mut refs| {
+        let w = refs.pop().unwrap();
+        SNode::assign(w, refs)
+    });
+    let guarded = (stmt, proptest::option::of(0..3u8)).prop_map(|(s, g)| match g {
+        None => s,
+        Some(0) => SNode::if_(
+            vec![LinRel::new(LinExpr::var("I"), RelOp::Eq, LinExpr::var("J"))],
+            vec![s],
+        ),
+        Some(1) => SNode::if_(
+            vec![LinRel::new(LinExpr::var("J"), RelOp::Le, LinExpr::constant(4))],
+            vec![s],
+        ),
+        _ => SNode::if_else(
+            vec![LinRel::new(LinExpr::var("I"), RelOp::Lt, LinExpr::constant(3))],
+            vec![s.clone()],
+            vec![s],
+        ),
+    });
+    // Statements *between* loops may only reference J (I is out of scope
+    // there; loop sinking will move them into the I loop with a guard).
+    let j_subscript = (-2..3i64, proptest::bool::ANY).prop_map(|(off, var)| {
+        if var {
+            LinExpr::var("J").offset(off)
+        } else {
+            LinExpr::constant(off.abs() + 1)
+        }
+    });
+    let j_sref = (0..2u8, j_subscript).prop_map(|(a, s)| {
+        let name = if a == 0 { "A" } else { "B" };
+        SRef::new(name, vec![s])
+    });
+    let j_stmt = proptest::collection::vec(j_sref, 1..3).prop_map(|mut refs| {
+        let w = refs.pop().unwrap();
+        SNode::assign(w, refs)
+    });
+    let j_guarded = (j_stmt, proptest::option::of(proptest::bool::ANY)).prop_map(|(s, g)| {
+        match g {
+            None => s,
+            Some(le) => SNode::if_(
+                vec![LinRel::new(
+                    LinExpr::var("J"),
+                    if le { RelOp::Le } else { RelOp::Ge },
+                    LinExpr::constant(4),
+                )],
+                vec![s],
+            ),
+        }
+    });
+    (
+        proptest::collection::vec(guarded, 1..3),
+        proptest::collection::vec(j_guarded, 0..2),
+        1..7i64,
+        1..7i64,
+        prop_oneof![Just(1i64), Just(2), Just(-1)],
+    )
+        .prop_map(|(inner, between, ni, nj, step)| {
+            // DO J = 1..nj { [between...] DO I = lo..hi step { inner } }
+            let (ilo, ihi) = if step < 0 { (ni, 1) } else { (1, ni) };
+            let mut body = between;
+            body.push(SNode::loop_step("I", ilo, ihi, step, inner));
+            let outer = SNode::loop_("J", 1, nj, body);
+            let mut sub = Subroutine::new("FUZZ");
+            sub.decls = vec![
+                VarDecl::array("A", &[24], 8),
+                VarDecl::array("B", &[24], 8),
+            ];
+            sub.body = vec![outer];
+            SourceProgram::single("fuzz", sub)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The normalised program performs exactly the source program's
+    /// accesses, in order.
+    #[test]
+    fn normalisation_preserves_trace(src in arb_program()) {
+        let program = match normalize(&src, &NormalizeOptions::default()) {
+            Ok(p) => p,
+            Err(e) => {
+                // The only legal rejections for this grammar would be
+                // data-dependent constructs, which it cannot produce.
+                panic!("normalise failed: {e}");
+            }
+        };
+        let expected = interpret(src.entry_subroutine(), &program);
+        let mut got = Vec::new();
+        cme_ir::walk::for_each_access(&program, |a| {
+            got.push(a.addr);
+            ControlFlow::Continue(())
+        });
+        prop_assert_eq!(got, expected);
+    }
+
+    /// RIS volumes sum to the trace length (all guards accounted).
+    #[test]
+    fn ris_volumes_match_trace_length(src in arb_program()) {
+        let program = normalize(&src, &NormalizeOptions::default()).unwrap();
+        let expected = interpret(src.entry_subroutine(), &program).len() as u64;
+        prop_assert_eq!(program.total_accesses(), expected);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Range walks (both directions) agree with filtering the full trace by
+    /// the interval, on random programs and random endpoints.
+    #[test]
+    fn range_walks_match_filtered_trace(
+        src in arb_program(),
+        sel_a in 0usize..64,
+        sel_b in 0usize..64,
+    ) {
+        let program = normalize(&src, &NormalizeOptions::default()).unwrap();
+        let mut all: Vec<(Vec<i64>, usize)> = Vec::new();
+        cme_ir::walk::for_each_access(&program, |a| {
+            all.push((program.iteration_vector(a.r, a.point), a.r));
+            ControlFlow::Continue(())
+        });
+        prop_assume!(!all.is_empty());
+        let mut from = all[sel_a % all.len()].0.clone();
+        let mut to = all[sel_b % all.len()].0.clone();
+        if cme_poly::lex::cmp(&from, &to) == std::cmp::Ordering::Greater {
+            std::mem::swap(&mut from, &mut to);
+        }
+        let expect: Vec<(Vec<i64>, usize)> = all
+            .iter()
+            .filter(|(iv, _)| {
+                cme_poly::lex::cmp(iv, &from) != std::cmp::Ordering::Less
+                    && cme_poly::lex::cmp(iv, &to) != std::cmp::Ordering::Greater
+            })
+            .cloned()
+            .collect();
+        let mut fwd = Vec::new();
+        cme_ir::walk::walk_range(&program, &from, &to, |a, _| {
+            fwd.push((program.iteration_vector(a.r, a.point), a.r));
+            ControlFlow::Continue(())
+        });
+        prop_assert_eq!(&fwd, &expect);
+        let mut rev = Vec::new();
+        cme_ir::walk::walk_range_rev(&program, &from, &to, |a, _| {
+            rev.push((program.iteration_vector(a.r, a.point), a.r));
+            ControlFlow::Continue(())
+        });
+        rev.reverse();
+        prop_assert_eq!(&rev, &expect);
+    }
+}

@@ -1,0 +1,328 @@
+//! Affine expressions over a fixed, ordered variable set.
+//!
+//! Loop bounds, array subscripts and IF guards in the program model are all
+//! affine in the enclosing loop indices; [`Affine`] is the shared exact
+//! representation: `c₀ + Σ cᵢ·xᵢ` with `i64` coefficients.
+
+use crate::vector;
+use std::fmt;
+
+/// An affine expression `constant + Σ coeffs[i] · x_i`.
+///
+/// The number of variables is fixed at construction; all combinators check
+/// it. Variables are anonymous here — callers (the IR crate) decide what
+/// `x_i` means (normally the loop index at depth `i + 1`).
+///
+/// # Examples
+///
+/// ```
+/// use cme_poly::Affine;
+/// // 2·x₀ − x₁ + 3 over two variables
+/// let e = Affine::new(vec![2, -1], 3);
+/// assert_eq!(e.eval(&[10, 4]), 19);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Affine {
+    coeffs: Vec<i64>,
+    constant: i64,
+}
+
+impl Affine {
+    /// Creates an expression from its coefficients and constant term.
+    pub fn new(coeffs: Vec<i64>, constant: i64) -> Self {
+        Affine { coeffs, constant }
+    }
+
+    /// The constant expression `c` over `nvars` variables.
+    pub fn constant(nvars: usize, c: i64) -> Self {
+        Affine {
+            coeffs: vec![0; nvars],
+            constant: c,
+        }
+    }
+
+    /// The single variable `x_i` over `nvars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= nvars`.
+    pub fn var(nvars: usize, i: usize) -> Self {
+        assert!(i < nvars, "variable index out of range");
+        let mut coeffs = vec![0; nvars];
+        coeffs[i] = 1;
+        Affine {
+            coeffs,
+            constant: 0,
+        }
+    }
+
+    /// Number of variables this expression ranges over.
+    pub fn nvars(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// The coefficient vector.
+    pub fn coeffs(&self) -> &[i64] {
+        &self.coeffs
+    }
+
+    /// The coefficient of `x_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn coeff(&self, i: usize) -> i64 {
+        self.coeffs[i]
+    }
+
+    /// The constant term.
+    pub fn constant_term(&self) -> i64 {
+        self.constant
+    }
+
+    /// Whether the expression is a constant (all coefficients zero).
+    pub fn is_constant(&self) -> bool {
+        vector::is_zero(&self.coeffs)
+    }
+
+    /// Evaluates at a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len() != self.nvars()` or on overflow.
+    pub fn eval(&self, point: &[i64]) -> i64 {
+        vector::dot(&self.coeffs, point)
+            .checked_add(self.constant)
+            .expect("affine eval overflow")
+    }
+
+    /// Sum of two expressions over the same variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics on variable-count mismatch or overflow.
+    pub fn add(&self, other: &Affine) -> Affine {
+        Affine {
+            coeffs: vector::add(&self.coeffs, &other.coeffs),
+            constant: self
+                .constant
+                .checked_add(other.constant)
+                .expect("affine add overflow"),
+        }
+    }
+
+    /// Difference of two expressions over the same variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics on variable-count mismatch or overflow.
+    pub fn sub(&self, other: &Affine) -> Affine {
+        Affine {
+            coeffs: vector::sub(&self.coeffs, &other.coeffs),
+            constant: self
+                .constant
+                .checked_sub(other.constant)
+                .expect("affine sub overflow"),
+        }
+    }
+
+    /// Scalar multiple `k · self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow.
+    pub fn scale(&self, k: i64) -> Affine {
+        Affine {
+            coeffs: vector::scale(&self.coeffs, k),
+            constant: self.constant.checked_mul(k).expect("affine scale overflow"),
+        }
+    }
+
+    /// Adds `k` to the constant term.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow.
+    pub fn offset(&self, k: i64) -> Affine {
+        Affine {
+            coeffs: self.coeffs.clone(),
+            constant: self.constant.checked_add(k).expect("affine offset overflow"),
+        }
+    }
+
+    /// Substitutes every variable with the corresponding expression in
+    /// `subs` (which may range over a *different* variable set). This is the
+    /// composition used by abstract inlining: callee subscripts are rewritten
+    /// in terms of the caller's loop variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subs.len() != self.nvars()`, if the substituted expressions
+    /// disagree on their variable count, or on overflow.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cme_poly::Affine;
+    /// // e(x) = 2x + 1; substitute x := y₀ + y₁ − 3  ⇒  2y₀ + 2y₁ − 5
+    /// let e = Affine::new(vec![2], 1);
+    /// let s = Affine::new(vec![1, 1], -3);
+    /// let composed = e.substitute(&[s]);
+    /// assert_eq!(composed, Affine::new(vec![2, 2], -5));
+    /// ```
+    pub fn substitute(&self, subs: &[Affine]) -> Affine {
+        assert_eq!(subs.len(), self.nvars(), "substitution arity mismatch");
+        let target_nvars = subs.first().map_or(0, Affine::nvars);
+        let mut acc = Affine::constant(target_nvars, self.constant);
+        for (i, s) in subs.iter().enumerate() {
+            assert_eq!(s.nvars(), target_nvars, "substitution variable mismatch");
+            if self.coeffs[i] != 0 {
+                acc = acc.add(&s.scale(self.coeffs[i]));
+            }
+        }
+        acc
+    }
+
+    /// Re-embeds the expression into a wider variable set, mapping old
+    /// variable `i` to new variable `map[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map.len() != self.nvars()` or any target index is
+    /// `>= new_nvars`.
+    pub fn remap(&self, new_nvars: usize, map: &[usize]) -> Affine {
+        assert_eq!(map.len(), self.nvars(), "remap arity mismatch");
+        let mut coeffs = vec![0i64; new_nvars];
+        for (i, &c) in self.coeffs.iter().enumerate() {
+            assert!(map[i] < new_nvars, "remap target out of range");
+            coeffs[map[i]] = coeffs[map[i]].checked_add(c).expect("remap overflow");
+        }
+        Affine {
+            coeffs,
+            constant: self.constant,
+        }
+    }
+
+    /// Evaluates the expression given values for a *prefix* of the
+    /// variables, returning the residual expression over the remaining
+    /// suffix variables.
+    pub fn partial_eval_prefix(&self, prefix: &[i64]) -> Affine {
+        assert!(prefix.len() <= self.nvars(), "prefix longer than variables");
+        let head = vector::dot(&self.coeffs[..prefix.len()], prefix);
+        Affine {
+            coeffs: self.coeffs[prefix.len()..].to_vec(),
+            constant: self
+                .constant
+                .checked_add(head)
+                .expect("partial eval overflow"),
+        }
+    }
+
+    /// The highest variable index with a non-zero coefficient, if any.
+    pub fn highest_var(&self) -> Option<usize> {
+        self.coeffs.iter().rposition(|&c| c != 0)
+    }
+}
+
+impl fmt::Debug for Affine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Affine({self})")
+    }
+}
+
+impl fmt::Display for Affine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut wrote = false;
+        for (i, &c) in self.coeffs.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if wrote {
+                write!(f, " {} ", if c < 0 { "-" } else { "+" })?;
+            } else if c < 0 {
+                write!(f, "-")?;
+            }
+            let a = c.abs();
+            if a != 1 {
+                write!(f, "{a}*")?;
+            }
+            write!(f, "x{i}")?;
+            wrote = true;
+        }
+        if !wrote {
+            write!(f, "{}", self.constant)?;
+        } else if self.constant != 0 {
+            write!(
+                f,
+                " {} {}",
+                if self.constant < 0 { "-" } else { "+" },
+                self.constant.abs()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_eval() {
+        let c = Affine::constant(3, 7);
+        assert!(c.is_constant());
+        assert_eq!(c.eval(&[1, 2, 3]), 7);
+        let x1 = Affine::var(3, 1);
+        assert_eq!(x1.eval(&[10, 20, 30]), 20);
+        assert_eq!(x1.highest_var(), Some(1));
+        assert_eq!(c.highest_var(), None);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Affine::new(vec![1, 2], 3);
+        let b = Affine::new(vec![4, -2], 1);
+        assert_eq!(a.add(&b), Affine::new(vec![5, 0], 4));
+        assert_eq!(a.sub(&b), Affine::new(vec![-3, 4], 2));
+        assert_eq!(a.scale(-2), Affine::new(vec![-2, -4], -6));
+        assert_eq!(a.offset(10).constant_term(), 13);
+    }
+
+    #[test]
+    fn substitution_composes() {
+        // f(x₀,x₁) = x₀ + 2x₁ + 5; x₀ := y₀ − 1, x₁ := y₀ + y₁.
+        let fexpr = Affine::new(vec![1, 2], 5);
+        let s0 = Affine::new(vec![1, 0], -1);
+        let s1 = Affine::new(vec![1, 1], 0);
+        let g = fexpr.substitute(&[s0.clone(), s1.clone()]);
+        for y0 in -3..3 {
+            for y1 in -3..3 {
+                let x0 = s0.eval(&[y0, y1]);
+                let x1 = s1.eval(&[y0, y1]);
+                assert_eq!(g.eval(&[y0, y1]), fexpr.eval(&[x0, x1]));
+            }
+        }
+    }
+
+    #[test]
+    fn remap_widens() {
+        let e = Affine::new(vec![3, -1], 2);
+        let w = e.remap(4, &[1, 3]);
+        assert_eq!(w, Affine::new(vec![0, 3, 0, -1], 2));
+    }
+
+    #[test]
+    fn partial_eval() {
+        let e = Affine::new(vec![2, 3, 5], 1);
+        let r = e.partial_eval_prefix(&[10, 1]);
+        assert_eq!(r, Affine::new(vec![5], 24));
+        assert_eq!(r.eval(&[2]), e.eval(&[10, 1, 2]));
+    }
+
+    #[test]
+    fn display_readable() {
+        assert_eq!(format!("{}", Affine::new(vec![1, -2], 0)), "x0 - 2*x1");
+        assert_eq!(format!("{}", Affine::constant(2, -4)), "-4");
+        assert_eq!(format!("{}", Affine::new(vec![0, 1], 3)), "x1 + 3");
+    }
+}

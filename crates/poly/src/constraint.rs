@@ -1,0 +1,400 @@
+//! Affine constraints and conjunctive constraint systems.
+//!
+//! A [`Constraint`] is `e = 0`, `e ≥ 0` or `e ≠ 0` for an affine `e`; a
+//! [`ConstraintSystem`] is a conjunction of constraints over one variable
+//! set. Reference iteration spaces (RIS, §3.3 of the paper) are represented
+//! as constraint systems over the index vector `(I₁, …, I_n)` — the loop
+//! *label* components of an iteration vector are handled separately by the
+//! IR crate because they are constants per statement.
+
+use crate::affine::Affine;
+use std::fmt;
+
+/// The relation a constraint imposes on its affine expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConstraintKind {
+    /// `expr == 0`
+    Eq,
+    /// `expr >= 0`
+    Ge,
+    /// `expr != 0` — needed for `.NE.` guards; excluded from interval
+    /// reasoning and checked pointwise.
+    Ne,
+}
+
+/// A single affine constraint.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Constraint {
+    /// The left-hand side; the relation compares it with zero.
+    pub expr: Affine,
+    /// The relation.
+    pub kind: ConstraintKind,
+}
+
+impl Constraint {
+    /// `expr == 0`.
+    pub fn eq(expr: Affine) -> Self {
+        Constraint {
+            expr,
+            kind: ConstraintKind::Eq,
+        }
+    }
+
+    /// `expr >= 0`.
+    pub fn ge(expr: Affine) -> Self {
+        Constraint {
+            expr,
+            kind: ConstraintKind::Ge,
+        }
+    }
+
+    /// `expr != 0`.
+    pub fn ne(expr: Affine) -> Self {
+        Constraint {
+            expr,
+            kind: ConstraintKind::Ne,
+        }
+    }
+
+    /// `a <= b` as `b - a >= 0`.
+    pub fn le_expr(a: &Affine, b: &Affine) -> Self {
+        Constraint::ge(b.sub(a))
+    }
+
+    /// `a == b` as `a - b == 0`.
+    pub fn eq_expr(a: &Affine, b: &Affine) -> Self {
+        Constraint::eq(a.sub(b))
+    }
+
+    /// Whether the point satisfies the constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len()` differs from the expression's variable count.
+    pub fn holds(&self, point: &[i64]) -> bool {
+        let v = self.expr.eval(point);
+        match self.kind {
+            ConstraintKind::Eq => v == 0,
+            ConstraintKind::Ge => v >= 0,
+            ConstraintKind::Ne => v != 0,
+        }
+    }
+
+    /// Number of variables the constraint ranges over.
+    pub fn nvars(&self) -> usize {
+        self.expr.nvars()
+    }
+
+    /// Whether the constraint is trivially true/false because its expression
+    /// is constant. Returns `Some(truth)` for constant expressions.
+    pub fn constant_truth(&self) -> Option<bool> {
+        if !self.expr.is_constant() {
+            return None;
+        }
+        let v = self.expr.constant_term();
+        Some(match self.kind {
+            ConstraintKind::Eq => v == 0,
+            ConstraintKind::Ge => v >= 0,
+            ConstraintKind::Ne => v != 0,
+        })
+    }
+}
+
+impl fmt::Debug for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rel = match self.kind {
+            ConstraintKind::Eq => "==",
+            ConstraintKind::Ge => ">=",
+            ConstraintKind::Ne => "!=",
+        };
+        write!(f, "{} {} 0", self.expr, rel)
+    }
+}
+
+/// A conjunction of affine constraints over `nvars` variables.
+///
+/// # Examples
+///
+/// ```
+/// use cme_poly::{Affine, Constraint, ConstraintSystem};
+/// // { (x₀, x₁) | 2 ≤ x₀ ≤ 10, x₁ = x₀ }
+/// let mut sys = ConstraintSystem::new(2);
+/// sys.push(Constraint::ge(Affine::new(vec![1, 0], -2)));   // x₀ − 2 ≥ 0
+/// sys.push(Constraint::ge(Affine::new(vec![-1, 0], 10)));  // 10 − x₀ ≥ 0
+/// sys.push(Constraint::eq(Affine::new(vec![1, -1], 0)));   // x₀ − x₁ = 0
+/// assert!(sys.contains(&[4, 4]));
+/// assert!(!sys.contains(&[4, 5]));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct ConstraintSystem {
+    nvars: usize,
+    constraints: Vec<Constraint>,
+}
+
+impl ConstraintSystem {
+    /// The unconstrained system over `nvars` variables.
+    pub fn new(nvars: usize) -> Self {
+        ConstraintSystem {
+            nvars,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn nvars(&self) -> usize {
+        self.nvars
+    }
+
+    /// The constraints, in insertion order.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Adds a constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the constraint ranges over a different variable count.
+    pub fn push(&mut self, c: Constraint) {
+        assert_eq!(c.nvars(), self.nvars, "constraint variable mismatch");
+        self.constraints.push(c);
+    }
+
+    /// Adds all constraints of another system.
+    ///
+    /// # Panics
+    ///
+    /// Panics on variable-count mismatch.
+    pub fn extend_from(&mut self, other: &ConstraintSystem) {
+        assert_eq!(other.nvars, self.nvars, "system variable mismatch");
+        self.constraints.extend(other.constraints.iter().cloned());
+    }
+
+    /// Whether the point satisfies every constraint.
+    pub fn contains(&self, point: &[i64]) -> bool {
+        self.constraints.iter().all(|c| c.holds(point))
+    }
+
+    /// Whether any constraint is constant-false (a quick emptiness witness;
+    /// `false` does **not** mean the system is non-empty).
+    pub fn trivially_empty(&self) -> bool {
+        self.constraints
+            .iter()
+            .any(|c| c.constant_truth() == Some(false))
+    }
+
+    /// The tightest interval `[lo, hi]` for variable `d`, given fixed values
+    /// for variables `0..d` in `prefix`, derived from constraints whose
+    /// highest referenced variable is `d`. Constraints mentioning later
+    /// variables are ignored here (they are re-checked once the full point is
+    /// built). Returns `None` if the interval is empty.
+    ///
+    /// `≠` constraints never contribute to the interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefix.len() != d` or `d >= nvars`.
+    pub fn interval(&self, prefix: &[i64], d: usize) -> Option<(i64, i64)> {
+        assert_eq!(prefix.len(), d, "prefix length must equal dimension");
+        assert!(d < self.nvars, "dimension out of range");
+        let mut lo = i64::MIN;
+        let mut hi = i64::MAX;
+        for c in &self.constraints {
+            if c.kind == ConstraintKind::Ne {
+                continue;
+            }
+            match c.expr.highest_var() {
+                Some(h) if h == d => {}
+                _ => continue,
+            }
+            // a·x_d + rest ⋈ 0 with rest evaluated on the prefix.
+            let a = c.expr.coeff(d);
+            debug_assert!(a != 0);
+            let rest = {
+                let partial = c.expr.partial_eval_prefix(prefix);
+                // partial ranges over vars d..n; only var index 0 (= d) has a
+                // non-zero coefficient by the highest_var check.
+                partial.constant_term()
+            };
+            match c.kind {
+                ConstraintKind::Eq => {
+                    // a·x = −rest must divide exactly.
+                    if (-rest) % a != 0 {
+                        return None;
+                    }
+                    let v = -rest / a;
+                    lo = lo.max(v);
+                    hi = hi.min(v);
+                }
+                ConstraintKind::Ge => {
+                    // a·x ≥ −rest
+                    if a > 0 {
+                        lo = lo.max(crate::vector::div_ceil(-rest, a));
+                    } else {
+                        hi = hi.min(crate::vector::div_floor(-rest, a));
+                    }
+                }
+                ConstraintKind::Ne => unreachable!(),
+            }
+        }
+        if lo > hi {
+            None
+        } else {
+            Some((lo, hi))
+        }
+    }
+
+    /// A bounding box `[lo, hi]` per dimension computed from single-variable
+    /// constraints only (constraints whose expression mentions exactly one
+    /// variable). Dimensions without such bounds get `None` on that side.
+    pub fn var_bounds(&self) -> Vec<(Option<i64>, Option<i64>)> {
+        let mut out: Vec<(Option<i64>, Option<i64>)> = vec![(None, None); self.nvars];
+        for c in &self.constraints {
+            if c.kind == ConstraintKind::Ne {
+                continue;
+            }
+            let nz: Vec<usize> = (0..self.nvars).filter(|&i| c.expr.coeff(i) != 0).collect();
+            if nz.len() != 1 {
+                continue;
+            }
+            let d = nz[0];
+            let a = c.expr.coeff(d);
+            let rest = c.expr.constant_term();
+            match c.kind {
+                ConstraintKind::Eq => {
+                    if (-rest) % a == 0 {
+                        let v = -rest / a;
+                        out[d].0 = Some(out[d].0.map_or(v, |x| x.max(v)));
+                        out[d].1 = Some(out[d].1.map_or(v, |x| x.min(v)));
+                    }
+                }
+                ConstraintKind::Ge => {
+                    if a > 0 {
+                        let v = crate::vector::div_ceil(-rest, a);
+                        out[d].0 = Some(out[d].0.map_or(v, |x| x.max(v)));
+                    } else {
+                        let v = crate::vector::div_floor(-rest, a);
+                        out[d].1 = Some(out[d].1.map_or(v, |x| x.min(v)));
+                    }
+                }
+                ConstraintKind::Ne => unreachable!(),
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for ConstraintSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ConstraintSystem(nvars={}) {{", self.nvars)?;
+        for c in &self.constraints {
+            write!(f, " {c:?};")?;
+        }
+        write!(f, " }}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> ConstraintSystem {
+        // 1 ≤ x₀ ≤ 5, x₀ ≤ x₁ ≤ 5
+        let mut s = ConstraintSystem::new(2);
+        s.push(Constraint::ge(Affine::new(vec![1, 0], -1)));
+        s.push(Constraint::ge(Affine::new(vec![-1, 0], 5)));
+        s.push(Constraint::ge(Affine::new(vec![-1, 1], 0)));
+        s.push(Constraint::ge(Affine::new(vec![0, -1], 5)));
+        s
+    }
+
+    #[test]
+    fn membership() {
+        let s = triangle();
+        assert!(s.contains(&[1, 1]));
+        assert!(s.contains(&[3, 5]));
+        assert!(!s.contains(&[3, 2]));
+        assert!(!s.contains(&[0, 1]));
+        assert!(!s.contains(&[6, 6]));
+    }
+
+    #[test]
+    fn intervals_follow_prefix() {
+        let s = triangle();
+        assert_eq!(s.interval(&[], 0), Some((1, 5)));
+        assert_eq!(s.interval(&[3], 1), Some((3, 5)));
+        assert_eq!(s.interval(&[5], 1), Some((5, 5)));
+        assert_eq!(s.interval(&[6], 1), None); // x₁ ∈ [6,5] empty
+    }
+
+    #[test]
+    fn equality_interval_pins_value() {
+        let mut s = ConstraintSystem::new(2);
+        s.push(Constraint::eq(Affine::new(vec![1, -1], 0))); // x0 == x1
+        assert_eq!(s.interval(&[4], 1), Some((4, 4)));
+        // 2·x₁ = x₀: no integer solution for odd x₀.
+        let mut s2 = ConstraintSystem::new(2);
+        s2.push(Constraint::eq(Affine::new(vec![1, -2], 0)));
+        assert_eq!(s2.interval(&[4], 1), Some((2, 2)));
+        assert_eq!(s2.interval(&[5], 1), None);
+    }
+
+    #[test]
+    fn ne_constraints_checked_pointwise_only() {
+        let mut s = triangle();
+        s.push(Constraint::ne(Affine::new(vec![1, -1], 0))); // x0 != x1
+        assert!(!s.contains(&[3, 3]));
+        assert!(s.contains(&[3, 4]));
+        // interval ignores ≠:
+        assert_eq!(s.interval(&[3], 1), Some((3, 5)));
+    }
+
+    #[test]
+    fn trivially_empty_detection() {
+        let mut s = ConstraintSystem::new(1);
+        s.push(Constraint::ge(Affine::constant(1, -1)));
+        assert!(s.trivially_empty());
+        assert!(!triangle().trivially_empty());
+    }
+
+    #[test]
+    fn var_bounds_from_unary_constraints() {
+        let s = triangle();
+        let b = s.var_bounds();
+        assert_eq!(b[0], (Some(1), Some(5)));
+        assert_eq!(b[1], (None, Some(5))); // lower bound of x₁ is binary (x₀ ≤ x₁)
+    }
+
+    #[test]
+    fn le_and_eq_expr_builders() {
+        let a = Affine::var(2, 0);
+        let b = Affine::var(2, 1);
+        let le = Constraint::le_expr(&a, &b);
+        assert!(le.holds(&[2, 3]));
+        assert!(le.holds(&[3, 3]));
+        assert!(!le.holds(&[4, 3]));
+        let eq = Constraint::eq_expr(&a, &b);
+        assert!(eq.holds(&[3, 3]));
+        assert!(!eq.holds(&[2, 3]));
+    }
+
+    #[test]
+    fn constant_truth() {
+        assert_eq!(
+            Constraint::ge(Affine::constant(0, 3)).constant_truth(),
+            Some(true)
+        );
+        assert_eq!(
+            Constraint::eq(Affine::constant(0, 3)).constant_truth(),
+            Some(false)
+        );
+        assert_eq!(
+            Constraint::ne(Affine::constant(0, 3)).constant_truth(),
+            Some(true)
+        );
+        assert_eq!(
+            Constraint::ge(Affine::var(1, 0)).constant_truth(),
+            None
+        );
+    }
+}

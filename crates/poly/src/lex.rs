@@ -1,0 +1,108 @@
+//! Helpers for the paper's interleaved iteration vectors.
+//!
+//! A statement instance in a normalised program is identified by the
+//! `2n`-dimensional vector `(ℓ₁, I₁, ℓ₂, I₂, …, ℓ_n, I_n)` interleaving the
+//! loop *label* components with the loop *index* components (§3.2). Program
+//! execution order is exactly lexicographic order of these vectors, so
+//! reuse vectors, interference intervals and iteration comparisons all
+//! reduce to arithmetic on interleaved vectors.
+
+use std::cmp::Ordering;
+
+/// Builds the interleaved vector `(ℓ₁, I₁, …, ℓ_n, I_n)`.
+///
+/// # Panics
+///
+/// Panics if the two slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(cme_poly::lex::interleave(&[1, 2], &[10, 20]), vec![1, 10, 2, 20]);
+/// ```
+pub fn interleave(labels: &[i64], indices: &[i64]) -> Vec<i64> {
+    assert_eq!(labels.len(), indices.len(), "label/index length mismatch");
+    let mut out = Vec::with_capacity(labels.len() * 2);
+    for (&l, &i) in labels.iter().zip(indices) {
+        out.push(l);
+        out.push(i);
+    }
+    out
+}
+
+/// Splits an interleaved vector back into `(labels, indices)`.
+///
+/// # Panics
+///
+/// Panics if the length is odd.
+pub fn deinterleave(v: &[i64]) -> (Vec<i64>, Vec<i64>) {
+    assert!(
+        v.len().is_multiple_of(2),
+        "interleaved vector must have even length"
+    );
+    let mut labels = Vec::with_capacity(v.len() / 2);
+    let mut indices = Vec::with_capacity(v.len() / 2);
+    for pair in v.chunks(2) {
+        labels.push(pair[0]);
+        indices.push(pair[1]);
+    }
+    (labels, indices)
+}
+
+/// The label components of an interleaved vector.
+pub fn labels_of(v: &[i64]) -> Vec<i64> {
+    v.iter().step_by(2).copied().collect()
+}
+
+/// The index components of an interleaved vector.
+pub fn indices_of(v: &[i64]) -> Vec<i64> {
+    v.iter().skip(1).step_by(2).copied().collect()
+}
+
+/// Lexicographic comparison of two interleaved vectors (program order).
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn cmp(a: &[i64], b: &[i64]) -> Ordering {
+    crate::vector::lex_cmp(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interleave_roundtrip() {
+        let labels = vec![1, 2, 1];
+        let indices = vec![5, 6, 7];
+        let v = interleave(&labels, &indices);
+        assert_eq!(v, vec![1, 5, 2, 6, 1, 7]);
+        let (l2, i2) = deinterleave(&v);
+        assert_eq!(l2, labels);
+        assert_eq!(i2, indices);
+        assert_eq!(labels_of(&v), labels);
+        assert_eq!(indices_of(&v), indices);
+    }
+
+    #[test]
+    fn program_order_prefers_labels_over_indices() {
+        // Statement in nest L₍₁₎ at its last iteration still precedes
+        // statement in nest L₍₂₎ at its first iteration.
+        let last_of_first = interleave(&[1, 1], &[100, 100]);
+        let first_of_second = interleave(&[2, 1], &[1, 1]);
+        assert_eq!(cmp(&last_of_first, &first_of_second), Ordering::Less);
+    }
+
+    #[test]
+    fn table1_iteration_vectors() {
+        // Table 1: S₁/S₂ → (1,I₁,1,I₂); S₃/S₄ → (1,I₁,2,I₂); S₅ → (2,I₁,1,I₂).
+        let s2 = interleave(&[1, 1], &[3, 4]);
+        let s3 = interleave(&[1, 2], &[3, 1]);
+        let s5 = interleave(&[2, 1], &[1, 1]);
+        // Same I₁: the L(1,1) inner nest precedes the L(1,2) inner nest.
+        assert_eq!(cmp(&s2, &s3), Ordering::Less);
+        // Everything in L(1) precedes everything in L(2).
+        assert_eq!(cmp(&s3, &s5), Ordering::Less);
+    }
+}

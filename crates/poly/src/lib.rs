@@ -1,0 +1,47 @@
+//! Exact integer/rational linear algebra and affine constraint systems.
+//!
+//! This crate is the polyhedral substrate of the cache-miss-equation (CME)
+//! toolkit. The published system relied on general polyhedral machinery
+//! (Omega / PolyLib-class libraries); the analysis itself only requires a
+//! small, well-defined subset of that machinery, which this crate implements
+//! from scratch:
+//!
+//! * exact solutions of integer linear systems `A x = b` (particular solution
+//!   plus a basis of the solution lattice), via the Smith normal form
+//!   ([`linear::solve_integer`]);
+//! * affine expressions over a fixed variable set ([`affine::Affine`]) and
+//!   conjunctions of affine equalities/inequalities ([`constraint`]);
+//! * iteration-space style constraint systems with per-dimension interval
+//!   extraction, exact point counting and enumeration ([`space`], [`count`]);
+//! * uniform sampling of integer points from such systems ([`sample`]);
+//! * lexicographic-order helpers for interleaved iteration vectors ([`lex`]).
+//!
+//! # Example
+//!
+//! Solving the reuse equation from the paper's worked example
+//! (`M x = m_p - m_c` with `M = [[0,1],[1,0]]`, `m_p - m_c = (-1, 0)`):
+//!
+//! ```
+//! use cme_poly::{IMat, linear::solve_integer};
+//!
+//! let m = IMat::from_rows(&[&[0, 1], &[1, 0]]);
+//! let sol = solve_integer(&m, &[-1, 0]).expect("system is solvable");
+//! assert_eq!(sol.particular, vec![0, -1]);
+//! assert!(sol.lattice.is_empty()); // M is invertible: unique solution
+//! ```
+
+pub mod affine;
+pub mod constraint;
+pub mod count;
+pub mod lex;
+pub mod linear;
+pub mod matrix;
+pub mod sample;
+pub mod space;
+pub mod vector;
+
+pub use affine::Affine;
+pub use constraint::{Constraint, ConstraintKind, ConstraintSystem};
+pub use linear::{solve_integer, IntSolution, SmithSolver};
+pub use matrix::IMat;
+pub use space::Space;

@@ -1,0 +1,580 @@
+//! Exact solutions of integer linear systems via the Smith normal form.
+//!
+//! The reuse equations of the paper — `M x = m_p − m_c` (temporal, eq. 1) and
+//! `M' y = m'_p − m'_c` (spatial, eq. 2) — must be solved over the
+//! *integers*: a rational solution does not correspond to any pair of
+//! iteration points. [`solve_integer`] returns the complete integer solution
+//! set as a particular solution plus a basis of the null lattice, or `None`
+//! when no integer solution exists.
+//!
+//! The implementation computes the Smith normal form `U A V = D` with
+//! unimodular `U`, `V` using exact `i128` arithmetic internally, then back-
+//! substitutes. Matrix dimensions here are tiny (array rank × loop depth), so
+//! no effort is spent on entry-growth control beyond the usual
+//! smallest-pivot heuristic.
+
+use crate::matrix::IMat;
+
+/// The integer solution set of `A x = b`.
+///
+/// Every solution has the form `particular + Σ kᵢ · latticeᵢ` for integers
+/// `kᵢ`, and every such vector is a solution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntSolution {
+    /// One solution of `A x = b`.
+    pub particular: Vec<i64>,
+    /// A basis of the integer null space of `A` (empty when the solution is
+    /// unique).
+    pub lattice: Vec<Vec<i64>>,
+}
+
+impl IntSolution {
+    /// Whether `A x = b` has exactly one integer solution.
+    pub fn is_unique(&self) -> bool {
+        self.lattice.is_empty()
+    }
+}
+
+/// Working matrix over `i128` for the Smith reduction.
+#[derive(Clone)]
+struct Work {
+    rows: usize,
+    cols: usize,
+    data: Vec<i128>,
+}
+
+impl Work {
+    fn from_imat(m: &IMat) -> Self {
+        let (rows, cols) = (m.rows(), m.cols());
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for &v in m.row(r) {
+                data.push(v as i128);
+            }
+        }
+        Work { rows, cols, data }
+    }
+
+    fn identity(n: usize) -> Self {
+        let mut w = Work {
+            rows: n,
+            cols: n,
+            data: vec![0; n * n],
+        };
+        for i in 0..n {
+            w.set(i, i, 1);
+        }
+        w
+    }
+
+    fn get(&self, r: usize, c: usize) -> i128 {
+        self.data[r * self.cols + c]
+    }
+
+    fn set(&mut self, r: usize, c: usize, v: i128) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for c in 0..self.cols {
+            self.data.swap(a * self.cols + c, b * self.cols + c);
+        }
+    }
+
+    fn swap_cols(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for r in 0..self.rows {
+            self.data.swap(r * self.cols + a, r * self.cols + b);
+        }
+    }
+
+    fn row_axpy(&mut self, dst: usize, src: usize, k: i128) {
+        for c in 0..self.cols {
+            let v = self.get(src, c).checked_mul(k).expect("SNF overflow");
+            let n = self.get(dst, c).checked_add(v).expect("SNF overflow");
+            self.set(dst, c, n);
+        }
+    }
+
+    fn col_axpy(&mut self, dst: usize, src: usize, k: i128) {
+        for r in 0..self.rows {
+            let v = self.get(r, src).checked_mul(k).expect("SNF overflow");
+            let n = self.get(r, dst).checked_add(v).expect("SNF overflow");
+            self.set(r, dst, n);
+        }
+    }
+
+    fn negate_row(&mut self, r: usize) {
+        for c in 0..self.cols {
+            let v = self.get(r, c);
+            self.set(r, c, -v);
+        }
+    }
+
+}
+
+/// The Smith normal form `U A V = D` of an integer matrix.
+pub(crate) struct Smith {
+    /// Diagonal entries `d₀ | d₁ | …` up to the rank; all positive.
+    diag: Vec<i128>,
+    /// Row transform (unimodular, `rows × rows`).
+    u: Work,
+    /// Column transform (unimodular, `cols × cols`).
+    v: Work,
+    rank: usize,
+}
+
+/// Computes the Smith normal form of `a`.
+pub(crate) fn smith(a: &IMat) -> Smith {
+    let mut d = Work::from_imat(a);
+    let mut u = Work::identity(d.rows);
+    let mut v = Work::identity(d.cols);
+    let n = d.rows.min(d.cols);
+    let mut t = 0; // current pivot position
+
+    while t < n {
+        // Find the non-zero entry of smallest magnitude in the remaining block.
+        let mut pivot: Option<(usize, usize)> = None;
+        for r in t..d.rows {
+            for c in t..d.cols {
+                let val = d.get(r, c);
+                if val != 0 {
+                    match pivot {
+                        Some((pr, pc)) if d.get(pr, pc).abs() <= val.abs() => {}
+                        _ => pivot = Some((r, c)),
+                    }
+                }
+            }
+        }
+        let Some((pr, pc)) = pivot else { break };
+        d.swap_rows(t, pr);
+        u.swap_rows(t, pr);
+        d.swap_cols(t, pc);
+        v.swap_cols(t, pc);
+
+        // Eliminate the pivot row and column; repeat until clean because
+        // remainders can re-populate them.
+        loop {
+            let p = d.get(t, t);
+            debug_assert!(p != 0);
+            let mut dirty = false;
+            for r in (t + 1)..d.rows {
+                let q = div_round(d.get(r, t), p);
+                if q != 0 {
+                    d.row_axpy(r, t, -q);
+                    u.row_axpy(r, t, -q);
+                }
+                if d.get(r, t) != 0 {
+                    dirty = true;
+                }
+            }
+            for c in (t + 1)..d.cols {
+                let q = div_round(d.get(t, c), p);
+                if q != 0 {
+                    d.col_axpy(c, t, -q);
+                    v.col_axpy(c, t, -q);
+                }
+                if d.get(t, c) != 0 {
+                    dirty = true;
+                }
+            }
+            if !dirty {
+                break;
+            }
+            // A remainder smaller than the pivot exists; bring it to the
+            // pivot position and iterate.
+            let mut best: Option<(usize, usize)> = None;
+            for r in t..d.rows {
+                for c in t..d.cols {
+                    if (r == t) == (c == t) && !(r == t && c == t) {
+                        continue;
+                    }
+                    let val = d.get(r, c);
+                    if val != 0 && (r == t || c == t) && (r, c) != (t, t) {
+                        match best {
+                            Some((br, bc)) if d.get(br, bc).abs() <= val.abs() => {}
+                            _ => best = Some((r, c)),
+                        }
+                    }
+                }
+            }
+            if let Some((br, bc)) = best {
+                if d.get(br, bc).abs() < p.abs() {
+                    d.swap_rows(t, br.max(t));
+                    u.swap_rows(t, br.max(t));
+                    d.swap_cols(t, bc.max(t));
+                    v.swap_cols(t, bc.max(t));
+                }
+            }
+        }
+
+        if d.get(t, t) < 0 {
+            d.negate_row(t);
+            u.negate_row(t);
+        }
+        t += 1;
+    }
+
+    // Enforce the divisibility chain d₀ | d₁ | …
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..t.saturating_sub(1) {
+            let a_i = d.get(i, i);
+            let b_i = d.get(i + 1, i + 1);
+            if b_i % a_i != 0 {
+                // Standard trick: add column i+1 to column i, then re-reduce
+                // the 2×2 block.
+                d.col_axpy(i, i + 1, 1);
+                v.col_axpy(i, i + 1, 1);
+                // Row-reduce: entries are a_i at (i,i), b_i at (i+1,i) and
+                // (i+1,i+1). Run a gcd loop on rows i, i+1 within cols i, i+1.
+                loop {
+                    let x = d.get(i, i);
+                    let y = d.get(i + 1, i);
+                    if y == 0 {
+                        break;
+                    }
+                    if x == 0 || (y != 0 && y.abs() < x.abs()) {
+                        d.swap_rows(i, i + 1);
+                        u.swap_rows(i, i + 1);
+                        continue;
+                    }
+                    let q = div_round(y, x);
+                    d.row_axpy(i + 1, i, -q);
+                    u.row_axpy(i + 1, i, -q);
+                    if d.get(i + 1, i) != 0 {
+                        continue;
+                    }
+                    break;
+                }
+                // Clear the (i, i+1) entry created above.
+                let x = d.get(i, i);
+                if x != 0 {
+                    let e = d.get(i, i + 1);
+                    if e % x == 0 {
+                        let q = e / x;
+                        d.col_axpy(i + 1, i, -q);
+                        v.col_axpy(i + 1, i, -q);
+                    } else {
+                        // Fall back to a full re-reduction of the 2×2 block.
+                        let q = div_round(e, x);
+                        d.col_axpy(i + 1, i, -q);
+                        v.col_axpy(i + 1, i, -q);
+                    }
+                }
+                if d.get(i, i) < 0 {
+                    d.negate_row(i);
+                    u.negate_row(i);
+                }
+                if d.get(i + 1, i + 1) < 0 {
+                    d.negate_row(i + 1);
+                    u.negate_row(i + 1);
+                }
+                // The off-diagonal entries of the block may be non-zero in
+                // exotic cases; verify and clean defensively.
+                debug_assert_eq!(d.get(i + 1, i), 0);
+                debug_assert_eq!(d.get(i, i + 1), 0);
+                changed = true;
+            }
+        }
+    }
+
+    let diag: Vec<i128> = (0..t).map(|i| d.get(i, i)).filter(|&x| x != 0).collect();
+    let rank = diag.len();
+    Smith { diag, u, v, rank }
+}
+
+/// Rounded division used during reduction (round-to-nearest keeps entries
+/// small).
+fn div_round(a: i128, b: i128) -> i128 {
+    debug_assert!(b != 0);
+    let q = a / b;
+    let r = a - q * b;
+    if 2 * r.abs() > b.abs() {
+        if (r > 0) == (b > 0) {
+            q + 1
+        } else {
+            q - 1
+        }
+    } else {
+        q
+    }
+}
+
+/// Solves `A x = b` over the integers.
+///
+/// Returns the full solution set (particular solution + null-lattice basis),
+/// or `None` if no integer solution exists. An empty matrix (zero rows) is
+/// trivially satisfiable: the particular solution is the zero vector and the
+/// lattice is all of ℤⁿ.
+///
+/// # Panics
+///
+/// Panics if `b.len() != a.rows()`, or if a solution component overflows
+/// `i64` (not reachable for the loop-analysis inputs this crate targets).
+///
+/// # Examples
+///
+/// ```
+/// use cme_poly::{IMat, linear::solve_integer};
+/// // x₁ + 2·x₂ = 5 has integer solutions with a one-dimensional lattice.
+/// let sol = solve_integer(&IMat::from_rows(&[&[1, 2]]), &[5]).unwrap();
+/// assert_eq!(sol.lattice.len(), 1);
+/// // 2·x = 3 has no integer solution.
+/// assert!(solve_integer(&IMat::from_rows(&[&[2]]), &[3]).is_none());
+/// ```
+pub fn solve_integer(a: &IMat, b: &[i64]) -> Option<IntSolution> {
+    SmithSolver::new(a).solve(b)
+}
+
+/// A reusable factorisation of one coefficient matrix: computes the Smith
+/// normal form once and solves `A x = b` for many right-hand sides in
+/// `O(n²)` each. The reuse-vector generator exercises this heavily: the
+/// subscript matrix of a uniformly generated set is shared by every
+/// reference pair, only the offset difference `b` changes.
+///
+/// # Examples
+///
+/// ```
+/// use cme_poly::{IMat, linear::SmithSolver};
+/// let solver = SmithSolver::new(&IMat::from_rows(&[&[1, 2]]));
+/// assert!(solver.solve(&[5]).is_some());
+/// assert_eq!(solver.solve(&[4]).unwrap().particular.len(), 2);
+/// ```
+pub struct SmithSolver {
+    smith: Option<Smith>,
+    rows: usize,
+    cols: usize,
+    /// Null-lattice basis, extracted once.
+    lattice: Vec<Vec<i64>>,
+}
+
+impl SmithSolver {
+    /// Factorises the matrix.
+    pub fn new(a: &IMat) -> Self {
+        let (rows, cols) = (a.rows(), a.cols());
+        if rows == 0 {
+            let lattice = (0..cols)
+                .map(|i| {
+                    let mut e = vec![0i64; cols];
+                    e[i] = 1;
+                    e
+                })
+                .collect();
+            return SmithSolver {
+                smith: None,
+                rows,
+                cols,
+                lattice,
+            };
+        }
+        let s = smith(a);
+        let to_i64 = |v: i128| -> i64 { i64::try_from(v).expect("solution overflows i64") };
+        let lattice: Vec<Vec<i64>> = (s.rank..cols)
+            .map(|k| (0..cols).map(|r| to_i64(s.v.get(r, k))).collect())
+            .collect();
+        SmithSolver {
+            smith: Some(s),
+            rows,
+            cols,
+            lattice,
+        }
+    }
+
+    /// The null-lattice basis of the matrix.
+    pub fn lattice(&self) -> &[Vec<i64>] {
+        &self.lattice
+    }
+
+    /// Solves `A x = b` for this factorisation's matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the matrix row count.
+    pub fn solve(&self, b: &[i64]) -> Option<IntSolution> {
+        assert_eq!(b.len(), self.rows, "solve_integer dimension mismatch");
+        let cols = self.cols;
+        let Some(s) = &self.smith else {
+            return Some(IntSolution {
+                particular: vec![0; cols],
+                lattice: self.lattice.clone(),
+            });
+        };
+        // c = U b
+        let c: Vec<i128> = (0..s.u.rows)
+            .map(|r| {
+                (0..s.u.cols)
+                    .map(|k| s.u.get(r, k) * b[k] as i128)
+                    .sum::<i128>()
+            })
+            .collect();
+
+        // D y = c: y_i = c_i / d_i for i < rank, c_i must be 0 for i >= rank.
+        let mut y = vec![0i128; cols];
+        for i in 0..s.rank {
+            if c[i] % s.diag[i] != 0 {
+                return None;
+            }
+            y[i] = c[i] / s.diag[i];
+        }
+        for &ci in c.iter().skip(s.rank) {
+            if ci != 0 {
+                return None;
+            }
+        }
+
+        // x = V y; lattice basis = columns of V beyond the rank.
+        let to_i64 = |v: i128| -> i64 { i64::try_from(v).expect("solution overflows i64") };
+        let particular: Vec<i64> = (0..cols)
+            .map(|r| to_i64((0..cols).map(|k| s.v.get(r, k) * y[k]).sum::<i128>()))
+            .collect();
+        Some(IntSolution {
+            particular,
+            lattice: self.lattice.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector;
+
+    fn check_solution(a: &IMat, b: &[i64], sol: &IntSolution) {
+        assert_eq!(a.mul_vec(&sol.particular), b, "particular fails");
+        for l in &sol.lattice {
+            assert!(
+                vector::is_zero(&a.mul_vec(l)),
+                "lattice vector {l:?} not in null space"
+            );
+            assert!(!vector::is_zero(l), "zero lattice vector");
+        }
+    }
+
+    #[test]
+    fn paper_temporal_example_unique() {
+        // [[0,1],[1,0]] x = (-1, 0) → x = (0, -1), unique (§3.5).
+        let m = IMat::from_rows(&[&[0, 1], &[1, 0]]);
+        let sol = solve_integer(&m, &[-1, 0]).unwrap();
+        assert_eq!(sol.particular, vec![0, -1]);
+        assert!(sol.is_unique());
+    }
+
+    #[test]
+    fn paper_spatial_example_lattice() {
+        // M' = [1 0]: solutions of M' y = 0 are (0, t) (§3.5).
+        let mp = IMat::from_rows(&[&[1, 0]]);
+        let sol = solve_integer(&mp, &[0]).unwrap();
+        check_solution(&mp, &[0], &sol);
+        assert_eq!(sol.lattice.len(), 1);
+        assert_eq!(sol.lattice[0][0], 0);
+        assert_eq!(sol.lattice[0][1].abs(), 1);
+    }
+
+    #[test]
+    fn unsolvable_parity() {
+        let m = IMat::from_rows(&[&[2, 4]]);
+        assert!(solve_integer(&m, &[3]).is_none());
+        assert!(solve_integer(&m, &[6]).is_some());
+    }
+
+    #[test]
+    fn inconsistent_rows() {
+        // x = 1 and x = 2 simultaneously.
+        let m = IMat::from_rows(&[&[1], &[1]]);
+        assert!(solve_integer(&m, &[1, 2]).is_none());
+        let sol = solve_integer(&m, &[2, 2]).unwrap();
+        assert_eq!(sol.particular, vec![2]);
+        assert!(sol.is_unique());
+    }
+
+    #[test]
+    fn empty_system_is_all_of_zn() {
+        let m = IMat::zeros(0, 3);
+        let sol = solve_integer(&m, &[]).unwrap();
+        assert_eq!(sol.particular, vec![0, 0, 0]);
+        assert_eq!(sol.lattice.len(), 3);
+    }
+
+    #[test]
+    fn zero_matrix_zero_rhs() {
+        let m = IMat::zeros(2, 2);
+        let sol = solve_integer(&m, &[0, 0]).unwrap();
+        assert_eq!(sol.lattice.len(), 2);
+        assert!(solve_integer(&m, &[1, 0]).is_none());
+    }
+
+    #[test]
+    fn rectangular_underdetermined() {
+        let m = IMat::from_rows(&[&[1, 1, 1]]);
+        let sol = solve_integer(&m, &[6]).unwrap();
+        check_solution(&m, &[6], &sol);
+        assert_eq!(sol.lattice.len(), 2);
+    }
+
+    #[test]
+    fn rectangular_overdetermined() {
+        let m = IMat::from_rows(&[&[1, 0], &[0, 1], &[1, 1]]);
+        let sol = solve_integer(&m, &[2, 3, 5]).unwrap();
+        assert_eq!(sol.particular, vec![2, 3]);
+        assert!(sol.is_unique());
+        assert!(solve_integer(&m, &[2, 3, 6]).is_none());
+    }
+
+    #[test]
+    fn divisibility_chain_case() {
+        // Matrix whose SNF needs the divisibility fix-up: diag would be
+        // (2, 3) without it.
+        let m = IMat::from_rows(&[&[2, 0], &[0, 3]]);
+        let sol = solve_integer(&m, &[4, 9]).unwrap();
+        check_solution(&m, &[4, 9], &sol);
+        assert!(sol.is_unique());
+        // 2x = 1 component unsolvable:
+        assert!(solve_integer(&m, &[1, 3]).is_none());
+    }
+
+    #[test]
+    fn randomised_consistency_with_bruteforce() {
+        // For a batch of small matrices, compare solvability against brute
+        // force over a window, and verify returned solutions.
+        let mats = [
+            IMat::from_rows(&[&[1, 2], &[3, 4]]),
+            IMat::from_rows(&[&[2, 4], &[1, 2]]),
+            IMat::from_rows(&[&[0, 0], &[0, 5]]),
+            IMat::from_rows(&[&[3, -1], &[1, 1]]),
+            IMat::from_rows(&[&[6, 10], &[15, 4]]),
+        ];
+        for m in &mats {
+            for b0 in -4i64..=4 {
+                for b1 in -4i64..=4 {
+                    let b = [b0, b1];
+                    let brute = (-30i64..=30).any(|x0| {
+                        (-30i64..=30).any(|x1| m.mul_vec(&[x0, x1]) == b)
+                    });
+                    match solve_integer(m, &b) {
+                        Some(sol) => {
+                            check_solution(m, &b, &sol);
+                            // If brute force found nothing in the window the
+                            // solution must simply lie outside it; but our
+                            // windows are generous for these entries.
+                            assert!(
+                                brute || sol.particular.iter().any(|&x| x.abs() > 30),
+                                "solver found {:?} for {m:?} b={b:?} but brute force disagrees",
+                                sol.particular
+                            );
+                        }
+                        None => {
+                            assert!(!brute, "solver missed a solution for {m:?} b={b:?}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! Dense integer matrices.
+//!
+//! [`IMat`] is a small row-major dense matrix over `i64`, sized for the
+//! subscript matrices that arise in affine loop-nest analysis (a handful of
+//! rows — one per array dimension — and one column per loop variable).
+
+use crate::vector;
+use std::fmt;
+
+/// A dense row-major matrix over `i64`.
+///
+/// # Examples
+///
+/// ```
+/// use cme_poly::IMat;
+/// let m = IMat::from_rows(&[&[0, 1], &[1, 0]]);
+/// assert_eq!(m.mul_vec(&[3, 9]), vec![9, 3]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct IMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<i64>,
+}
+
+impl IMat {
+    /// Creates a `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        IMat {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
+    }
+
+    /// Creates an `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = IMat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have differing lengths.
+    pub fn from_rows(rows: &[&[i64]]) -> Self {
+        let ncols = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(rows.len() * ncols);
+        for r in rows {
+            assert_eq!(r.len(), ncols, "rows of unequal length");
+            data.extend_from_slice(r);
+        }
+        IMat {
+            rows: rows.len(),
+            cols: ncols,
+            data,
+        }
+    }
+
+    /// Builds a matrix from owned row vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have differing lengths.
+    pub fn from_row_vecs(rows: Vec<Vec<i64>>) -> Self {
+        let refs: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+        IMat::from_rows(&refs)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Whether the matrix has zero rows or zero columns.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0 || self.cols == 0
+    }
+
+    /// A view of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row(&self, r: usize) -> &[i64] {
+        assert!(r < self.rows, "row index out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies column `c` into a vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of bounds.
+    pub fn col(&self, c: usize) -> Vec<i64> {
+        assert!(c < self.cols, "column index out of bounds");
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// The matrix with row `r` removed. Used to form the primed matrix `M'`
+    /// of the spatial reuse equation (2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn without_row(&self, r: usize) -> IMat {
+        assert!(r < self.rows, "row index out of bounds");
+        let rows: Vec<&[i64]> = (0..self.rows)
+            .filter(|&i| i != r)
+            .map(|i| self.row(i))
+            .collect();
+        if rows.is_empty() {
+            IMat::zeros(0, self.cols)
+        } else {
+            IMat::from_rows(&rows)
+        }
+    }
+
+    /// Matrix-vector product `M v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()` or on overflow.
+    pub fn mul_vec(&self, v: &[i64]) -> Vec<i64> {
+        assert_eq!(v.len(), self.cols, "matrix-vector dimension mismatch");
+        (0..self.rows).map(|r| vector::dot(self.row(r), v)).collect()
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or overflow.
+    pub fn mul(&self, other: &IMat) -> IMat {
+        assert_eq!(self.cols, other.rows, "matrix product dimension mismatch");
+        let mut out = IMat::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for c in 0..other.cols {
+                let mut acc: i64 = 0;
+                for k in 0..self.cols {
+                    acc = acc
+                        .checked_add(
+                            self[(r, k)]
+                                .checked_mul(other[(k, c)])
+                                .expect("matrix product overflow"),
+                        )
+                        .expect("matrix product overflow");
+                }
+                out[(r, c)] = acc;
+            }
+        }
+        out
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> IMat {
+        let mut out = IMat::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[(c, r)] = self[(r, c)];
+            }
+        }
+        out
+    }
+
+    /// Whether all entries are zero.
+    pub fn is_zero(&self) -> bool {
+        self.data.iter().all(|&x| x == 0)
+    }
+
+    /// Swaps rows `a` and `b`.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for c in 0..self.cols {
+            let t = self[(a, c)];
+            self[(a, c)] = self[(b, c)];
+            self[(b, c)] = t;
+        }
+    }
+
+    /// Swaps columns `a` and `b`.
+    pub fn swap_cols(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for r in 0..self.rows {
+            let t = self[(r, a)];
+            self[(r, a)] = self[(r, b)];
+            self[(r, b)] = t;
+        }
+    }
+
+    /// Adds `k` times row `src` to row `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow.
+    pub fn row_axpy(&mut self, dst: usize, src: usize, k: i64) {
+        for c in 0..self.cols {
+            let v = self[(src, c)].checked_mul(k).expect("row_axpy overflow");
+            self[(dst, c)] = self[(dst, c)].checked_add(v).expect("row_axpy overflow");
+        }
+    }
+
+    /// Adds `k` times column `src` to column `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow.
+    pub fn col_axpy(&mut self, dst: usize, src: usize, k: i64) {
+        for r in 0..self.rows {
+            let v = self[(r, src)].checked_mul(k).expect("col_axpy overflow");
+            self[(r, dst)] = self[(r, dst)].checked_add(v).expect("col_axpy overflow");
+        }
+    }
+
+    /// Negates row `r`.
+    pub fn negate_row(&mut self, r: usize) {
+        for c in 0..self.cols {
+            self[(r, c)] = -self[(r, c)];
+        }
+    }
+
+    /// Negates column `c`.
+    pub fn negate_col(&mut self, c: usize) {
+        for r in 0..self.rows {
+            self[(r, c)] = -self[(r, c)];
+        }
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for IMat {
+    type Output = i64;
+
+    fn index(&self, (r, c): (usize, usize)) -> &i64 {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for IMat {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut i64 {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for IMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "IMat {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            writeln!(f, "  {:?}", self.row(r))?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for IMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            if r > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "[")?;
+            for c in 0..self.cols {
+                if c > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{}", self[(r, c)])?;
+            }
+            write!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_multiplicative_unit() {
+        let m = IMat::from_rows(&[&[1, 2, 3], &[4, 5, 6]]);
+        assert_eq!(IMat::identity(2).mul(&m), m);
+        assert_eq!(m.mul(&IMat::identity(3)), m);
+    }
+
+    #[test]
+    fn mul_vec_permutation() {
+        let m = IMat::from_rows(&[&[0, 1], &[1, 0]]);
+        assert_eq!(m.mul_vec(&[7, -2]), vec![-2, 7]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = IMat::from_rows(&[&[1, 2, 3], &[4, 5, 6]]);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().row(0), &[1, 4]);
+    }
+
+    #[test]
+    fn without_row_forms_m_prime() {
+        // The paper's spatial equation removes the first row of M.
+        let m = IMat::from_rows(&[&[0, 1], &[1, 0]]);
+        let mp = m.without_row(0);
+        assert_eq!(mp.rows(), 1);
+        assert_eq!(mp.row(0), &[1, 0]);
+        let empty = mp.without_row(0);
+        assert!(empty.is_empty());
+        assert_eq!(empty.cols(), 2);
+    }
+
+    #[test]
+    fn row_and_col_ops() {
+        let mut m = IMat::from_rows(&[&[1, 0], &[0, 1]]);
+        m.row_axpy(1, 0, 3);
+        assert_eq!(m.row(1), &[3, 1]);
+        m.col_axpy(0, 1, -3);
+        assert_eq!(m.row(1), &[0, 1]);
+        m.swap_rows(0, 1);
+        assert_eq!(m.row(0), &[0, 1]);
+        m.swap_cols(0, 1);
+        assert_eq!(m.row(0), &[1, 0]);
+        m.negate_row(0);
+        assert_eq!(m.row(0), &[-1, 0]);
+        m.negate_col(1);
+        assert_eq!(m.col(1), vec![0, -1]);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let m = IMat::from_rows(&[&[1, 2], &[3, 4]]);
+        let s = format!("{m}");
+        assert!(s.contains("[1 2]"));
+        assert!(!format!("{:?}", IMat::zeros(0, 0)).is_empty());
+    }
+}

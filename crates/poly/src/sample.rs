@@ -1,0 +1,228 @@
+//! Uniform sampling of integer points from a [`Space`].
+//!
+//! `EstimateMisses` (Fig. 6 of the paper) analyses a uniform sample of each
+//! reference iteration space instead of every point. The sampler here draws
+//! points uniformly by rejection from the bounding box, with one refinement:
+//! dimensions *pinned* by an equality constraint (e.g. the `I₂ = I₁` guards
+//! produced by loop sinking) are computed from the prefix instead of drawn,
+//! which keeps the acceptance rate high on the guard-heavy spaces normalised
+//! programs produce. Because a pinned dimension is a function of the earlier
+//! ones, the space is in bijection with its projection onto the free
+//! dimensions and uniformity is preserved.
+//!
+//! If rejection keeps failing (pathologically sparse spaces), the sampler
+//! falls back to exact enumeration with reservoir sampling, which is always
+//! correct, merely slower.
+
+use crate::space::Space;
+use rand::Rng;
+
+/// Draws one uniform point, or `None` if the space is empty.
+///
+/// `max_trials` bounds the rejection phase before the enumeration fallback
+/// kicks in; [`DEFAULT_MAX_TRIALS`] is a good default.
+pub fn sample_point<R: Rng + ?Sized>(
+    space: &Space,
+    rng: &mut R,
+    max_trials: u32,
+) -> Option<Vec<i64>> {
+    let mut out = sample_points(space, rng, 1, max_trials);
+    out.pop()
+}
+
+/// Default rejection budget per requested point.
+pub const DEFAULT_MAX_TRIALS: u32 = 4096;
+
+/// Draws `n` points uniformly and independently (with replacement).
+///
+/// Returns fewer than `n` points only when the space is empty.
+///
+/// # Examples
+///
+/// ```
+/// use cme_poly::{Affine, Constraint, ConstraintSystem, Space};
+/// use rand::SeedableRng;
+/// let mut sys = ConstraintSystem::new(2);
+/// sys.push(Constraint::ge(Affine::new(vec![1, 0], -1)));
+/// sys.push(Constraint::ge(Affine::new(vec![-1, 0], 8)));
+/// sys.push(Constraint::ge(Affine::new(vec![-1, 1], 0))); // x₁ ≥ x₀
+/// sys.push(Constraint::ge(Affine::new(vec![0, -1], 8)));
+/// let sp = Space::new(sys)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let pts = cme_poly::sample::sample_points(&sp, &mut rng, 100,
+///     cme_poly::sample::DEFAULT_MAX_TRIALS);
+/// assert_eq!(pts.len(), 100);
+/// assert!(pts.iter().all(|p| sp.contains(p)));
+/// # Ok::<(), cme_poly::space::SpaceError>(())
+/// ```
+pub fn sample_points<R: Rng + ?Sized>(
+    space: &Space,
+    rng: &mut R,
+    n: usize,
+    max_trials: u32,
+) -> Vec<Vec<i64>> {
+    if space.known_empty() || n == 0 {
+        return Vec::new();
+    }
+    let nvars = space.nvars();
+    if nvars == 0 {
+        return vec![Vec::new(); n];
+    }
+    let bbox = space.bounding_box();
+    let pinned = space.pinned_dims();
+
+    let mut out = Vec::with_capacity(n);
+    let mut trials: u64 = 0;
+    let budget = (max_trials as u64).saturating_mul(n as u64);
+    let mut point = vec![0i64; nvars];
+    'outer: while out.len() < n {
+        if trials >= budget {
+            // Rejection is not converging; fall back to exact reservoir
+            // sampling over the enumeration.
+            return reservoir(space, rng, n);
+        }
+        trials += 1;
+        for d in 0..nvars {
+            if pinned[d] {
+                match space.system().interval(&point[..d], d) {
+                    Some((lo, hi)) if lo == hi => point[d] = lo,
+                    Some((lo, hi)) => point[d] = rng.gen_range(lo..=hi),
+                    None => continue 'outer,
+                }
+            } else {
+                let (lo, hi) = bbox[d];
+                point[d] = rng.gen_range(lo..=hi);
+            }
+        }
+        if space.contains(&point) {
+            out.push(point.clone());
+        }
+    }
+    out
+}
+
+/// Exact uniform sampling with replacement via `n` independent reservoir
+/// passes folded into one enumeration: draws `n` indices uniformly from
+/// `[0, count)`, then picks the corresponding points in one walk.
+fn reservoir<R: Rng + ?Sized>(space: &Space, rng: &mut R, n: usize) -> Vec<Vec<i64>> {
+    let total = space.count();
+    if total == 0 {
+        return Vec::new();
+    }
+    let mut wanted: Vec<u64> = (0..n).map(|_| rng.gen_range(0..total)).collect();
+    wanted.sort_unstable();
+    let mut out: Vec<Vec<i64>> = Vec::with_capacity(n);
+    let mut idx = 0u64;
+    let mut w = 0usize;
+    space.for_each_point(|p| {
+        while w < wanted.len() && wanted[w] == idx {
+            out.push(p.to_vec());
+            w += 1;
+        }
+        idx += 1;
+    });
+    debug_assert_eq!(out.len(), n);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affine::Affine;
+    use crate::constraint::{Constraint, ConstraintSystem};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    fn range(s: &mut ConstraintSystem, d: usize, lo: i64, hi: i64) {
+        let n = s.nvars();
+        s.push(Constraint::ge(Affine::var(n, d).offset(-lo)));
+        s.push(Constraint::ge(Affine::var(n, d).scale(-1).offset(hi)));
+    }
+
+    /// Chi-square-ish sanity check: every point of a small space should be
+    /// hit with roughly equal frequency.
+    fn assert_roughly_uniform(space: &Space, samples: &[Vec<i64>]) {
+        let total = space.count() as f64;
+        let mut freq: HashMap<Vec<i64>, u64> = HashMap::new();
+        for s in samples {
+            *freq.entry(s.clone()).or_default() += 1;
+        }
+        assert_eq!(freq.len() as f64, total, "sampler missed points");
+        let expected = samples.len() as f64 / total;
+        for (p, &c) in &freq {
+            let ratio = c as f64 / expected;
+            assert!(
+                (0.6..1.4).contains(&ratio),
+                "point {p:?} frequency off: {c} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_on_triangle() {
+        let mut s = ConstraintSystem::new(2);
+        range(&mut s, 0, 1, 4);
+        s.push(Constraint::ge(Affine::new(vec![-1, 1], 0)));
+        s.push(Constraint::ge(Affine::new(vec![0, -1], 4)));
+        let sp = Space::new(s).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let samples = sample_points(&sp, &mut rng, 20_000, DEFAULT_MAX_TRIALS);
+        assert_roughly_uniform(&sp, &samples);
+    }
+
+    #[test]
+    fn uniform_on_diagonal_guard() {
+        // The I₂ = I₁ shape from loop sinking: pinned dimension path.
+        let mut s = ConstraintSystem::new(2);
+        range(&mut s, 0, 2, 9);
+        range(&mut s, 1, 1, 9);
+        s.push(Constraint::eq(Affine::new(vec![1, -1], 0)));
+        let sp = Space::new(s).unwrap();
+        assert!(sp.pinned_dims()[1]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples = sample_points(&sp, &mut rng, 8000, DEFAULT_MAX_TRIALS);
+        assert_roughly_uniform(&sp, &samples);
+    }
+
+    #[test]
+    fn fallback_reservoir_is_uniform() {
+        // Force the fallback with max_trials = 0.
+        let mut s = ConstraintSystem::new(2);
+        range(&mut s, 0, 1, 4);
+        range(&mut s, 1, 1, 4);
+        let sp = Space::new(s).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples = sample_points(&sp, &mut rng, 16_000, 0);
+        assert_eq!(samples.len(), 16_000);
+        assert_roughly_uniform(&sp, &samples);
+    }
+
+    #[test]
+    fn empty_space_yields_nothing() {
+        let mut s = ConstraintSystem::new(1);
+        range(&mut s, 0, 5, 3);
+        let sp = Space::new(s).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(sample_point(&sp, &mut rng, 16).is_none());
+    }
+
+    #[test]
+    fn zero_dims() {
+        let sp = Space::new(ConstraintSystem::new(0)).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let pts = sample_points(&sp, &mut rng, 3, 16);
+        assert_eq!(pts, vec![Vec::<i64>::new(); 3]);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut s = ConstraintSystem::new(2);
+        range(&mut s, 0, 1, 50);
+        range(&mut s, 1, 1, 50);
+        let sp = Space::new(s).unwrap();
+        let a = sample_points(&sp, &mut StdRng::seed_from_u64(9), 64, DEFAULT_MAX_TRIALS);
+        let b = sample_points(&sp, &mut StdRng::seed_from_u64(9), 64, DEFAULT_MAX_TRIALS);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,342 @@
+//! Bounded integer point sets described by affine constraint systems.
+//!
+//! A [`Space`] wraps a [`ConstraintSystem`] whose points are known to be
+//! bounded (every loop nest in a regular program has compile-time bounds)
+//! and precomputes a rectangular bounding box plus the set of
+//! equality-*pinned* dimensions. Counting ([`crate::count`]) and uniform
+//! sampling ([`crate::sample`]) build on this.
+
+use crate::constraint::{ConstraintKind, ConstraintSystem};
+use std::fmt;
+
+/// Error building a [`Space`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpaceError {
+    /// A dimension has no finite lower or upper bound derivable by interval
+    /// propagation; such a set cannot be enumerated or sampled.
+    Unbounded { dim: usize },
+}
+
+impl fmt::Display for SpaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpaceError::Unbounded { dim } => {
+                write!(f, "dimension {dim} of the constraint system is unbounded")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpaceError {}
+
+/// A bounded set of integer points `{ x ∈ ℤⁿ | C(x) }`.
+///
+/// # Examples
+///
+/// ```
+/// use cme_poly::{Affine, Constraint, ConstraintSystem, Space};
+/// let mut sys = ConstraintSystem::new(2);
+/// sys.push(Constraint::ge(Affine::new(vec![1, 0], -1)));  // x₀ ≥ 1
+/// sys.push(Constraint::ge(Affine::new(vec![-1, 0], 4)));  // x₀ ≤ 4
+/// sys.push(Constraint::ge(Affine::new(vec![-1, 1], 0)));  // x₁ ≥ x₀
+/// sys.push(Constraint::ge(Affine::new(vec![0, -1], 4)));  // x₁ ≤ 4
+/// let space = Space::new(sys)?;
+/// assert_eq!(space.count(), 10); // triangular: 4+3+2+1
+/// # Ok::<(), cme_poly::space::SpaceError>(())
+/// ```
+#[derive(Clone)]
+pub struct Space {
+    system: ConstraintSystem,
+    bbox: Vec<(i64, i64)>,
+    /// Dimensions whose value is pinned by an equality over earlier
+    /// dimensions (used by the sampler to avoid wasteful rejection).
+    pinned: Vec<bool>,
+    /// Whether the system is trivially empty (constant-false constraint or
+    /// empty box).
+    empty: bool,
+}
+
+impl Space {
+    /// Builds a space from a constraint system, propagating intervals to
+    /// derive a bounding box.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpaceError::Unbounded`] if any dimension cannot be bounded
+    /// from the constraints by interval arithmetic over earlier dimensions.
+    pub fn new(system: ConstraintSystem) -> Result<Self, SpaceError> {
+        let n = system.nvars();
+        let mut bbox: Vec<(i64, i64)> = Vec::with_capacity(n);
+        let mut empty = system.trivially_empty();
+
+        for d in 0..n {
+            // Interval arithmetic: for every Eq/Ge constraint whose highest
+            // variable is d, bound a·x_d using the boxes of earlier
+            // variables.
+            let mut lo: Option<i64> = None;
+            let mut hi: Option<i64> = None;
+            for c in system.constraints() {
+                if c.kind == ConstraintKind::Ne {
+                    continue;
+                }
+                if c.expr.highest_var() != Some(d) {
+                    continue;
+                }
+                let a = c.expr.coeff(d);
+                // rest ∈ [rmin, rmax] over the earlier boxes.
+                let mut rmin = c.expr.constant_term();
+                let mut rmax = c.expr.constant_term();
+                for (i, &(blo, bhi)) in bbox.iter().enumerate() {
+                    let ci = c.expr.coeff(i);
+                    if ci > 0 {
+                        rmin += ci * blo;
+                        rmax += ci * bhi;
+                    } else if ci < 0 {
+                        rmin += ci * bhi;
+                        rmax += ci * blo;
+                    }
+                }
+                // a·x_d + rest ⋈ 0
+                match c.kind {
+                    ConstraintKind::Ge => {
+                        if a > 0 {
+                            // a·x ≥ −rest: weakest over rest ∈ [rmin, rmax]
+                            // is x ≥ −rmax/a.
+                            let v = crate::vector::div_ceil(-rmax, a);
+                            lo = Some(lo.map_or(v, |x| x.max(v)));
+                        } else {
+                            // a·x ≥ −rest ⇔ x ≤ rest/(−a): weakest is
+                            // x ≤ rmax/(−a).
+                            let v = crate::vector::div_floor(-rmax, a);
+                            hi = Some(hi.map_or(v, |x| x.min(v)));
+                        }
+                    }
+                    ConstraintKind::Eq => {
+                        // a·x_d = −rest ⇒ x_d ∈ [−rmax/a, −rmin/a] (sign-aware)
+                        let (vlo, vhi) = if a > 0 {
+                            (
+                                crate::vector::div_ceil(-rmax, a),
+                                crate::vector::div_floor(-rmin, a),
+                            )
+                        } else {
+                            (
+                                crate::vector::div_ceil(-rmin, a),
+                                crate::vector::div_floor(-rmax, a),
+                            )
+                        };
+                        lo = Some(lo.map_or(vlo, |x| x.max(vlo)));
+                        hi = Some(hi.map_or(vhi, |x| x.min(vhi)));
+                    }
+                    ConstraintKind::Ne => unreachable!(),
+                }
+            }
+            match (lo, hi) {
+                (Some(l), Some(h)) => {
+                    if l > h {
+                        empty = true;
+                        bbox.push((l, l)); // degenerate placeholder
+                    } else {
+                        bbox.push((l, h));
+                    }
+                }
+                _ => {
+                    if empty {
+                        bbox.push((0, 0));
+                    } else {
+                        return Err(SpaceError::Unbounded { dim: d });
+                    }
+                }
+            }
+        }
+
+        // A dimension is pinned when some equality constraint has it as its
+        // highest variable: its value is then a function of the prefix.
+        let pinned: Vec<bool> = (0..n)
+            .map(|d| {
+                system.constraints().iter().any(|c| {
+                    c.kind == ConstraintKind::Eq && c.expr.highest_var() == Some(d)
+                })
+            })
+            .collect();
+
+        Ok(Space {
+            system,
+            bbox,
+            pinned,
+            empty,
+        })
+    }
+
+    /// The underlying constraint system.
+    pub fn system(&self) -> &ConstraintSystem {
+        &self.system
+    }
+
+    /// Number of dimensions.
+    pub fn nvars(&self) -> usize {
+        self.system.nvars()
+    }
+
+    /// The rectangular bounding box (inclusive on both ends).
+    pub fn bounding_box(&self) -> &[(i64, i64)] {
+        &self.bbox
+    }
+
+    /// Which dimensions are pinned by equalities (see the sampler).
+    pub fn pinned_dims(&self) -> &[bool] {
+        &self.pinned
+    }
+
+    /// Whether the space was detected empty during construction. A `false`
+    /// answer is not a non-emptiness proof; use [`Space::count`].
+    pub fn known_empty(&self) -> bool {
+        self.empty
+    }
+
+    /// Whether the point lies in the space.
+    pub fn contains(&self, point: &[i64]) -> bool {
+        !self.empty && self.system.contains(point)
+    }
+
+    /// Exact number of integer points (delegates to [`crate::count`]).
+    pub fn count(&self) -> u64 {
+        crate::count::count(self)
+    }
+
+    /// Calls `visit` for every point, in lexicographic order (delegates to
+    /// [`crate::count`]).
+    pub fn for_each_point<F: FnMut(&[i64])>(&self, visit: F) {
+        crate::count::for_each_point(self, visit)
+    }
+
+    /// Collects every point in lexicographic order. Intended for tests and
+    /// small spaces; prefer [`Space::for_each_point`] for large ones.
+    pub fn points(&self) -> Vec<Vec<i64>> {
+        let mut out = Vec::new();
+        self.for_each_point(|p| out.push(p.to_vec()));
+        out
+    }
+
+    /// The volume of the bounding box as a saturating `u128`.
+    pub fn box_volume(&self) -> u128 {
+        self.bbox
+            .iter()
+            .fold(1u128, |acc, &(lo, hi)| {
+                acc.saturating_mul((hi - lo + 1) as u128)
+            })
+    }
+}
+
+impl fmt::Debug for Space {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Space {{ box: {:?}, system: {:?} }}", self.bbox, self.system)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affine::Affine;
+    use crate::constraint::Constraint;
+
+    fn rect(n: i64) -> ConstraintSystem {
+        let mut s = ConstraintSystem::new(2);
+        for d in 0..2 {
+            s.push(Constraint::ge(Affine::var(2, d).offset(-1))); // x_d ≥ 1
+            s.push(Constraint::ge(Affine::var(2, d).scale(-1).offset(n))); // x_d ≤ n
+        }
+        s
+    }
+
+    #[test]
+    fn box_of_rectangle() {
+        let sp = Space::new(rect(7)).unwrap();
+        assert_eq!(sp.bounding_box(), &[(1, 7), (1, 7)]);
+        assert_eq!(sp.box_volume(), 49);
+        assert!(!sp.known_empty());
+        assert!(sp.contains(&[1, 7]));
+        assert!(!sp.contains(&[0, 7]));
+    }
+
+    #[test]
+    fn box_of_triangle_uses_outer_interval() {
+        // 1 ≤ x₀ ≤ 5, x₀ ≤ x₁ ≤ 5 ⇒ x₁ ∈ [1, 5] in the box.
+        let mut s = ConstraintSystem::new(2);
+        s.push(Constraint::ge(Affine::new(vec![1, 0], -1)));
+        s.push(Constraint::ge(Affine::new(vec![-1, 0], 5)));
+        s.push(Constraint::ge(Affine::new(vec![-1, 1], 0)));
+        s.push(Constraint::ge(Affine::new(vec![0, -1], 5)));
+        let sp = Space::new(s).unwrap();
+        assert_eq!(sp.bounding_box(), &[(1, 5), (1, 5)]);
+        assert!(!sp.pinned_dims()[1]);
+    }
+
+    #[test]
+    fn equality_pins_dimension() {
+        let mut s = rect(5);
+        s.push(Constraint::eq(Affine::new(vec![1, -1], 0))); // x1 == x0
+        let sp = Space::new(s).unwrap();
+        assert!(!sp.pinned_dims()[0]);
+        assert!(sp.pinned_dims()[1]);
+    }
+
+    #[test]
+    fn unbounded_is_an_error() {
+        let mut s = ConstraintSystem::new(1);
+        s.push(Constraint::ge(Affine::var(1, 0))); // x ≥ 0, no upper bound
+        match Space::new(s) {
+            Err(SpaceError::Unbounded { dim }) => assert_eq!(dim, 0),
+            Ok(_) => panic!("unbounded system must not build a Space"),
+        }
+    }
+
+    #[test]
+    fn empty_by_constant_false() {
+        let mut s = rect(5);
+        s.push(Constraint::ge(Affine::constant(2, -1)));
+        let sp = Space::new(s).unwrap();
+        assert!(sp.known_empty());
+        assert!(!sp.contains(&[2, 2]));
+        assert_eq!(sp.count(), 0);
+    }
+
+    #[test]
+    fn empty_by_contradictory_bounds() {
+        let mut s = ConstraintSystem::new(2);
+        s.push(Constraint::ge(Affine::new(vec![1, 0], -10))); // x0 ≥ 10
+        s.push(Constraint::ge(Affine::new(vec![-1, 0], 5))); // x0 ≤ 5
+        s.push(Constraint::ge(Affine::new(vec![0, 1], 0))); // x1 ≥ 0 (bounded only if not empty)
+        s.push(Constraint::ge(Affine::new(vec![0, -1], 3)));
+        let sp = Space::new(s).unwrap();
+        assert!(sp.known_empty());
+        assert_eq!(sp.count(), 0);
+    }
+}
+
+#[cfg(test)]
+mod bbox_regression {
+    use super::*;
+    use crate::affine::Affine;
+    use crate::constraint::{Constraint, ConstraintSystem};
+
+    /// Regression: blocked-loop shapes (`J ∈ [16·B−15, 16·B]` with
+    /// `B ∈ [1,2]`) must get the box `J ∈ [1, 32]`, not `[1, 16]`.
+    #[test]
+    fn shifted_interval_box_covers_all_blocks() {
+        let mut s = ConstraintSystem::new(2);
+        // 1 ≤ B ≤ 2
+        s.push(Constraint::ge(Affine::new(vec![1, 0], -1)));
+        s.push(Constraint::ge(Affine::new(vec![-1, 0], 2)));
+        // 16B − 15 ≤ J ≤ 16B
+        s.push(Constraint::ge(Affine::new(vec![-16, 1], 15)));
+        s.push(Constraint::ge(Affine::new(vec![16, -1], 0)));
+        let sp = Space::new(s).unwrap();
+        assert_eq!(sp.bounding_box(), &[(1, 2), (1, 32)]);
+        assert_eq!(sp.count(), 32);
+        // Every point must be reachable by the sampler.
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let pts = crate::sample::sample_points(&sp, &mut rng, 2000, 64);
+        assert!(pts.iter().any(|p| p[0] == 2 && p[1] > 16));
+    }
+}

@@ -1,0 +1,253 @@
+//! Small helpers over integer vectors (`&[i64]` / `Vec<i64>`).
+//!
+//! Iteration-space mathematics in this workspace is carried out over plain
+//! `i64` vectors; this module collects the handful of exact operations the
+//! rest of the crate needs (dot products, element-wise arithmetic, gcd,
+//! lexicographic predicates). All arithmetic is checked: address and
+//! iteration-count magnitudes in cache analysis stay far below `i64::MAX`,
+//! so an overflow always indicates a malformed program and is reported by
+//! panicking rather than by silently wrapping.
+
+use std::cmp::Ordering;
+
+/// Exact dot product of two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or the product overflows
+/// `i64`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(cme_poly::vector::dot(&[1, 2, 3], &[4, 5, 6]), 32);
+/// ```
+pub fn dot(a: &[i64], b: &[i64]) -> i64 {
+    assert_eq!(a.len(), b.len(), "dot product of unequal lengths");
+    a.iter().zip(b).fold(0i64, |acc, (&x, &y)| {
+        acc.checked_add(x.checked_mul(y).expect("dot product overflow"))
+            .expect("dot product overflow")
+    })
+}
+
+/// Element-wise sum `a + b`.
+///
+/// # Panics
+///
+/// Panics on length mismatch or overflow.
+pub fn add(a: &[i64], b: &[i64]) -> Vec<i64> {
+    assert_eq!(a.len(), b.len(), "adding vectors of unequal lengths");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| x.checked_add(y).expect("vector add overflow"))
+        .collect()
+}
+
+/// Element-wise difference `a - b`.
+///
+/// # Panics
+///
+/// Panics on length mismatch or overflow.
+pub fn sub(a: &[i64], b: &[i64]) -> Vec<i64> {
+    assert_eq!(a.len(), b.len(), "subtracting vectors of unequal lengths");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| x.checked_sub(y).expect("vector sub overflow"))
+        .collect()
+}
+
+/// Scalar multiple `k * a`.
+///
+/// # Panics
+///
+/// Panics on overflow.
+pub fn scale(a: &[i64], k: i64) -> Vec<i64> {
+    a.iter()
+        .map(|&x| x.checked_mul(k).expect("vector scale overflow"))
+        .collect()
+}
+
+/// Whether every component is zero.
+pub fn is_zero(a: &[i64]) -> bool {
+    a.iter().all(|&x| x == 0)
+}
+
+/// Lexicographic comparison of two equal-length vectors.
+///
+/// This is the `≺` / `≻` order used throughout the paper for iteration and
+/// reuse vectors.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use std::cmp::Ordering;
+/// assert_eq!(cme_poly::vector::lex_cmp(&[1, 2], &[1, 3]), Ordering::Less);
+/// ```
+pub fn lex_cmp(a: &[i64], b: &[i64]) -> Ordering {
+    assert_eq!(a.len(), b.len(), "lexicographic compare of unequal lengths");
+    for (&x, &y) in a.iter().zip(b) {
+        match x.cmp(&y) {
+            Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    Ordering::Equal
+}
+
+/// Whether `a ⪰ 0` in the lexicographic order (zero vector included).
+///
+/// A vector is lexicographically non-negative when its first non-zero
+/// component is positive. Reuse vectors must satisfy this predicate: reuse
+/// can only flow from an earlier iteration to a later one.
+///
+/// # Examples
+///
+/// ```
+/// assert!(cme_poly::vector::lex_nonneg(&[0, 0, 1, -5]));
+/// assert!(!cme_poly::vector::lex_nonneg(&[0, -1, 2, 0]));
+/// ```
+pub fn lex_nonneg(a: &[i64]) -> bool {
+    for &x in a {
+        match x.cmp(&0) {
+            Ordering::Greater => return true,
+            Ordering::Less => return false,
+            Ordering::Equal => continue,
+        }
+    }
+    true
+}
+
+/// Whether `a ≻ 0` strictly (first non-zero component positive, and the
+/// vector is not all zero).
+pub fn lex_positive(a: &[i64]) -> bool {
+    lex_nonneg(a) && !is_zero(a)
+}
+
+/// Greatest common divisor of two integers (always non-negative).
+///
+/// `gcd(0, 0)` is defined as `0`.
+pub fn gcd(mut a: i64, mut b: i64) -> i64 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// Greatest common divisor of all components (non-negative; `0` for the
+/// empty or all-zero vector).
+pub fn gcd_slice(a: &[i64]) -> i64 {
+    a.iter().fold(0, |acc, &x| gcd(acc, x))
+}
+
+/// Floor division `a / b` rounding toward negative infinity.
+///
+/// # Panics
+///
+/// Panics if `b == 0`.
+pub fn div_floor(a: i64, b: i64) -> i64 {
+    assert!(b != 0, "div_floor by zero");
+    let q = a / b;
+    if (a % b != 0) && ((a < 0) != (b < 0)) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+/// Ceiling division `a / b` rounding toward positive infinity.
+///
+/// # Panics
+///
+/// Panics if `b == 0`.
+pub fn div_ceil(a: i64, b: i64) -> i64 {
+    assert!(b != 0, "div_ceil by zero");
+    let q = a / b;
+    if (a % b != 0) && ((a < 0) == (b < 0)) {
+        q + 1
+    } else {
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[], &[]), 0);
+        assert_eq!(dot(&[2, -3], &[5, 7]), -11);
+    }
+
+    #[test]
+    #[should_panic(expected = "unequal lengths")]
+    fn dot_length_mismatch_panics() {
+        dot(&[1], &[1, 2]);
+    }
+
+    #[test]
+    fn add_sub_scale_roundtrip() {
+        let a = vec![3, -4, 7];
+        let b = vec![-1, 2, 5];
+        assert_eq!(sub(&add(&a, &b), &b), a);
+        assert_eq!(scale(&a, -2), vec![-6, 8, -14]);
+    }
+
+    #[test]
+    fn zero_predicate() {
+        assert!(is_zero(&[]));
+        assert!(is_zero(&[0, 0]));
+        assert!(!is_zero(&[0, 1]));
+    }
+
+    #[test]
+    fn lex_order_matches_paper_examples() {
+        // (1,2) ≺ (1,3) and (1,3) ≻ (1,2) — §3.2.
+        assert_eq!(lex_cmp(&[1, 2], &[1, 3]), Ordering::Less);
+        assert_eq!(lex_cmp(&[1, 3], &[1, 2]), Ordering::Greater);
+        assert_eq!(lex_cmp(&[4, 4], &[4, 4]), Ordering::Equal);
+    }
+
+    #[test]
+    fn lex_sign_predicates() {
+        assert!(lex_nonneg(&[0, 0]));
+        assert!(!lex_positive(&[0, 0]));
+        assert!(lex_positive(&[0, 2, -9]));
+        assert!(!lex_nonneg(&[0, -2, 9]));
+    }
+
+    #[test]
+    fn gcd_properties() {
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(12, -18), 6);
+        assert_eq!(gcd_slice(&[4, 6, 8]), 2);
+        assert_eq!(gcd_slice(&[]), 0);
+        assert_eq!(gcd_slice(&[0, 0]), 0);
+    }
+
+    #[test]
+    fn floor_and_ceil_division() {
+        assert_eq!(div_floor(7, 2), 3);
+        assert_eq!(div_floor(-7, 2), -4);
+        assert_eq!(div_floor(7, -2), -4);
+        assert_eq!(div_ceil(7, 2), 4);
+        assert_eq!(div_ceil(-7, 2), -3);
+        assert_eq!(div_ceil(7, -2), -3);
+        for a in -20..20 {
+            for b in [-3i64, -2, -1, 1, 2, 3] {
+                let exact = a as f64 / b as f64;
+                assert_eq!(div_floor(a, b), exact.floor() as i64, "floor {a}/{b}");
+                assert_eq!(div_ceil(a, b), exact.ceil() as i64, "ceil {a}/{b}");
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Uniformly generated reference sets across multiple nests (§3.4).
+//!
+//! Two references are *uniformly generated* when they access the same array
+//! with the same subscript coefficient matrix `M` — i.e. they would be
+//! uniformly generated in the classical single-nest sense once placed in
+//! the same nest. After normalisation every reference's subscripts range
+//! over the same canonical variables `I₁..I_n`, so the comparison is direct.
+
+use cme_ir::{Program, RefId};
+use cme_poly::IMat;
+use std::collections::HashMap;
+
+/// A set of uniformly generated references, with the shared matrix.
+#[derive(Debug, Clone)]
+pub struct UgrSet {
+    /// The accessed array.
+    pub array: cme_ir::ArrayId,
+    /// The shared subscript matrix `M` (array rank × loop depth).
+    pub matrix: IMat,
+    /// The member references.
+    pub members: Vec<RefId>,
+}
+
+/// Extracts the subscript matrix `M` and offset vector `m` of a reference:
+/// `subs(I) = M·I + m`.
+pub fn subscript_parts(program: &Program, r: RefId) -> (IMat, Vec<i64>) {
+    let rf = program.reference(r);
+    let rows: Vec<Vec<i64>> = rf.subs.iter().map(|s| s.coeffs().to_vec()).collect();
+    let offsets: Vec<i64> = rf.subs.iter().map(|s| s.constant_term()).collect();
+    let m = if rows.is_empty() {
+        IMat::zeros(0, program.depth())
+    } else {
+        IMat::from_row_vecs(rows)
+    };
+    (m, offsets)
+}
+
+/// Partitions all references of a program into uniformly generated sets.
+///
+/// References to *aliased* arrays group with their alias, not the target:
+/// differing declared shapes linearise differently, so reuse between an
+/// alias and its target is not uniformly generated (same situation as the
+/// `WB`/`B` pair in the paper's MMT kernel).
+pub fn ugr_sets(program: &Program) -> Vec<UgrSet> {
+    let mut map: HashMap<(cme_ir::ArrayId, Vec<i64>), usize> = HashMap::new();
+    let mut sets: Vec<UgrSet> = Vec::new();
+    for r in 0..program.references().len() {
+        let rf = program.reference(r);
+        let (m, _) = subscript_parts(program, r);
+        // Key: array id + flattened matrix.
+        let mut key = Vec::with_capacity(m.rows() * m.cols());
+        for row in 0..m.rows() {
+            key.extend_from_slice(m.row(row));
+        }
+        match map.entry((rf.array, key)) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                sets[*e.get()].members.push(r);
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(sets.len());
+                sets.push(UgrSet {
+                    array: rf.array,
+                    matrix: m,
+                    members: vec![r],
+                });
+            }
+        }
+    }
+    sets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cme_ir::{LinExpr, ProgramBuilder, SNode, SRef};
+
+    /// The Figure 2 program has three uniformly generated sets (§3.4):
+    /// {A(I1−1), A(I1), A(I1+1)}, {A(I2−1)} and {B(I2−1,I1), B(I2,I1)}.
+    #[test]
+    fn figure2_has_three_ugr_sets() {
+        let n = 10i64;
+        let mut b = ProgramBuilder::new("fig2");
+        b.array("A", &[n], 8);
+        b.array("B", &[n, n], 8);
+        let i1 = LinExpr::var("I1");
+        let i2 = LinExpr::var("I2");
+        b.push(SNode::loop_(
+            "I1",
+            2,
+            n,
+            vec![
+                SNode::assign(SRef::new("A", vec![i1.offset(-1)]), vec![]).labelled("S1"),
+                SNode::loop_(
+                    "I2",
+                    i1.clone(),
+                    n,
+                    vec![SNode::assign(
+                        SRef::new("B", vec![i2.offset(-1), i1.clone()]),
+                        vec![SRef::new("A", vec![i2.offset(-1)])],
+                    )
+                    .labelled("S2")],
+                ),
+                SNode::loop_(
+                    "I2",
+                    1,
+                    n,
+                    vec![
+                        SNode::reads_only(vec![SRef::new("B", vec![i2.clone(), i1.clone()])])
+                            .labelled("S3"),
+                        SNode::if_(
+                            vec![cme_ir::LinRel::new(
+                                i2.clone(),
+                                cme_ir::RelOp::Eq,
+                                LinExpr::constant(n),
+                            )],
+                            vec![
+                                SNode::reads_only(vec![SRef::new("A", vec![i1.clone()])])
+                                    .labelled("S4"),
+                            ],
+                        ),
+                    ],
+                ),
+            ],
+        ));
+        b.push(SNode::loop_(
+            "I1",
+            1,
+            n - 1,
+            vec![SNode::assign(SRef::new("A", vec![i1.offset(1)]), vec![]).labelled("S5")],
+        ));
+        let p = b.build().unwrap();
+        let sets = ugr_sets(&p);
+        assert_eq!(sets.len(), 3);
+        let mut sizes: Vec<usize> = sets.iter().map(|s| s.members.len()).collect();
+        sizes.sort_unstable();
+        // {A(I2−1)} alone; {B(·)} pair; {A(I1−1), A(I1), A(I1+1)} triple.
+        assert_eq!(sizes, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn subscript_parts_extract_m_and_offset() {
+        let mut b = ProgramBuilder::new("p");
+        b.array("B", &[10, 10], 8);
+        let i1 = LinExpr::var("I1");
+        let i2 = LinExpr::var("I2");
+        b.push(SNode::loop_(
+            "I1",
+            1,
+            10,
+            vec![SNode::loop_(
+                "I2",
+                1,
+                10,
+                vec![SNode::assign(
+                    SRef::new("B", vec![i2.offset(-1), i1.clone()]),
+                    vec![],
+                )],
+            )],
+        ));
+        let p = b.build().unwrap();
+        let (m, off) = subscript_parts(&p, 0);
+        assert_eq!(m, IMat::from_rows(&[&[0, 1], &[1, 0]]));
+        assert_eq!(off, vec![-1, 0]);
+    }
+
+    #[test]
+    fn scalar_references_have_empty_matrix() {
+        let mut b = ProgramBuilder::new("p");
+        b.scalar("X", 8);
+        b.scalars_in_memory();
+        b.push(SNode::loop_(
+            "I",
+            1,
+            4,
+            vec![SNode::assign(SRef::scalar("X"), vec![])],
+        ));
+        let p = b.build().unwrap();
+        let (m, off) = subscript_parts(&p, 0);
+        assert_eq!(m.rows(), 0);
+        assert_eq!(m.cols(), 1);
+        assert!(off.is_empty());
+        assert_eq!(ugr_sets(&p).len(), 1);
+    }
+}

@@ -1,0 +1,237 @@
+//! Synthetic benchmark suite mirroring Table 2's call/parameter census.
+//!
+//! The paper tallies actual-parameter classes over SPECfp95 and the
+//! Perfect Club (proprietary sources). This module synthesises, for each
+//! row of Table 2, a program whose call sites contain *exactly* the row's
+//! numbers of propagateable, renameable and non-analysable actuals and
+//! analysable calls — so running the census over the generated suite
+//! regenerates the table and exercises the classifier on ground-truth
+//! labels.
+
+use cme_ir::{Actual, LinExpr, SNode, SRef, SourceProgram, Subroutine, VarDecl};
+
+/// One row of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuiteRow {
+    /// Program name.
+    pub name: &'static str,
+    /// Propagateable actuals.
+    pub propagateable: usize,
+    /// Renameable actuals.
+    pub renameable: usize,
+    /// Non-analysable actuals.
+    pub non_analysable: usize,
+    /// Call statements.
+    pub calls: usize,
+    /// Analysable (`A-able`) calls.
+    pub analysable: usize,
+}
+
+/// The twenty rows of Table 2 (SPECfp95 then Perfect Club).
+pub const TABLE2_ROWS: &[SuiteRow] = &[
+    SuiteRow { name: "Tomcatv", propagateable: 0, renameable: 0, non_analysable: 0, calls: 0, analysable: 0 },
+    SuiteRow { name: "swim", propagateable: 0, renameable: 0, non_analysable: 0, calls: 5, analysable: 5 },
+    SuiteRow { name: "su2cor", propagateable: 503, renameable: 87, non_analysable: 0, calls: 150, analysable: 150 },
+    SuiteRow { name: "hydro2d", propagateable: 122, renameable: 0, non_analysable: 19, calls: 82, analysable: 82 },
+    SuiteRow { name: "mgrid", propagateable: 68, renameable: 0, non_analysable: 35, calls: 23, analysable: 2 },
+    SuiteRow { name: "applu", propagateable: 79, renameable: 0, non_analysable: 0, calls: 23, analysable: 23 },
+    SuiteRow { name: "apsi", propagateable: 1601, renameable: 0, non_analysable: 210, calls: 186, analysable: 118 },
+    SuiteRow { name: "fppp", propagateable: 83, renameable: 0, non_analysable: 3, calls: 17, analysable: 16 },
+    SuiteRow { name: "turb3D", propagateable: 759, renameable: 0, non_analysable: 75, calls: 111, analysable: 86 },
+    SuiteRow { name: "wave5", propagateable: 591, renameable: 2, non_analysable: 110, calls: 171, analysable: 127 },
+    SuiteRow { name: "CSS", propagateable: 2489, renameable: 0, non_analysable: 8, calls: 965, analysable: 965 },
+    SuiteRow { name: "LWSI", propagateable: 140, renameable: 0, non_analysable: 19, calls: 28, analysable: 18 },
+    SuiteRow { name: "MTSI", propagateable: 186, renameable: 0, non_analysable: 2, calls: 63, analysable: 63 },
+    SuiteRow { name: "NASI", propagateable: 236, renameable: 0, non_analysable: 237, calls: 75, analysable: 41 },
+    SuiteRow { name: "OCSI", propagateable: 620, renameable: 0, non_analysable: 48, calls: 244, analysable: 209 },
+    SuiteRow { name: "SDSI", propagateable: 189, renameable: 18, non_analysable: 49, calls: 129, analysable: 103 },
+    SuiteRow { name: "SMSI", propagateable: 321, renameable: 0, non_analysable: 41, calls: 53, analysable: 38 },
+    SuiteRow { name: "SRSI", propagateable: 242, renameable: 0, non_analysable: 176, calls: 50, analysable: 13 },
+    SuiteRow { name: "TFSI", propagateable: 137, renameable: 0, non_analysable: 91, calls: 44, analysable: 13 },
+    SuiteRow { name: "WSSI", propagateable: 836, renameable: 127, non_analysable: 7, calls: 185, analysable: 179 },
+];
+
+/// The actual classes a synthesised call site carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Kind {
+    P,
+    R,
+    /// Live non-analysable actual: blocks inlining of its call.
+    N,
+    /// Non-analysable actual whose formal the callee never references: the
+    /// call remains analysable (hydro2d/CSS/MTSI situation in Table 2).
+    NDead,
+}
+
+/// Synthesises a program matching a row's census exactly.
+///
+/// Calls are distributed so that `calls − analysable` call sites carry at
+/// least one non-analysable actual (an element-size mismatch) and the rest
+/// carry none.
+///
+/// # Panics
+///
+/// Panics if the row is infeasible (`non_analysable < calls − analysable`);
+/// every Table 2 row is feasible.
+pub fn synthesize_row(row: &SuiteRow) -> SourceProgram {
+    let bad_calls = row.calls - row.analysable;
+    assert!(
+        row.non_analysable >= bad_calls,
+        "row {} infeasible: {} N-able actuals for {} non-analysable calls",
+        row.name,
+        row.non_analysable,
+        bad_calls
+    );
+
+    // Distribute actuals over call sites.
+    let mut call_kinds: Vec<Vec<Kind>> = vec![Vec::new(); row.calls];
+    // Every non-analysable call gets one *live* N actual; the remaining
+    // N-able actuals bind dead formals and may sit anywhere.
+    for kinds in call_kinds.iter_mut().take(bad_calls) {
+        kinds.push(Kind::N);
+    }
+    for i in bad_calls..row.non_analysable {
+        call_kinds[i % row.calls.max(1)].push(Kind::NDead);
+    }
+    for i in 0..row.renameable {
+        call_kinds[i % row.calls.max(1)].push(Kind::R);
+    }
+    for i in 0..row.propagateable {
+        call_kinds[i % row.calls.max(1)].push(Kind::P);
+    }
+
+    // MAIN declarations: one actual variable per class.
+    let mut main = Subroutine::new("MAIN");
+    main.decls = vec![
+        VarDecl::array("AP", &[10, 10], 8),  // matching shape: P-able
+        VarDecl::array("AR", &[20, 20], 8),  // reshaped in callee: R-able
+        VarDecl::array("AN", &[10, 10], 4),  // element-size mismatch: N-able
+        VarDecl::array("WORK", &[10], 8),
+    ];
+
+    // One callee per distinct signature.
+    let mut callees: std::collections::HashMap<Vec<Kind>, String> =
+        std::collections::HashMap::new();
+    let mut subs: Vec<Subroutine> = Vec::new();
+    for kinds in &call_kinds {
+        if callees.contains_key(kinds) {
+            continue;
+        }
+        let name = format!("S{:03}", subs.len());
+        let mut sub = Subroutine::new(name.clone());
+        let i = LinExpr::var("I");
+        let mut body_reads: Vec<SRef> = Vec::new();
+        for (j, k) in kinds.iter().enumerate() {
+            let fname = format!("F{j}");
+            let decl = match k {
+                // Matching 10×10 REAL*8: propagateable.
+                Kind::P => VarDecl::array(&fname, &[10, 10], 8).formal(),
+                // 100×4 view of a 20×20 actual: renameable.
+                Kind::R => VarDecl::array(&fname, &[100, 4], 8).formal(),
+                // REAL*8 formal bound to a REAL*4 actual: non-analysable.
+                Kind::N | Kind::NDead => VarDecl::array(&fname, &[10, 10], 8).formal(),
+            };
+            sub.formals.push(fname.clone());
+            sub.decls.push(decl);
+            if *k != Kind::NDead {
+                body_reads.push(SRef::new(fname, vec![i.clone(), LinExpr::constant(1)]));
+            }
+        }
+        sub.body = vec![SNode::loop_(
+            "I",
+            1,
+            10,
+            vec![SNode::reads_only(body_reads)],
+        )];
+        callees.insert(kinds.clone(), name);
+        subs.push(sub);
+    }
+
+    // MAIN body: the calls.
+    for kinds in &call_kinds {
+        let callee = callees[kinds].clone();
+        let args: Vec<Actual> = kinds
+            .iter()
+            .map(|k| match k {
+                Kind::P => Actual::var("AP"),
+                Kind::R => Actual::var("AR"),
+                Kind::N | Kind::NDead => Actual::var("AN"),
+            })
+            .collect();
+        main.body.push(SNode::call(callee, args));
+    }
+    // A little real work so the program is non-trivial.
+    main.body.push(SNode::loop_(
+        "I",
+        1,
+        10,
+        vec![SNode::assign(
+            SRef::new("WORK", vec![LinExpr::var("I")]),
+            vec![],
+        )],
+    ));
+
+    let mut subroutines = vec![main];
+    subroutines.extend(subs);
+    SourceProgram {
+        name: row.name.to_string(),
+        subroutines,
+        entry: "MAIN".to_string(),
+    }
+}
+
+/// The whole synthetic suite, one program per Table 2 row.
+pub fn table2_suite() -> Vec<(SuiteRow, SourceProgram)> {
+    TABLE2_ROWS
+        .iter()
+        .map(|row| (*row, synthesize_row(row)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cme_inline::census;
+
+    #[test]
+    fn every_row_census_matches_exactly() {
+        for (row, program) in table2_suite() {
+            let c = census(&program);
+            assert_eq!(c.propagateable, row.propagateable, "{}", row.name);
+            assert_eq!(c.renameable, row.renameable, "{}", row.name);
+            assert_eq!(c.non_analysable, row.non_analysable, "{}", row.name);
+            assert_eq!(c.calls, row.calls, "{}", row.name);
+            assert_eq!(c.analysable_calls, row.analysable, "{}", row.name);
+        }
+    }
+
+    #[test]
+    fn totals_match_paper() {
+        // Table 2's TOTAL row: 9202 / 234 / 1130 actuals; 2604 calls, 2251
+        // analysable (86.44 %).
+        let mut total = cme_inline::Census::default();
+        for (_, program) in table2_suite() {
+            total = total.add(&census(&program));
+        }
+        assert_eq!(total.propagateable, 9202);
+        assert_eq!(total.renameable, 234);
+        assert_eq!(total.non_analysable, 1130);
+        assert_eq!(total.calls, 2604);
+        assert_eq!(total.analysable_calls, 2251);
+        assert!((total.analysable_pct() - 86.44).abs() < 0.05);
+        let pct_p = 100.0 * total.propagateable as f64 / total.total_actuals() as f64;
+        assert!((pct_p - 87.09).abs() < 0.05);
+    }
+
+    #[test]
+    fn analysable_rows_inline_fully() {
+        // Rows with zero non-analysable actuals must inline end-to-end.
+        for (row, program) in table2_suite() {
+            if row.non_analysable == 0 && row.calls > 0 {
+                let inlined = cme_inline::Inliner::new().inline(&program);
+                assert!(inlined.is_ok(), "{} failed: {:?}", row.name, inlined.err());
+                assert_eq!(inlined.unwrap().stats().calls, 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,526 @@
+//! Whole-program workloads standing in for the paper's Table 5/6 programs.
+//!
+//! SPECfp95 sources are proprietary, so these are *structural* stand-ins:
+//! they match what the method actually exercises — subroutine/call-site
+//! structure, propagateable actuals, loop depths, reference counts of the
+//! same order, stencil-style reuse — while the arithmetic is generic.
+//!
+//! * [`tomcatv_like`] — one program unit, no calls, an outer iteration
+//!   loop over several 2-D nests (mesh-generation style; the real Tomcatv
+//!   has 79 references in one subroutine);
+//! * [`swim_like`] — a shallow-water style driver with six subroutines
+//!   communicating through `COMMON` and six parameterless calls, matching
+//!   the paper's description of Swim (6 subroutines, 6 calls, ~52
+//!   references);
+//! * [`applu_like`] — a generated SSOR-style solver with 16 subroutines,
+//!   ~25 call statements and ~2500 references over five-component 3-D
+//!   fields, mirroring Applu's scale.
+
+use cme_inline::Inliner;
+use cme_ir::{
+    normalize, Actual, LinExpr, NormalizeOptions, Program, SNode, SRef, SourceProgram, Subroutine,
+    VarDecl,
+};
+
+/// Mesh-generation style single-unit program (`N×N` grid, `itmax` outer
+/// iterations).
+pub const TOMCATV_LIKE_SRC: &str = "
+      PROGRAM TOMCATV
+      REAL*8 X, Y, RX, RY, AA, DD, D
+      DIMENSION X(N,N), Y(N,N), RX(N,N), RY(N,N)
+      DIMENSION AA(N,N), DD(N,N), D(N,N)
+      DO IT = 1, ITMAX
+        DO J = 2, N-1
+          DO I = 2, N-1
+            XX = X(I+1,J) - X(I-1,J)
+            YX = Y(I+1,J) - Y(I-1,J)
+            XY = X(I,J+1) - X(I,J-1)
+            YY = Y(I,J+1) - Y(I,J-1)
+            A = 0.25D0 * (XY*XY + YY*YY)
+            B = 0.25D0 * (XX*XX + YX*YX)
+            C = 0.125D0 * (XX*XY + YX*YY)
+            AA(I,J) = -B
+            DD(I,J) = B + B + A*2.0D0
+            PXX = X(I+1,J) - 2.0D0*X(I,J) + X(I-1,J)
+            QXX = Y(I+1,J) - 2.0D0*Y(I,J) + Y(I-1,J)
+            PYY = X(I,J+1) - 2.0D0*X(I,J) + X(I,J-1)
+            QYY = Y(I,J+1) - 2.0D0*Y(I,J) + Y(I,J-1)
+            PXY = X(I+1,J+1) - X(I+1,J-1) - X(I-1,J+1) + X(I-1,J-1)
+            QXY = Y(I+1,J+1) - Y(I+1,J-1) - Y(I-1,J+1) + Y(I-1,J-1)
+            RX(I,J) = A*PXX + B*PYY - C*PXY
+            RY(I,J) = A*QXX + B*QYY - C*QXY
+          ENDDO
+        ENDDO
+        DO J = 2, N-1
+          DO I = 2, N-1
+            D(I,J) = 1.0D0 / (DD(I,J) - AA(I,J)*D(I-1,J))
+            RX(I,J) = (RX(I,J) - AA(I,J)*RX(I-1,J)) * D(I,J)
+            RY(I,J) = (RY(I,J) - AA(I,J)*RY(I-1,J)) * D(I,J)
+          ENDDO
+        ENDDO
+        DO J = 2, N-1
+          DO I = 2, N-2
+            RX(N-I,J) = RX(N-I,J) - D(N-I,J)*RX(N-I+1,J)
+            RY(N-I,J) = RY(N-I,J) - D(N-I,J)*RY(N-I+1,J)
+          ENDDO
+        ENDDO
+        DO J = 2, N-1
+          DO I = 2, N-1
+            X(I,J) = X(I,J) + RX(I,J)
+            Y(I,J) = Y(I,J) + RY(I,J)
+          ENDDO
+        ENDDO
+      ENDDO
+      END
+";
+
+/// Shallow-water style program (`N×N` grid, `itmax` steps): six
+/// subroutines communicating through `COMMON`, all six calls
+/// parameterless — the structure the paper reports for Swim.
+pub const SWIM_LIKE_SRC: &str = "
+      PROGRAM SWIM
+      REAL*8 U, V, P, UNEW, VNEW, PNEW, UOLD, VOLD, POLD, CU, CV, Z, H
+      COMMON /FIELDS/ U, V, P, UNEW, VNEW, PNEW, UOLD, VOLD, POLD
+      COMMON /WORK/ CU, CV, Z, H
+      DIMENSION U(N,N), V(N,N), P(N,N)
+      DIMENSION UNEW(N,N), VNEW(N,N), PNEW(N,N)
+      DIMENSION UOLD(N,N), VOLD(N,N), POLD(N,N)
+      DIMENSION CU(N,N), CV(N,N), Z(N,N), H(N,N)
+      CALL INITAL
+      CALL CALC3Z
+      DO NCYCLE = 1, ITMAX
+        CALL CALC1
+        CALL CALC2
+        CALL CALC3
+      ENDDO
+      CALL CALC3Z
+      END
+      SUBROUTINE INITAL
+      REAL*8 U, V, P, UNEW, VNEW, PNEW, UOLD, VOLD, POLD
+      COMMON /FIELDS/ U, V, P, UNEW, VNEW, PNEW, UOLD, VOLD, POLD
+      DIMENSION U(N,N), V(N,N), P(N,N)
+      DIMENSION UNEW(N,N), VNEW(N,N), PNEW(N,N)
+      DIMENSION UOLD(N,N), VOLD(N,N), POLD(N,N)
+      DO J = 1, N
+        DO I = 1, N
+          U(I,J) = 1.0D0
+          V(I,J) = 2.0D0
+          P(I,J) = 3.0D0
+        ENDDO
+      ENDDO
+      END
+      SUBROUTINE CALC1
+      REAL*8 U, V, P, UNEW, VNEW, PNEW, UOLD, VOLD, POLD, CU, CV, Z, H
+      COMMON /FIELDS/ U, V, P, UNEW, VNEW, PNEW, UOLD, VOLD, POLD
+      COMMON /WORK/ CU, CV, Z, H
+      DIMENSION U(N,N), V(N,N), P(N,N)
+      DIMENSION UNEW(N,N), VNEW(N,N), PNEW(N,N)
+      DIMENSION UOLD(N,N), VOLD(N,N), POLD(N,N)
+      DIMENSION CU(N,N), CV(N,N), Z(N,N), H(N,N)
+      DO J = 1, N-1
+        DO I = 1, N-1
+          CU(I+1,J) = 0.5D0*(P(I+1,J)+P(I,J))*U(I+1,J)
+          CV(I,J+1) = 0.5D0*(P(I,J+1)+P(I,J))*V(I,J+1)
+          Z(I+1,J+1) = (4.0D0*(V(I+1,J+1)-V(I,J+1))-U(I+1,J+1) &
+            + U(I+1,J))/(P(I,J)+P(I+1,J)+P(I+1,J+1)+P(I,J+1))
+          H(I,J) = P(I,J)+0.25D0*(U(I+1,J)*U(I+1,J)+U(I,J)*U(I,J) &
+            + V(I,J+1)*V(I,J+1)+V(I,J)*V(I,J))
+        ENDDO
+      ENDDO
+      END
+      SUBROUTINE CALC2
+      REAL*8 U, V, P, UNEW, VNEW, PNEW, UOLD, VOLD, POLD, CU, CV, Z, H
+      COMMON /FIELDS/ U, V, P, UNEW, VNEW, PNEW, UOLD, VOLD, POLD
+      COMMON /WORK/ CU, CV, Z, H
+      DIMENSION U(N,N), V(N,N), P(N,N)
+      DIMENSION UNEW(N,N), VNEW(N,N), PNEW(N,N)
+      DIMENSION UOLD(N,N), VOLD(N,N), POLD(N,N)
+      DIMENSION CU(N,N), CV(N,N), Z(N,N), H(N,N)
+      DO J = 1, N-1
+        DO I = 1, N-1
+          UNEW(I+1,J) = UOLD(I+1,J) + 0.01D0*(Z(I+1,J+1)+Z(I+1,J)) &
+            *(CV(I+1,J+1)+CV(I,J+1)+CV(I,J)+CV(I+1,J)) &
+            - 0.02D0*(H(I+1,J)-H(I,J))
+          VNEW(I,J+1) = VOLD(I,J+1) - 0.01D0*(Z(I+1,J+1)+Z(I,J+1)) &
+            *(CU(I+1,J+1)+CU(I,J+1)+CU(I,J)+CU(I+1,J)) &
+            - 0.02D0*(H(I,J+1)-H(I,J))
+          PNEW(I,J) = POLD(I,J) - 0.03D0*(CU(I+1,J)-CU(I,J) &
+            + CV(I,J+1)-CV(I,J))
+        ENDDO
+      ENDDO
+      END
+      SUBROUTINE CALC3
+      REAL*8 U, V, P, UNEW, VNEW, PNEW, UOLD, VOLD, POLD
+      COMMON /FIELDS/ U, V, P, UNEW, VNEW, PNEW, UOLD, VOLD, POLD
+      DIMENSION U(N,N), V(N,N), P(N,N)
+      DIMENSION UNEW(N,N), VNEW(N,N), PNEW(N,N)
+      DIMENSION UOLD(N,N), VOLD(N,N), POLD(N,N)
+      DO J = 1, N
+        DO I = 1, N
+          UOLD(I,J) = U(I,J) + 0.1D0*(UNEW(I,J) - 2.0D0*U(I,J) + UOLD(I,J))
+          VOLD(I,J) = V(I,J) + 0.1D0*(VNEW(I,J) - 2.0D0*V(I,J) + VOLD(I,J))
+          POLD(I,J) = P(I,J) + 0.1D0*(PNEW(I,J) - 2.0D0*P(I,J) + POLD(I,J))
+          U(I,J) = UNEW(I,J)
+          V(I,J) = VNEW(I,J)
+          P(I,J) = PNEW(I,J)
+        ENDDO
+      ENDDO
+      END
+      SUBROUTINE CALC3Z
+      REAL*8 U, V, P, UNEW, VNEW, PNEW, UOLD, VOLD, POLD
+      COMMON /FIELDS/ U, V, P, UNEW, VNEW, PNEW, UOLD, VOLD, POLD
+      DIMENSION U(N,N), V(N,N), P(N,N)
+      DIMENSION UNEW(N,N), VNEW(N,N), PNEW(N,N)
+      DIMENSION UOLD(N,N), VOLD(N,N), POLD(N,N)
+      DO J = 1, N
+        DO I = 1, N
+          UOLD(I,J) = U(I,J)
+          VOLD(I,J) = V(I,J)
+          POLD(I,J) = P(I,J)
+        ENDDO
+      ENDDO
+      END
+";
+
+/// Parses, inlines and normalises one of the FORTRAN whole programs.
+fn prepare(src: &str, params: &[(&str, i64)]) -> Program {
+    let source = cme_fortran::parse_with_params(src, params).expect("workload parses");
+    let inlined = Inliner::new().inline(&source).expect("workload inlines");
+    normalize(&inlined, &NormalizeOptions::default()).expect("workload normalises")
+}
+
+/// Tomcatv-like program, normalised (`n ≥ 5`, `itmax ≥ 1`).
+pub fn tomcatv_like(n: i64, itmax: i64) -> Program {
+    prepare(TOMCATV_LIKE_SRC, &[("N", n), ("ITMAX", itmax)])
+}
+
+/// Tomcatv-like in source form.
+pub fn tomcatv_like_source(n: i64, itmax: i64) -> SourceProgram {
+    cme_fortran::parse_with_params(TOMCATV_LIKE_SRC, &[("N", n), ("ITMAX", itmax)])
+        .expect("workload parses")
+}
+
+/// Swim-like program (with calls), inlined and normalised.
+pub fn swim_like(n: i64, itmax: i64) -> Program {
+    prepare(SWIM_LIKE_SRC, &[("N", n), ("ITMAX", itmax)])
+}
+
+/// Swim-like in source form (calls intact).
+pub fn swim_like_source(n: i64, itmax: i64) -> SourceProgram {
+    cme_fortran::parse_with_params(SWIM_LIKE_SRC, &[("N", n), ("ITMAX", itmax)])
+        .expect("workload parses")
+}
+
+/// Applu-like program: a generated SSOR-style solver over five-component
+/// 3-D fields with 16 subroutines and ~2500 references, mirroring the
+/// structure the paper's largest program exercises (all actuals
+/// propagateable).
+pub fn applu_like_source(n: i64, itmax: i64) -> SourceProgram {
+    let comps = 5i64;
+    let fields = ["U", "RSD", "FRCT", "FLUX", "QS", "RHO"];
+    let mut subs: Vec<Subroutine> = Vec::new();
+
+    // 12 "physics" subroutines, each: three 3-deep nests over the five
+    // components with 3-D stencil reads (jacld/jacu/blts/buts/rhs flavour).
+    let nsubs = 12usize;
+    for s in 0..nsubs {
+        let mut sub = Subroutine::new(format!("PHYS{s:02}"));
+        sub.formals = vec!["A".into(), "B".into()];
+        sub.decls = vec![
+            VarDecl::array("A", &[comps, n, n, n], 8).formal(),
+            VarDecl::array("B", &[comps, n, n, n], 8).formal(),
+        ];
+        let (i, j, k) = (LinExpr::var("I"), LinExpr::var("J"), LinExpr::var("K"));
+        let fref = |name: &str, m: i64, di: i64, dj: i64, dk: i64| {
+            SRef::new(
+                name,
+                vec![
+                    LinExpr::constant(m),
+                    i.offset(di),
+                    j.offset(dj),
+                    k.offset(dk),
+                ],
+            )
+        };
+        // Nest 1: A(m,·) ← 7-point stencil of B plus edge terms and two
+        // component couplings (jacld/jacu flavour).
+        let mut body1 = Vec::new();
+        for m in 1..=comps {
+            body1.push(SNode::assign(
+                fref("A", m, 0, 0, 0),
+                vec![
+                    fref("B", m, -1, 0, 0),
+                    fref("B", m, 1, 0, 0),
+                    fref("B", m, 0, -1, 0),
+                    fref("B", m, 0, 1, 0),
+                    fref("B", m, 0, 0, -1),
+                    fref("B", m, 0, 0, 1),
+                    fref("B", m, 0, 0, 0),
+                    fref("B", m, -1, -1, 0),
+                    fref("B", m, 1, 1, 0),
+                    fref("B", m, 0, -1, -1),
+                    fref("B", m, 0, 1, 1),
+                    fref("B", m, -1, 0, -1),
+                    fref("B", m, 1, 0, 1),
+                    fref("A", m, -1, 0, 0),
+                    fref("A", (m % comps) + 1, 0, 0, 0),
+                ],
+            ));
+        }
+        // Nest 2: B(m,·) ← backward sweep flavour (depends on s parity).
+        let mut body2 = Vec::new();
+        for m in 1..=comps {
+            let (d1, d2) = if s % 2 == 0 { (-1, 1) } else { (1, -1) };
+            body2.push(SNode::assign(
+                fref("B", m, 0, 0, 0),
+                vec![
+                    fref("A", m, d1, 0, 0),
+                    fref("A", m, 0, d2, 0),
+                    fref("A", m, 0, 0, d1),
+                    fref("A", m, d1, d2, 0),
+                    fref("A", m, 0, d1, d2),
+                    fref("B", (m % comps) + 1, 0, 0, 0),
+                    fref("B", ((m + 1) % comps) + 1, 0, 0, 0),
+                    fref("A", m, 0, 0, 0),
+                    fref("B", m, d2, 0, 0),
+                ],
+            ));
+        }
+        // Nest 3: flux-difference update of A from both fields (rhs
+        // flavour).
+        let mut body3 = Vec::new();
+        for m in 1..=comps {
+            body3.push(SNode::assign(
+                fref("A", m, 0, 0, 0),
+                vec![
+                    fref("A", m, 0, 0, 0),
+                    fref("B", m, -1, 0, 0),
+                    fref("B", m, 1, 0, 0),
+                    fref("B", m, 0, -1, 0),
+                    fref("B", m, 0, 1, 0),
+                    fref("B", m, 0, 0, -1),
+                    fref("B", m, 0, 0, 1),
+                    fref("A", (m % comps) + 1, -1, 0, 0),
+                    fref("A", (m % comps) + 1, 1, 0, 0),
+                    fref("B", ((m + 1) % comps) + 1, 0, 0, 0),
+                    fref("B", ((m + 2) % comps) + 1, 0, 0, 0),
+                ],
+            ));
+        }
+        let nest = |body: Vec<SNode>| {
+            SNode::loop_(
+                "K",
+                2,
+                n - 1,
+                vec![SNode::loop_(
+                    "J",
+                    2,
+                    n - 1,
+                    vec![SNode::loop_("I", 2, n - 1, body)],
+                )],
+            )
+        };
+        sub.body = vec![nest(body1), nest(body2), nest(body3)];
+        subs.push(sub);
+    }
+
+    // The small update pass: A(m,·) += B(m,·) over the whole field.
+    {
+        let mut sub = Subroutine::new("ADDF");
+        sub.formals = vec!["A".into(), "B".into()];
+        sub.decls = vec![
+            VarDecl::array("A", &[comps, n, n, n], 8).formal(),
+            VarDecl::array("B", &[comps, n, n, n], 8).formal(),
+        ];
+        let (i, j, k) = (LinExpr::var("I"), LinExpr::var("J"), LinExpr::var("K"));
+        let m = LinExpr::var("M");
+        sub.body = vec![SNode::loop_(
+            "K",
+            2,
+            n - 1,
+            vec![SNode::loop_(
+                "J",
+                2,
+                n - 1,
+                vec![SNode::loop_(
+                    "I",
+                    2,
+                    n - 1,
+                    vec![SNode::loop_(
+                        "M",
+                        1,
+                        comps,
+                        vec![SNode::assign(
+                            SRef::new("A", vec![m.clone(), i.clone(), j.clone(), k.clone()]),
+                            vec![
+                                SRef::new("A", vec![m.clone(), i.clone(), j.clone(), k.clone()]),
+                                SRef::new("B", vec![m.clone(), i.clone(), j.clone(), k.clone()]),
+                            ],
+                        )],
+                    )],
+                )],
+            )],
+        )];
+        subs.push(sub);
+    }
+
+    // Two init/setup subroutines (setbv/setiv flavour).
+    for (si, name) in ["SETBV", "SETIV"].iter().enumerate() {
+        let mut sub = Subroutine::new(*name);
+        sub.formals = vec!["A".into()];
+        sub.decls = vec![VarDecl::array("A", &[comps, n, n, n], 8).formal()];
+        let (i, j, k) = (LinExpr::var("I"), LinExpr::var("J"), LinExpr::var("K"));
+        let mut body = Vec::new();
+        for m in 1..=comps {
+            body.push(SNode::assign(
+                SRef::new(
+                    "A",
+                    vec![LinExpr::constant(m), i.clone(), j.clone(), k.clone()],
+                ),
+                if si == 0 {
+                    vec![]
+                } else {
+                    vec![SRef::new(
+                        "A",
+                        vec![
+                            LinExpr::constant((m % comps) + 1),
+                            i.clone(),
+                            j.clone(),
+                            k.clone(),
+                        ],
+                    )]
+                },
+            ));
+        }
+        sub.body = vec![SNode::loop_(
+            "K",
+            1,
+            n,
+            vec![SNode::loop_(
+                "J",
+                1,
+                n,
+                vec![SNode::loop_("I", 1, n, body)],
+            )],
+        )];
+        subs.push(sub);
+    }
+
+    // MAIN: init calls + SSOR time loop calling the physics subroutines in
+    // pairs over the global fields.
+    let mut main = Subroutine::new("APPLU");
+    for f in fields {
+        main.decls.push(VarDecl::array(f, &[comps, n, n, n], 8));
+    }
+    let mut body = vec![
+        SNode::call("SETBV", vec![Actual::var("U")]),
+        SNode::call("SETIV", vec![Actual::var("RSD")]),
+    ];
+    let mut loop_body = Vec::new();
+    for s in 0..nsubs {
+        let a = fields[s % fields.len()];
+        let b = fields[(s + 1) % fields.len()];
+        loop_body.push(SNode::call(
+            format!("PHYS{s:02}"),
+            vec![Actual::var(a), Actual::var(b)],
+        ));
+    }
+    // Norm/update passes (the `add`/`l2norm` flavour of Applu): small
+    // subroutines called several times per step, bringing the call count to
+    // Applu's scale without duplicating whole physics bodies.
+    for s in 0..10usize {
+        let a = fields[(s + 2) % fields.len()];
+        let b = fields[(s + 3) % fields.len()];
+        loop_body.push(SNode::call(
+            "ADDF",
+            vec![Actual::var(a), Actual::var(b)],
+        ));
+    }
+    body.push(SNode::loop_("ISTEP", 1, itmax, loop_body));
+    main.body = body;
+
+    let mut subroutines = vec![main];
+    subroutines.extend(subs);
+    SourceProgram {
+        name: "applu-like".into(),
+        subroutines,
+        entry: "APPLU".into(),
+    }
+}
+
+/// Applu-like program, inlined and normalised.
+pub fn applu_like(n: i64, itmax: i64) -> Program {
+    let source = applu_like_source(n, itmax);
+    let inlined = Inliner::new().inline(&source).expect("applu-like inlines");
+    normalize(&inlined, &NormalizeOptions::default()).expect("applu-like normalises")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tomcatv_like_shape() {
+        let src = tomcatv_like_source(16, 2);
+        let stats = src.stats();
+        assert_eq!(stats.subroutines, 1);
+        assert_eq!(stats.calls, 0);
+        // Same order as the real Tomcatv's 79 references.
+        assert!((50..130).contains(&stats.references), "{stats:?}");
+        let p = tomcatv_like(16, 2);
+        assert_eq!(p.depth(), 3);
+        assert!(p.total_accesses() > 0);
+    }
+
+    #[test]
+    fn swim_like_shape() {
+        // The paper's Swim: 6 subroutines, 6 parameterless calls, ~52 refs.
+        let src = swim_like_source(16, 2);
+        let stats = src.stats();
+        assert_eq!(stats.subroutines, 6);
+        assert_eq!(stats.calls, 6);
+        assert!((40..100).contains(&stats.references), "{stats:?}");
+        let census = cme_inline::census(&src);
+        assert_eq!(census.total_actuals(), 0, "parameterless calls");
+        assert_eq!(census.analysable_calls, census.calls);
+        let p = swim_like(12, 2);
+        assert!(p.total_accesses() > 0);
+    }
+
+    #[test]
+    fn applu_like_shape() {
+        let src = applu_like_source(8, 2);
+        let stats = src.stats();
+        assert_eq!(stats.subroutines, 16);
+        assert!((10..30).contains(&stats.calls), "{stats:?}");
+        // Mirrors Applu's 2565 references to within ~20 %.
+        assert!((2000..3000).contains(&stats.references), "{stats:?}");
+        let census = cme_inline::census(&src);
+        assert_eq!(census.non_analysable, 0);
+        assert_eq!(census.renameable, 0);
+    }
+
+    #[test]
+    fn whole_programs_estimate_close_to_simulation() {
+        // The Table 6 property at reduced scale: EstimateMisses within ~1 %
+        // absolute of the simulator.
+        for (name, p) in [
+            ("tomcatv", tomcatv_like(24, 2)),
+            ("swim", swim_like(24, 2)),
+        ] {
+            let cfg = cme_cache::CacheConfig::new(4096, 32, 1).unwrap();
+            let sim = cme_cache::Simulator::new(cfg).run(&p).miss_ratio();
+            let est = cme_analysis::EstimateMisses::new(
+                &p,
+                cfg,
+                cme_analysis::SamplingOptions::paper_default(),
+            )
+            .run()
+            .miss_ratio();
+            assert!(
+                (est - sim).abs() < 0.03,
+                "{name}: estimate {est:.4} vs simulator {sim:.4}"
+            );
+        }
+    }
+}

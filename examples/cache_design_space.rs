@@ -1,0 +1,79 @@
+//! Memory-system design-space exploration: sweep cache geometries with the
+//! analytical model instead of simulating each point — the second use case
+//! the paper motivates ("improve cache simulation performance").
+//!
+//! ```text
+//! cargo run --example cache_design_space --release
+//! ```
+
+use cme::prelude::*;
+use cme_analysis::SamplingOptions;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's Hydro kernel at a moderate size.
+    let program = cme::workloads::hydro(48, 48);
+    println!(
+        "exploring cache design space for Hydro (48x48): {} refs, {} accesses\n",
+        program.references().len(),
+        program.total_accesses()
+    );
+
+    let sizes_kb = [2u64, 4, 8, 16, 32];
+    let assocs = [1u32, 2, 4, 8];
+
+    println!(
+        "{:<8} {}",
+        "size",
+        assocs
+            .iter()
+            .map(|a| format!("{:>10}", format!("{a}-way %")))
+            .collect::<String>()
+    );
+
+    let start = Instant::now();
+    let mut evaluations = 0u32;
+    let mut prev_col: Option<Vec<f64>> = None;
+    for kb in sizes_kb {
+        let mut row = format!("{:<8}", format!("{kb}KB"));
+        let mut col = Vec::new();
+        for assoc in assocs {
+            let cache = CacheConfig::new(kb * 1024, 32, assoc)?;
+            let ratio = EstimateMisses::new(&program, cache, SamplingOptions::paper_default())
+                .run()
+                .miss_ratio();
+            row.push_str(&format!("{:>10.2}", 100.0 * ratio));
+            col.push(ratio);
+            evaluations += 1;
+        }
+        println!("{row}");
+        // Monotonicity sanity: growing the cache should not increase the
+        // analytically-predicted miss ratio much (sampling noise aside).
+        if let Some(prev) = prev_col {
+            for (a, b) in prev.iter().zip(&col) {
+                assert!(b - a < 0.05, "bigger cache noticeably worse?");
+            }
+        }
+        prev_col = Some(col);
+    }
+    println!(
+        "\n{} design points evaluated analytically in {:?}",
+        evaluations,
+        start.elapsed()
+    );
+
+    // Spot-check one point against the simulator.
+    let cache = CacheConfig::new(8 * 1024, 32, 2)?;
+    let sim = Simulator::new(cache).run(&program).miss_ratio();
+    let est = EstimateMisses::new(&program, cache, SamplingOptions::paper_default())
+        .run()
+        .miss_ratio();
+    println!(
+        "spot-check {}: simulator {:.2}% vs model {:.2}%",
+        cache,
+        100.0 * sim,
+        100.0 * est
+    );
+    assert!((est - sim).abs() < 0.02);
+    Ok(())
+}

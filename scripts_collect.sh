@@ -1,0 +1,10 @@
+#!/bin/bash
+set -x
+cargo build -p cme-bench --release
+for t in table2 table3 table4 table5 table6 table7; do
+  ./target/release/$t --scale small > results/$t-small.txt 2>&1
+done
+for t in table3 table4 table6 table7; do
+  ./target/release/$t --scale medium > results/$t-medium.txt 2>&1
+done
+echo ALL_DONE

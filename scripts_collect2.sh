@@ -1,0 +1,12 @@
+#!/bin/bash
+set -x
+cargo build -p cme-bench --release
+for t in table2 table3 table4 table5 table6 table7; do
+  ./target/release/$t --scale small > results/$t-small.txt 2>&1
+done
+for t in table3 table4 table6 table7; do
+  ./target/release/$t --scale medium > results/$t-medium.txt 2>&1
+done
+./target/release/table4 --scale paper > results/table4-paper.txt 2>&1
+./target/release/table3 --scale paper > results/table3-paper.txt 2>&1
+echo ALL_DONE2

@@ -1,0 +1,30 @@
+#!/usr/bin/env python3
+"""Embed the captured results/ outputs into EXPERIMENTS.md markers."""
+import re
+from pathlib import Path
+
+doc = Path("EXPERIMENTS.md").read_text()
+
+
+def block(path: str) -> str:
+    p = Path(path)
+    if not p.exists():
+        return f"*(not captured: {path})*"
+    text = p.read_text().strip()
+    return f"```text\n{text}\n```"
+
+
+def fill(marker: str, *paths: str) -> None:
+    global doc
+    parts = "\n\n".join(block(p) for p in paths)
+    doc = doc.replace(f"<!-- {marker} -->", parts)
+
+
+fill("TABLE3", "results/table3-medium.txt", "results/table3-paper.txt")
+fill("TABLE4", "results/table4-medium.txt", "results/table4-paper.txt")
+fill("TABLE5", "results/table5-small.txt")
+fill("TABLE6", "results/table6-medium.txt")
+fill("TABLE7", "results/table7-medium.txt")
+
+Path("EXPERIMENTS.md").write_text(doc)
+print("filled", len(re.findall("```text", doc)), "blocks")

@@ -1,0 +1,55 @@
+//! # cme — analytical whole-program cache behaviour analysis
+//!
+//! Umbrella crate for the Cache-Miss-Equation (CME) toolkit, a from-scratch
+//! Rust reproduction of Vera & Xue, *"Let's Study Whole-Program Cache
+//! Behaviour Analytically"* (HPCA 2002). It statically predicts the data
+//! cache behaviour of regular programs — multiple subroutines, call
+//! statements, IF conditionals and arbitrarily nested loops — and validates
+//! the prediction against a set-associative LRU cache simulator.
+//!
+//! The sub-crates are re-exported under short names:
+//!
+//! * [`poly`] — exact integer linear algebra and affine constraint systems;
+//! * [`ir`] — the regular-program IR, normalisation and iteration spaces;
+//! * [`cache`] — the cache model and trace-driven simulator;
+//! * [`reuse`] — cross-nest reuse vector generation;
+//! * [`inline`] — abstract inlining of call statements;
+//! * [`analysis`] — the miss equations: `FindMisses` and `EstimateMisses`;
+//! * [`fortran`] — a FORTRAN-subset front end;
+//! * [`baselines`] — comparison estimators (probabilistic model);
+//! * [`workloads`] — the paper's kernels and whole-program workloads;
+//! * [`opt`] — model-driven padding and tile-size selection.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cme::prelude::*;
+//!
+//! // Analyse the paper's Hydro kernel exactly (FindMisses) — shrunk
+//! // bounds keep the doctest fast.
+//! let program = cme::workloads::hydro(8, 8);
+//! let cache = CacheConfig::new(1024, 32, 1).expect("valid cache");
+//! let report = FindMisses::new(&program, cache).run();
+//! let simulated = Simulator::new(cache).run(&program);
+//! assert_eq!(report.exact_misses(), Some(simulated.total_misses()));
+//! ```
+
+pub use cme_analysis as analysis;
+pub use cme_baselines as baselines;
+pub use cme_cache as cache;
+pub use cme_fortran as fortran;
+pub use cme_inline as inline;
+pub use cme_ir as ir;
+pub use cme_opt as opt;
+pub use cme_poly as poly;
+pub use cme_reuse as reuse;
+pub use cme_workloads as workloads;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use cme_analysis::{EstimateMisses, FindMisses, SamplingOptions};
+    pub use cme_cache::{CacheConfig, Simulator};
+    pub use cme_inline::Inliner;
+    pub use cme_ir::{Program, ProgramBuilder};
+    pub use cme_reuse::ReuseAnalysis;
+}

@@ -1,0 +1,268 @@
+//! Cross-crate integration tests: FORTRAN source → inlining →
+//! normalisation → reuse → miss equations → validation against the
+//! simulator.
+
+use cme::prelude::*;
+use cme_analysis::SamplingOptions;
+
+#[test]
+fn fortran_to_prediction_pipeline() {
+    let src = "
+      PROGRAM PIPE
+      REAL*8 A, B
+      DIMENSION A(N,N), B(N,N)
+      CALL COPY(A, B)
+      CALL COPY(B, A)
+      END
+      SUBROUTINE COPY(X, Y)
+      REAL*8 X, Y
+      DIMENSION X(N,N), Y(N,N)
+      DO J = 1, N
+        DO I = 1, N
+          Y(I,J) = X(I,J)
+        ENDDO
+      ENDDO
+      END
+";
+    let source = cme::fortran::parse_with_params(src, &[("N", 48)]).unwrap();
+    let inlined = Inliner::new().inline(&source).unwrap();
+    let program = cme::ir::normalize(&inlined, &Default::default()).unwrap();
+    assert_eq!(program.references().len(), 4);
+    assert_eq!(program.total_accesses(), 4 * 48 * 48);
+
+    for assoc in [1u32, 2] {
+        let cache = CacheConfig::new(8 * 1024, 32, assoc).unwrap();
+        let find = FindMisses::new(&program, cache).run();
+        let sim = Simulator::new(cache).run(&program);
+        assert_eq!(find.exact_misses(), Some(sim.total_misses()), "assoc {assoc}");
+    }
+}
+
+#[test]
+fn all_three_kernels_beat_one_percent_error_when_sampled() {
+    let cache = CacheConfig::new(8 * 1024, 32, 2).unwrap();
+    for (name, program) in [
+        ("hydro", cme::workloads::hydro(40, 40)),
+        ("mgrid", cme::workloads::mgrid(16)),
+        ("mmt", cme::workloads::mmt(32, 16, 8)),
+    ] {
+        let sim = Simulator::new(cache).run(&program).miss_ratio();
+        let est = EstimateMisses::new(&program, cache, SamplingOptions::paper_default())
+            .run()
+            .miss_ratio();
+        assert!(
+            (est - sim).abs() < 0.01,
+            "{name}: |{est:.4} - {sim:.4}| >= 1%"
+        );
+    }
+}
+
+#[test]
+fn estimate_never_breaks_on_any_associativity_or_size() {
+    let program = cme::workloads::mmt(16, 8, 4);
+    for kb in [1u64, 2, 8, 64] {
+        for assoc in [1u32, 2, 4, 8] {
+            let cache = CacheConfig::new(kb * 1024, 64, assoc).unwrap();
+            let r = EstimateMisses::new(&program, cache, SamplingOptions::paper_default())
+                .run()
+                .miss_ratio();
+            assert!((0.0..=1.0).contains(&r), "{kb}KB {assoc}-way: {r}");
+        }
+    }
+}
+
+#[test]
+fn whole_program_pipeline_with_stack_model() {
+    // The Fig. 4 stack accesses flow through the entire pipeline.
+    let src = cme::workloads::swim_like_source(16, 1);
+    let inlined = cme::inline::Inliner::with_stack_model().inline(&src).unwrap();
+    assert!(inlined.subroutines[0]
+        .decls
+        .iter()
+        .any(|d| d.name == "STACK"));
+    let program = cme::ir::normalize(&inlined, &Default::default()).unwrap();
+    let cache = CacheConfig::new(4 * 1024, 32, 1).unwrap();
+    let sim = Simulator::new(cache).run(&program);
+    let est = EstimateMisses::new(&program, cache, SamplingOptions::paper_default()).run();
+    assert_eq!(est.total_accesses(), sim.total_accesses());
+    assert!((est.miss_ratio() - sim.miss_ratio()).abs() < 0.02);
+
+    // Stack accesses add trace length compared to the plain pipeline.
+    let plain = cme::workloads::swim_like(16, 1);
+    assert!(program.total_accesses() > plain.total_accesses());
+}
+
+#[test]
+fn baselines_trait_objects_sweep() {
+    use cme::baselines::{
+        CacheModel, ExactCmeModel, ProbabilisticModel, SampledCmeModel, SimulationModel,
+    };
+    let program = cme::workloads::hydro(24, 24);
+    let cache = CacheConfig::new(4 * 1024, 32, 2).unwrap();
+    let models: Vec<Box<dyn CacheModel>> = vec![
+        Box::new(SimulationModel),
+        Box::new(ExactCmeModel),
+        Box::new(SampledCmeModel::default()),
+        Box::new(ProbabilisticModel),
+    ];
+    let truth = models[0].miss_ratio(&program, cache);
+    for m in &models {
+        let r = m.miss_ratio(&program, cache);
+        assert!((0.0..=1.0).contains(&r), "{}: {r}", m.name());
+        // Every model is within 10 points of truth on this friendly kernel;
+        // the CME ones much closer.
+        assert!((r - truth).abs() < 0.10, "{}: {r} vs {truth}", m.name());
+    }
+    let exact = models[1].miss_ratio(&program, cache);
+    assert!((exact - truth).abs() < 1e-12, "FindMisses exact on Hydro");
+}
+
+#[test]
+fn pretty_printer_renders_normalised_workloads() {
+    let program = cme::workloads::mmt(8, 4, 2);
+    let text = cme::ir::pretty::render(&program);
+    assert!(text.contains("PROGRAM MMT"));
+    assert!(text.contains("DO I1"));
+    // The sunk A(I,K) read is guarded (RA = A(I,K) under J = J2).
+    assert!(text.contains("IF ("), "{text}");
+}
+
+#[test]
+fn census_on_table2_suite_via_public_api() {
+    let mut total = cme::inline::Census::default();
+    for (_, program) in cme::workloads::table2_suite() {
+        total = total.add(&cme::inline::census(&program));
+    }
+    assert_eq!(total.calls, 2604);
+    assert_eq!(total.analysable_calls, 2251);
+}
+
+#[test]
+fn common_blocks_share_storage_across_subroutines() {
+    // The same computation written twice: with COMMON-based parameterless
+    // calls, and with explicit arguments. Identical miss counts expected.
+    let common_src = "
+      PROGRAM MAINC
+      REAL*8 U, V
+      COMMON /FLD/ U, V
+      DIMENSION U(N,N), V(N,N)
+      CALL STEPA
+      CALL STEPB
+      END
+      SUBROUTINE STEPA
+      REAL*8 U, V
+      COMMON /FLD/ U, V
+      DIMENSION U(N,N), V(N,N)
+      DO J = 2, N-1
+        DO I = 2, N-1
+          V(I,J) = U(I-1,J) + U(I+1,J)
+        ENDDO
+      ENDDO
+      END
+      SUBROUTINE STEPB
+      REAL*8 U, V
+      COMMON /FLD/ U, V
+      DIMENSION U(N,N), V(N,N)
+      DO J = 2, N-1
+        DO I = 2, N-1
+          U(I,J) = V(I,J-1) + V(I,J+1)
+        ENDDO
+      ENDDO
+      END
+";
+    let args_src = "
+      PROGRAM MAINA
+      REAL*8 U, V
+      DIMENSION U(N,N), V(N,N)
+      CALL STEPA(U, V)
+      CALL STEPB(U, V)
+      END
+      SUBROUTINE STEPA(U, V)
+      REAL*8 U, V
+      DIMENSION U(N,N), V(N,N)
+      DO J = 2, N-1
+        DO I = 2, N-1
+          V(I,J) = U(I-1,J) + U(I+1,J)
+        ENDDO
+      ENDDO
+      END
+      SUBROUTINE STEPB(U, V)
+      REAL*8 U, V
+      DIMENSION U(N,N), V(N,N)
+      DO J = 2, N-1
+        DO I = 2, N-1
+          U(I,J) = V(I,J-1) + V(I,J+1)
+        ENDDO
+      ENDDO
+      END
+";
+    let build = |src: &str| {
+        let source = cme::fortran::parse_with_params(src, &[("N", 40)]).unwrap();
+        let inlined = Inliner::new().inline(&source).unwrap();
+        cme::ir::normalize(&inlined, &Default::default()).unwrap()
+    };
+    let p_common = build(common_src);
+    let p_args = build(args_src);
+    // Parameterless calls: census shows zero actuals, like the paper's Swim.
+    let census = cme::inline::census(&cme::fortran::parse_with_params(common_src, &[("N", 40)]).unwrap());
+    assert_eq!(census.total_actuals(), 0);
+    assert_eq!(census.calls, 2);
+    assert_eq!(census.analysable_calls, 2);
+
+    for assoc in [1u32, 2] {
+        let cache = CacheConfig::new(4 * 1024, 32, assoc).unwrap();
+        let sim_c = Simulator::new(cache).run(&p_common);
+        let sim_a = Simulator::new(cache).run(&p_args);
+        assert_eq!(sim_c.total_accesses(), sim_a.total_accesses());
+        assert_eq!(sim_c.total_misses(), sim_a.total_misses(), "assoc {assoc}");
+        // And the analytical model agrees with the simulator on both.
+        let find = FindMisses::new(&p_common, cache).run();
+        assert_eq!(find.exact_misses(), Some(sim_c.total_misses()));
+    }
+}
+
+#[test]
+fn common_layout_is_contiguous_in_member_order() {
+    let src = "
+      PROGRAM M
+      REAL*8 A, B, C
+      COMMON /BLK/ A, B, C
+      DIMENSION A(8), B(8), C(8)
+      DO I = 1, 8
+        C(I) = A(I) + B(I)
+      ENDDO
+      END
+";
+    let source = cme::fortran::parse_with_params(src, &[]).unwrap();
+    let inlined = Inliner::new().inline(&source).unwrap();
+    let p = cme::ir::normalize(&inlined, &Default::default()).unwrap();
+    let base = |n: &str| {
+        let id = p.arrays().iter().position(|a| a.name == n).unwrap();
+        p.base_address(id)
+    };
+    assert_eq!(base("BLK.B"), base("BLK.A") + 64);
+    assert_eq!(base("BLK.C"), base("BLK.B") + 64);
+}
+
+#[test]
+fn common_mismatch_is_rejected() {
+    let src = "
+      PROGRAM M
+      REAL*8 A
+      COMMON /BLK/ A
+      DIMENSION A(8)
+      CALL S
+      END
+      SUBROUTINE S
+      REAL*8 A
+      COMMON /BLK/ A
+      DIMENSION A(16)
+      DO I = 1, 16
+        A(I) = 0.0D0
+      ENDDO
+      END
+";
+    let source = cme::fortran::parse_with_params(src, &[]).unwrap();
+    let err = Inliner::new().inline(&source).unwrap_err();
+    assert!(err.to_string().contains("COMMON /BLK/"), "{err}");
+}
