@@ -1,31 +1,49 @@
-//! Criterion micro-benchmarks for the analysis pipeline stages, plus the
+//! Std-only micro-benchmarks for the analysis pipeline stages, plus the
 //! sampling-parameter ablation called out in DESIGN.md.
+//!
+//! Runs via `cargo bench -p cme-bench` (the manifest sets `harness = false`
+//! so this is a plain binary — no external benchmarking framework needed,
+//! which keeps the workspace building offline). Each case is timed with a
+//! warm-up pass and a median-of-N wall-clock measurement.
 
 use cme_analysis::{EstimateMisses, FindMisses, SamplingOptions};
 use cme_cache::{CacheConfig, Simulator};
-use cme_poly::{Affine, Constraint, ConstraintSystem, Space};
+use cme_poly::{Affine, Constraint, ConstraintSystem, SeededRng, Space};
 use cme_reuse::ReuseAnalysis;
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 fn cfg() -> CacheConfig {
     CacheConfig::new(8 * 1024, 32, 2).expect("valid")
 }
 
-fn bench_reuse_generation(c: &mut Criterion) {
-    let hydro = cme_workloads::hydro(50, 50);
-    let mmt = cme_workloads::mmt(32, 16, 8);
-    let mut g = c.benchmark_group("reuse_generation");
-    g.bench_function("hydro_50", |b| {
-        b.iter(|| ReuseAnalysis::analyze(black_box(&hydro), 32))
-    });
-    g.bench_function("mmt_32", |b| {
-        b.iter(|| ReuseAnalysis::analyze(black_box(&mmt), 32))
-    });
-    g.finish();
+/// Median-of-`n` wall-clock timing with one warm-up iteration.
+fn bench<T>(label: &str, n: usize, mut f: impl FnMut() -> T) {
+    black_box(f());
+    let mut times: Vec<f64> = (0..n)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(f());
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = times[times.len() / 2];
+    println!("{label:<40} {median:>10.3} ms  (median of {n})");
 }
 
-fn bench_polyhedra(c: &mut Criterion) {
+fn bench_reuse_generation() {
+    let hydro = cme_workloads::hydro(50, 50);
+    let mmt = cme_workloads::mmt(32, 16, 8);
+    bench("reuse_generation/hydro_50", 10, || {
+        ReuseAnalysis::analyze(black_box(&hydro), 32)
+    });
+    bench("reuse_generation/mmt_32", 10, || {
+        ReuseAnalysis::analyze(black_box(&mmt), 32)
+    });
+}
+
+fn bench_polyhedra() {
     // Triangular 3-D iteration space: count + sample.
     let mut sys = ConstraintSystem::new(3);
     sys.push(Constraint::ge(Affine::new(vec![1, 0, 0], -1)));
@@ -35,95 +53,70 @@ fn bench_polyhedra(c: &mut Criterion) {
     sys.push(Constraint::ge(Affine::new(vec![0, -1, 1], 0)));
     sys.push(Constraint::ge(Affine::new(vec![0, 0, -1], 60)));
     let space = Space::new(sys).expect("bounded");
-    let mut g = c.benchmark_group("polyhedra");
-    g.bench_function("count_triangular_60", |b| {
-        b.iter(|| black_box(&space).count())
+    bench("polyhedra/count_triangular_60", 20, || {
+        black_box(&space).count()
     });
-    g.bench_function("sample_385_points", |b| {
-        use rand::SeedableRng;
-        b.iter_batched(
-            || rand::rngs::StdRng::seed_from_u64(7),
-            |mut rng| {
-                cme_poly::sample::sample_points(
-                    black_box(&space),
-                    &mut rng,
-                    385,
-                    cme_poly::sample::DEFAULT_MAX_TRIALS,
-                )
-            },
-            BatchSize::SmallInput,
+    bench("polyhedra/sample_385_points", 20, || {
+        let mut rng = SeededRng::seed_from_u64(7);
+        cme_poly::sample::sample_points(
+            black_box(&space),
+            &mut rng,
+            385,
+            cme_poly::sample::DEFAULT_MAX_TRIALS,
         )
     });
-    g.finish();
 }
 
-fn bench_simulator(c: &mut Criterion) {
+fn bench_simulator() {
     let hydro = cme_workloads::hydro(40, 40);
-    let mut g = c.benchmark_group("simulator");
-    g.throughput(criterion::Throughput::Elements(hydro.total_accesses()));
-    g.bench_function("hydro_40_trace", |b| {
-        b.iter(|| Simulator::new(cfg()).run(black_box(&hydro)))
+    bench("simulator/hydro_40_trace", 10, || {
+        Simulator::new(cfg()).run(black_box(&hydro))
     });
-    g.finish();
 }
 
-fn bench_analysis(c: &mut Criterion) {
+fn bench_analysis() {
     let hydro = cme_workloads::hydro(24, 24);
-    let mut g = c.benchmark_group("analysis");
-    g.sample_size(10);
-    g.bench_function("find_misses_hydro_24", |b| {
-        b.iter(|| FindMisses::new(black_box(&hydro), cfg()).run())
+    bench("analysis/find_misses_hydro_24", 5, || {
+        FindMisses::new(black_box(&hydro), cfg()).run()
     });
     let hydro50 = cme_workloads::hydro(50, 50);
-    g.bench_function("estimate_misses_hydro_50", |b| {
-        b.iter(|| {
-            EstimateMisses::new(black_box(&hydro50), cfg(), SamplingOptions::paper_default()).run()
-        })
+    bench("analysis/estimate_misses_hydro_50", 5, || {
+        EstimateMisses::new(black_box(&hydro50), cfg(), SamplingOptions::paper_default()).run()
     });
-    g.finish();
 }
 
 /// Ablation: how the sampling interval width trades time for accuracy.
-fn bench_sampling_ablation(c: &mut Criterion) {
+fn bench_sampling_ablation() {
     let program = cme_workloads::hydro(50, 50);
-    let mut g = c.benchmark_group("sampling_width_ablation");
-    g.sample_size(10);
     for (label, width) in [("w_0.02", 0.02), ("w_0.05", 0.05), ("w_0.10", 0.10)] {
         let opts = SamplingOptions {
-            confidence: 0.95,
             width,
             seed: 7,
-            fallback: None,
+            ..SamplingOptions::paper_default()
         };
-        g.bench_function(label, |b| {
-            b.iter(|| EstimateMisses::new(black_box(&program), cfg(), opts.clone()).run())
+        bench(&format!("sampling_width_ablation/{label}"), 5, || {
+            EstimateMisses::new(black_box(&program), cfg(), opts.clone()).run()
         });
     }
-    g.finish();
 }
 
 /// Ablation: the per-consumer reuse-vector cap trades generation/classify
 /// time against (bounded) conservative overestimation on reference-dense
 /// programs.
-fn bench_vector_cap_ablation(c: &mut Criterion) {
+fn bench_vector_cap_ablation() {
     let program = cme_workloads::mmt(32, 16, 8);
-    let mut g = c.benchmark_group("vector_cap_ablation");
-    g.sample_size(10);
     for (label, cap) in [("cap_32", 32usize), ("cap_128", 128), ("uncapped", usize::MAX)] {
-        g.bench_function(label, |b| {
-            b.iter(|| ReuseAnalysis::analyze_capped(black_box(&program), 32, cap))
+        bench(&format!("vector_cap_ablation/{label}"), 5, || {
+            ReuseAnalysis::analyze_capped(black_box(&program), 32, cap)
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_reuse_generation,
-    bench_polyhedra,
-    bench_simulator,
-    bench_analysis,
-    bench_sampling_ablation,
-    bench_vector_cap_ablation
-);
-criterion_main!(benches);
+fn main() {
+    bench_reuse_generation();
+    bench_polyhedra();
+    bench_simulator();
+    bench_analysis();
+    bench_sampling_ablation();
+    bench_vector_cap_ablation();
+}

@@ -16,6 +16,9 @@
 //!   (default 32KB/32B/2)
 //! * `--exact` — run `FindMisses` instead of `EstimateMisses`
 //! * `--simulate` — also run the trace-driven simulator for comparison
+//! * `--threads <n>` — worker threads for point classification
+//!   (0 or absent = one per hardware thread; 1 = serial). The report is
+//!   byte-identical for every value.
 
 use cme_analysis::{EstimateMisses, FindMisses, SamplingOptions};
 use cme_cache::{CacheConfig, Simulator};
@@ -77,10 +80,15 @@ fn main() {
         cfg
     );
 
+    let threads = cme_bench::threads_from_args();
     let report = if has("--exact") {
-        FindMisses::new(&program, cfg).run()
+        FindMisses::new(&program, cfg).threads(threads).run()
     } else {
-        EstimateMisses::new(&program, cfg, SamplingOptions::paper_default()).run()
+        let opts = SamplingOptions {
+            threads,
+            ..SamplingOptions::paper_default()
+        };
+        EstimateMisses::new(&program, cfg, opts).run()
     };
     print!("{}", report.render(&program));
     println!(

@@ -2,7 +2,7 @@
 //! kernels, for direct/2-way/4-way caches.
 //!
 //! ```text
-//! cargo run -p cme-bench --bin table3 --release [-- --scale small|medium|paper]
+//! cargo run -p cme-bench --bin table3 --release [-- --scale small|medium|paper] [--threads n]
 //! ```
 //!
 //! Expected shape (the paper's result): exact agreement on Hydro and
@@ -17,6 +17,7 @@ use cme_reuse::ReuseAnalysis;
 
 fn main() {
     let scale = Scale::from_args();
+    let threads = cme_bench::threads_from_args();
     let (kernels, caches): (Vec<(&str, Program)>, _) = match scale {
         Scale::Small => (
             vec![
@@ -60,8 +61,11 @@ fn main() {
         eprintln!("[{name}] reuse vectors in {}s", secs(reuse_t));
         for (cname, cfg) in &caches {
             let (sim, sim_t) = timed(|| Simulator::new(*cfg).run(program));
-            let (report, find_t) =
-                timed(|| FindMisses::with_reuse(program, *cfg, reuse.clone()).run());
+            let (report, find_t) = timed(|| {
+                FindMisses::with_reuse(program, *cfg, reuse.clone())
+                    .threads(threads)
+                    .run()
+            });
             let sim_ratio = 100.0 * sim.miss_ratio();
             let find_ratio = 100.0 * report.miss_ratio();
             t.row(vec![

@@ -2,7 +2,7 @@
 //! three kernels (`c = 95 %`, `w = 0.05`).
 //!
 //! ```text
-//! cargo run -p cme-bench --bin table4 --release [-- --scale small|medium|paper]
+//! cargo run -p cme-bench --bin table4 --release [-- --scale small|medium|paper] [--threads n]
 //! ```
 //!
 //! Expected shape: absolute miss-ratio errors well below the requested
@@ -17,6 +17,10 @@ use cme_reuse::ReuseAnalysis;
 
 fn main() {
     let scale = Scale::from_args();
+    let sampling = SamplingOptions {
+        threads: cme_bench::threads_from_args(),
+        ..SamplingOptions::paper_default()
+    };
     let (kernels, caches): (Vec<(&str, Program)>, _) = match scale {
         Scale::Small => (
             vec![
@@ -57,13 +61,7 @@ fn main() {
         for (cname, cfg) in &caches {
             let (sim, sim_t) = timed(|| Simulator::new(*cfg).run(program));
             let (report, est_t) = timed(|| {
-                EstimateMisses::with_reuse(
-                    program,
-                    *cfg,
-                    SamplingOptions::paper_default(),
-                    reuse.clone(),
-                )
-                .run()
+                EstimateMisses::with_reuse(program, *cfg, sampling.clone(), reuse.clone()).run()
             });
             let sim_ratio = 100.0 * sim.miss_ratio();
             let est_ratio = 100.0 * report.miss_ratio();

@@ -2,7 +2,7 @@
 //! whole programs (after abstract inlining), with run times and speedups.
 //!
 //! ```text
-//! cargo run -p cme-bench --bin table6 --release [-- --scale small|medium|paper]
+//! cargo run -p cme-bench --bin table6 --release [-- --scale small|medium|paper] [--threads n]
 //! ```
 //!
 //! Expected shape: absolute miss-ratio errors under ~1 percentage point,
@@ -18,6 +18,10 @@ use cme_reuse::ReuseAnalysis;
 
 fn main() {
     let scale = Scale::from_args();
+    let sampling = SamplingOptions {
+        threads: cme_bench::threads_from_args(),
+        ..SamplingOptions::paper_default()
+    };
     let (programs, caches): (Vec<(&str, Program)>, _) = match scale {
         Scale::Small => (
             vec![
@@ -65,13 +69,7 @@ fn main() {
         for (cname, cfg) in &caches {
             let (sim, sim_t) = timed(|| Simulator::new(*cfg).run(program));
             let (report, est_t) = timed(|| {
-                EstimateMisses::with_reuse(
-                    program,
-                    *cfg,
-                    SamplingOptions::paper_default(),
-                    reuse.clone(),
-                )
-                .run()
+                EstimateMisses::with_reuse(program, *cfg, sampling.clone(), reuse.clone()).run()
             });
             let sim_ratio = 100.0 * sim.miss_ratio();
             let est_ratio = 100.0 * report.miss_ratio();

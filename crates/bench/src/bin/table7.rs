@@ -3,7 +3,7 @@
 //! sixteen `(N, BJ, BK, C_s, L_s, k)` configurations.
 //!
 //! ```text
-//! cargo run -p cme-bench --bin table7 --release [-- --scale small|medium|paper]
+//! cargo run -p cme-bench --bin table7 --release [-- --scale small|medium|paper] [--threads n]
 //! ```
 //!
 //! `C_s` is in K-elements and `L_s` in elements of 8 bytes, following §2's
@@ -38,6 +38,10 @@ const ROWS: &[(i64, i64, i64, u64, u64, u32)] = &[
 
 fn main() {
     let scale = Scale::from_args();
+    let sampling = SamplingOptions {
+        threads: cme_bench::threads_from_args(),
+        ..SamplingOptions::paper_default()
+    };
     // Geometric down-scaling preserves the working-set/cache ratios.
     let (ndiv, cdiv) = match scale {
         Scale::Small => (8, 64),
@@ -68,7 +72,7 @@ fn main() {
         let ((sim, prob, est), dt) = timed(|| {
             let sim = Simulator::new(cfg).run(&program).miss_ratio();
             let prob = probabilistic_estimate(&program, cfg).miss_ratio();
-            let est = EstimateMisses::new(&program, cfg, SamplingOptions::paper_default())
+            let est = EstimateMisses::new(&program, cfg, sampling.clone())
                 .run()
                 .miss_ratio();
             (sim, prob, est)

@@ -10,6 +10,7 @@
 //!   MMT 100/100/50 and the N=200/400 sweep). Simulation columns can take
 //!   a long time at this scale, exactly as the paper reports.
 
+use cme_analysis::Threads;
 use cme_cache::CacheConfig;
 use std::time::{Duration, Instant};
 
@@ -49,6 +50,23 @@ impl Scale {
             Scale::Paper => "paper",
         }
     }
+}
+
+/// Parses `--threads <n>` from the process arguments: `0` or absent means
+/// one worker per hardware thread, `1` forces the serial path. Reports are
+/// byte-identical for every value — the knob only changes wall-clock time.
+pub fn threads_from_args() -> Threads {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == "--threads" {
+            let n: usize = args
+                .get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .expect("--threads <count> (0 = auto)");
+            return Threads::from_flag(n);
+        }
+    }
+    Threads::Auto
 }
 
 /// The paper's three cache configurations: 32KB, 32B lines,

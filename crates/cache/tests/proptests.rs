@@ -1,8 +1,11 @@
-//! Property tests: the set-associative LRU cache against a naive reference
-//! model on random traces.
+//! Randomised tests: the set-associative LRU cache against a naive
+//! reference model on seeded random traces.
+//!
+//! (Formerly proptest-based; rewritten over the vendored seeded PRNG so the
+//! suite runs with zero external dependencies.)
 
 use cme_cache::{Cache, CacheConfig};
-use proptest::prelude::*;
+use cme_poly::rng::{Rng, SeededRng};
 
 /// A deliberately simple (and slow) LRU model: one global list of
 /// (set, line) with per-set counting.
@@ -36,39 +39,49 @@ impl NaiveLru {
     }
 }
 
-proptest! {
-    #[test]
-    fn lru_matches_reference_model(
-        size_log in 6u32..12,
-        line_log in 4u32..7,
-        assoc_idx in 0usize..4,
-        trace in proptest::collection::vec(0i64..4096, 1..400),
-    ) {
-        let assoc = [1u32, 2, 4, 8][assoc_idx];
-        let size = 1u64 << size_log;
-        let line = 1u64 << line_log;
-        prop_assume!(size >= line * assoc as u64);
+#[test]
+fn lru_matches_reference_model() {
+    let mut rng = SeededRng::seed_from_u64(0x1005);
+    for case in 0..256 {
+        let size = 1u64 << rng.gen_range(6..=11);
+        let line = 1u64 << rng.gen_range(4..=6);
+        let assoc = [1u32, 2, 4, 8][rng.gen_below(4) as usize];
+        if size < line * assoc as u64 {
+            continue;
+        }
+        let trace_len = rng.gen_range(1..=399) as usize;
+        let trace: Vec<i64> = (0..trace_len).map(|_| rng.gen_range(0..=4095)).collect();
         let cfg = CacheConfig::new(size, line, assoc).unwrap();
         let mut real = Cache::new(cfg);
         let mut naive = NaiveLru::new(cfg);
         for &addr in &trace {
-            prop_assert_eq!(real.access(addr), naive.access(addr), "addr {}", addr);
+            assert_eq!(
+                real.access(addr),
+                naive.access(addr),
+                "case {case} cfg {cfg} addr {addr}"
+            );
         }
     }
+}
 
-    #[test]
-    fn misses_monotone_in_cache_size(
-        trace in proptest::collection::vec(0i64..2048, 1..300),
-    ) {
-        // With fixed line size and full associativity growth by doubling
-        // size, LRU miss counts must not increase (inclusion property holds
-        // for same-#set doubling of ways).
+#[test]
+fn misses_monotone_in_cache_size() {
+    // With fixed line size and full associativity growth by doubling
+    // size, LRU miss counts must not increase (inclusion property holds
+    // for same-#set doubling of ways).
+    let mut rng = SeededRng::seed_from_u64(0x2007);
+    for case in 0..128 {
+        let trace_len = rng.gen_range(1..=299) as usize;
+        let trace: Vec<i64> = (0..trace_len).map(|_| rng.gen_range(0..=2047)).collect();
         let mut last = u64::MAX;
         for ways in [1u32, 2, 4, 8] {
             let cfg = CacheConfig::new(1024 * ways as u64, 32, ways).unwrap();
             let mut cache = Cache::new(cfg);
             let misses = trace.iter().filter(|&&a| cache.access(a)).count() as u64;
-            prop_assert!(misses <= last, "ways {}: {} > {}", ways, misses, last);
+            assert!(
+                misses <= last,
+                "case {case} ways {ways}: {misses} > {last}"
+            );
             last = misses;
         }
     }

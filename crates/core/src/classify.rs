@@ -17,6 +17,12 @@
 //! at `i` only if lexically *before* `R_c`.
 //!
 //! Points indeterminate after every vector are cold misses.
+//!
+//! Per-reference invariants (producer bounding boxes, lexical ranks, the
+//! vector list itself) are hoisted into [`Classifier::new`] so the per-point
+//! loop touches only flat precomputed slices, and callers on hot paths can
+//! supply a reusable [`Scratch`] via [`Classifier::classify_with_scratch`]
+//! to avoid per-point allocation entirely.
 
 use cme_cache::CacheConfig;
 use cme_ir::{Program, RefId};
@@ -48,23 +54,83 @@ impl PointClass {
     }
 }
 
+/// Reusable per-worker buffers for [`Classifier::classify_with_scratch`].
+///
+/// `classify` allocates these afresh on every call; a hot loop (exact
+/// analysis visits every iteration point) should construct one `Scratch`
+/// per thread and pass it to `classify_with_scratch` instead. Buffers grow
+/// on demand, so one scratch serves programs of any depth.
+#[derive(Debug, Default, Clone)]
+pub struct Scratch {
+    /// `i − r`, interleaved label/index form (2n entries).
+    prev: Vec<i64>,
+    /// Index part of `i − r` (n entries).
+    prev_idx: Vec<i64>,
+    /// Distinct contending lines seen in the interference interval.
+    lines: Vec<i64>,
+}
+
+impl Scratch {
+    /// Creates an empty scratch; buffers size themselves on first use.
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+}
+
+/// Precomputed per-vector invariants: everything the cold equations need
+/// that does not depend on the iteration point.
+#[derive(Debug, Clone)]
+struct VectorPlan<'p> {
+    producer: RefId,
+    /// The reuse vector in interleaved label/index form (2n entries).
+    vector: &'p [i64],
+    /// Bounding box of `RIS_p`, for the cheap containment pre-screen.
+    producer_bbox: &'p [(i64, i64)],
+    producer_rank: usize,
+}
+
+/// All vectors of one consumer, in lexicographic order, plus its rank.
+#[derive(Debug, Clone)]
+struct ConsumerPlan<'p> {
+    vectors: Vec<VectorPlan<'p>>,
+    consumer_rank: usize,
+}
+
 /// Shared state for classifying points of one program under one cache
 /// geometry.
 #[derive(Debug, Clone)]
 pub struct Classifier<'p> {
     program: &'p Program,
-    reuse: &'p ReuseAnalysis,
     config: CacheConfig,
+    /// One plan per reference, indexed by `RefId`.
+    plans: Vec<ConsumerPlan<'p>>,
 }
 
 impl<'p> Classifier<'p> {
     /// Creates a classifier; `reuse` must have been generated for the same
     /// program and the same line size as `config`.
+    ///
+    /// Construction hoists every per-reference invariant (producer bounding
+    /// boxes, lexical ranks, vector slices) out of the per-point loop.
     pub fn new(program: &'p Program, reuse: &'p ReuseAnalysis, config: CacheConfig) -> Self {
+        let plans = (0..program.references().len())
+            .map(|r| ConsumerPlan {
+                consumer_rank: program.reference(r).lex_rank,
+                vectors: reuse
+                    .for_consumer(r)
+                    .map(|rv| VectorPlan {
+                        producer: rv.producer,
+                        vector: rv.vector.as_slice(),
+                        producer_bbox: program.ris(rv.producer).bounding_box(),
+                        producer_rank: program.reference(rv.producer).lex_rank,
+                    })
+                    .collect(),
+            })
+            .collect();
         Classifier {
             program,
-            reuse,
             config,
+            plans,
         }
     }
 
@@ -80,49 +146,65 @@ impl<'p> Classifier<'p> {
 
     /// Classifies the access of reference `r` at index point `point`
     /// (which must lie in `RIS_r`).
+    ///
+    /// Allocates fresh scratch buffers; hot loops should hold a [`Scratch`]
+    /// and call [`Classifier::classify_with_scratch`].
     pub fn classify(&self, r: RefId, point: &[i64]) -> PointClass {
+        let mut scratch = Scratch::new();
+        self.classify_with_scratch(r, point, &mut scratch)
+    }
+
+    /// Classifies the access of reference `r` at index point `point`,
+    /// reusing the caller's buffers. Allocation-free after warm-up; the
+    /// workhorse of both the serial and parallel exact analyses.
+    pub fn classify_with_scratch(
+        &self,
+        r: RefId,
+        point: &[i64],
+        scratch: &mut Scratch,
+    ) -> PointClass {
         let program = self.program;
         let config = &self.config;
         let n = program.depth();
         let i_vec = program.iteration_vector(r, point);
         let line_c = config.mem_line(program.byte_address(r, point));
+        let plan = &self.plans[r];
 
-        // Scratch buffers reused across candidate vectors: the cold checks
-        // dominate analysis time on reference-dense programs.
-        let mut prev = vec![0i64; 2 * n];
-        let mut prev_idx = vec![0i64; n];
-        'vectors: for (vector_idx, rv) in self.reuse.for_consumer(r).enumerate() {
+        scratch.prev.resize(2 * n, 0);
+        scratch.prev_idx.resize(n, 0);
+        let (prev, prev_idx) = (&mut scratch.prev, &mut scratch.prev_idx);
+        'vectors: for (vector_idx, vp) in plan.vectors.iter().enumerate() {
             // i − r, split back into label and index parts.
             for d in 0..2 * n {
-                prev[d] = i_vec[d] - rv.vector[d];
+                prev[d] = i_vec[d] - vp.vector[d];
             }
             for d in 0..n {
                 prev_idx[d] = prev[2 * d + 1];
             }
 
             // Cold equations: producer instance must exist …
-            let ris_p = program.ris(rv.producer);
-            for (d, &(lo, hi)) in ris_p.bounding_box().iter().enumerate() {
+            for (d, &(lo, hi)) in vp.producer_bbox.iter().enumerate() {
                 if prev_idx[d] < lo || prev_idx[d] > hi {
                     continue 'vectors; // cheap pre-screen
                 }
             }
-            if !ris_p.contains(&prev_idx) {
+            if !program.ris(vp.producer).contains(prev_idx) {
                 continue;
             }
             // … and touch the same memory line.
-            let line_p = config.mem_line(program.byte_address(rv.producer, &prev_idx));
+            let line_p = config.mem_line(program.byte_address(vp.producer, prev_idx));
             if line_p != line_c {
                 continue;
             }
 
             // Replacement equations along this vector decide the point.
             let evicted = self.evicted_between(
-                &prev,
+                prev,
                 &i_vec,
                 line_c,
-                program.reference(rv.producer).lex_rank,
-                program.reference(r).lex_rank,
+                vp.producer_rank,
+                plan.consumer_rank,
+                &mut scratch.lines,
             );
             return if evicted {
                 PointClass::ReplacementMiss { vector_idx }
@@ -152,6 +234,7 @@ impl<'p> Classifier<'p> {
         reused_line: i64,
         producer_rank: usize,
         consumer_rank: usize,
+        lines: &mut Vec<i64>,
     ) -> bool {
         let program = self.program;
         let config = &self.config;
@@ -159,7 +242,7 @@ impl<'p> Classifier<'p> {
         let k = config.assoc() as usize;
         // Distinct contending lines; associativities are small, linear scan
         // beats hashing.
-        let mut lines: Vec<i64> = Vec::with_capacity(k);
+        lines.clear();
         let mut evicted = false;
         cme_ir::walk::walk_range_rev(program, from, to, |a, tag| {
             let rank = program.reference(a.r).lex_rank;
@@ -200,9 +283,10 @@ mod tests {
         let reuse = ReuseAnalysis::analyze(program, config.line_bytes());
         let cl = Classifier::new(program, &reuse, config);
         let mut out = Vec::new();
+        let mut scratch = Scratch::new();
         for r in 0..program.references().len() {
             program.ris(r).for_each_point(|p| {
-                out.push((r, p.to_vec(), cl.classify(r, p)));
+                out.push((r, p.to_vec(), cl.classify_with_scratch(r, p, &mut scratch)));
             });
         }
         out
@@ -311,6 +395,61 @@ mod tests {
                 sim.total_misses(),
                 "assoc {assoc}: prediction != simulation"
             );
+        }
+    }
+
+    /// `classify` and `classify_with_scratch` agree point-for-point, and a
+    /// single scratch serves programs of different depths in sequence.
+    #[test]
+    fn scratch_path_matches_allocating_path() {
+        let mut b = ProgramBuilder::new("mix3");
+        b.array("A", &[16, 16], 8);
+        let (i, j) = (LinExpr::var("I"), LinExpr::var("J"));
+        b.push(SNode::loop_(
+            "J",
+            2,
+            10,
+            vec![SNode::loop_(
+                "I",
+                1,
+                10,
+                vec![SNode::assign(
+                    SRef::new("A", vec![i.clone(), j.clone()]),
+                    vec![SRef::new("A", vec![i.clone(), j.offset(-1)])],
+                )],
+            )],
+        ));
+        let deep = b.build().unwrap();
+
+        let mut b = ProgramBuilder::new("flat");
+        b.array("A", &[64], 8);
+        b.push(SNode::loop_(
+            "I",
+            1,
+            64,
+            vec![SNode::reads_only(vec![SRef::new(
+                "A",
+                vec![LinExpr::var("I")],
+            )])],
+        ));
+        let flat = b.build().unwrap();
+
+        let cfg = CacheConfig::new(512, 32, 2).unwrap();
+        let mut scratch = Scratch::new();
+        // Deliberately alternate programs so buffer sizes change between
+        // calls: 2-deep (n=2) then 1-deep (n=1).
+        for program in [&deep, &flat, &deep] {
+            let reuse = ReuseAnalysis::analyze(program, cfg.line_bytes());
+            let cl = Classifier::new(program, &reuse, cfg);
+            for r in 0..program.references().len() {
+                program.ris(r).for_each_point(|p| {
+                    assert_eq!(
+                        cl.classify(r, p),
+                        cl.classify_with_scratch(r, p, &mut scratch),
+                        "r={r} p={p:?}"
+                    );
+                });
+            }
         }
     }
 }

@@ -1,15 +1,13 @@
 //! `EstimateMisses`: sampled analysis with statistical guarantees
 //! (Fig. 6, right).
 
-use crate::classify::{Classifier, PointClass};
+use crate::classify::Classifier;
 use crate::options::SamplingOptions;
+use crate::parallel;
 use crate::report::{Coverage, RefReport, Report};
 use cme_cache::CacheConfig;
 use cme_ir::Program;
-use cme_poly::sample;
 use cme_reuse::ReuseAnalysis;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::time::Instant;
 
 /// Sampled miss analysis: classifies a uniform sample of each reference
@@ -81,49 +79,32 @@ impl<'p> EstimateMisses<'p> {
     pub fn run(&self) -> Report {
         let start = Instant::now();
         let classifier = Classifier::new(self.program, &self.reuse, self.config);
+        let threads = self.options.threads.count();
         let mut reports = Vec::with_capacity(self.program.references().len());
         for r in 0..self.program.references().len() {
             let ris = self.program.ris(r);
             let volume = ris.count();
-            let mut cold = 0u64;
-            let mut replacement = 0u64;
-            let mut hits = 0u64;
-            let mut classify = |point: &[i64]| match classifier.classify(r, point) {
-                PointClass::Cold => cold += 1,
-                PointClass::ReplacementMiss { .. } => replacement += 1,
-                PointClass::Hit { .. } => hits += 1,
-            };
-            let coverage = match self.options.plan(volume) {
-                crate::options::SamplePlan::Exhaustive => {
-                    ris.for_each_point(&mut classify);
-                    Coverage::Exhaustive
-                }
+            let (tally, coverage) = match self.options.plan(volume) {
+                crate::options::SamplePlan::Exhaustive => (
+                    parallel::classify_exhaustive(&classifier, r, ris, threads),
+                    Coverage::Exhaustive,
+                ),
                 crate::options::SamplePlan::Sample(nsamples) => {
-                    // Per-reference deterministic seed.
-                    let mut rng =
-                        StdRng::seed_from_u64(self.options.seed ^ (r as u64).wrapping_mul(0x9E3779B97F4A7C15));
-                    let points = sample::sample_points(
-                        ris,
-                        &mut rng,
-                        nsamples as usize,
-                        sample::DEFAULT_MAX_TRIALS,
-                    );
-                    for p in &points {
-                        classify(p);
-                    }
-                    Coverage::Sampled {
-                        samples: points.len() as u64,
-                    }
+                    // Per-reference deterministic seed; each sample chunk
+                    // derives its own RNG stream from it, so the sampled
+                    // point set is independent of the thread count.
+                    let ref_seed =
+                        self.options.seed ^ (r as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                    parallel::classify_sampled(&classifier, r, ris, nsamples, ref_seed, threads)
                 }
             };
-            let analyzed = cold + replacement + hits;
             reports.push(RefReport {
                 r,
                 ris_size: volume,
-                analyzed,
-                cold,
-                replacement,
-                hits,
+                analyzed: tally.analyzed(),
+                cold: tally.cold,
+                replacement: tally.replacement,
+                hits: tally.hits,
                 coverage,
             });
         }

@@ -1,6 +1,8 @@
 //! `FindMisses`: exact analysis of every iteration point (Fig. 6, left).
 
-use crate::classify::{Classifier, PointClass};
+use crate::classify::Classifier;
+use crate::options::Threads;
+use crate::parallel;
 use crate::report::{Coverage, RefReport, Report};
 use cme_cache::CacheConfig;
 use cme_ir::Program;
@@ -35,6 +37,7 @@ pub struct FindMisses<'p> {
     program: &'p Program,
     config: CacheConfig,
     reuse: ReuseAnalysis,
+    threads: Threads,
 }
 
 impl<'p> FindMisses<'p> {
@@ -45,6 +48,7 @@ impl<'p> FindMisses<'p> {
             program,
             config,
             reuse,
+            threads: Threads::default(),
         }
     }
 
@@ -55,7 +59,16 @@ impl<'p> FindMisses<'p> {
             program,
             config,
             reuse,
+            threads: Threads::default(),
         }
+    }
+
+    /// Sets the worker-thread count. The report is byte-identical for every
+    /// setting (the parallel reduction is deterministic); `Fixed(1)` runs
+    /// the legacy serial path.
+    pub fn threads(mut self, threads: Threads) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// The generated reuse vectors.
@@ -67,28 +80,18 @@ impl<'p> FindMisses<'p> {
     pub fn run(&self) -> Report {
         let start = Instant::now();
         let classifier = Classifier::new(self.program, &self.reuse, self.config);
+        let threads = self.threads.count();
         let mut reports = Vec::with_capacity(self.program.references().len());
         for r in 0..self.program.references().len() {
             let ris = self.program.ris(r);
-            let mut cold = 0u64;
-            let mut replacement = 0u64;
-            let mut hits = 0u64;
-            let mut analyzed = 0u64;
-            ris.for_each_point(|point| {
-                analyzed += 1;
-                match classifier.classify(r, point) {
-                    PointClass::Cold => cold += 1,
-                    PointClass::ReplacementMiss { .. } => replacement += 1,
-                    PointClass::Hit { .. } => hits += 1,
-                }
-            });
+            let tally = parallel::classify_exhaustive(&classifier, r, ris, threads);
             reports.push(RefReport {
                 r,
-                ris_size: analyzed,
-                analyzed,
-                cold,
-                replacement,
-                hits,
+                ris_size: tally.analyzed(),
+                analyzed: tally.analyzed(),
+                cold: tally.cold,
+                replacement: tally.replacement,
+                hits: tally.hits,
                 coverage: Coverage::Exhaustive,
             });
         }

@@ -45,10 +45,11 @@ pub mod classify;
 pub mod estimate;
 pub mod find;
 pub mod options;
+pub mod parallel;
 pub mod report;
 
-pub use classify::{Classifier, PointClass};
+pub use classify::{Classifier, PointClass, Scratch};
 pub use estimate::EstimateMisses;
 pub use find::FindMisses;
-pub use options::SamplingOptions;
+pub use options::{SamplingOptions, Threads};
 pub use report::{Coverage, RefReport, Report};

@@ -1,5 +1,41 @@
 //! Analysis options.
 
+/// Worker-thread count for the parallel point-classification engine.
+///
+/// The engine's reduction is deterministic, so the *results* are identical
+/// for every setting — this knob only trades wall-clock time for CPU use.
+/// `Fixed(1)` runs the exact legacy serial path with no worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Threads {
+    /// One worker per available hardware thread
+    /// (`std::thread::available_parallelism`).
+    #[default]
+    Auto,
+    /// Exactly this many workers; `Fixed(1)` (or `Fixed(0)`) is serial.
+    Fixed(usize),
+}
+
+impl Threads {
+    /// Resolves to a concrete worker count (≥ 1).
+    pub fn count(&self) -> usize {
+        match self {
+            Threads::Auto => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            Threads::Fixed(n) => (*n).max(1),
+        }
+    }
+
+    /// Parses a CLI-style value: `0` means auto, anything else is fixed.
+    pub fn from_flag(n: usize) -> Threads {
+        if n == 0 {
+            Threads::Auto
+        } else {
+            Threads::Fixed(n)
+        }
+    }
+}
+
 /// Statistical sampling parameters for `EstimateMisses` (Fig. 6).
 ///
 /// The sample size per reference comes from the normal approximation to the
@@ -23,6 +59,10 @@ pub struct SamplingOptions {
     /// default) analyses small RISs exhaustively — never less accurate,
     /// and usually just as fast at these sizes.
     pub fallback: Option<(f64, f64)>,
+    /// Worker threads for point classification. Results are identical for
+    /// every setting (the sample set and the reduction are both
+    /// deterministic); only wall-clock time changes.
+    pub threads: Threads,
 }
 
 /// How a reference's iteration space will be analysed.
@@ -43,6 +83,7 @@ impl SamplingOptions {
             width: 0.05,
             seed: 0xC0FFEE,
             fallback: None,
+            threads: Threads::Auto,
         }
     }
 
@@ -66,6 +107,7 @@ impl SamplingOptions {
                         width: w,
                         seed: self.seed,
                         fallback: None,
+                        threads: self.threads,
                     };
                     if let Some(n) = coarse.sample_size(population) {
                         return SamplePlan::Sample(n);
@@ -170,6 +212,7 @@ mod tests {
             width: w,
             seed: 0,
             fallback: None,
+            threads: Threads::default(),
         }
     }
 

@@ -3,18 +3,18 @@
 //! **never underestimate** — a `Hit` verdict is only ever issued after
 //! verifying a same-line producer access and counting the distinct
 //! contentions since the line's last touch, which is exactly LRU residency.
+//!
+//! (Formerly proptest-based; now a seeded random-program fuzzer over the
+//! vendored PRNG, so it runs with zero external dependencies.)
 
 use cme_analysis::FindMisses;
 use cme_cache::{CacheConfig, Simulator};
-use cme_ir::{
-    LinExpr, LinRel, NormalizeOptions, ProgramBuilder, RelOp, SNode, SRef,
-};
-use proptest::prelude::*;
+use cme_ir::{LinExpr, LinRel, NormalizeOptions, ProgramBuilder, RelOp, SNode, SRef};
+use cme_poly::rng::{Rng, SeededRng};
 
-/// Random 2-deep programs over three arrays with mixed subscript shapes:
-/// stencils, transposes, strided rows, guards.
-fn arb_program() -> impl Strategy<Value = cme_ir::Program> {
-    let sub2 = (0..5u8, -2..3i64).prop_map(|(kind, off)| match kind {
+fn arb_subscript2(rng: &mut SeededRng) -> (LinExpr, LinExpr) {
+    let off = rng.gen_range(-2..=2);
+    match rng.gen_below(5) {
         0 => (LinExpr::var("I").offset(off), LinExpr::var("J")),
         1 => (LinExpr::var("J").offset(off), LinExpr::var("I")), // transposed
         2 => (LinExpr::var("I"), LinExpr::var("J").offset(off)),
@@ -23,96 +23,109 @@ fn arb_program() -> impl Strategy<Value = cme_ir::Program> {
             LinExpr::var("J"),
         ),
         _ => (LinExpr::constant(off.abs() + 1), LinExpr::var("J")),
-    });
-    let sref = (0..3u8, sub2).prop_map(|(a, (s1, s2))| {
-        let name = ["X", "Y", "Z"][a as usize];
-        SRef::new(name, vec![s1, s2])
-    });
-    let stmt = proptest::collection::vec(sref, 1..4).prop_map(|mut refs| {
-        let w = refs.pop().unwrap();
-        SNode::assign(w, refs)
-    });
-    let guarded = (stmt, proptest::bool::ANY).prop_map(|(s, g)| {
-        if g {
-            SNode::if_(
-                vec![LinRel::new(LinExpr::var("J"), RelOp::Ge, LinExpr::constant(3))],
-                vec![s],
-            )
-        } else {
-            s
-        }
-    });
-    (
-        proptest::collection::vec(guarded, 1..4),
-        3..9i64,
-        proptest::bool::ANY,
-    )
-        .prop_map(|(body, n, second_nest)| {
-            let mut b = ProgramBuilder::new("fuzz");
-            // Sizes chosen so subscripts (incl. 2I+c) stay in bounds.
-            b.array("X", &[24, 12], 8);
-            b.array("Y", &[24, 12], 8);
-            b.array("Z", &[24, 12], 8);
-            b.options(NormalizeOptions::default());
-            b.push(SNode::loop_(
-                "J",
-                1,
-                n,
-                vec![SNode::loop_("I", 1, n, body.clone())],
-            ));
-            if second_nest {
-                let i = LinExpr::var("I2");
-                let j = LinExpr::var("J2");
-                b.push(SNode::loop_(
-                    "J2",
-                    1,
-                    n,
-                    vec![SNode::loop_(
-                        "I2",
-                        1,
-                        n,
-                        vec![SNode::assign(
-                            SRef::new("X", vec![i.clone(), j.clone()]),
-                            vec![SRef::new("Y", vec![i.clone(), j.clone()])],
-                        )],
-                    )],
-                ));
-            }
-            b.build().expect("fuzz program normalises")
-        })
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn arb_sref(rng: &mut SeededRng) -> SRef {
+    let name = ["X", "Y", "Z"][rng.gen_below(3) as usize];
+    let (s1, s2) = arb_subscript2(rng);
+    SRef::new(name, vec![s1, s2])
+}
 
-    #[test]
-    fn findmisses_never_underestimates(
-        program in arb_program(),
-        size_log in 8u32..12,
-        assoc_idx in 0usize..3,
-    ) {
-        let assoc = [1u32, 2, 4][assoc_idx];
+fn arb_stmt(rng: &mut SeededRng) -> SNode {
+    let nrefs = rng.gen_range(1..=3) as usize;
+    let mut refs: Vec<SRef> = (0..nrefs).map(|_| arb_sref(rng)).collect();
+    let w = refs.pop().unwrap();
+    let stmt = SNode::assign(w, refs);
+    if rng.gen_bool() {
+        SNode::if_(
+            vec![LinRel::new(
+                LinExpr::var("J"),
+                RelOp::Ge,
+                LinExpr::constant(3),
+            )],
+            vec![stmt],
+        )
+    } else {
+        stmt
+    }
+}
+
+/// Random 2-deep programs over three arrays with mixed subscript shapes:
+/// stencils, transposes, strided rows, guards.
+fn arb_program(rng: &mut SeededRng) -> cme_ir::Program {
+    let nbody = rng.gen_range(1..=3) as usize;
+    let body: Vec<SNode> = (0..nbody).map(|_| arb_stmt(rng)).collect();
+    let n = rng.gen_range(3..=8);
+    let second_nest = rng.gen_bool();
+
+    let mut b = ProgramBuilder::new("fuzz");
+    // Sizes chosen so subscripts (incl. 2I+c) stay in bounds.
+    b.array("X", &[24, 12], 8);
+    b.array("Y", &[24, 12], 8);
+    b.array("Z", &[24, 12], 8);
+    b.options(NormalizeOptions::default());
+    b.push(SNode::loop_(
+        "J",
+        1,
+        n,
+        vec![SNode::loop_("I", 1, n, body)],
+    ));
+    if second_nest {
+        let i = LinExpr::var("I2");
+        let j = LinExpr::var("J2");
+        b.push(SNode::loop_(
+            "J2",
+            1,
+            n,
+            vec![SNode::loop_(
+                "I2",
+                1,
+                n,
+                vec![SNode::assign(
+                    SRef::new("X", vec![i.clone(), j.clone()]),
+                    vec![SRef::new("Y", vec![i.clone(), j.clone()])],
+                )],
+            )],
+        ));
+    }
+    b.build().expect("fuzz program normalises")
+}
+
+#[test]
+fn findmisses_never_underestimates() {
+    let mut rng = SeededRng::seed_from_u64(0xF1D);
+    for case in 0..48 {
+        let program = arb_program(&mut rng);
+        let size_log = rng.gen_range(8..=11) as u32;
+        let assoc = [1u32, 2, 4][rng.gen_below(3) as usize];
         let cfg = CacheConfig::new(1u64 << size_log, 32, assoc).unwrap();
         let report = FindMisses::new(&program, cfg).run();
         let sim = Simulator::new(cfg).run(&program);
-        prop_assert_eq!(report.total_accesses(), sim.total_accesses());
+        assert_eq!(report.total_accesses(), sim.total_accesses());
         let predicted = report.exact_misses().unwrap();
-        prop_assert!(
+        assert!(
             predicted >= sim.total_misses(),
-            "underestimate: {} < {}",
+            "case {case}: underestimate: {} < {}",
             predicted,
             sim.total_misses()
         );
     }
+}
 
-    /// On programs whose references are all uniformly generated
-    /// (stencil-only, no transposes/strides), the prediction is exact.
-    #[test]
-    fn exact_on_uniform_stencils(
-        offs in proptest::collection::vec((-1i64..2, -1i64..2), 1..4),
-        n in 4..10i64,
-        size_log in 8u32..11,
-    ) {
+/// On programs whose references are all uniformly generated
+/// (stencil-only, no transposes/strides), the prediction is exact.
+#[test]
+fn exact_on_uniform_stencils() {
+    let mut rng = SeededRng::seed_from_u64(0x57E);
+    for case in 0..48 {
+        let noffs = rng.gen_range(1..=3) as usize;
+        let offs: Vec<(i64, i64)> = (0..noffs)
+            .map(|_| (rng.gen_range(-1..=1), rng.gen_range(-1..=1)))
+            .collect();
+        let n = rng.gen_range(4..=9);
+        let size_log = rng.gen_range(8..=10) as u32;
+
         let mut b = ProgramBuilder::new("stencil");
         b.array("X", &[16, 16], 8);
         b.array("Y", &[16, 16], 8);
@@ -139,7 +152,11 @@ proptest! {
         let cfg = CacheConfig::new(1u64 << size_log, 32, 2).unwrap();
         let report = FindMisses::new(&program, cfg).run();
         let sim = Simulator::new(cfg).run(&program);
-        prop_assert_eq!(report.exact_misses(), Some(sim.total_misses()));
+        assert_eq!(
+            report.exact_misses(),
+            Some(sim.total_misses()),
+            "case {case} not exact"
+        );
     }
 }
 

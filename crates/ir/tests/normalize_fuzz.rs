@@ -4,12 +4,15 @@
 //! This pins down the semantics of all five normalisation steps (step
 //! rewriting, wrapping, padding, sinking, renaming) at once: any divergence
 //! in order, multiplicity or address is a bug.
+//!
+//! (Formerly proptest-based; now a seeded random-program fuzzer over the
+//! vendored PRNG, so it runs with zero external dependencies.)
 
 use cme_ir::{
     normalize, LinExpr, LinRel, NormalizeOptions, Program, RelOp, SAssign, SCall, SIf, SLoop,
     SNode, SRef, SourceProgram, Subroutine, VarDecl,
 };
-use proptest::prelude::*;
+use cme_poly::rng::{Rng, SeededRng};
 use std::collections::HashMap;
 use std::ops::ControlFlow;
 
@@ -104,104 +107,130 @@ fn address(
     Some(program.base_address(id) + elem * arr.elem_bytes as i64)
 }
 
-/// Strategy: a random program over two arrays with ≤3 nested loops,
-/// optional guards, optional steps, statements at every level.
-fn arb_program() -> impl Strategy<Value = SourceProgram> {
-    let subscript = (0..3i64, -2..3i64).prop_map(|(kind, off)| match kind {
+fn arb_subscript(rng: &mut SeededRng) -> LinExpr {
+    let off = rng.gen_range(-2..=2);
+    match rng.gen_below(3) {
         0 => LinExpr::var("I").offset(off),
         1 => LinExpr::var("J").offset(off),
         _ => LinExpr::constant(off.abs() + 1),
-    });
-    let sref = (0..2u8, subscript).prop_map(|(a, s)| {
-        let name = if a == 0 { "A" } else { "B" };
-        SRef::new(name, vec![s])
-    });
-    let stmt = proptest::collection::vec(sref, 1..3).prop_map(|mut refs| {
-        let w = refs.pop().unwrap();
-        SNode::assign(w, refs)
-    });
-    let guarded = (stmt, proptest::option::of(0..3u8)).prop_map(|(s, g)| match g {
-        None => s,
-        Some(0) => SNode::if_(
+    }
+}
+
+fn arb_sref(rng: &mut SeededRng) -> SRef {
+    let name = if rng.gen_bool() { "A" } else { "B" };
+    SRef::new(name, vec![arb_subscript(rng)])
+}
+
+fn arb_stmt(rng: &mut SeededRng) -> SNode {
+    let nrefs = rng.gen_range(1..=2) as usize;
+    let mut refs: Vec<SRef> = (0..nrefs).map(|_| arb_sref(rng)).collect();
+    let w = refs.pop().unwrap();
+    let s = SNode::assign(w, refs);
+    match rng.gen_below(4) {
+        0 => SNode::if_(
             vec![LinRel::new(LinExpr::var("I"), RelOp::Eq, LinExpr::var("J"))],
             vec![s],
         ),
-        Some(1) => SNode::if_(
-            vec![LinRel::new(LinExpr::var("J"), RelOp::Le, LinExpr::constant(4))],
+        1 => SNode::if_(
+            vec![LinRel::new(
+                LinExpr::var("J"),
+                RelOp::Le,
+                LinExpr::constant(4),
+            )],
             vec![s],
         ),
-        _ => SNode::if_else(
-            vec![LinRel::new(LinExpr::var("I"), RelOp::Lt, LinExpr::constant(3))],
+        2 => SNode::if_else(
+            vec![LinRel::new(
+                LinExpr::var("I"),
+                RelOp::Lt,
+                LinExpr::constant(3),
+            )],
             vec![s.clone()],
             vec![s],
         ),
-    });
-    // Statements *between* loops may only reference J (I is out of scope
-    // there; loop sinking will move them into the I loop with a guard).
-    let j_subscript = (-2..3i64, proptest::bool::ANY).prop_map(|(off, var)| {
-        if var {
+        _ => s,
+    }
+}
+
+/// Statements *between* loops may only reference J (I is out of scope
+/// there; loop sinking will move them into the I loop with a guard).
+fn arb_j_stmt(rng: &mut SeededRng) -> SNode {
+    let subscript = |rng: &mut SeededRng| {
+        let off = rng.gen_range(-2..=2);
+        if rng.gen_bool() {
             LinExpr::var("J").offset(off)
         } else {
             LinExpr::constant(off.abs() + 1)
         }
-    });
-    let j_sref = (0..2u8, j_subscript).prop_map(|(a, s)| {
-        let name = if a == 0 { "A" } else { "B" };
+    };
+    let sref = |rng: &mut SeededRng| {
+        let name = if rng.gen_bool() { "A" } else { "B" };
+        let s = subscript(rng);
         SRef::new(name, vec![s])
-    });
-    let j_stmt = proptest::collection::vec(j_sref, 1..3).prop_map(|mut refs| {
-        let w = refs.pop().unwrap();
-        SNode::assign(w, refs)
-    });
-    let j_guarded = (j_stmt, proptest::option::of(proptest::bool::ANY)).prop_map(|(s, g)| {
-        match g {
-            None => s,
-            Some(le) => SNode::if_(
-                vec![LinRel::new(
-                    LinExpr::var("J"),
-                    if le { RelOp::Le } else { RelOp::Ge },
-                    LinExpr::constant(4),
-                )],
-                vec![s],
-            ),
-        }
-    });
-    (
-        proptest::collection::vec(guarded, 1..3),
-        proptest::collection::vec(j_guarded, 0..2),
-        1..7i64,
-        1..7i64,
-        prop_oneof![Just(1i64), Just(2), Just(-1)],
-    )
-        .prop_map(|(inner, between, ni, nj, step)| {
-            // DO J = 1..nj { [between...] DO I = lo..hi step { inner } }
-            let (ilo, ihi) = if step < 0 { (ni, 1) } else { (1, ni) };
-            let mut body = between;
-            body.push(SNode::loop_step("I", ilo, ihi, step, inner));
-            let outer = SNode::loop_("J", 1, nj, body);
-            let mut sub = Subroutine::new("FUZZ");
-            sub.decls = vec![
-                VarDecl::array("A", &[24], 8),
-                VarDecl::array("B", &[24], 8),
-            ];
-            sub.body = vec![outer];
-            SourceProgram::single("fuzz", sub)
-        })
+    };
+    let nrefs = rng.gen_range(1..=2) as usize;
+    let mut refs: Vec<SRef> = (0..nrefs).map(|_| sref(rng)).collect();
+    let w = refs.pop().unwrap();
+    let s = SNode::assign(w, refs);
+    match rng.gen_below(3) {
+        0 => SNode::if_(
+            vec![LinRel::new(
+                LinExpr::var("J"),
+                RelOp::Le,
+                LinExpr::constant(4),
+            )],
+            vec![s],
+        ),
+        1 => SNode::if_(
+            vec![LinRel::new(
+                LinExpr::var("J"),
+                RelOp::Ge,
+                LinExpr::constant(4),
+            )],
+            vec![s],
+        ),
+        _ => s,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// A random program over two arrays with nested loops, optional guards,
+/// optional steps, statements at every level.
+fn arb_program(rng: &mut SeededRng) -> SourceProgram {
+    let ninner = rng.gen_range(1..=2) as usize;
+    let inner: Vec<SNode> = (0..ninner).map(|_| arb_stmt(rng)).collect();
+    let nbetween = rng.gen_range(0..=1) as usize;
+    let between: Vec<SNode> = (0..nbetween).map(|_| arb_j_stmt(rng)).collect();
+    let ni = rng.gen_range(1..=6);
+    let nj = rng.gen_range(1..=6);
+    let step = [1i64, 2, -1][rng.gen_below(3) as usize];
 
-    /// The normalised program performs exactly the source program's
-    /// accesses, in order.
-    #[test]
-    fn normalisation_preserves_trace(src in arb_program()) {
+    // DO J = 1..nj { [between...] DO I = lo..hi step { inner } }
+    let (ilo, ihi) = if step < 0 { (ni, 1) } else { (1, ni) };
+    let mut body = between;
+    body.push(SNode::loop_step("I", ilo, ihi, step, inner));
+    let outer = SNode::loop_("J", 1, nj, body);
+    let mut sub = Subroutine::new("FUZZ");
+    sub.decls = vec![
+        VarDecl::array("A", &[24], 8),
+        VarDecl::array("B", &[24], 8),
+    ];
+    sub.body = vec![outer];
+    SourceProgram::single("fuzz", sub)
+}
+
+/// The normalised program performs exactly the source program's
+/// accesses, in order.
+#[test]
+fn normalisation_preserves_trace() {
+    let mut rng = SeededRng::seed_from_u64(0xA11);
+    for case in 0..128 {
+        let src = arb_program(&mut rng);
         let program = match normalize(&src, &NormalizeOptions::default()) {
             Ok(p) => p,
             Err(e) => {
                 // The only legal rejections for this grammar would be
                 // data-dependent constructs, which it cannot produce.
-                panic!("normalise failed: {e}");
+                panic!("case {case}: normalise failed: {e}");
             }
         };
         let expected = interpret(src.entry_subroutine(), &program);
@@ -210,36 +239,40 @@ proptest! {
             got.push(a.addr);
             ControlFlow::Continue(())
         });
-        prop_assert_eq!(got, expected);
-    }
-
-    /// RIS volumes sum to the trace length (all guards accounted).
-    #[test]
-    fn ris_volumes_match_trace_length(src in arb_program()) {
-        let program = normalize(&src, &NormalizeOptions::default()).unwrap();
-        let expected = interpret(src.entry_subroutine(), &program).len() as u64;
-        prop_assert_eq!(program.total_accesses(), expected);
+        assert_eq!(got, expected, "case {case}: trace diverged");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// RIS volumes sum to the trace length (all guards accounted).
+#[test]
+fn ris_volumes_match_trace_length() {
+    let mut rng = SeededRng::seed_from_u64(0xB22);
+    for case in 0..128 {
+        let src = arb_program(&mut rng);
+        let program = normalize(&src, &NormalizeOptions::default()).unwrap();
+        let expected = interpret(src.entry_subroutine(), &program).len() as u64;
+        assert_eq!(program.total_accesses(), expected, "case {case}");
+    }
+}
 
-    /// Range walks (both directions) agree with filtering the full trace by
-    /// the interval, on random programs and random endpoints.
-    #[test]
-    fn range_walks_match_filtered_trace(
-        src in arb_program(),
-        sel_a in 0usize..64,
-        sel_b in 0usize..64,
-    ) {
+/// Range walks (both directions) agree with filtering the full trace by
+/// the interval, on random programs and random endpoints.
+#[test]
+fn range_walks_match_filtered_trace() {
+    let mut rng = SeededRng::seed_from_u64(0xC33);
+    for case in 0..64 {
+        let src = arb_program(&mut rng);
+        let sel_a = rng.gen_below(64) as usize;
+        let sel_b = rng.gen_below(64) as usize;
         let program = normalize(&src, &NormalizeOptions::default()).unwrap();
         let mut all: Vec<(Vec<i64>, usize)> = Vec::new();
         cme_ir::walk::for_each_access(&program, |a| {
             all.push((program.iteration_vector(a.r, a.point), a.r));
             ControlFlow::Continue(())
         });
-        prop_assume!(!all.is_empty());
+        if all.is_empty() {
+            continue;
+        }
         let mut from = all[sel_a % all.len()].0.clone();
         let mut to = all[sel_b % all.len()].0.clone();
         if cme_poly::lex::cmp(&from, &to) == std::cmp::Ordering::Greater {
@@ -258,13 +291,13 @@ proptest! {
             fwd.push((program.iteration_vector(a.r, a.point), a.r));
             ControlFlow::Continue(())
         });
-        prop_assert_eq!(&fwd, &expect);
+        assert_eq!(&fwd, &expect, "case {case}: forward walk");
         let mut rev = Vec::new();
         cme_ir::walk::walk_range_rev(&program, &from, &to, |a, _| {
             rev.push((program.iteration_vector(a.r, a.point), a.r));
             ControlFlow::Continue(())
         });
         rev.reverse();
-        prop_assert_eq!(&rev, &expect);
+        assert_eq!(&rev, &expect, "case {case}: reverse walk");
     }
 }

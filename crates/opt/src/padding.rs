@@ -12,7 +12,7 @@
 //! order, each trying every multiple of the line size up to one set span;
 //! a couple of rounds converge in practice.
 
-use cme_analysis::{EstimateMisses, SamplingOptions};
+use cme_analysis::{parallel, EstimateMisses, SamplingOptions, Threads};
 use cme_cache::CacheConfig;
 use cme_ir::Program;
 use cme_reuse::ReuseAnalysis;
@@ -41,7 +41,7 @@ impl Default for PaddingOptions {
                 confidence: 0.90,
                 width: 0.03,
                 seed: 0x9AD,
-                fallback: None,
+                ..SamplingOptions::paper_default()
             },
         }
     }
@@ -88,17 +88,24 @@ pub fn search_padding(
     // Reuse vectors depend only on the line size: generate once, reuse for
     // every candidate layout.
     let reuse = ReuseAnalysis::analyze_capped(program, config.line_bytes(), 128);
-    let mut evaluations = 0u32;
-    let mut eval = |p: &Program| -> f64 {
-        evaluations += 1;
-        EstimateMisses::with_reuse(p, config, opts.sampling.clone(), reuse.clone())
+    let threads = opts.sampling.threads.count();
+    // One level of parallelism only: the candidate sweep below gets the
+    // workers, so each model evaluation classifies serially.
+    let sampling = SamplingOptions {
+        threads: Threads::Fixed(1),
+        ..opts.sampling.clone()
+    };
+    let eval = |p: &Program| -> f64 {
+        EstimateMisses::with_reuse(p, config, sampling.clone(), reuse.clone())
             .run()
             .miss_ratio()
     };
+    let mut evaluations = 0u32;
 
     let n = program.arrays().len();
     let mut padding = vec![0i64; n];
     let baseline_ratio = eval(program);
+    evaluations += 1;
     let mut best_ratio = baseline_ratio;
     for _ in 0..opts.rounds {
         let mut improved = false;
@@ -107,14 +114,22 @@ pub fn search_padding(
                 continue;
             }
             let keep = padding[a];
-            let mut best_here = (best_ratio, keep);
-            for c in 0..candidates {
+            // Evaluate every candidate padding of array `a` in parallel;
+            // the results come back in candidate order, so the pick below
+            // is deterministic regardless of worker scheduling.
+            let ratios = parallel::run_chunked(threads, candidates, || (), |_, c| {
                 let pad = c as i64 * line;
                 if pad == keep {
-                    continue;
+                    return None;
                 }
-                padding[a] = pad;
-                let ratio = eval(&program.with_padding(&padding));
+                let mut trial = padding.clone();
+                trial[a] = pad;
+                Some((eval(&program.with_padding(&trial)), pad))
+            });
+            let mut best_here = (best_ratio, keep);
+            for entry in ratios.into_iter().flatten() {
+                evaluations += 1;
+                let (ratio, pad) = entry;
                 if ratio + 1e-9 < best_here.0 {
                     best_here = (ratio, pad);
                 }

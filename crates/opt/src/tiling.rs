@@ -10,7 +10,7 @@
 //! `f(tile parameters) → Program` and the candidate grid; the searcher
 //! returns the predicted-best point and the full sweep.
 
-use cme_analysis::{EstimateMisses, SamplingOptions};
+use cme_analysis::{parallel, EstimateMisses, SamplingOptions, Threads};
 use cme_cache::CacheConfig;
 use cme_ir::Program;
 
@@ -42,6 +42,12 @@ impl TilePlan {
 /// Evaluates every candidate parameter vector and returns the predicted
 /// best.
 ///
+/// Candidates are evaluated on `sampling.threads` workers (the outer sweep
+/// parallelises better than the inner point classification, so each model
+/// evaluation runs serially inside its worker). The sweep order, the ratios
+/// and the chosen best are identical for every thread count: estimates are
+/// seeded-deterministic and ties break to the lowest candidate index.
+///
 /// # Panics
 ///
 /// Panics if `candidates` is empty.
@@ -49,20 +55,30 @@ pub fn search_tiles<F>(
     candidates: &[Vec<i64>],
     config: CacheConfig,
     sampling: SamplingOptions,
-    mut build: F,
+    build: F,
 ) -> TilePlan
 where
-    F: FnMut(&[i64]) -> Program,
+    F: Fn(&[i64]) -> Program + Sync,
 {
     assert!(!candidates.is_empty(), "no tiling candidates supplied");
+    let threads = sampling.threads.count();
+    // One level of parallelism only: the candidate sweep gets the workers,
+    // each evaluation classifies serially.
+    let inner = SamplingOptions {
+        threads: Threads::Fixed(1),
+        ..sampling
+    };
+    let ratios = parallel::run_chunked(threads, candidates.len(), || (), |_, i| {
+        let program = build(&candidates[i]);
+        EstimateMisses::new(&program, config, inner.clone())
+            .run()
+            .miss_ratio()
+    });
     let mut sweep = Vec::with_capacity(candidates.len());
     let mut best = 0usize;
-    for (i, params) in candidates.iter().enumerate() {
-        let program = build(params);
-        let predicted_ratio = EstimateMisses::new(&program, config, sampling.clone())
-            .run()
-            .miss_ratio();
-        if predicted_ratio < sweep.get(best).map_or(f64::INFINITY, |b: &TilePoint| b.predicted_ratio)
+    for (i, (params, predicted_ratio)) in candidates.iter().zip(ratios).enumerate() {
+        if predicted_ratio
+            < sweep.get(best).map_or(f64::INFINITY, |b: &TilePoint| b.predicted_ratio)
         {
             best = i;
         }
@@ -118,7 +134,7 @@ mod tests {
                 confidence: 0.90,
                 width: 0.05,
                 seed: 1,
-                fallback: None,
+                ..SamplingOptions::paper_default()
             },
             |p| cme_workloads::mmt(n, p[0], p[1]),
         );

@@ -13,7 +13,8 @@
 //!   conjunctions of affine equalities/inequalities ([`constraint`]);
 //! * iteration-space style constraint systems with per-dimension interval
 //!   extraction, exact point counting and enumeration ([`space`], [`count`]);
-//! * uniform sampling of integer points from such systems ([`sample`]);
+//! * uniform sampling of integer points from such systems ([`sample`]),
+//!   driven by a vendored, seed-deterministic PRNG ([`rng`]);
 //! * lexicographic-order helpers for interleaved iteration vectors ([`lex`]).
 //!
 //! # Example
@@ -36,6 +37,7 @@ pub mod count;
 pub mod lex;
 pub mod linear;
 pub mod matrix;
+pub mod rng;
 pub mod sample;
 pub mod space;
 pub mod vector;
@@ -44,4 +46,5 @@ pub use affine::Affine;
 pub use constraint::{Constraint, ConstraintKind, ConstraintSystem};
 pub use linear::{solve_integer, IntSolution, SmithSolver};
 pub use matrix::IMat;
+pub use rng::{Rng, SeededRng};
 pub use space::Space;

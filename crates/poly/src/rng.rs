@@ -1,0 +1,237 @@
+//! Vendored, dependency-free pseudo-random number generation.
+//!
+//! The analysis pipeline needs randomness in exactly two places — uniform
+//! point sampling for `EstimateMisses` and randomised test-case generation —
+//! and both demand *seeded determinism*: equal seeds must reproduce equal
+//! sample sets, bit for bit, across platforms and thread counts. The two
+//! generators here are the standard pair from Blackman & Vigna
+//! (<https://prng.di.unimi.it/>):
+//!
+//! * [`SplitMix64`] — a tiny 64-bit mixer. Used to expand one `u64` seed
+//!   into generator state and to *derive* independent per-chunk seeds
+//!   (`seed → mix(seed, chunk)`) for deterministic parallel sampling.
+//! * [`Xoshiro256StarStar`] — the workhorse generator behind point
+//!   sampling; 256-bit state, fast, and statistically solid far beyond
+//!   what sampling a few hundred points per reference requires.
+//!
+//! Nothing here is cryptographic, and nothing needs to be.
+
+use std::ops::RangeInclusive;
+
+/// Minimal random-source trait: a stream of `u64`s plus derived helpers.
+///
+/// The derived range methods are unbiased (rejection on the short modulus
+/// zone), so uniformity claims made by the samplers hold exactly.
+pub trait Rng {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform draw from `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    fn gen_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "gen_below(0)");
+        // Reject the values below 2^64 mod n: what remains splits into
+        // exact multiples of n, making the modulus unbiased.
+        let zone = n.wrapping_neg() % n;
+        loop {
+            let x = self.next_u64();
+            if x >= zone {
+                return x % n;
+            }
+        }
+    }
+
+    /// Uniform draw from the inclusive range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range(&mut self, range: RangeInclusive<i64>) -> i64 {
+        let (lo, hi) = (*range.start(), *range.end());
+        assert!(lo <= hi, "gen_range on empty range {lo}..={hi}");
+        let span = (hi as i128 - lo as i128 + 1) as u64;
+        lo.wrapping_add(self.gen_below(span) as i64)
+    }
+
+    /// Uniform draw from `[0, 1)` with 53 bits of precision.
+    fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniformly random boolean.
+    fn gen_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// Stateless 64-bit mix function (the SplitMix64 output stage). Useful on
+/// its own for deriving independent seeds from `(master, index)` pairs.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The golden-ratio increment of the SplitMix64 stream.
+pub const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// SplitMix64: one `u64` of state, passes BigCrush, and — crucially — any
+/// two distinct seeds yield uncorrelated streams, which is what makes it
+/// the right tool for seed derivation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator whose stream is fully determined by `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+}
+
+impl Rng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN_GAMMA);
+        mix64(self.state)
+    }
+}
+
+/// xoshiro256** 1.0 — the general-purpose generator used by the samplers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl Xoshiro256StarStar {
+    /// Expands a 64-bit seed into the 256-bit state via SplitMix64, per the
+    /// reference implementation's seeding recommendation.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::seed_from_u64(seed);
+        let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
+        Xoshiro256StarStar { s }
+    }
+}
+
+impl Rng for Xoshiro256StarStar {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// The default seeded generator of the crate (what `StdRng` was before the
+/// vendoring): currently [`Xoshiro256StarStar`].
+pub type SeededRng = Xoshiro256StarStar;
+
+/// Derives an independent stream seed from a master seed and a stream
+/// index (reference id, chunk id, …). Built so that the map
+/// `(seed, index) → derived` has no accidental collisions between nearby
+/// indices: both inputs pass through the SplitMix64 finaliser.
+#[inline]
+pub fn derive_seed(master: u64, index: u64) -> u64 {
+    mix64(master ^ mix64(index.wrapping_mul(GOLDEN_GAMMA).wrapping_add(1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference vectors from the canonical C implementations.
+    #[test]
+    fn splitmix64_matches_reference() {
+        // seed = 1234567: first outputs of Vigna's splitmix64.c.
+        let mut r = SplitMix64::seed_from_u64(1234567);
+        let expect = [
+            6457827717110365317u64,
+            3203168211198807973,
+            9817491932198370423,
+        ];
+        for e in expect {
+            assert_eq!(r.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic_and_differs_by_seed() {
+        let mut a = Xoshiro256StarStar::seed_from_u64(42);
+        let mut b = Xoshiro256StarStar::seed_from_u64(42);
+        let mut c = Xoshiro256StarStar::seed_from_u64(43);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_covers() {
+        let mut r = SeededRng::seed_from_u64(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = r.gen_range(-3..=6);
+            assert!((-3..=6).contains(&v));
+            seen[(v + 3) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "small range not covered: {seen:?}");
+    }
+
+    #[test]
+    fn gen_below_is_roughly_uniform() {
+        let mut r = SeededRng::seed_from_u64(11);
+        let n = 7u64;
+        let mut counts = [0u32; 7];
+        let draws = 70_000;
+        for _ in 0..draws {
+            counts[r.gen_below(n) as usize] += 1;
+        }
+        let expected = draws as f64 / n as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            let ratio = c as f64 / expected;
+            assert!(
+                (0.9..1.1).contains(&ratio),
+                "bucket {i}: {c} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn derive_seed_separates_streams() {
+        // Nearby chunk indices must yield visibly different streams.
+        let s0 = derive_seed(0xC0FFEE, 0);
+        let s1 = derive_seed(0xC0FFEE, 1);
+        let s2 = derive_seed(0xC0FFEF, 0);
+        assert_ne!(s0, s1);
+        assert_ne!(s0, s2);
+        let a: Vec<u64> = {
+            let mut r = SeededRng::seed_from_u64(s0);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SeededRng::seed_from_u64(s1);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut r = SeededRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let f = r.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

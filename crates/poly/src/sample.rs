@@ -14,8 +14,8 @@
 //! falls back to exact enumeration with reservoir sampling, which is always
 //! correct, merely slower.
 
+use crate::rng::Rng;
 use crate::space::Space;
-use rand::Rng;
 
 /// Draws one uniform point, or `None` if the space is empty.
 ///
@@ -40,15 +40,14 @@ pub const DEFAULT_MAX_TRIALS: u32 = 4096;
 /// # Examples
 ///
 /// ```
-/// use cme_poly::{Affine, Constraint, ConstraintSystem, Space};
-/// use rand::SeedableRng;
+/// use cme_poly::{Affine, Constraint, ConstraintSystem, SeededRng, Space};
 /// let mut sys = ConstraintSystem::new(2);
 /// sys.push(Constraint::ge(Affine::new(vec![1, 0], -1)));
 /// sys.push(Constraint::ge(Affine::new(vec![-1, 0], 8)));
 /// sys.push(Constraint::ge(Affine::new(vec![-1, 1], 0))); // x₁ ≥ x₀
 /// sys.push(Constraint::ge(Affine::new(vec![0, -1], 8)));
 /// let sp = Space::new(sys)?;
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut rng = SeededRng::seed_from_u64(7);
 /// let pts = cme_poly::sample::sample_points(&sp, &mut rng, 100,
 ///     cme_poly::sample::DEFAULT_MAX_TRIALS);
 /// assert_eq!(pts.len(), 100);
@@ -109,7 +108,7 @@ fn reservoir<R: Rng + ?Sized>(space: &Space, rng: &mut R, n: usize) -> Vec<Vec<i
     if total == 0 {
         return Vec::new();
     }
-    let mut wanted: Vec<u64> = (0..n).map(|_| rng.gen_range(0..total)).collect();
+    let mut wanted: Vec<u64> = (0..n).map(|_| rng.gen_below(total)).collect();
     wanted.sort_unstable();
     let mut out: Vec<Vec<i64>> = Vec::with_capacity(n);
     let mut idx = 0u64;
@@ -130,8 +129,7 @@ mod tests {
     use super::*;
     use crate::affine::Affine;
     use crate::constraint::{Constraint, ConstraintSystem};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::SeededRng;
     use std::collections::HashMap;
 
     fn range(s: &mut ConstraintSystem, d: usize, lo: i64, hi: i64) {
@@ -166,7 +164,7 @@ mod tests {
         s.push(Constraint::ge(Affine::new(vec![-1, 1], 0)));
         s.push(Constraint::ge(Affine::new(vec![0, -1], 4)));
         let sp = Space::new(s).unwrap();
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = SeededRng::seed_from_u64(42);
         let samples = sample_points(&sp, &mut rng, 20_000, DEFAULT_MAX_TRIALS);
         assert_roughly_uniform(&sp, &samples);
     }
@@ -180,7 +178,7 @@ mod tests {
         s.push(Constraint::eq(Affine::new(vec![1, -1], 0)));
         let sp = Space::new(s).unwrap();
         assert!(sp.pinned_dims()[1]);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SeededRng::seed_from_u64(1);
         let samples = sample_points(&sp, &mut rng, 8000, DEFAULT_MAX_TRIALS);
         assert_roughly_uniform(&sp, &samples);
     }
@@ -192,7 +190,7 @@ mod tests {
         range(&mut s, 0, 1, 4);
         range(&mut s, 1, 1, 4);
         let sp = Space::new(s).unwrap();
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SeededRng::seed_from_u64(3);
         let samples = sample_points(&sp, &mut rng, 16_000, 0);
         assert_eq!(samples.len(), 16_000);
         assert_roughly_uniform(&sp, &samples);
@@ -203,14 +201,14 @@ mod tests {
         let mut s = ConstraintSystem::new(1);
         range(&mut s, 0, 5, 3);
         let sp = Space::new(s).unwrap();
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = SeededRng::seed_from_u64(0);
         assert!(sample_point(&sp, &mut rng, 16).is_none());
     }
 
     #[test]
     fn zero_dims() {
         let sp = Space::new(ConstraintSystem::new(0)).unwrap();
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = SeededRng::seed_from_u64(0);
         let pts = sample_points(&sp, &mut rng, 3, 16);
         assert_eq!(pts, vec![Vec::<i64>::new(); 3]);
     }
@@ -221,8 +219,8 @@ mod tests {
         range(&mut s, 0, 1, 50);
         range(&mut s, 1, 1, 50);
         let sp = Space::new(s).unwrap();
-        let a = sample_points(&sp, &mut StdRng::seed_from_u64(9), 64, DEFAULT_MAX_TRIALS);
-        let b = sample_points(&sp, &mut StdRng::seed_from_u64(9), 64, DEFAULT_MAX_TRIALS);
+        let a = sample_points(&sp, &mut SeededRng::seed_from_u64(9), 64, DEFAULT_MAX_TRIALS);
+        let b = sample_points(&sp, &mut SeededRng::seed_from_u64(9), 64, DEFAULT_MAX_TRIALS);
         assert_eq!(a, b);
     }
 }

@@ -334,8 +334,7 @@ mod bbox_regression {
         assert_eq!(sp.bounding_box(), &[(1, 2), (1, 32)]);
         assert_eq!(sp.count(), 32);
         // Every point must be reachable by the sampler.
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut rng = crate::rng::SeededRng::seed_from_u64(5);
         let pts = crate::sample::sample_points(&sp, &mut rng, 2000, 64);
         assert!(pts.iter().any(|p| p[0] == 2 && p[1] > 16));
     }

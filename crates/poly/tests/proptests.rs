@@ -1,69 +1,81 @@
-//! Property-based tests for the polyhedral substrate.
+//! Randomised property tests for the polyhedral substrate, driven by the
+//! vendored seeded PRNG (formerly proptest-based).
 
 use cme_poly::{
     affine::Affine,
     constraint::{Constraint, ConstraintSystem},
     linear::solve_integer,
     matrix::IMat,
+    rng::{Rng, SeededRng},
     space::Space,
     vector,
 };
-use proptest::prelude::*;
 
-fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = IMat> {
-    proptest::collection::vec(-6i64..=6, rows * cols).prop_map(move |data| {
-        let rows_v: Vec<Vec<i64>> = data.chunks(cols).map(|c| c.to_vec()).collect();
-        IMat::from_row_vecs(rows_v)
-    })
+fn small_matrix(rng: &mut SeededRng, rows: usize, cols: usize) -> IMat {
+    let rows_v: Vec<Vec<i64>> = (0..rows)
+        .map(|_| (0..cols).map(|_| rng.gen_range(-6..=6)).collect())
+        .collect();
+    IMat::from_row_vecs(rows_v)
 }
 
-proptest! {
-    /// Any solution returned by the integer solver actually solves the
-    /// system, and every lattice vector is in the null space.
-    #[test]
-    fn solver_solutions_verify(
-        m in small_matrix(3, 3),
-        b in proptest::collection::vec(-10i64..=10, 3),
-    ) {
+fn small_vec(rng: &mut SeededRng, len: usize, lo: i64, hi: i64) -> Vec<i64> {
+    (0..len).map(|_| rng.gen_range(lo..=hi)).collect()
+}
+
+/// Any solution returned by the integer solver actually solves the
+/// system, and every lattice vector is in the null space.
+#[test]
+fn solver_solutions_verify() {
+    let mut rng = SeededRng::seed_from_u64(101);
+    for _ in 0..256 {
+        let m = small_matrix(&mut rng, 3, 3);
+        let b = small_vec(&mut rng, 3, -10, 10);
         if let Some(sol) = solve_integer(&m, &b) {
-            prop_assert_eq!(m.mul_vec(&sol.particular), b);
+            assert_eq!(m.mul_vec(&sol.particular), b);
             for l in &sol.lattice {
-                prop_assert!(vector::is_zero(&m.mul_vec(l)));
-                prop_assert!(!vector::is_zero(l));
+                assert!(vector::is_zero(&m.mul_vec(l)));
+                assert!(!vector::is_zero(l));
             }
             // Random lattice combinations still solve the system.
             let mut x = sol.particular.clone();
             for (k, l) in sol.lattice.iter().enumerate() {
                 x = vector::add(&x, &vector::scale(l, (k as i64 % 3) - 1));
             }
-            prop_assert_eq!(m.mul_vec(&x), m.mul_vec(&sol.particular));
+            assert_eq!(m.mul_vec(&x), m.mul_vec(&sol.particular));
         }
     }
+}
 
-    /// If brute force finds an integer solution in a small window, the
-    /// solver must not report unsolvable.
-    #[test]
-    fn solver_complete_on_window(
-        m in small_matrix(2, 2),
-        x0 in -5i64..=5,
-        x1 in -5i64..=5,
-    ) {
+/// If brute force finds an integer solution in a small window, the
+/// solver must not report unsolvable.
+#[test]
+fn solver_complete_on_window() {
+    let mut rng = SeededRng::seed_from_u64(102);
+    for _ in 0..256 {
+        let m = small_matrix(&mut rng, 2, 2);
+        let x0 = rng.gen_range(-5..=5);
+        let x1 = rng.gen_range(-5..=5);
         let b = m.mul_vec(&[x0, x1]);
         let sol = solve_integer(&m, &b);
-        prop_assert!(sol.is_some(), "missed solution ({x0},{x1}) of {m:?}");
+        assert!(sol.is_some(), "missed solution ({x0},{x1}) of {m:?}");
         let sol = sol.unwrap();
-        prop_assert_eq!(m.mul_vec(&sol.particular), b);
+        assert_eq!(m.mul_vec(&sol.particular), b);
     }
+}
 
-    /// Space counting agrees with brute-force membership over the bounding
-    /// box, and enumeration visits exactly the member points in order.
-    #[test]
-    fn count_matches_bruteforce(
-        lo0 in -3i64..=3, len0 in 0i64..=5,
-        lo1 in -3i64..=3, len1 in 0i64..=5,
-        a in -2i64..=2, c in -4i64..=4,
-        use_eq in proptest::bool::ANY,
-    ) {
+/// Space counting agrees with brute-force membership over the bounding
+/// box, and enumeration visits exactly the member points in order.
+#[test]
+fn count_matches_bruteforce() {
+    let mut rng = SeededRng::seed_from_u64(103);
+    for _ in 0..256 {
+        let lo0 = rng.gen_range(-3..=3);
+        let len0 = rng.gen_range(0..=5);
+        let lo1 = rng.gen_range(-3..=3);
+        let len1 = rng.gen_range(0..=5);
+        let a = rng.gen_range(-2..=2);
+        let c = rng.gen_range(-4..=4);
+        let use_eq = rng.gen_bool();
         let mut s = ConstraintSystem::new(2);
         s.push(Constraint::ge(Affine::new(vec![1, 0], -lo0)));
         s.push(Constraint::ge(Affine::new(vec![-1, 0], lo0 + len0)));
@@ -85,81 +97,91 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(sp.count(), brute.len() as u64);
-        prop_assert_eq!(sp.points(), brute);
+        assert_eq!(sp.count(), brute.len() as u64);
+        assert_eq!(sp.points(), brute);
     }
+}
 
-    /// Sampled points are always members of the space.
-    #[test]
-    fn samples_are_members(seed in 0u64..1000) {
-        use rand::SeedableRng;
+/// Sampled points are always members of the space.
+#[test]
+fn samples_are_members() {
+    for seed in 0u64..64 {
         let mut s = ConstraintSystem::new(2);
         s.push(Constraint::ge(Affine::new(vec![1, 0], -1)));
         s.push(Constraint::ge(Affine::new(vec![-1, 0], 9)));
         s.push(Constraint::ge(Affine::new(vec![-1, 1], 0)));
         s.push(Constraint::ge(Affine::new(vec![0, -1], 9)));
         let sp = Space::new(s).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = SeededRng::seed_from_u64(seed);
         for p in cme_poly::sample::sample_points(&sp, &mut rng, 32, 1024) {
-            prop_assert!(sp.contains(&p));
+            assert!(sp.contains(&p), "seed {seed}: {p:?} outside space");
         }
     }
+}
 
-    /// Affine substitution is evaluation-compatible.
-    #[test]
-    fn substitution_commutes_with_eval(
-        coeffs in proptest::collection::vec(-5i64..=5, 2),
-        k in -5i64..=5,
-        sub0 in proptest::collection::vec(-3i64..=3, 3),
-        sub1 in proptest::collection::vec(-3i64..=3, 3),
-        point in proptest::collection::vec(-7i64..=7, 2),
-    ) {
+/// Affine substitution is evaluation-compatible.
+#[test]
+fn substitution_commutes_with_eval() {
+    let mut rng = SeededRng::seed_from_u64(104);
+    for _ in 0..512 {
+        let coeffs = small_vec(&mut rng, 2, -5, 5);
+        let sub0 = small_vec(&mut rng, 3, -3, 3);
+        let sub1 = small_vec(&mut rng, 3, -3, 3);
+        let point = small_vec(&mut rng, 2, -7, 7);
+        let k = rng.gen_range(-5..=5);
         let e = Affine::new(coeffs, k);
         let s0 = Affine::new(sub0, 1);
         let s1 = Affine::new(sub1, -2);
         let composed = e.substitute(&[s0.clone(), s1.clone()]);
         let y = [point[0], point[1], 3];
         let x = [s0.eval(&y), s1.eval(&y)];
-        prop_assert_eq!(composed.eval(&y), e.eval(&x));
-    }
-
-    /// Lexicographic comparison is a total order consistent with itself.
-    #[test]
-    fn lex_cmp_total_order(
-        a in proptest::collection::vec(-5i64..=5, 4),
-        b in proptest::collection::vec(-5i64..=5, 4),
-        c in proptest::collection::vec(-5i64..=5, 4),
-    ) {
-        use std::cmp::Ordering;
-        prop_assert_eq!(vector::lex_cmp(&a, &b), vector::lex_cmp(&b, &a).reverse());
-        if vector::lex_cmp(&a, &b) != Ordering::Greater
-            && vector::lex_cmp(&b, &c) != Ordering::Greater {
-            prop_assert_ne!(vector::lex_cmp(&a, &c), Ordering::Greater);
-        }
-        prop_assert_eq!(vector::lex_cmp(&a, &a), Ordering::Equal);
-        // lex_nonneg(x) ⇔ x ⪰ 0
-        let zero = vec![0i64; 4];
-        prop_assert_eq!(vector::lex_nonneg(&a), vector::lex_cmp(&a, &zero) != Ordering::Less);
+        assert_eq!(composed.eval(&y), e.eval(&x));
     }
 }
 
-proptest! {
-    /// `SmithSolver` (factor once, solve many) agrees with `solve_integer`
-    /// on solvability and produces verified solutions.
-    #[test]
-    fn smith_solver_matches_one_shot(
-        m in small_matrix(3, 4),
-        bs in proptest::collection::vec(proptest::collection::vec(-9i64..=9, 3), 1..6),
-    ) {
+/// Lexicographic comparison is a total order consistent with itself.
+#[test]
+fn lex_cmp_total_order() {
+    use std::cmp::Ordering;
+    let mut rng = SeededRng::seed_from_u64(105);
+    for _ in 0..512 {
+        let a = small_vec(&mut rng, 4, -5, 5);
+        let b = small_vec(&mut rng, 4, -5, 5);
+        let c = small_vec(&mut rng, 4, -5, 5);
+        assert_eq!(vector::lex_cmp(&a, &b), vector::lex_cmp(&b, &a).reverse());
+        if vector::lex_cmp(&a, &b) != Ordering::Greater
+            && vector::lex_cmp(&b, &c) != Ordering::Greater
+        {
+            assert_ne!(vector::lex_cmp(&a, &c), Ordering::Greater);
+        }
+        assert_eq!(vector::lex_cmp(&a, &a), Ordering::Equal);
+        // lex_nonneg(x) ⇔ x ⪰ 0
+        let zero = vec![0i64; 4];
+        assert_eq!(
+            vector::lex_nonneg(&a),
+            vector::lex_cmp(&a, &zero) != Ordering::Less
+        );
+    }
+}
+
+/// `SmithSolver` (factor once, solve many) agrees with `solve_integer`
+/// on solvability and produces verified solutions.
+#[test]
+fn smith_solver_matches_one_shot() {
+    let mut rng = SeededRng::seed_from_u64(106);
+    for _ in 0..128 {
+        let m = small_matrix(&mut rng, 3, 4);
         let solver = cme_poly::SmithSolver::new(&m);
-        for b in &bs {
-            let one_shot = solve_integer(&m, b);
-            let reused = solver.solve(b);
-            prop_assert_eq!(one_shot.is_some(), reused.is_some());
+        let nb = rng.gen_range(1..=5) as usize;
+        for _ in 0..nb {
+            let b = small_vec(&mut rng, 3, -9, 9);
+            let one_shot = solve_integer(&m, &b);
+            let reused = solver.solve(&b);
+            assert_eq!(one_shot.is_some(), reused.is_some());
             if let Some(sol) = reused {
-                prop_assert_eq!(m.mul_vec(&sol.particular), b.clone());
+                assert_eq!(m.mul_vec(&sol.particular), b.clone());
                 for l in &sol.lattice {
-                    prop_assert!(vector::is_zero(&m.mul_vec(l)));
+                    assert!(vector::is_zero(&m.mul_vec(l)));
                 }
             }
         }

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Offline CI gate + parallel-engine timing harness.
+#
+#   scripts/ci.sh            # tier-1 gate, then a reduced-size timing run
+#   BENCH_SCALE=paper scripts/ci.sh   # paper-size MMT (N=BJ=100, BK=50; minutes)
+#
+# The gate is the repo's tier-1 contract: an offline release build plus the
+# full workspace test suite, no registry access required. The timing run
+# exercises bench_parallel, which asserts that serial and parallel
+# FindMisses reports are identical before writing BENCH_parallel.json.
+# On a single-CPU host the measured speedup will sit near 1.0x — the
+# harness reports honest wall-clock, not a simulated core count.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1 gate: offline release build =="
+cargo build --release --offline
+
+echo "== tier-1 gate: workspace tests (offline) =="
+cargo test -q --offline --workspace
+
+echo "== parallel timing harness =="
+if [ "${BENCH_SCALE:-small}" = "paper" ]; then
+    ARGS=(--n 100 --bj 100 --bk 50)
+else
+    ARGS=(--n 48 --bj 48 --bk 24)
+fi
+cargo run -p cme-bench --bin bench_parallel --release --offline -- \
+    "${ARGS[@]}" --out BENCH_parallel.json
+
+echo "== ok =="
