@@ -61,6 +61,31 @@ pub struct CacheConfig {
     size_bytes: u64,
     line_bytes: u64,
     assoc: u32,
+    /// Cached set count (`size / (line · assoc)`).
+    num_sets: u64,
+    /// `log2(line_bytes)` when the line size is a power of two, else `-1`.
+    /// An arithmetic right shift is exactly floor division for negative
+    /// addresses too, so the fast path needs no sign handling.
+    line_shift: i8,
+    /// `num_sets − 1` when the set count is a power of two, else `-1`.
+    /// Two's-complement `&` with this mask equals `rem_euclid` for any sign.
+    set_mask: i64,
+}
+
+fn line_shift_of(line_bytes: u64) -> i8 {
+    if line_bytes.is_power_of_two() {
+        line_bytes.trailing_zeros() as i8
+    } else {
+        -1
+    }
+}
+
+fn set_mask_of(num_sets: u64) -> i64 {
+    if num_sets.is_power_of_two() {
+        (num_sets - 1) as i64
+    } else {
+        -1
+    }
 }
 
 impl CacheConfig {
@@ -95,10 +120,49 @@ impl CacheConfig {
         if !size_bytes.is_multiple_of(line_bytes * assoc as u64) {
             return Err(CacheConfigError::AssocDoesNotDivide);
         }
+        let num_sets = size_bytes / (line_bytes * assoc as u64);
         Ok(CacheConfig {
             size_bytes,
             line_bytes,
             assoc,
+            num_sets,
+            line_shift: line_shift_of(line_bytes),
+            set_mask: set_mask_of(num_sets),
+        })
+    }
+
+    /// Creates a configuration directly from its geometry (`line_bytes` per
+    /// line, `num_sets` sets, `assoc` ways) without the power-of-two
+    /// requirements of [`CacheConfig::new`]. Address mapping falls back to
+    /// exact floor-division / Euclidean-remainder arithmetic for whichever
+    /// of line size and set count is not a power of two.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CacheConfigError`] when any parameter is zero.
+    pub fn with_geometry(
+        line_bytes: u64,
+        num_sets: u64,
+        assoc: u32,
+    ) -> Result<Self, CacheConfigError> {
+        if line_bytes == 0 {
+            return Err(CacheConfigError::Zero { what: "line size" });
+        }
+        if num_sets == 0 {
+            return Err(CacheConfigError::Zero { what: "set count" });
+        }
+        if assoc == 0 {
+            return Err(CacheConfigError::Zero {
+                what: "associativity",
+            });
+        }
+        Ok(CacheConfig {
+            size_bytes: line_bytes * num_sets * assoc as u64,
+            line_bytes,
+            assoc,
+            num_sets,
+            line_shift: line_shift_of(line_bytes),
+            set_mask: set_mask_of(num_sets),
         })
     }
 
@@ -119,24 +183,37 @@ impl CacheConfig {
 
     /// Number of cache sets.
     pub fn num_sets(&self) -> u64 {
-        self.size_bytes / (self.line_bytes * self.assoc as u64)
+        self.num_sets
     }
 
     /// `Mem_Line(addr)`: the memory line containing a byte address.
     /// Negative addresses floor correctly (they never occur for well-formed
-    /// layouts but keep the maths total).
+    /// layouts but keep the maths total). Power-of-two line sizes take a
+    /// precomputed-shift fast path.
+    #[inline]
     pub fn mem_line(&self, addr: i64) -> i64 {
-        addr.div_euclid(self.line_bytes as i64)
+        if self.line_shift >= 0 {
+            addr >> self.line_shift
+        } else {
+            addr.div_euclid(self.line_bytes as i64)
+        }
     }
 
     /// `Cache_Set(addr)`: the set a byte address maps to.
+    #[inline]
     pub fn cache_set(&self, addr: i64) -> i64 {
-        self.mem_line(addr).rem_euclid(self.num_sets() as i64)
+        self.set_of_line(self.mem_line(addr))
     }
 
-    /// The set a *memory line* maps to.
+    /// The set a *memory line* maps to. Power-of-two set counts take a
+    /// precomputed-mask fast path.
+    #[inline]
     pub fn set_of_line(&self, line: i64) -> i64 {
-        line.rem_euclid(self.num_sets() as i64)
+        if self.set_mask >= 0 {
+            line & self.set_mask
+        } else {
+            line.rem_euclid(self.num_sets as i64)
+        }
     }
 }
 
@@ -207,6 +284,51 @@ mod tests {
         assert_eq!(c.cache_set(32 * 16), 0); // wraps around
         assert_eq!(c.cache_set(32 * 17), 1);
         assert_eq!(c.set_of_line(33), 1);
+    }
+
+    /// The shift/mask fast paths agree with plain floor-div / Euclidean
+    /// remainder on both signs, and non-power-of-two geometries (only
+    /// constructible via `with_geometry`) exercise the div/mod path.
+    #[test]
+    fn fast_paths_match_division() {
+        let pow2 = CacheConfig::new(1024, 32, 2).unwrap(); // 16 sets
+        let odd_sets = CacheConfig::with_geometry(32, 12, 2).unwrap();
+        let odd_line = CacheConfig::with_geometry(24, 16, 1).unwrap();
+        for cfg in [pow2, odd_sets, odd_line] {
+            let (l, s) = (cfg.line_bytes() as i64, cfg.num_sets() as i64);
+            for addr in (-3 * l * s)..(3 * l * s) {
+                assert_eq!(cfg.mem_line(addr), addr.div_euclid(l), "{cfg} addr {addr}");
+                assert_eq!(
+                    cfg.cache_set(addr),
+                    addr.div_euclid(l).rem_euclid(s),
+                    "{cfg} addr {addr}"
+                );
+                assert_eq!(cfg.set_of_line(addr), addr.rem_euclid(s), "{cfg} line {addr}");
+            }
+        }
+    }
+
+    #[test]
+    fn with_geometry_sizes_and_errors() {
+        let c = CacheConfig::with_geometry(32, 12, 2).unwrap();
+        assert_eq!(c.num_sets(), 12);
+        assert_eq!(c.size_bytes(), 32 * 12 * 2);
+        assert!(matches!(
+            CacheConfig::with_geometry(0, 12, 2),
+            Err(CacheConfigError::Zero { .. })
+        ));
+        assert!(matches!(
+            CacheConfig::with_geometry(32, 0, 2),
+            Err(CacheConfigError::Zero { .. })
+        ));
+        assert!(matches!(
+            CacheConfig::with_geometry(32, 12, 0),
+            Err(CacheConfigError::Zero { .. })
+        ));
+        // `new` and `with_geometry` agree on a shared geometry.
+        let a = CacheConfig::new(1024, 32, 2).unwrap();
+        let b = CacheConfig::with_geometry(32, 16, 2).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -25,9 +25,22 @@
 //! to avoid per-point allocation entirely.
 
 use cme_cache::CacheConfig;
-use cme_ir::{Program, RefId};
+use cme_ir::{Program, RefId, SetFilter, SetWalker};
 use cme_reuse::ReuseAnalysis;
 use std::ops::ControlFlow;
+
+/// How the replacement equations enumerate the interference interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WalkStrategy {
+    /// The set-conscious walk: per-reference line plans, congruence-based
+    /// set skipping and the contention-bound early exit. The default.
+    #[default]
+    SetSkip,
+    /// The pre-plan full interval scan (`walk_range_rev` over every access,
+    /// filtering by set in the callback). Kept as the reference
+    /// implementation; verdicts are bit-identical to [`WalkStrategy::SetSkip`].
+    LegacyScan,
+}
 
 /// The verdict for one iteration point of one reference.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,12 +75,16 @@ impl PointClass {
 /// on demand, so one scratch serves programs of any depth.
 #[derive(Debug, Default, Clone)]
 pub struct Scratch {
+    /// The consumer's interleaved iteration vector (2n entries).
+    i_vec: Vec<i64>,
     /// `i − r`, interleaved label/index form (2n entries).
     prev: Vec<i64>,
     /// Index part of `i − r` (n entries).
     prev_idx: Vec<i64>,
     /// Distinct contending lines seen in the interference interval.
     lines: Vec<i64>,
+    /// Reusable state for the set-skipping interference walk.
+    walker: SetWalker,
 }
 
 impl Scratch {
@@ -96,6 +113,19 @@ struct ConsumerPlan<'p> {
     consumer_rank: usize,
 }
 
+/// Per-reference invariants of the contention bound: everything needed to
+/// bound, in O(1) arithmetic per reference, how many distinct memory lines
+/// the reference can map to one cache set inside an interference interval.
+#[derive(Debug, Clone)]
+struct RefBoundPlan<'p> {
+    /// The owning statement's loop label vector (n entries).
+    label: &'p [i64],
+    /// Bounding box of the reference's RIS (n dims).
+    bbox: &'p [(i64, i64)],
+    /// The reference's byte-address affine form.
+    plan: &'p cme_poly::Affine,
+}
+
 /// Shared state for classifying points of one program under one cache
 /// geometry.
 #[derive(Debug, Clone)]
@@ -104,6 +134,9 @@ pub struct Classifier<'p> {
     config: CacheConfig,
     /// One plan per reference, indexed by `RefId`.
     plans: Vec<ConsumerPlan<'p>>,
+    /// One contention-bound plan per reference, indexed by `RefId`.
+    bounds: Vec<RefBoundPlan<'p>>,
+    walk: WalkStrategy,
 }
 
 impl<'p> Classifier<'p> {
@@ -127,11 +160,29 @@ impl<'p> Classifier<'p> {
                     .collect(),
             })
             .collect();
+        let bounds = (0..program.references().len())
+            .map(|r| RefBoundPlan {
+                label: program.statement(program.reference(r).stmt).label.as_slice(),
+                bbox: program.ris(r).bounding_box(),
+                plan: program.addr_plan(r),
+            })
+            .collect();
         Classifier {
             program,
             config,
             plans,
+            bounds,
+            walk: WalkStrategy::default(),
         }
+    }
+
+    /// Selects the interference-walk strategy (default
+    /// [`WalkStrategy::SetSkip`]). Verdicts are bit-identical for every
+    /// strategy; [`WalkStrategy::LegacyScan`] exists as the reference
+    /// implementation for differential testing.
+    pub fn with_strategy(mut self, walk: WalkStrategy) -> Self {
+        self.walk = walk;
+        self
     }
 
     /// The program under analysis.
@@ -166,13 +217,26 @@ impl<'p> Classifier<'p> {
         let program = self.program;
         let config = &self.config;
         let n = program.depth();
-        let i_vec = program.iteration_vector(r, point);
+        // Interleave the statement label with the index point, reusing the
+        // scratch buffer (the legacy path allocated a vector per point).
+        scratch.i_vec.resize(2 * n, 0);
+        let label = &program.statement(program.reference(r).stmt).label;
+        for d in 0..n {
+            scratch.i_vec[2 * d] = label[d];
+            scratch.i_vec[2 * d + 1] = point[d];
+        }
         let line_c = config.mem_line(program.byte_address(r, point));
         let plan = &self.plans[r];
 
         scratch.prev.resize(2 * n, 0);
         scratch.prev_idx.resize(n, 0);
-        let (prev, prev_idx) = (&mut scratch.prev, &mut scratch.prev_idx);
+        let Scratch {
+            i_vec,
+            prev,
+            prev_idx,
+            lines,
+            walker,
+        } = scratch;
         'vectors: for (vector_idx, vp) in plan.vectors.iter().enumerate() {
             // i − r, split back into label and index parts.
             for d in 0..2 * n {
@@ -200,11 +264,12 @@ impl<'p> Classifier<'p> {
             // Replacement equations along this vector decide the point.
             let evicted = self.evicted_between(
                 prev,
-                &i_vec,
+                i_vec,
                 line_c,
                 vp.producer_rank,
                 plan.consumer_rank,
-                &mut scratch.lines,
+                lines,
+                walker,
             );
             return if evicted {
                 PointClass::ReplacementMiss { vector_idx }
@@ -227,6 +292,14 @@ impl<'p> Classifier<'p> {
     /// Interval ends honour the lexical rules of §4.1.2: an access at
     /// `from` intervenes only if lexically after `R_p`; one at `to` only if
     /// lexically before `R_c`.
+    ///
+    /// Under [`WalkStrategy::SetSkip`] the interval is processed in three
+    /// tiers: the contention bound may prove survival without walking at
+    /// all; otherwise the set-skipping walk visits only accesses that map
+    /// to the reused line's set. [`WalkStrategy::LegacyScan`] walks every
+    /// access and filters in the callback. Both orders visit the matching
+    /// accesses identically, so the verdicts are bit-identical.
+    #[allow(clippy::too_many_arguments)]
     fn evicted_between(
         &self,
         from: &[i64],
@@ -235,6 +308,7 @@ impl<'p> Classifier<'p> {
         producer_rank: usize,
         consumer_rank: usize,
         lines: &mut Vec<i64>,
+        walker: &mut SetWalker,
     ) -> bool {
         let program = self.program;
         let config = &self.config;
@@ -244,33 +318,157 @@ impl<'p> Classifier<'p> {
         // beats hashing.
         lines.clear();
         let mut evicted = false;
-        cme_ir::walk::walk_range_rev(program, from, to, |a, tag| {
-            let rank = program.reference(a.r).lex_rank;
-            if tag.at_start && rank <= producer_rank {
-                return ControlFlow::Continue(());
+        match self.walk {
+            WalkStrategy::LegacyScan => {
+                cme_ir::walk::walk_range_rev(program, from, to, |a, tag| {
+                    let rank = program.reference(a.r).lex_rank;
+                    if tag.at_start && rank <= producer_rank {
+                        return ControlFlow::Continue(());
+                    }
+                    if tag.at_end && rank >= consumer_rank {
+                        return ControlFlow::Continue(());
+                    }
+                    let line = config.mem_line(a.addr);
+                    if line == reused_line {
+                        // Re-touch: the line was resident here with the
+                        // current contention count since; the verdict is
+                        // already decided.
+                        return ControlFlow::Break(());
+                    }
+                    if config.set_of_line(line) != target_set {
+                        return ControlFlow::Continue(());
+                    }
+                    if !lines.contains(&line) {
+                        lines.push(line);
+                        if lines.len() >= k {
+                            evicted = true;
+                            return ControlFlow::Break(());
+                        }
+                    }
+                    ControlFlow::Continue(())
+                });
             }
-            if tag.at_end && rank >= consumer_rank {
-                return ControlFlow::Continue(());
+            WalkStrategy::SetSkip => {
+                if self.hit_by_contention_bound(from, to, reused_line, target_set) {
+                    return false;
+                }
+                let filter =
+                    SetFilter::new(config.line_bytes() as i64, config.num_sets() as i64, target_set);
+                walker.walk_range_rev_in_set(program, from, to, &filter, |a, tag| {
+                    let rank = program.reference(a.r).lex_rank;
+                    if tag.at_start && rank <= producer_rank {
+                        return ControlFlow::Continue(());
+                    }
+                    if tag.at_end && rank >= consumer_rank {
+                        return ControlFlow::Continue(());
+                    }
+                    // Every visited access already maps to `target_set`.
+                    let line = config.mem_line(a.addr);
+                    if line == reused_line {
+                        return ControlFlow::Break(());
+                    }
+                    if !lines.contains(&line) {
+                        lines.push(line);
+                        if lines.len() >= k {
+                            evicted = true;
+                            return ControlFlow::Break(());
+                        }
+                    }
+                    ControlFlow::Continue(())
+                });
             }
-            let line = config.mem_line(a.addr);
-            if line == reused_line {
-                // Re-touch: the line was resident here with the current
-                // contention count since; the verdict is already decided.
-                return ControlFlow::Break(());
-            }
-            if config.set_of_line(line) != target_set {
-                return ControlFlow::Continue(());
-            }
-            if !lines.contains(&line) {
-                lines.push(line);
-                if lines.len() >= k {
-                    evicted = true;
-                    return ControlFlow::Break(());
+        }
+        evicted
+    }
+
+    /// The contention-bound early exit: a sufficient condition for a hit
+    /// checked in O(references · depth) arithmetic before any walking.
+    ///
+    /// For every reference, the lexicographic interval `[from, to]` is
+    /// over-approximated by a box (prefix positions where the endpoints
+    /// agree pin a label or index, the first differing position gives a
+    /// range, deeper dimensions fall back to the RIS bounding box). The
+    /// reference's address plan turns the box into a memory-line window,
+    /// and the lines of that window congruent to `target_set` bound the
+    /// distinct lines the reference can contribute to the set. When the sum
+    /// over all references (minus the reused line when some window covers
+    /// it) stays below `k`, the LRU stack can never fill — the point is a
+    /// hit without walking.
+    fn hit_by_contention_bound(
+        &self,
+        from: &[i64],
+        to: &[i64],
+        reused_line: i64,
+        target_set: i64,
+    ) -> bool {
+        let k = self.config.assoc() as i64;
+        let nsets = self.config.num_sets() as i64;
+        let n = self.program.depth();
+        let diff = from
+            .iter()
+            .zip(to)
+            .position(|(a, b)| a != b)
+            .unwrap_or(2 * n);
+        let mut sum: i64 = 0;
+        let mut reused_counted = false;
+        for bp in &self.bounds {
+            let mut w_min = bp.plan.constant_term();
+            let mut w_max = w_min;
+            let mut excluded = false;
+            for d in 0..n {
+                // Interleaved positions: label at 2d, index at 2d + 1.
+                let lpos = 2 * d;
+                if lpos < diff {
+                    if bp.label[d] != from[lpos] {
+                        excluded = true;
+                        break;
+                    }
+                } else if lpos == diff && (bp.label[d] < from[lpos] || bp.label[d] > to[lpos]) {
+                    excluded = true;
+                    break;
+                }
+                let ipos = 2 * d + 1;
+                let (mut lo, mut hi) = bp.bbox[d];
+                if ipos < diff {
+                    lo = lo.max(from[ipos]);
+                    hi = hi.min(from[ipos]);
+                } else if ipos == diff {
+                    lo = lo.max(from[ipos]);
+                    hi = hi.min(to[ipos]);
+                }
+                if lo > hi {
+                    excluded = true;
+                    break;
+                }
+                let c = bp.plan.coeff(d);
+                if c >= 0 {
+                    w_min += c * lo;
+                    w_max += c * hi;
+                } else {
+                    w_min += c * hi;
+                    w_max += c * lo;
                 }
             }
-            ControlFlow::Continue(())
-        });
-        evicted
+            if excluded {
+                continue;
+            }
+            let l_min = self.config.mem_line(w_min);
+            let l_max = self.config.mem_line(w_max);
+            // Lines ≡ target_set (mod nsets) within [l_min, l_max].
+            let cnt = (l_max - target_set).div_euclid(nsets)
+                - (l_min - 1 - target_set).div_euclid(nsets);
+            if cnt <= 0 {
+                continue;
+            }
+            if (l_min..=l_max).contains(&reused_line) {
+                reused_counted = true;
+            }
+            sum += cnt;
+            if sum - (reused_counted as i64) >= k {
+                return false;
+            }
+        }
+        sum - (reused_counted as i64) < k
     }
 }
 

@@ -1,6 +1,6 @@
 //! `FindMisses`: exact analysis of every iteration point (Fig. 6, left).
 
-use crate::classify::Classifier;
+use crate::classify::{Classifier, WalkStrategy};
 use crate::options::Threads;
 use crate::parallel;
 use crate::report::{Coverage, RefReport, Report};
@@ -38,6 +38,7 @@ pub struct FindMisses<'p> {
     config: CacheConfig,
     reuse: ReuseAnalysis,
     threads: Threads,
+    walk: WalkStrategy,
 }
 
 impl<'p> FindMisses<'p> {
@@ -49,6 +50,7 @@ impl<'p> FindMisses<'p> {
             config,
             reuse,
             threads: Threads::default(),
+            walk: WalkStrategy::default(),
         }
     }
 
@@ -60,6 +62,7 @@ impl<'p> FindMisses<'p> {
             config,
             reuse,
             threads: Threads::default(),
+            walk: WalkStrategy::default(),
         }
     }
 
@@ -71,6 +74,15 @@ impl<'p> FindMisses<'p> {
         self
     }
 
+    /// Selects the interference-walk strategy (default
+    /// [`WalkStrategy::SetSkip`]). Verdicts — and therefore reports — are
+    /// bit-identical for every strategy; the knob exists for differential
+    /// testing and benchmarking against the legacy full scan.
+    pub fn strategy(mut self, walk: WalkStrategy) -> Self {
+        self.walk = walk;
+        self
+    }
+
     /// The generated reuse vectors.
     pub fn reuse(&self) -> &ReuseAnalysis {
         &self.reuse
@@ -79,7 +91,8 @@ impl<'p> FindMisses<'p> {
     /// Classifies every point of every RIS.
     pub fn run(&self) -> Report {
         let start = Instant::now();
-        let classifier = Classifier::new(self.program, &self.reuse, self.config);
+        let classifier =
+            Classifier::new(self.program, &self.reuse, self.config).with_strategy(self.walk);
         let threads = self.threads.count();
         let mut reports = Vec::with_capacity(self.program.references().len());
         for r in 0..self.program.references().len() {

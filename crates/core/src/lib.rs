@@ -48,7 +48,7 @@ pub mod options;
 pub mod parallel;
 pub mod report;
 
-pub use classify::{Classifier, PointClass, Scratch};
+pub use classify::{Classifier, PointClass, Scratch, WalkStrategy};
 pub use estimate::EstimateMisses;
 pub use find::FindMisses;
 pub use options::{SamplingOptions, Threads};

@@ -4,7 +4,7 @@
 //! miss counts and ratios. (Whole-`Report` equality is not used because a
 //! `Report` also records wall-clock time.)
 
-use cme_analysis::{EstimateMisses, FindMisses, SamplingOptions, Threads};
+use cme_analysis::{EstimateMisses, FindMisses, SamplingOptions, Threads, WalkStrategy};
 use cme_cache::CacheConfig;
 use cme_ir::{LinExpr, LinRel, Program, ProgramBuilder, RelOp, SNode, SRef};
 
@@ -117,6 +117,39 @@ fn faithful_options_identical_across_thread_counts() {
     for threads in THREAD_COUNTS {
         let report = EstimateMisses::new(&program, cfg, opts(threads)).run();
         assert_eq!(baseline.references(), report.references(), "{threads} threads");
+    }
+}
+
+/// The walk strategy and the thread count are independent determinism
+/// axes: every (strategy, threads) combination — including the default
+/// set-conscious skip-walk at 1, 2 and 8 workers — yields a report
+/// identical to the legacy full scan run serially.
+#[test]
+fn strategy_and_threads_identical_reports() {
+    let cfg = CacheConfig::new(4096, 32, 2).unwrap();
+    for (name, program) in &workloads() {
+        let baseline = FindMisses::new(program, cfg)
+            .strategy(WalkStrategy::LegacyScan)
+            .threads(Threads::Fixed(1))
+            .run();
+        for walk in [WalkStrategy::SetSkip, WalkStrategy::LegacyScan] {
+            for threads in [1usize, 2, 8] {
+                let report = FindMisses::new(program, cfg)
+                    .strategy(walk)
+                    .threads(Threads::Fixed(threads))
+                    .run();
+                assert_eq!(
+                    baseline.references(),
+                    report.references(),
+                    "{name}: {walk:?} diverged at {threads} threads"
+                );
+                assert_eq!(
+                    baseline.exact_misses(),
+                    report.exact_misses(),
+                    "{name}: {walk:?}/{threads}"
+                );
+            }
+        }
     }
 }
 

@@ -1,0 +1,196 @@
+//! The congruence skip-walk must be *observationally equivalent* to
+//! filtering the full reverse range walk by cache set: over any interval
+//! and any target set it visits exactly the set-matching subsequence of
+//! [`cme_ir::walk::walk_range_rev`], same accesses, same order, same
+//! boundary tags. Fuzzed over randomized guarded nests and an inlined
+//! whole-program workload with `CALL` statements.
+
+use cme_ir::walk::{for_each_access, walk_range_rev};
+use cme_ir::{
+    LinExpr, LinRel, NormalizeOptions, Program, ProgramBuilder, RelOp, SNode, SRef, SetFilter,
+    SetWalker,
+};
+use cme_poly::rng::{Rng, SeededRng};
+use std::ops::ControlFlow;
+
+/// One observed access, owned (points are borrowed in the callback).
+type Visit = (usize, Vec<i64>, i64, bool, bool);
+
+fn reference_walk(program: &Program, from: &[i64], to: &[i64], filter: &SetFilter) -> Vec<Visit> {
+    let mut out = Vec::new();
+    walk_range_rev(program, from, to, |acc, tag| {
+        if filter.matches_addr(acc.addr) {
+            out.push((acc.r, acc.point.to_vec(), acc.addr, tag.at_start, tag.at_end));
+        }
+        ControlFlow::Continue(())
+    });
+    out
+}
+
+fn skip_walk(
+    walker: &mut SetWalker,
+    program: &Program,
+    from: &[i64],
+    to: &[i64],
+    filter: &SetFilter,
+) -> Vec<Visit> {
+    let mut out = Vec::new();
+    walker.walk_range_rev_in_set(program, from, to, filter, |acc, tag| {
+        out.push((acc.r, acc.point.to_vec(), acc.addr, tag.at_start, tag.at_end));
+        ControlFlow::Continue(())
+    });
+    out
+}
+
+/// All interleaved iteration vectors the program actually executes —
+/// the natural pool of interval endpoints.
+fn iteration_vectors(program: &Program) -> Vec<Vec<i64>> {
+    let mut vecs = Vec::new();
+    for_each_access(program, |acc| {
+        let iv = program.iteration_vector(acc.r, acc.point);
+        if vecs.last() != Some(&iv) {
+            vecs.push(iv);
+        }
+        ControlFlow::Continue(())
+    });
+    vecs.dedup();
+    vecs
+}
+
+fn arb_subscript2(rng: &mut SeededRng) -> (LinExpr, LinExpr) {
+    let off = rng.gen_range(-2..=2);
+    match rng.gen_below(5) {
+        0 => (LinExpr::var("I").offset(off), LinExpr::var("J")),
+        1 => (LinExpr::var("J").offset(off), LinExpr::var("I")),
+        2 => (LinExpr::var("I"), LinExpr::var("J").offset(off)),
+        3 => (
+            LinExpr::var("I").scale(2).offset(off.abs()),
+            LinExpr::var("J"),
+        ),
+        _ => (LinExpr::constant(off.abs() + 1), LinExpr::var("J")),
+    }
+}
+
+fn arb_stmt(rng: &mut SeededRng) -> SNode {
+    let name = ["X", "Y", "Z"][rng.gen_below(3) as usize];
+    let (s1, s2) = arb_subscript2(rng);
+    let stmt = SNode::assign(SRef::new(name, vec![s1, s2]), vec![]);
+    if rng.gen_bool() {
+        SNode::if_(
+            vec![LinRel::new(
+                LinExpr::var("J"),
+                RelOp::Ge,
+                LinExpr::constant(3),
+            )],
+            vec![stmt],
+        )
+    } else {
+        stmt
+    }
+}
+
+/// Random guarded 2-deep nests over mixed element sizes (8 exercises the
+/// periodic congruence tiers, 12 the dense fallback).
+fn arb_program(rng: &mut SeededRng) -> Program {
+    let nbody = rng.gen_range(1..=3) as usize;
+    let body: Vec<SNode> = (0..nbody).map(|_| arb_stmt(rng)).collect();
+    let n = rng.gen_range(3..=7);
+    let elem = if rng.gen_bool() { 8 } else { 12 };
+
+    let mut b = ProgramBuilder::new("walkfuzz");
+    b.array("X", &[24, 12], elem);
+    b.array("Y", &[24, 12], elem);
+    b.array("Z", &[24, 12], elem);
+    b.options(NormalizeOptions::default());
+    b.push(SNode::loop_(
+        "J",
+        1,
+        n,
+        vec![SNode::loop_("I", 1, n, body)],
+    ));
+    if rng.gen_bool() {
+        let i = LinExpr::var("I2");
+        b.push(SNode::loop_(
+            "I2",
+            1,
+            n,
+            vec![SNode::assign(
+                SRef::new("X", vec![i.clone(), LinExpr::constant(1)]),
+                vec![SRef::new("Y", vec![i.scale(2), LinExpr::constant(2)])],
+            )],
+        ));
+    }
+    b.build().expect("fuzz program normalises")
+}
+
+fn check_program(program: &Program, rng: &mut SeededRng, intervals: usize, tag: &str) {
+    let vecs = iteration_vectors(program);
+    assert!(vecs.len() >= 2, "{tag}: trivial program");
+    let mut walker = SetWalker::new();
+    for case in 0..intervals {
+        let a = &vecs[rng.gen_below(vecs.len() as u64) as usize];
+        let b = &vecs[rng.gen_below(vecs.len() as u64) as usize];
+        let (from, to) = if cme_poly::lex::cmp(a, b) == std::cmp::Ordering::Greater {
+            (b, a)
+        } else {
+            (a, b)
+        };
+        let (line_bytes, num_sets) = [(16i64, 8i64), (32, 4), (32, 16), (24, 12)]
+            [rng.gen_below(4) as usize];
+        let target_set = rng.gen_below(num_sets as u64) as i64;
+        let filter = SetFilter::new(line_bytes, num_sets, target_set);
+        let expect = reference_walk(program, from, to, &filter);
+        let got = skip_walk(&mut walker, program, from, to, &filter);
+        assert_eq!(
+            got, expect,
+            "{tag} case {case}: skip-walk diverged (L={line_bytes} S={num_sets} \
+             set={target_set} from={from:?} to={to:?})"
+        );
+    }
+}
+
+#[test]
+fn skip_walk_matches_filtered_walk_on_random_guarded_nests() {
+    let mut rng = SeededRng::seed_from_u64(0x5E7F);
+    for _ in 0..24 {
+        let program = arb_program(&mut rng);
+        check_program(&program, &mut rng, 6, "guarded-nest");
+    }
+}
+
+#[test]
+fn skip_walk_matches_filtered_walk_on_inlined_call_program() {
+    // swim_like routes all work through CALL statements; after inlining,
+    // the normalised program has many statements per row and constant
+    // references — a different shape than the fuzz nests.
+    let program = cme_workloads::swim_like(8, 1);
+    let mut rng = SeededRng::seed_from_u64(0xCA11);
+    check_program(&program, &mut rng, 24, "swim-like");
+}
+
+/// Early termination from the callback stops the skip-walk exactly like
+/// the reference walk: the visited prefixes agree.
+#[test]
+fn skip_walk_break_prefix_agrees() {
+    let mut rng = SeededRng::seed_from_u64(0xB4EA);
+    let program = arb_program(&mut rng);
+    let vecs = iteration_vectors(&program);
+    let from = vecs.first().unwrap();
+    let to = vecs.last().unwrap();
+    let filter = SetFilter::new(32, 4, 1);
+    let full = reference_walk(&program, from, to, &filter);
+    let mut walker = SetWalker::new();
+    for cut in 0..full.len().min(12) {
+        let mut got = Vec::new();
+        let mut left = cut;
+        walker.walk_range_rev_in_set(&program, from, to, &filter, |acc, tag| {
+            if left == 0 {
+                return ControlFlow::Break(());
+            }
+            left -= 1;
+            got.push((acc.r, acc.point.to_vec(), acc.addr, tag.at_start, tag.at_end));
+            ControlFlow::Continue(())
+        });
+        assert_eq!(got.as_slice(), &full[..cut], "prefix of length {cut}");
+    }
+}

@@ -56,4 +56,4 @@ pub use normalize::{normalize, normalize_subroutine, NormalizeOptions};
 pub use program::{
     AccessKind, Array, ArrayId, LoopNode, Program, RefId, Reference, Statement, StmtId, Storage,
 };
-pub use walk::{Access, BoundaryTag};
+pub use walk::{Access, BoundaryTag, SetFilter, SetWalker};

@@ -159,6 +159,11 @@ pub struct Program {
     layout: Vec<i64>,
     /// RIS per reference.
     ris: Vec<Space>,
+    /// Per-reference byte address as one affine form over the `n` index
+    /// variables: base + column-major subscript linearisation folded into a
+    /// single coefficient vector. Evaluating this is the whole address
+    /// computation — no stride recomputation per access.
+    addr_plans: Vec<Affine>,
 }
 
 impl Program {
@@ -190,6 +195,7 @@ impl Program {
             refs,
             layout: Vec::new(),
             ris: Vec::new(),
+            addr_plans: Vec::new(),
         };
         prog.validate()?;
         prog.layout = assign_layout(&prog.arrays, layout_base)?;
@@ -198,7 +204,27 @@ impl Program {
             .iter()
             .map(|r| prog.build_ris(r))
             .collect::<Result<Vec<_>, _>>()?;
+        prog.rebuild_addr_plans();
         Ok(prog)
+    }
+
+    /// Folds layout, strides and subscripts into one affine form per
+    /// reference. Must be re-run whenever `layout` changes.
+    fn rebuild_addr_plans(&mut self) {
+        self.addr_plans = self
+            .refs
+            .iter()
+            .map(|rf| {
+                let arr = &self.arrays[rf.array];
+                let strides = arr.strides();
+                let mut plan = Affine::constant(self.depth, self.layout[rf.array]);
+                for (d, sub) in rf.subs.iter().enumerate() {
+                    let byte_stride = strides[d] * arr.elem_bytes as i64;
+                    plan = plan.add(&sub.offset(-1).scale(byte_stride));
+                }
+                plan
+            })
+            .collect();
     }
 
     fn validate(&self) -> Result<(), IrError> {
@@ -402,11 +428,25 @@ impl Program {
         idx
     }
 
-    /// The byte address accessed by `r` at index point `point`.
+    /// The byte address accessed by `r` at index point `point`. One affine
+    /// evaluation over the precomputed [`Program::addr_plan`].
+    #[inline]
     pub fn byte_address(&self, r: RefId, point: &[i64]) -> i64 {
-        let rf = &self.refs[r];
-        let arr = &self.arrays[rf.array];
-        self.layout[rf.array] + self.elem_index(r, point) * arr.elem_bytes as i64
+        self.addr_plans[r].eval(point)
+    }
+
+    /// The precomputed byte-address affine form of reference `r`: constant
+    /// term is the address at the all-zero index point, coefficient `d` is
+    /// the byte stride per unit of `I_{d+1}`. The walkers and the classifier
+    /// use this for incremental line computation along the innermost
+    /// dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[inline]
+    pub fn addr_plan(&self, r: RefId) -> &Affine {
+        &self.addr_plans[r]
     }
 
     /// `Mem_Line_R(i)`: the memory line touched by `r` at `point` for a
@@ -485,6 +525,7 @@ impl Program {
                 out.layout[i] = out.layout[t];
             }
         }
+        out.rebuild_addr_plans();
         out
     }
 }
@@ -597,6 +638,30 @@ mod tests {
         let p = tiny_program();
         assert_eq!(p.ris(0).count(), 10); // 4+3+2+1
         assert_eq!(p.total_accesses(), 20);
+    }
+
+    /// The folded address plan equals the explicit
+    /// layout + strides + subscript computation, before and after padding.
+    #[test]
+    fn addr_plan_matches_explicit_addressing() {
+        let p = tiny_program();
+        let explicit = |p: &Program, r: RefId, point: &[i64]| {
+            let rf = &p.refs[r];
+            let arr = &p.arrays[rf.array];
+            p.layout[rf.array] + p.elem_index(r, point) * arr.elem_bytes as i64
+        };
+        for prog in [&p, &p.with_padding(&[64, 8])] {
+            for r in 0..prog.references().len() {
+                prog.ris(r).for_each_point(|pt| {
+                    assert_eq!(
+                        prog.byte_address(r, pt),
+                        explicit(prog, r, pt),
+                        "r={r} pt={pt:?}"
+                    );
+                    assert_eq!(prog.addr_plan(r).eval(pt), prog.byte_address(r, pt));
+                });
+            }
+        }
     }
 
     #[test]

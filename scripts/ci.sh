@@ -29,4 +29,10 @@ fi
 cargo run -p cme-bench --bin bench_parallel --release --offline -- \
     "${ARGS[@]}" --out BENCH_parallel.json
 
+echo "== classify walk-strategy harness =="
+# Smoke at small scale: times the set-conscious skip-walk against the
+# legacy full scan and asserts the reports are bit-identical.
+cargo run -p cme-bench --bin bench_classify --release --offline -- \
+    --scale "${BENCH_SCALE:-small}" --out BENCH_classify.json
+
 echo "== ok =="
