@@ -24,8 +24,16 @@ use cme_analysis::{EstimateMisses, FindMisses, SamplingOptions};
 use cme_cache::{CacheConfig, Simulator};
 use cme_ir::Program;
 use std::collections::HashMap;
+use std::process::ExitCode;
 
-fn main() {
+/// Prints a diagnostic and exits nonzero — bad input is a user error, not
+/// a panic (exit code 2, like a compiler rejecting its input).
+fn fail(message: &str) -> ExitCode {
+    eprintln!("analyze: {message}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let get = |flag: &str| -> Option<String> {
         args.iter()
@@ -39,23 +47,33 @@ fn main() {
     let cache_bytes: u64 = get("--cache").map_or(32 * 1024, |v| v.parse().expect("--cache"));
     let line: u64 = get("--line").map_or(32, |v| v.parse().expect("--line"));
     let assoc: u32 = get("--assoc").map_or(2, |v| v.parse().expect("--assoc"));
-    let cfg = CacheConfig::new(cache_bytes, line, assoc).expect("valid cache geometry");
+    let cfg = match CacheConfig::new(cache_bytes, line, assoc) {
+        Ok(cfg) => cfg,
+        Err(e) => return fail(&e.to_string()),
+    };
 
     let program: Program = if let Some(path) = get("--file") {
-        let text = std::fs::read_to_string(&path).expect("readable FORTRAN file");
         let mut params: HashMap<String, i64> = HashMap::new();
         let mut i = 0;
         while i < args.len() {
             if args[i] == "--param" {
-                let kv = args.get(i + 1).expect("--param NAME=VALUE");
-                let (k, v) = kv.split_once('=').expect("--param NAME=VALUE");
-                params.insert(k.to_uppercase(), v.parse().expect("numeric value"));
+                let Some(kv) = args.get(i + 1) else {
+                    return fail("--param needs NAME=VALUE");
+                };
+                let Some((k, v)) = kv.split_once('=') else {
+                    return fail(&format!("--param wants NAME=VALUE, got `{kv}`"));
+                };
+                let Ok(v) = v.parse() else {
+                    return fail(&format!("--param value `{v}` is not an integer"));
+                };
+                params.insert(k.to_uppercase(), v);
             }
             i += 1;
         }
-        let source = cme_fortran::parse_program(&text, &params).expect("parse");
-        let inlined = cme_inline::Inliner::new().inline(&source).expect("inline");
-        cme_ir::normalize(&inlined, &Default::default()).expect("normalise")
+        match cme_bench::load_fortran(&path, &params) {
+            Ok(p) => p,
+            Err(diagnostic) => return fail(&diagnostic),
+        }
     } else {
         match get("--workload").as_deref().unwrap_or("hydro") {
             "hydro" => cme_workloads::hydro(n, n),
@@ -68,7 +86,7 @@ fn main() {
             "livermore5" => cme_workloads::livermore5(n * n),
             "dgefa" => cme_workloads::dgefa(n),
             "mxm" => cme_workloads::mxm(n),
-            other => panic!("unknown workload `{other}`"),
+            other => return fail(&format!("unknown workload `{other}`")),
         }
     };
 
@@ -108,4 +126,5 @@ fn main() {
             sim.total_misses()
         );
     }
+    ExitCode::SUCCESS
 }

@@ -170,8 +170,9 @@ fn main() {
     table.print();
 
     let json = format!(
-        "{{\n  \"scale\": \"{}\",\n  \"cache\": \"32KB/32B/2-way\",\n  \"threads\": {nthreads},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"scale\": \"{}\",\n  \"cache\": \"32KB/32B/2-way\",\n  \"threads\": {nthreads},\n  \"hw_threads\": {},\n  \"strategy\": \"set-skip\",\n  \"rows\": [\n{}\n  ]\n}}\n",
         scale.label(),
+        cme_bench::hw_threads(),
         json_rows.join(",\n")
     );
     std::fs::write(&out, &json).expect("write BENCH_classify.json");

@@ -61,10 +61,11 @@ fn main() {
 
     let speedup = serial_t.as_secs_f64() / parallel_t.as_secs_f64().max(1e-9);
     let json = format!(
-        "{{\n  \"workload\": \"mmt(N={n},BJ={bj},BK={bk})\",\n  \"points\": {},\n  \"serial_ms\": {:.1},\n  \"parallel_ms\": {:.1},\n  \"threads\": {max_threads},\n  \"speedup\": {speedup:.2}\n}}\n",
+        "{{\n  \"workload\": \"mmt(N={n},BJ={bj},BK={bk})\",\n  \"points\": {},\n  \"serial_ms\": {:.1},\n  \"parallel_ms\": {:.1},\n  \"threads\": {max_threads},\n  \"hw_threads\": {},\n  \"strategy\": \"set-skip\",\n  \"speedup\": {speedup:.2}\n}}\n",
         serial.total_accesses(),
         serial_t.as_secs_f64() * 1e3,
         parallel_t.as_secs_f64() * 1e3,
+        cme_bench::hw_threads(),
     );
     std::fs::write(&out, &json).expect("write BENCH_parallel.json");
     eprintln!("speedup {speedup:.2}x -> {out}");

@@ -1,0 +1,89 @@
+//! Timing harness for the analysis service's content-addressed result
+//! store: runs the same exact MMT analysis twice through one `Engine` —
+//! cold (full classification) then hot (store fetch) — verifies the two
+//! payloads are byte-identical, and writes the numbers to
+//! `BENCH_serve.json`.
+//!
+//! ```text
+//! cargo run -p cme-bench --bin bench_serve --release -- \
+//!     [--scale small|medium|paper] [--threads N] [--out BENCH_serve.json]
+//! ```
+//!
+//! At `--scale paper` (MMT N=BJ=100, BK=50 on the paper's 32KB/32B/2-way
+//! cache) the harness asserts the hot query is at least 100x faster than
+//! the cold one — the whole point of a persistent service: the second
+//! asker pays a hash lookup, not a whole-program analysis.
+
+use cme_bench::{timed, Scale};
+use cme_cache::CacheConfig;
+use cme_serve::{Engine, Job};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let scale = Scale::from_args();
+    let threads = cme_bench::threads_from_args();
+    let out = get("--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
+
+    let (n, bj, bk) = match scale {
+        Scale::Small => (24, 12, 6),
+        Scale::Medium => (48, 24, 12),
+        Scale::Paper => (100, 100, 50),
+    };
+    let cfg = CacheConfig::new(32 * 1024, 32, 2).expect("valid geometry");
+    let program = cme_workloads::mmt(n, bj, bk);
+    eprintln!(
+        "MMT (N={n}, BJ={bj}, BK={bk}): {} accesses, cache {cfg}, {} threads",
+        program.total_accesses(),
+        threads.count()
+    );
+
+    let engine = Engine::in_memory(16);
+    let job = {
+        let mut j = Job::exact(&program, cfg);
+        j.threads = threads;
+        j
+    };
+
+    let (cold, cold_t) = timed(|| engine.run(&job).expect("no deadline"));
+    assert!(!cold.from_store, "first run must be cold");
+    eprintln!("cold: {cold_t:?} ({} points)", cold.points);
+
+    let (hot, hot_t) = timed(|| engine.run(&job).expect("no deadline"));
+    assert!(hot.from_store, "second run must hit the store");
+    eprintln!("hot:  {hot_t:?}");
+
+    // The tentpole guarantee: repeat queries return the stored bytes.
+    assert_eq!(
+        cold.payload.as_str(),
+        hot.payload.as_str(),
+        "hot payload must be byte-identical to the cold one"
+    );
+    assert_eq!(cold.fingerprint, hot.fingerprint);
+
+    let speedup = cold_t.as_secs_f64() / hot_t.as_secs_f64().max(1e-9);
+    if scale == Scale::Paper {
+        assert!(
+            speedup >= 100.0,
+            "paper-size hot query must be >=100x faster than cold, got {speedup:.1}x"
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"workload\": \"mmt(N={n},BJ={bj},BK={bk})\",\n  \"scale\": \"{}\",\n  \"cache\": \"32KB/32B/2-way\",\n  \"mode\": \"exact\",\n  \"points\": {},\n  \"cold_ms\": {:.3},\n  \"hot_ms\": {:.3},\n  \"speedup\": {speedup:.1},\n  \"threads\": {},\n  \"hw_threads\": {},\n  \"strategy\": \"set-skip\",\n  \"fingerprint\": \"{}\"\n}}\n",
+        scale.label(),
+        cold.points,
+        cold_t.as_secs_f64() * 1e3,
+        hot_t.as_secs_f64() * 1e3,
+        threads.count(),
+        cme_bench::hw_threads(),
+        cold.fingerprint,
+    );
+    std::fs::write(&out, &json).expect("write BENCH_serve.json");
+    eprintln!("speedup {speedup:.1}x -> {out}");
+    print!("{json}");
+}

@@ -12,6 +12,7 @@
 
 use cme_analysis::Threads;
 use cme_cache::CacheConfig;
+use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 /// Problem-size scale for the table binaries.
@@ -87,6 +88,28 @@ pub fn scaled_caches(kb: u64) -> Vec<(&'static str, CacheConfig)> {
         ("2-way", CacheConfig::new(kb * 1024, 32, 2).expect("valid")),
         ("4-way", CacheConfig::new(kb * 1024, 32, 4).expect("valid")),
     ]
+}
+
+/// Loads a FORTRAN file and lowers it to a normalised [`cme_ir::Program`]
+/// (parse → inline → normalise), turning every failure into a
+/// `path:line: message` diagnostic suitable for a CLI to print and exit
+/// nonzero with — malformed input is a user error, not a panic.
+pub fn load_fortran(path: &str, params: &HashMap<String, i64>) -> Result<cme_ir::Program, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let source = cme_fortran::parse_program(&text, params)
+        .map_err(|e| format!("{path}:{}: {}", e.line, e.kind))?;
+    let inlined = cme_inline::Inliner::new()
+        .inline(&source)
+        .map_err(|e| format!("{path}: inline: {e}"))?;
+    cme_ir::normalize(&inlined, &Default::default()).map_err(|e| format!("{path}: normalise: {e}"))
+}
+
+/// The host's available hardware parallelism — recorded in every
+/// `BENCH_*.json` so numbers from different machines stay comparable.
+pub fn hw_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Times a closure, returning its value and the wall-clock duration.

@@ -1,0 +1,79 @@
+//! Drives the `analyze` binary itself: malformed FORTRAN must produce a
+//! `path:line:` diagnostic and a nonzero exit, never a panic; well-formed
+//! input must still succeed.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn temp_file(tag: &str, contents: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("cme-analyze-{tag}-{}.f", std::process::id()));
+    std::fs::write(&path, contents).expect("write temp source");
+    path
+}
+
+fn analyze(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_analyze"))
+        .args(args)
+        .output()
+        .expect("spawn analyze")
+}
+
+#[test]
+fn malformed_fortran_exits_nonzero_with_file_line_diagnostic() {
+    // Line 3 opens a DO loop that is never closed.
+    let src = "      SUBROUTINE S\n      REAL*8 A(8)\n      DO 10 I = 1, 8\n      A(I) = 0.0\n      END\n";
+    let path = temp_file("unclosed-do", src);
+    let out = analyze(&["--file", path.to_str().unwrap()]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let _ = std::fs::remove_file(&path);
+
+    assert_eq!(out.status.code(), Some(2), "stderr: {stderr}");
+    assert!(
+        stderr.contains(&format!("{}:", path.display())),
+        "diagnostic must name the file: {stderr}"
+    );
+    // `path:line:` — the diagnostic points into the source.
+    let after_path = &stderr[stderr.find(path.to_str().unwrap()).unwrap() + path.as_os_str().len()..];
+    assert!(
+        after_path.starts_with(':')
+            && after_path[1..]
+                .split(':')
+                .next()
+                .is_some_and(|l| l.trim().parse::<usize>().is_ok()),
+        "diagnostic must carry a line number: {stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "must not panic: {stderr}");
+}
+
+#[test]
+fn unbound_symbol_diagnostic_names_the_symbol() {
+    let src = "      SUBROUTINE S\n      REAL*8 A(N)\n      DO 10 I = 1, N\n      A(I) = 0.0\n10    CONTINUE\n      END\n";
+    let path = temp_file("unbound", src);
+    // No --param N=..., so N is unbound.
+    let out = analyze(&["--file", path.to_str().unwrap()]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let _ = std::fs::remove_file(&path);
+
+    assert_eq!(out.status.code(), Some(2), "stderr: {stderr}");
+    assert!(stderr.contains("`N`"), "should name the symbol: {stderr}");
+}
+
+#[test]
+fn unknown_workload_exits_nonzero() {
+    let out = analyze(&["--workload", "doom"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("doom"), "{stderr}");
+}
+
+#[test]
+fn well_formed_file_still_succeeds() {
+    let src = "      SUBROUTINE S\n      REAL*8 A(N)\n      DO 10 I = 1, N\n      A(I) = 0.0\n10    CONTINUE\n      END\n";
+    let path = temp_file("good", src);
+    let out = analyze(&["--file", path.to_str().unwrap(), "--param", "N=16", "--exact"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let _ = std::fs::remove_file(&path);
+
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout.contains("miss ratio"), "{stdout}");
+}

@@ -1,6 +1,7 @@
 //! `EstimateMisses`: sampled analysis with statistical guarantees
 //! (Fig. 6, right).
 
+use crate::cancel::{CancelToken, Cancelled};
 use crate::classify::Classifier;
 use crate::options::SamplingOptions;
 use crate::parallel;
@@ -77,16 +78,27 @@ impl<'p> EstimateMisses<'p> {
 
     /// Runs the sampled analysis.
     pub fn run(&self) -> Report {
+        self.run_cancellable(&CancelToken::never())
+            .expect("never-token runs cannot be cancelled")
+    }
+
+    /// Like [`EstimateMisses::run`], but aborts cleanly when `cancel` fires
+    /// (explicitly or by deadline). The token is checked per work chunk; on
+    /// abort the error reports how many points of the completed references
+    /// had been classified.
+    pub fn run_cancellable(&self, cancel: &CancelToken) -> Result<Report, Cancelled> {
         let start = Instant::now();
         let classifier = Classifier::new(self.program, &self.reuse, self.config);
         let threads = self.options.threads.count();
         let mut reports = Vec::with_capacity(self.program.references().len());
+        let mut points_done = 0u64;
         for r in 0..self.program.references().len() {
             let ris = self.program.ris(r);
             let volume = ris.count();
             let (tally, coverage) = match self.options.plan(volume) {
                 crate::options::SamplePlan::Exhaustive => (
-                    parallel::classify_exhaustive(&classifier, r, ris, threads),
+                    parallel::classify_exhaustive(&classifier, r, ris, threads, cancel)
+                        .ok_or(Cancelled { points_done })?,
                     Coverage::Exhaustive,
                 ),
                 crate::options::SamplePlan::Sample(nsamples) => {
@@ -95,9 +107,19 @@ impl<'p> EstimateMisses<'p> {
                     // point set is independent of the thread count.
                     let ref_seed =
                         self.options.seed ^ (r as u64).wrapping_mul(0x9E3779B97F4A7C15);
-                    parallel::classify_sampled(&classifier, r, ris, nsamples, ref_seed, threads)
+                    parallel::classify_sampled(
+                        &classifier,
+                        r,
+                        ris,
+                        nsamples,
+                        ref_seed,
+                        threads,
+                        cancel,
+                    )
+                    .ok_or(Cancelled { points_done })?
                 }
             };
+            points_done += tally.analyzed();
             reports.push(RefReport {
                 r,
                 ris_size: volume,
@@ -108,7 +130,7 @@ impl<'p> EstimateMisses<'p> {
                 coverage,
             });
         }
-        Report::new(reports, start.elapsed())
+        Ok(Report::new(reports, start.elapsed()))
     }
 }
 

@@ -1,5 +1,6 @@
 //! `FindMisses`: exact analysis of every iteration point (Fig. 6, left).
 
+use crate::cancel::{CancelToken, Cancelled};
 use crate::classify::{Classifier, WalkStrategy};
 use crate::options::Threads;
 use crate::parallel;
@@ -90,14 +91,26 @@ impl<'p> FindMisses<'p> {
 
     /// Classifies every point of every RIS.
     pub fn run(&self) -> Report {
+        self.run_cancellable(&CancelToken::never())
+            .expect("never-token runs cannot be cancelled")
+    }
+
+    /// Like [`FindMisses::run`], but aborts cleanly when `cancel` fires
+    /// (explicitly or by deadline). The token is checked per work chunk
+    /// (~1k points); on abort the error reports how many points of the
+    /// completed references had been classified.
+    pub fn run_cancellable(&self, cancel: &CancelToken) -> Result<Report, Cancelled> {
         let start = Instant::now();
         let classifier =
             Classifier::new(self.program, &self.reuse, self.config).with_strategy(self.walk);
         let threads = self.threads.count();
         let mut reports = Vec::with_capacity(self.program.references().len());
+        let mut points_done = 0u64;
         for r in 0..self.program.references().len() {
             let ris = self.program.ris(r);
-            let tally = parallel::classify_exhaustive(&classifier, r, ris, threads);
+            let tally = parallel::classify_exhaustive(&classifier, r, ris, threads, cancel)
+                .ok_or(Cancelled { points_done })?;
+            points_done += tally.analyzed();
             reports.push(RefReport {
                 r,
                 ris_size: tally.analyzed(),
@@ -108,7 +121,7 @@ impl<'p> FindMisses<'p> {
                 coverage: Coverage::Exhaustive,
             });
         }
-        Report::new(reports, start.elapsed())
+        Ok(Report::new(reports, start.elapsed()))
     }
 }
 

@@ -41,6 +41,7 @@
 //! # Ok::<(), cme_ir::IrError>(())
 //! ```
 
+pub mod cancel;
 pub mod classify;
 pub mod estimate;
 pub mod find;
@@ -48,6 +49,7 @@ pub mod options;
 pub mod parallel;
 pub mod report;
 
+pub use cancel::{CancelToken, Cancelled};
 pub use classify::{Classifier, PointClass, Scratch, WalkStrategy};
 pub use estimate::EstimateMisses;
 pub use find::FindMisses;

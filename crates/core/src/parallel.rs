@@ -28,6 +28,7 @@
 //! With `threads == 1` no worker is spawned at all — the caller's thread
 //! runs every task in index order, which is exactly the legacy serial path.
 
+use crate::cancel::CancelToken;
 use crate::classify::{Classifier, PointClass, Scratch};
 use crate::report::Coverage;
 use cme_ir::RefId;
@@ -92,9 +93,36 @@ where
     MS: Fn() -> S + Sync,
     F: Fn(&mut S, usize) -> T + Sync,
 {
+    run_chunked_cancellable(threads, ntasks, &CancelToken::never(), make_state, task)
+        .expect("never-token runs cannot be cancelled")
+}
+
+/// Cancellable [`run_chunked`]: the token is checked once per task steal
+/// (per chunk, not per point). Returns `None` when cancellation fired before
+/// the queue drained — partial results are discarded, each worker stops
+/// after at most the task it is currently running.
+pub fn run_chunked_cancellable<S, T, MS, F>(
+    threads: usize,
+    ntasks: usize,
+    cancel: &CancelToken,
+    make_state: MS,
+    task: F,
+) -> Option<Vec<T>>
+where
+    T: Send,
+    MS: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
     if threads <= 1 || ntasks <= 1 {
         let mut state = make_state();
-        return (0..ntasks).map(|i| task(&mut state, i)).collect();
+        let mut out = Vec::with_capacity(ntasks);
+        for i in 0..ntasks {
+            if cancel.is_cancelled() {
+                return None;
+            }
+            out.push(task(&mut state, i));
+        }
+        return Some(out);
     }
     let queue = ChunkQueue::new(ntasks);
     let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(ntasks));
@@ -104,16 +132,20 @@ where
             scope.spawn(|| {
                 let mut state = make_state();
                 let mut local: Vec<(usize, T)> = Vec::new();
-                while let Some(i) = queue.steal() {
+                while !cancel.is_cancelled() {
+                    let Some(i) = queue.steal() else { break };
                     local.push((i, task(&mut state, i)));
                 }
                 results.lock().unwrap().extend(local);
             });
         }
     });
+    if cancel.is_cancelled() {
+        return None;
+    }
     let mut v = results.into_inner().unwrap();
     v.sort_unstable_by_key(|&(i, _)| i);
-    v.into_iter().map(|(_, t)| t).collect()
+    Some(v.into_iter().map(|(_, t)| t).collect())
 }
 
 /// Per-chunk classification tally; the merged quantity of the reduction.
@@ -161,7 +193,8 @@ pub(crate) fn classify_exhaustive(
     r: RefId,
     ris: &Space,
     threads: usize,
-) -> Tally {
+    cancel: &CancelToken,
+) -> Option<Tally> {
     let dim = classifier.program().depth();
     let serial_tally = || {
         let mut tally = Tally::default();
@@ -171,17 +204,26 @@ pub(crate) fn classify_exhaustive(
         });
         tally
     };
-    if threads <= 1 || dim == 0 {
-        return serial_tally();
+    // The non-cancellable serial paths stay allocation-free exactly as
+    // before; a live token always goes through the chunked route so the
+    // per-chunk checks happen even on one thread.
+    if (threads <= 1 || dim == 0) && !cancel.can_cancel() {
+        return Some(serial_tally());
+    }
+    if dim == 0 {
+        if cancel.is_cancelled() {
+            return None;
+        }
+        return Some(serial_tally());
     }
     let mut flat: Vec<i64> = Vec::new();
     ris.for_each_point(|point| flat.extend_from_slice(point));
     let npoints = flat.len() / dim;
-    if npoints <= CHUNK_POINTS {
-        return serial_tally();
+    if npoints <= CHUNK_POINTS && !cancel.can_cancel() {
+        return Some(serial_tally());
     }
-    let nchunks = npoints.div_ceil(CHUNK_POINTS);
-    let tallies = run_chunked(threads, nchunks, Scratch::new, |scratch, ci| {
+    let nchunks = npoints.div_ceil(CHUNK_POINTS).max(1);
+    let tallies = run_chunked_cancellable(threads, nchunks, cancel, Scratch::new, |scratch, ci| {
         let lo = ci * CHUNK_POINTS;
         let hi = npoints.min(lo + CHUNK_POINTS);
         let mut tally = Tally::default();
@@ -189,12 +231,12 @@ pub(crate) fn classify_exhaustive(
             tally.bump(classifier.classify_with_scratch(r, point, scratch));
         }
         tally
-    });
+    })?;
     let mut total = Tally::default();
     for t in tallies {
         total.merge(t);
     }
-    total
+    Some(total)
 }
 
 /// Classifies a deterministic uniform sample of `RIS_r` on `threads`
@@ -211,9 +253,10 @@ pub(crate) fn classify_sampled(
     nsamples: u64,
     ref_seed: u64,
     threads: usize,
-) -> (Tally, Coverage) {
+    cancel: &CancelToken,
+) -> Option<(Tally, Coverage)> {
     let nchunks = nsamples.div_ceil(CHUNK_SAMPLES) as usize;
-    let results = run_chunked(threads, nchunks, Scratch::new, |scratch, ci| {
+    let results = run_chunked_cancellable(threads, nchunks, cancel, Scratch::new, |scratch, ci| {
         let lo = ci as u64 * CHUNK_SAMPLES;
         let quota = CHUNK_SAMPLES.min(nsamples - lo) as usize;
         let mut rng = SeededRng::seed_from_u64(derive_seed(ref_seed, ci as u64));
@@ -223,14 +266,14 @@ pub(crate) fn classify_sampled(
             tally.bump(classifier.classify_with_scratch(r, point, scratch));
         }
         (tally, points.len() as u64)
-    });
+    })?;
     let mut total = Tally::default();
     let mut samples = 0u64;
     for (t, n) in results {
         total.merge(t);
         samples += n;
     }
-    (total, Coverage::Sampled { samples })
+    Some((total, Coverage::Sampled { samples }))
 }
 
 #[cfg(test)]

@@ -63,8 +63,13 @@ impl FortranError {
 
 impl fmt::Display for FortranError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: ", self.line)?;
-        match &self.kind {
+        write!(f, "line {}: {}", self.line, self.kind)
+    }
+}
+
+impl fmt::Display for FortranErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
             FortranErrorKind::Lex { ch } => write!(f, "unexpected character `{ch}`"),
             FortranErrorKind::Parse { message } => write!(f, "{message}"),
             FortranErrorKind::NonAffine { context } => {

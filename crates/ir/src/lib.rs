@@ -39,6 +39,7 @@ pub mod ast;
 pub mod builder;
 pub mod error;
 pub mod expr;
+pub mod fingerprint;
 pub mod normalize;
 pub mod pretty;
 pub mod program;
@@ -51,6 +52,7 @@ pub use ast::{
 };
 pub use builder::ProgramBuilder;
 pub use error::IrError;
+pub use fingerprint::{fingerprint_program, structural_fingerprint, Fingerprint, FpHasher};
 pub use expr::{LinExpr, LinRel, RelOp};
 pub use normalize::{normalize, normalize_subroutine, NormalizeOptions};
 pub use program::{

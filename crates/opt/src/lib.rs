@@ -13,6 +13,12 @@
 //! Both return plans whose predictions are meant to be (and in the tests
 //! are) validated against the trace-driven simulator.
 //!
+//! Evaluations route through a `cme_serve::Engine`, so repeated layouts
+//! hit the content-addressed result store and every candidate shares one
+//! reuse-vector analysis (reuse vectors are layout-independent). The
+//! `*_in` variants ([`search_padding_in`], [`search_tiles_in`]) accept a
+//! caller-supplied engine to memoise across searches.
+//!
 //! # Example
 //!
 //! ```
@@ -41,5 +47,5 @@
 pub mod padding;
 pub mod tiling;
 
-pub use padding::{search_padding, PaddingOptions, PaddingPlan};
-pub use tiling::{grid, search_tiles, TilePlan, TilePoint};
+pub use padding::{search_padding, search_padding_in, PaddingOptions, PaddingPlan};
+pub use tiling::{grid, search_tiles, search_tiles_in, TilePlan, TilePoint};

@@ -12,10 +12,10 @@
 //! order, each trying every multiple of the line size up to one set span;
 //! a couple of rounds converge in practice.
 
-use cme_analysis::{parallel, EstimateMisses, SamplingOptions, Threads};
+use cme_analysis::{parallel, SamplingOptions, Threads};
 use cme_cache::CacheConfig;
 use cme_ir::Program;
-use cme_reuse::ReuseAnalysis;
+use cme_serve::{Engine, Job};
 
 /// Options for [`search_padding`].
 #[derive(Debug, Clone)]
@@ -72,9 +72,30 @@ impl PaddingPlan {
     }
 }
 
+/// The reuse-vector cap used by every padding evaluation (reuse vectors
+/// are layout-independent, so the engine shares one capped analysis across
+/// all candidate layouts).
+const PADDING_REUSE_CAP: usize = 128;
+
 /// Searches for inter-array paddings minimising the predicted miss ratio
-/// of `program` on `config`.
+/// of `program` on `config`, using a private in-memory [`Engine`].
 pub fn search_padding(
+    program: &Program,
+    config: CacheConfig,
+    opts: &PaddingOptions,
+) -> PaddingPlan {
+    // Coordinate descent revisits layouts across rounds; a small
+    // per-search store memoises them.
+    let engine = Engine::in_memory(256);
+    search_padding_in(&engine, program, config, opts)
+}
+
+/// Like [`search_padding`], but evaluating through a caller-supplied
+/// [`Engine`] — a long-lived engine (e.g. the `cme serve` daemon's)
+/// memoises evaluations across searches: re-running a sweep after a
+/// geometry change only pays for the layouts that were never seen.
+pub fn search_padding_in(
+    engine: &Engine,
     program: &Program,
     config: CacheConfig,
     opts: &PaddingOptions,
@@ -85,20 +106,17 @@ pub fn search_padding(
     } else {
         opts.candidates
     };
-    // Reuse vectors depend only on the line size: generate once, reuse for
-    // every candidate layout.
-    let reuse = ReuseAnalysis::analyze_capped(program, config.line_bytes(), 128);
     let threads = opts.sampling.threads.count();
-    // One level of parallelism only: the candidate sweep below gets the
-    // workers, so each model evaluation classifies serially.
-    let sampling = SamplingOptions {
-        threads: Threads::Fixed(1),
-        ..opts.sampling.clone()
-    };
     let eval = |p: &Program| -> f64 {
-        EstimateMisses::with_reuse(p, config, sampling.clone(), reuse.clone())
-            .run()
-            .miss_ratio()
+        let mut job = Job::estimate(p, config, opts.sampling.clone());
+        job.reuse_cap = Some(PADDING_REUSE_CAP);
+        // One level of parallelism only: the candidate sweep below gets
+        // the workers, so each model evaluation classifies serially.
+        job.threads = Threads::Fixed(1);
+        engine
+            .run(&job)
+            .expect("padding evaluations carry no deadline")
+            .miss_ratio
     };
     let mut evaluations = 0u32;
 
@@ -223,6 +241,28 @@ mod tests {
         let cfg = CacheConfig::new(2048, 32, 1).unwrap();
         let plan = search_padding(&program, cfg, &PaddingOptions::default());
         assert!(plan.predicted_gain().abs() < 0.02, "{plan:?}");
+    }
+
+    #[test]
+    fn shared_engine_memoises_repeat_searches() {
+        let program = conflict_program(256);
+        let cfg = CacheConfig::new(2048, 32, 1).unwrap();
+        let engine = Engine::in_memory(256);
+        let first = search_padding_in(&engine, &program, cfg, &PaddingOptions::default());
+        let misses_after_first = engine.metrics().store_misses.load(std::sync::atomic::Ordering::Relaxed);
+        let second = search_padding_in(&engine, &program, cfg, &PaddingOptions::default());
+        assert_eq!(first, second);
+        // The repeat search answers every evaluation from the store.
+        assert_eq!(
+            engine.metrics().store_misses.load(std::sync::atomic::Ordering::Relaxed),
+            misses_after_first,
+            "second search must not recompute anything"
+        );
+        assert!(
+            engine.metrics().store_hits.load(std::sync::atomic::Ordering::Relaxed)
+                >= u64::from(first.evaluations),
+            "second search should hit the store once per evaluation"
+        );
     }
 
     #[test]

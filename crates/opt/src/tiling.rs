@@ -10,9 +10,10 @@
 //! `f(tile parameters) → Program` and the candidate grid; the searcher
 //! returns the predicted-best point and the full sweep.
 
-use cme_analysis::{parallel, EstimateMisses, SamplingOptions, Threads};
+use cme_analysis::{parallel, SamplingOptions, Threads};
 use cme_cache::CacheConfig;
 use cme_ir::Program;
+use cme_serve::{Engine, Job};
 
 /// One evaluated tiling candidate.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,19 +61,35 @@ pub fn search_tiles<F>(
 where
     F: Fn(&[i64]) -> Program + Sync,
 {
+    let engine = Engine::in_memory(candidates.len().max(16));
+    search_tiles_in(&engine, candidates, config, sampling, build)
+}
+
+/// Like [`search_tiles`], but evaluating through a caller-supplied
+/// [`Engine`]: repeating a sweep against a long-lived engine (`cme serve`)
+/// answers already-seen candidates from the content-addressed store.
+pub fn search_tiles_in<F>(
+    engine: &Engine,
+    candidates: &[Vec<i64>],
+    config: CacheConfig,
+    sampling: SamplingOptions,
+    build: F,
+) -> TilePlan
+where
+    F: Fn(&[i64]) -> Program + Sync,
+{
     assert!(!candidates.is_empty(), "no tiling candidates supplied");
     let threads = sampling.threads.count();
-    // One level of parallelism only: the candidate sweep gets the workers,
-    // each evaluation classifies serially.
-    let inner = SamplingOptions {
-        threads: Threads::Fixed(1),
-        ..sampling
-    };
     let ratios = parallel::run_chunked(threads, candidates.len(), || (), |_, i| {
         let program = build(&candidates[i]);
-        EstimateMisses::new(&program, config, inner.clone())
-            .run()
-            .miss_ratio()
+        let mut job = Job::estimate(&program, config, sampling.clone());
+        // One level of parallelism only: the candidate sweep gets the
+        // workers, each evaluation classifies serially.
+        job.threads = Threads::Fixed(1);
+        engine
+            .run(&job)
+            .expect("tile evaluations carry no deadline")
+            .miss_ratio
     });
     let mut sweep = Vec::with_capacity(candidates.len());
     let mut best = 0usize;

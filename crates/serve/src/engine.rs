@@ -1,0 +1,497 @@
+//! The analysis engine: fingerprint → store lookup → (reuse cache →
+//! cancellable analysis) → canonical payload.
+//!
+//! The engine is the piece shared by the TCP server, the `cme-opt` sweeps
+//! and the benches: everything that wants memoised, cancellable analyses
+//! goes through [`Engine::run`]. It owns the result [`Store`], a
+//! reuse-vector cache (reuse vectors depend only on program *structure*
+//! and line size, so padded layout variants of one program share them) and
+//! the service [`Metrics`].
+
+use crate::metrics::Metrics;
+use crate::store::{Store, StoredResult};
+use cme_analysis::{
+    CancelToken, EstimateMisses, FindMisses, Report, SamplingOptions, Threads, WalkStrategy,
+};
+use cme_cache::CacheConfig;
+use cme_ir::{fingerprint_program, structural_fingerprint, Fingerprint, FpHasher, Program};
+use cme_reuse::ReuseAnalysis;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Exact or sampled analysis. The embedded options' `threads` field is
+/// *ignored* for fingerprinting and overridden by [`Job::threads`] at run
+/// time — thread count never changes results.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalysisMode {
+    Exact,
+    Estimate(SamplingOptions),
+}
+
+/// One unit of work for the engine.
+#[derive(Debug)]
+pub struct Job<'p> {
+    pub program: &'p Program,
+    pub config: CacheConfig,
+    pub mode: AnalysisMode,
+    /// Cap on reuse vectors per consumer (`None` = uncapped), as accepted
+    /// by `ReuseAnalysis::analyze_capped`. Part of the fingerprint: capping
+    /// can change results.
+    pub reuse_cap: Option<usize>,
+    pub cancel: CancelToken,
+    /// Consult/populate the result store for this job.
+    pub use_store: bool,
+    pub threads: Threads,
+    pub walk: WalkStrategy,
+}
+
+impl<'p> Job<'p> {
+    /// A default job: estimate mode, store on, auto threads.
+    pub fn estimate(program: &'p Program, config: CacheConfig, options: SamplingOptions) -> Self {
+        Job {
+            program,
+            config,
+            mode: AnalysisMode::Estimate(options),
+            reuse_cap: None,
+            cancel: CancelToken::never(),
+            use_store: true,
+            threads: Threads::Auto,
+            walk: WalkStrategy::default(),
+        }
+    }
+
+    /// A default exact job.
+    pub fn exact(program: &'p Program, config: CacheConfig) -> Self {
+        Job {
+            program,
+            config,
+            mode: AnalysisMode::Exact,
+            reuse_cap: None,
+            cancel: CancelToken::never(),
+            use_store: true,
+            threads: Threads::Auto,
+            walk: WalkStrategy::default(),
+        }
+    }
+}
+
+/// A finished (or memoised) analysis.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    pub fingerprint: Fingerprint,
+    /// The canonical report payload; byte-identical for equal fingerprints.
+    pub payload: Arc<String>,
+    /// Whether the payload came from the store.
+    pub from_store: bool,
+    /// Points classified (by this run, or recorded with the stored result).
+    pub points: u64,
+    /// Analysis wall time (zero for store hits).
+    pub wall: Duration,
+    pub miss_ratio: f64,
+}
+
+/// Why an analysis did not complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineError {
+    /// The job's deadline passed mid-analysis.
+    Timeout { points_done: u64 },
+    /// The job was cancelled explicitly (e.g. client disconnected).
+    Cancelled { points_done: u64 },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Timeout { points_done } => {
+                write!(f, "deadline exceeded after {points_done} classified points")
+            }
+            EngineError::Cancelled { points_done } => {
+                write!(f, "cancelled after {points_done} classified points")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// The content-addressed job key: program (including layout), cache
+/// geometry, analysis mode and reuse cap. Thread count and walk strategy
+/// are deliberately excluded — results are byte-identical across them.
+pub fn job_fingerprint(
+    program: &Program,
+    config: CacheConfig,
+    mode: &AnalysisMode,
+    reuse_cap: Option<usize>,
+) -> Fingerprint {
+    let mut h = FpHasher::new();
+    h.write_str("cme-job-v1");
+    h.write_bytes(&fingerprint_program(program).0.to_le_bytes());
+    h.write_u64(config.size_bytes());
+    h.write_u64(config.line_bytes());
+    h.write_u64(config.assoc() as u64);
+    match mode {
+        AnalysisMode::Exact => h.write_u8(0),
+        AnalysisMode::Estimate(o) => {
+            h.write_u8(1);
+            h.write_f64(o.confidence);
+            h.write_f64(o.width);
+            h.write_u64(o.seed);
+            match o.fallback {
+                None => h.write_u8(0),
+                Some((c, w)) => {
+                    h.write_u8(1);
+                    h.write_f64(c);
+                    h.write_f64(w);
+                }
+            }
+            // `o.threads` excluded on purpose.
+        }
+    }
+    match reuse_cap {
+        None => h.write_u8(0),
+        Some(c) => {
+            h.write_u8(1);
+            h.write_u64(c as u64);
+        }
+    }
+    h.finish()
+}
+
+type ReuseKey = (u128, u64, u64);
+
+/// The memoising analysis engine. Share it behind an `Arc`.
+#[derive(Debug)]
+pub struct Engine {
+    store: Store,
+    reuse_cache: Mutex<HashMap<ReuseKey, Arc<ReuseAnalysis>>>,
+    metrics: Metrics,
+}
+
+impl Engine {
+    /// An engine over an existing store.
+    pub fn new(store: Store) -> Engine {
+        Engine {
+            store,
+            reuse_cache: Mutex::new(HashMap::new()),
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// An engine with a purely in-memory store of `capacity` results.
+    pub fn in_memory(capacity: usize) -> Engine {
+        Engine::new(Store::in_memory(capacity))
+    }
+
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    fn reuse_for(&self, job: &Job) -> Arc<ReuseAnalysis> {
+        let key: ReuseKey = (
+            structural_fingerprint(job.program).0,
+            job.config.line_bytes(),
+            job.reuse_cap.map_or(u64::MAX, |c| c as u64),
+        );
+        if let Some(hit) = self.reuse_cache.lock().unwrap().get(&key) {
+            Metrics::bump(&self.metrics.reuse_hits);
+            return hit.clone();
+        }
+        Metrics::bump(&self.metrics.reuse_misses);
+        let reuse = Arc::new(match job.reuse_cap {
+            Some(cap) => ReuseAnalysis::analyze_capped(job.program, job.config.line_bytes(), cap),
+            None => ReuseAnalysis::analyze(job.program, job.config.line_bytes()),
+        });
+        self.reuse_cache
+            .lock()
+            .unwrap()
+            .insert(key, reuse.clone());
+        reuse
+    }
+
+    /// Runs (or recalls) one job.
+    pub fn run(&self, job: &Job) -> Result<Outcome, EngineError> {
+        let fp = job_fingerprint(job.program, job.config, &job.mode, job.reuse_cap);
+        if job.use_store {
+            if let Some(hit) = self.store.get(fp) {
+                Metrics::bump(&self.metrics.store_hits);
+                return Ok(Outcome {
+                    fingerprint: fp,
+                    payload: hit.payload,
+                    from_store: true,
+                    points: hit.points,
+                    wall: Duration::ZERO,
+                    miss_ratio: hit.miss_ratio,
+                });
+            }
+        }
+        Metrics::bump(&self.metrics.store_misses);
+
+        let start = Instant::now();
+        let reuse = self.reuse_for(job);
+        let report = match &job.mode {
+            AnalysisMode::Exact => {
+                FindMisses::with_reuse(job.program, job.config, (*reuse).clone())
+                    .threads(job.threads)
+                    .strategy(job.walk)
+                    .run_cancellable(&job.cancel)
+            }
+            AnalysisMode::Estimate(options) => {
+                let options = SamplingOptions {
+                    threads: job.threads,
+                    ..options.clone()
+                };
+                EstimateMisses::with_reuse(job.program, job.config, options, (*reuse).clone())
+                    .run_cancellable(&job.cancel)
+            }
+        }
+        .map_err(|c| {
+            if job.cancel.deadline_exceeded() {
+                Metrics::bump(&self.metrics.timeouts);
+                EngineError::Timeout {
+                    points_done: c.points_done,
+                }
+            } else {
+                Metrics::bump(&self.metrics.cancelled);
+                EngineError::Cancelled {
+                    points_done: c.points_done,
+                }
+            }
+        })?;
+        let wall = start.elapsed();
+
+        let points: u64 = report.references().iter().map(|r| r.analyzed).sum();
+        let miss_ratio = report.miss_ratio();
+        let payload = Arc::new(render_payload(job.program, job.config, &job.mode, &report));
+        Metrics::add(&self.metrics.points_classified, points);
+        Metrics::add(&self.metrics.analysis_wall_us, wall.as_micros() as u64);
+        if job.use_store {
+            self.store.put(
+                fp,
+                StoredResult {
+                    payload: payload.clone(),
+                    miss_ratio,
+                    points,
+                },
+            );
+        }
+        Ok(Outcome {
+            fingerprint: fp,
+            payload,
+            from_store: false,
+            points,
+            wall,
+            miss_ratio,
+        })
+    }
+}
+
+/// Renders the canonical report payload. Deliberately excludes anything
+/// nondeterministic (wall time, thread counts): two runs of the same job
+/// must produce the same bytes.
+pub fn render_payload(
+    program: &Program,
+    config: CacheConfig,
+    mode: &AnalysisMode,
+    report: &Report,
+) -> String {
+    use crate::json::{obj, Json};
+    use cme_analysis::Coverage;
+
+    let mut fields = vec![
+        ("program", Json::Str(program.name().to_string())),
+        ("cache", Json::Str(config.to_string())),
+        (
+            "mode",
+            Json::Str(
+                match mode {
+                    AnalysisMode::Exact => "exact",
+                    AnalysisMode::Estimate(_) => "estimate",
+                }
+                .to_string(),
+            ),
+        ),
+    ];
+    if let AnalysisMode::Estimate(o) = mode {
+        fields.push((
+            "sampling",
+            obj(vec![
+                ("confidence", Json::Float(o.confidence)),
+                ("width", Json::Float(o.width)),
+                ("seed", Json::Int(o.seed as i64)),
+            ]),
+        ));
+    }
+    let points: u64 = report.references().iter().map(|r| r.analyzed).sum();
+    fields.push(("total_accesses", Json::Int(report.total_accesses() as i64)));
+    fields.push(("points", Json::Int(points as i64)));
+    fields.push(("miss_ratio", Json::Float(report.miss_ratio())));
+    fields.push((
+        "estimated_misses",
+        Json::Float(report.estimated_misses()),
+    ));
+    fields.push((
+        "exact_misses",
+        match report.exact_misses() {
+            Some(m) => Json::Int(m as i64),
+            None => Json::Null,
+        },
+    ));
+    let refs: Vec<Json> = report
+        .references()
+        .iter()
+        .map(|rr| {
+            obj(vec![
+                (
+                    "display",
+                    Json::Str(program.reference(rr.r).display.clone()),
+                ),
+                ("ris", Json::Int(rr.ris_size as i64)),
+                ("analyzed", Json::Int(rr.analyzed as i64)),
+                ("cold", Json::Int(rr.cold as i64)),
+                ("replacement", Json::Int(rr.replacement as i64)),
+                ("hits", Json::Int(rr.hits as i64)),
+                ("miss_ratio", Json::Float(rr.miss_ratio())),
+                (
+                    "coverage",
+                    match rr.coverage {
+                        Coverage::Exhaustive => Json::Str("exhaustive".to_string()),
+                        Coverage::Sampled { samples } => Json::Int(samples as i64),
+                    },
+                ),
+            ])
+        })
+        .collect();
+    fields.push(("refs", Json::Arr(refs)));
+    obj(fields).render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cme_ir::{LinExpr, ProgramBuilder, SNode, SRef};
+
+    fn small_program() -> Program {
+        let mut b = ProgramBuilder::new("engine-test");
+        b.array("A", &[64, 64], 8);
+        let (i, j) = (LinExpr::var("I"), LinExpr::var("J"));
+        b.push(SNode::loop_(
+            "J",
+            1,
+            64,
+            vec![SNode::loop_(
+                "I",
+                1,
+                64,
+                vec![SNode::reads_only(vec![SRef::new(
+                    "A",
+                    vec![i.clone(), j.clone()],
+                )])],
+            )],
+        ));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_jobs() {
+        let p = small_program();
+        let c1 = CacheConfig::new(1024, 32, 1).unwrap();
+        let c2 = CacheConfig::new(2048, 32, 1).unwrap();
+        let exact = job_fingerprint(&p, c1, &AnalysisMode::Exact, None);
+        assert_eq!(exact, job_fingerprint(&p, c1, &AnalysisMode::Exact, None));
+        assert_ne!(exact, job_fingerprint(&p, c2, &AnalysisMode::Exact, None));
+        let est = AnalysisMode::Estimate(SamplingOptions::paper_default());
+        assert_ne!(exact, job_fingerprint(&p, c1, &est, None));
+        assert_ne!(
+            job_fingerprint(&p, c1, &est, None),
+            job_fingerprint(&p, c1, &est, Some(64))
+        );
+        // Thread count must NOT affect the fingerprint.
+        let mut threaded = SamplingOptions::paper_default();
+        threaded.threads = Threads::Fixed(7);
+        assert_eq!(
+            job_fingerprint(&p, c1, &est, None),
+            job_fingerprint(&p, c1, &AnalysisMode::Estimate(threaded), None)
+        );
+    }
+
+    #[test]
+    fn store_hit_returns_identical_payload() {
+        let p = small_program();
+        let cfg = CacheConfig::new(1024, 32, 2).unwrap();
+        let engine = Engine::in_memory(8);
+        let cold = engine.run(&Job::exact(&p, cfg)).unwrap();
+        assert!(!cold.from_store);
+        let hot = engine.run(&Job::exact(&p, cfg)).unwrap();
+        assert!(hot.from_store);
+        assert_eq!(&*cold.payload, &*hot.payload);
+        assert_eq!(cold.miss_ratio, hot.miss_ratio);
+        assert_eq!(cold.points, hot.points);
+        use std::sync::atomic::Ordering;
+        assert_eq!(engine.metrics().store_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(engine.metrics().store_misses.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn payload_is_thread_and_strategy_invariant() {
+        let p = small_program();
+        let cfg = CacheConfig::new(1024, 32, 2).unwrap();
+        let engine = Engine::in_memory(8);
+        let mut serial = Job::exact(&p, cfg);
+        serial.use_store = false;
+        serial.threads = Threads::Fixed(1);
+        serial.walk = WalkStrategy::LegacyScan;
+        let mut parallel = Job::exact(&p, cfg);
+        parallel.use_store = false;
+        parallel.threads = Threads::Fixed(4);
+        let a = engine.run(&serial).unwrap();
+        let b = engine.run(&parallel).unwrap();
+        assert_eq!(&*a.payload, &*b.payload);
+    }
+
+    #[test]
+    fn reuse_cache_shared_across_layouts() {
+        use std::sync::atomic::Ordering;
+        let p = small_program();
+        let padded = p.with_padding(&[32]);
+        let cfg = CacheConfig::new(1024, 32, 2).unwrap();
+        let engine = Engine::in_memory(8);
+        engine.run(&Job::exact(&p, cfg)).unwrap();
+        engine.run(&Job::exact(&padded, cfg)).unwrap();
+        assert_eq!(engine.metrics().reuse_misses.load(Ordering::Relaxed), 1);
+        assert_eq!(engine.metrics().reuse_hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn timeout_surfaces_as_engine_error() {
+        let p = small_program();
+        let cfg = CacheConfig::new(1024, 32, 2).unwrap();
+        let engine = Engine::in_memory(8);
+        let mut job = Job::exact(&p, cfg);
+        job.cancel = CancelToken::with_timeout(Duration::ZERO);
+        match engine.run(&job) {
+            Err(EngineError::Timeout { .. }) => {}
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn payload_parses_and_summarises() {
+        let p = small_program();
+        let cfg = CacheConfig::new(1024, 32, 2).unwrap();
+        let engine = Engine::in_memory(8);
+        let out = engine.run(&Job::exact(&p, cfg)).unwrap();
+        let v = crate::json::Json::parse(&out.payload).unwrap();
+        assert_eq!(v.get("mode").unwrap().as_str(), Some("exact"));
+        assert_eq!(v.get("points").unwrap().as_u64(), Some(out.points));
+        assert_eq!(v.get("miss_ratio").unwrap().as_f64(), Some(out.miss_ratio));
+        assert_eq!(
+            v.get("refs").unwrap().as_arr().unwrap().len(),
+            p.references().len()
+        );
+    }
+}

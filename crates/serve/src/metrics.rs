@@ -1,0 +1,86 @@
+//! Service-level counters, aggregated across requests with plain atomics.
+//!
+//! Per-request numbers (queue wait, points, wall time, store hit/miss) are
+//! attached to each response by the server; this module keeps the running
+//! totals behind the `stats` verb and the shutdown dump.
+
+use crate::json::{obj, Json};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Running totals. All counters are monotonic; `snapshot` is a consistent
+/// *enough* read for observability (no cross-counter atomicity needed).
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests received (any verb).
+    pub requests: AtomicU64,
+    /// `analyze` requests answered from the result store.
+    pub store_hits: AtomicU64,
+    /// `analyze` requests that ran the analysis.
+    pub store_misses: AtomicU64,
+    /// Reuse-analysis cache hits (shared across layouts of one program).
+    pub reuse_hits: AtomicU64,
+    /// Reuse-analysis cache misses (vectors generated).
+    pub reuse_misses: AtomicU64,
+    /// Requests that hit their deadline.
+    pub timeouts: AtomicU64,
+    /// Requests cancelled by client disconnect.
+    pub cancelled: AtomicU64,
+    /// Malformed or unbuildable requests.
+    pub bad_requests: AtomicU64,
+    /// Points classified by analyses that ran to completion.
+    pub points_classified: AtomicU64,
+    /// Total microseconds requests waited in the accept queue.
+    pub queue_wait_us: AtomicU64,
+    /// Total microseconds of analysis wall time (store misses only).
+    pub analysis_wall_us: AtomicU64,
+}
+
+impl Metrics {
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add(counter: &AtomicU64, v: u64) {
+        counter.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// The totals as a JSON object (the `stats` response body and the
+    /// shutdown dump).
+    pub fn snapshot(&self) -> Json {
+        let g = |c: &AtomicU64| Json::Int(c.load(Ordering::Relaxed) as i64);
+        obj(vec![
+            ("requests", g(&self.requests)),
+            ("store_hits", g(&self.store_hits)),
+            ("store_misses", g(&self.store_misses)),
+            ("reuse_hits", g(&self.reuse_hits)),
+            ("reuse_misses", g(&self.reuse_misses)),
+            ("timeouts", g(&self.timeouts)),
+            ("cancelled", g(&self.cancelled)),
+            ("bad_requests", g(&self.bad_requests)),
+            ("points_classified", g(&self.points_classified)),
+            ("queue_wait_us", g(&self.queue_wait_us)),
+            ("analysis_wall_us", g(&self.analysis_wall_us)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let m = Metrics::new();
+        Metrics::bump(&m.requests);
+        Metrics::bump(&m.requests);
+        Metrics::add(&m.points_classified, 1000);
+        let snap = m.snapshot();
+        assert_eq!(snap.get("requests"), Some(&Json::Int(2)));
+        assert_eq!(snap.get("points_classified"), Some(&Json::Int(1000)));
+        assert_eq!(snap.get("timeouts"), Some(&Json::Int(0)));
+    }
+}

@@ -1,0 +1,313 @@
+//! The NDJSON wire protocol: one JSON object per line, request then
+//! response, over a plain TCP stream.
+//!
+//! Requests (`"cmd"` selects the verb):
+//!
+//! ```text
+//! {"cmd":"ping"}
+//! {"cmd":"stats"}
+//! {"cmd":"shutdown"}
+//! {"cmd":"analyze", <program>, <cache>, <mode/options>}
+//! ```
+//!
+//! The program is either a bundled workload —
+//! `"workload":"mmt","n":64` (plus `"iters"`, `"bj"`, `"bk"` where
+//! applicable) — or inline FORTRAN source: `"source":"      DO 10 ...",
+//! "params":{"N":64}`. The cache geometry is `"cache":32768,"line":32,
+//! "assoc":2`. The mode is `"mode":"exact"` or `"mode":"estimate"` with
+//! optional `"confidence"`, `"width"`, `"seed"`. Optional knobs:
+//! `"timeout_ms"`, `"store":false` (bypass the result store),
+//! `"threads"` (0 = one per hardware thread) and
+//! `"strategy":"set-skip"|"legacy-scan"`.
+//!
+//! Responses always carry `"ok"`. Successful `analyze` responses embed the
+//! canonical report under `"report"` plus `"fingerprint"` and a
+//! per-request `"metrics"` object; failures carry `"error"` (message) and
+//! `"kind"` (`"bad_request"`, `"timeout"`, `"cancelled"`).
+
+use crate::json::{obj, Json};
+use cme_analysis::{SamplingOptions, Threads, WalkStrategy};
+use cme_ir::Program;
+use std::collections::HashMap;
+
+/// How the client names the program to analyse.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProgramSpec {
+    /// A bundled `cme-workloads` kernel.
+    Workload {
+        name: String,
+        n: i64,
+        iters: i64,
+        bj: Option<i64>,
+        bk: Option<i64>,
+    },
+    /// Inline FORTRAN source, lowered through parse → inline → normalise.
+    Source {
+        text: String,
+        params: Vec<(String, i64)>,
+    },
+}
+
+impl ProgramSpec {
+    /// Builds the normalised program, with a client-facing error message on
+    /// failure (`file:line`-style diagnostics for FORTRAN source).
+    pub fn build(&self) -> Result<Program, String> {
+        match self {
+            ProgramSpec::Workload {
+                name,
+                n,
+                iters,
+                bj,
+                bk,
+            } => {
+                let (n, iters) = (*n, *iters);
+                Ok(match name.as_str() {
+                    "hydro" => cme_workloads::hydro(n, n),
+                    "mgrid" => cme_workloads::mgrid(n),
+                    "mmt" => cme_workloads::mmt(
+                        n,
+                        bj.unwrap_or((n / 2).max(1)),
+                        bk.unwrap_or((n / 4).max(1)),
+                    ),
+                    "tomcatv" => cme_workloads::tomcatv_like(n, iters),
+                    "swim" => cme_workloads::swim_like(n, iters),
+                    "applu" => cme_workloads::applu_like(n, iters),
+                    "livermore1" => cme_workloads::livermore1(n * n),
+                    "livermore5" => cme_workloads::livermore5(n * n),
+                    "dgefa" => cme_workloads::dgefa(n),
+                    "mxm" => cme_workloads::mxm(n),
+                    other => return Err(format!("unknown workload `{other}`")),
+                })
+            }
+            ProgramSpec::Source { text, params } => {
+                let params: HashMap<String, i64> = params.iter().cloned().collect();
+                let source = cme_fortran::parse_program(text, &params)
+                    .map_err(|e| format!("parse: {e}"))?;
+                let inlined = cme_inline::Inliner::new()
+                    .inline(&source)
+                    .map_err(|e| format!("inline: {e}"))?;
+                cme_ir::normalize(&inlined, &Default::default())
+                    .map_err(|e| format!("normalise: {e}"))
+            }
+        }
+    }
+}
+
+/// Exact or sampled analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Mode {
+    Exact,
+    Estimate {
+        confidence: f64,
+        width: f64,
+        seed: u64,
+    },
+}
+
+impl Mode {
+    /// The sampling options for `Estimate` (threads filled in by the
+    /// engine); `None` for `Exact`.
+    pub fn sampling(&self) -> Option<SamplingOptions> {
+        match *self {
+            Mode::Exact => None,
+            Mode::Estimate {
+                confidence,
+                width,
+                seed,
+            } => Some(SamplingOptions {
+                confidence,
+                width,
+                seed,
+                ..SamplingOptions::paper_default()
+            }),
+        }
+    }
+}
+
+/// A fully parsed `analyze` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzeRequest {
+    pub spec: ProgramSpec,
+    pub size_bytes: u64,
+    pub line_bytes: u64,
+    pub assoc: u32,
+    pub mode: Mode,
+    pub timeout_ms: Option<u64>,
+    pub use_store: bool,
+    pub threads: Threads,
+    pub strategy: WalkStrategy,
+}
+
+/// One request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    Ping,
+    Stats,
+    Shutdown,
+    Analyze(Box<AnalyzeRequest>),
+}
+
+impl Request {
+    /// Parses a request object; errors become `bad_request` responses.
+    pub fn from_json(v: &Json) -> Result<Request, String> {
+        let cmd = v
+            .get("cmd")
+            .and_then(Json::as_str)
+            .ok_or("missing `cmd` field")?;
+        match cmd {
+            "ping" => Ok(Request::Ping),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            "analyze" => Ok(Request::Analyze(Box::new(Self::analyze_from(v)?))),
+            other => Err(format!("unknown cmd `{other}`")),
+        }
+    }
+
+    fn analyze_from(v: &Json) -> Result<AnalyzeRequest, String> {
+        let spec = if let Some(text) = v.get("source").and_then(Json::as_str) {
+            let mut params = Vec::new();
+            if let Some(Json::Obj(pairs)) = v.get("params") {
+                for (k, val) in pairs {
+                    let val = val
+                        .as_i64()
+                        .ok_or_else(|| format!("param `{k}` must be an integer"))?;
+                    params.push((k.to_uppercase(), val));
+                }
+            }
+            ProgramSpec::Source {
+                text: text.to_string(),
+                params,
+            }
+        } else if let Some(name) = v.get("workload").and_then(Json::as_str) {
+            ProgramSpec::Workload {
+                name: name.to_string(),
+                n: v.get("n").and_then(Json::as_i64).unwrap_or(32),
+                iters: v.get("iters").and_then(Json::as_i64).unwrap_or(2),
+                bj: v.get("bj").and_then(Json::as_i64),
+                bk: v.get("bk").and_then(Json::as_i64),
+            }
+        } else {
+            return Err("analyze needs `workload` or `source`".to_string());
+        };
+
+        let mode = match v.get("mode").and_then(Json::as_str).unwrap_or("estimate") {
+            "exact" => Mode::Exact,
+            "estimate" => {
+                let defaults = SamplingOptions::paper_default();
+                Mode::Estimate {
+                    confidence: v
+                        .get("confidence")
+                        .and_then(Json::as_f64)
+                        .unwrap_or(defaults.confidence),
+                    width: v.get("width").and_then(Json::as_f64).unwrap_or(defaults.width),
+                    seed: v.get("seed").and_then(Json::as_u64).unwrap_or(defaults.seed),
+                }
+            }
+            other => return Err(format!("unknown mode `{other}`")),
+        };
+
+        let strategy = match v.get("strategy").and_then(Json::as_str) {
+            None | Some("set-skip") => WalkStrategy::SetSkip,
+            Some("legacy-scan") => WalkStrategy::LegacyScan,
+            Some(other) => return Err(format!("unknown strategy `{other}`")),
+        };
+
+        Ok(AnalyzeRequest {
+            spec,
+            size_bytes: v.get("cache").and_then(Json::as_u64).unwrap_or(32 * 1024),
+            line_bytes: v.get("line").and_then(Json::as_u64).unwrap_or(32),
+            assoc: v
+                .get("assoc")
+                .and_then(Json::as_u64)
+                .map(|a| a as u32)
+                .unwrap_or(2),
+            mode,
+            timeout_ms: v.get("timeout_ms").and_then(Json::as_u64),
+            use_store: v.get("store").and_then(Json::as_bool).unwrap_or(true),
+            threads: Threads::from_flag(
+                v.get("threads").and_then(Json::as_u64).unwrap_or(0) as usize
+            ),
+            strategy,
+        })
+    }
+}
+
+/// Builds an error response.
+pub fn error_response(kind: &str, message: &str) -> Json {
+    obj(vec![
+        ("ok", Json::Bool(false)),
+        ("kind", Json::Str(kind.to_string())),
+        ("error", Json::Str(message.to_string())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_analyze() {
+        let v = Json::parse(r#"{"cmd":"analyze","workload":"mmt","n":8}"#).unwrap();
+        let Request::Analyze(req) = Request::from_json(&v).unwrap() else {
+            panic!("expected analyze");
+        };
+        assert_eq!(req.size_bytes, 32 * 1024);
+        assert_eq!(req.assoc, 2);
+        assert!(matches!(req.mode, Mode::Estimate { .. }));
+        assert!(req.use_store);
+        assert!(req.spec.build().is_ok());
+    }
+
+    #[test]
+    fn parses_exact_with_geometry() {
+        let v = Json::parse(
+            r#"{"cmd":"analyze","workload":"hydro","n":10,"cache":1024,"line":16,"assoc":1,"mode":"exact","timeout_ms":250,"store":false,"threads":2,"strategy":"legacy-scan"}"#,
+        )
+        .unwrap();
+        let Request::Analyze(req) = Request::from_json(&v).unwrap() else {
+            panic!("expected analyze");
+        };
+        assert_eq!(req.mode, Mode::Exact);
+        assert_eq!(req.timeout_ms, Some(250));
+        assert!(!req.use_store);
+        assert_eq!(req.strategy, WalkStrategy::LegacyScan);
+        assert_eq!(req.threads, Threads::Fixed(2));
+    }
+
+    #[test]
+    fn parses_source_spec() {
+        let src = "      SUBROUTINE S\n      REAL*8 A(N)\n      DO 10 I = 1, N\n      A(I) = 0.0\n10    CONTINUE\n      END\n";
+        let v = obj(vec![
+            ("cmd", Json::Str("analyze".into())),
+            ("source", Json::Str(src.into())),
+            ("params", obj(vec![("n", Json::Int(16))])),
+        ]);
+        let Request::Analyze(req) = Request::from_json(&v).unwrap() else {
+            panic!("expected analyze");
+        };
+        let p = req.spec.build().expect("source builds");
+        assert_eq!(p.references().len(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_requests() {
+        for text in [
+            r#"{"nope":1}"#,
+            r#"{"cmd":"analyze"}"#,
+            r#"{"cmd":"analyze","workload":"mmt","mode":"wat"}"#,
+            r#"{"cmd":"frobnicate"}"#,
+        ] {
+            let v = Json::parse(text).unwrap();
+            assert!(Request::from_json(&v).is_err(), "{text}");
+        }
+    }
+
+    #[test]
+    fn unknown_workload_fails_at_build() {
+        let v = Json::parse(r#"{"cmd":"analyze","workload":"doom"}"#).unwrap();
+        let Request::Analyze(req) = Request::from_json(&v).unwrap() else {
+            panic!()
+        };
+        assert!(req.spec.build().is_err());
+    }
+}

@@ -1,0 +1,358 @@
+//! The TCP front end: one lightweight reader thread per connection, with a
+//! counting semaphore bounding how many *analyses* run at once.
+//!
+//! Cheap verbs (`ping`, `stats`, `shutdown`) answer immediately on any
+//! connection; `analyze` requests first acquire an analysis permit — the
+//! time spent waiting for one is the request's queue wait, reported in its
+//! response metrics. Bounding analyses (rather than connections) means an
+//! idle client holding its connection open never starves other clients.
+//!
+//! While an `analyze` runs, a watcher thread `peek`s the socket: a client
+//! that disconnects mid-analysis cancels its own job through the
+//! [`CancelToken`], releasing the permit within one chunk of
+//! classification work. `shutdown` stops the accept loop and (optionally)
+//! dumps the aggregate metrics as JSON.
+
+use crate::engine::{AnalysisMode, Engine, EngineError, Job};
+use crate::json::{obj, Json};
+use crate::metrics::Metrics;
+use crate::protocol::{error_response, AnalyzeRequest, Request};
+use crate::store::Store;
+use cme_analysis::{CancelToken, WalkStrategy};
+use cme_cache::CacheConfig;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Bind address; use port `0` for an ephemeral port.
+    pub addr: String,
+    /// Maximum concurrent analyses (0 = one per hardware thread, capped
+    /// at 8).
+    pub workers: usize,
+    /// Directory for the on-disk result store (`None` = memory only).
+    pub store_dir: Option<PathBuf>,
+    /// In-memory result-store capacity.
+    pub store_capacity: usize,
+    /// If set, the bound port is written here (for ephemeral-port callers).
+    pub port_file: Option<PathBuf>,
+    /// If set, aggregate metrics are dumped here as JSON on shutdown.
+    pub metrics_dump: Option<PathBuf>,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            store_dir: None,
+            store_capacity: 256,
+            port_file: None,
+            metrics_dump: None,
+        }
+    }
+}
+
+/// A counting semaphore (std has none): bounds concurrent analyses.
+struct Semaphore {
+    permits: Mutex<usize>,
+    ready: Condvar,
+}
+
+impl Semaphore {
+    fn new(permits: usize) -> Semaphore {
+        Semaphore {
+            permits: Mutex::new(permits),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Blocks until a permit is free; returns how long that took.
+    fn acquire(&self) -> Duration {
+        let start = Instant::now();
+        let mut permits = self.permits.lock().unwrap();
+        while *permits == 0 {
+            permits = self.ready.wait(permits).unwrap();
+        }
+        *permits -= 1;
+        start.elapsed()
+    }
+
+    fn release(&self) {
+        *self.permits.lock().unwrap() += 1;
+        self.ready.notify_one();
+    }
+}
+
+/// A bound (but not yet running) server.
+pub struct Server {
+    listener: TcpListener,
+    engine: Arc<Engine>,
+    options: ServerOptions,
+}
+
+impl Server {
+    /// Binds the listener, opens the store and writes the port file.
+    pub fn bind(options: ServerOptions) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&options.addr)?;
+        let store = match &options.store_dir {
+            Some(dir) => Store::open(dir, options.store_capacity)?,
+            None => Store::in_memory(options.store_capacity),
+        };
+        if let Some(path) = &options.port_file {
+            std::fs::write(path, format!("{}\n", listener.local_addr()?.port()))?;
+        }
+        Ok(Server {
+            listener,
+            engine: Arc::new(Engine::new(store)),
+            options,
+        })
+    }
+
+    /// The bound address (query this before [`Server::run`] when using an
+    /// ephemeral port).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared engine (useful for in-process inspection in tests).
+    pub fn engine(&self) -> Arc<Engine> {
+        self.engine.clone()
+    }
+
+    /// Accepts and serves connections until a `shutdown` request arrives.
+    pub fn run(self) -> std::io::Result<()> {
+        let permits = if self.options.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8)
+        } else {
+            self.options.workers
+        };
+        let semaphore = Arc::new(Semaphore::new(permits));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let local = self.local_addr()?;
+
+        for stream in self.listener.incoming() {
+            if shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let Ok(conn) = stream else { continue };
+            let engine = self.engine.clone();
+            let semaphore = semaphore.clone();
+            let shutdown = shutdown.clone();
+            // Reader threads are cheap and die with their connection (or
+            // with the process after shutdown) — no join needed.
+            std::thread::spawn(move || {
+                let _ = handle_connection(conn, &engine, &semaphore, &shutdown, local);
+            });
+        }
+
+        if let Some(path) = &self.options.metrics_dump {
+            let mut snap = self.engine.metrics().snapshot();
+            if let Json::Obj(pairs) = &mut snap {
+                pairs.push((
+                    "store_entries".to_string(),
+                    Json::Int(self.engine.store().len() as i64),
+                ));
+            }
+            std::fs::write(path, format!("{}\n", snap.render()))?;
+        }
+        Ok(())
+    }
+}
+
+fn handle_connection(
+    mut conn: TcpStream,
+    engine: &Engine,
+    semaphore: &Semaphore,
+    shutdown: &AtomicBool,
+    local: SocketAddr,
+) -> std::io::Result<()> {
+    let reader = BufReader::new(conn.try_clone()?);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        Metrics::bump(&engine.metrics().requests);
+
+        let (response, stop) = match Json::parse(&line) {
+            Err(e) => {
+                Metrics::bump(&engine.metrics().bad_requests);
+                (error_response("bad_request", &e.to_string()), false)
+            }
+            Ok(v) => match Request::from_json(&v) {
+                Err(e) => {
+                    Metrics::bump(&engine.metrics().bad_requests);
+                    (error_response("bad_request", &e), false)
+                }
+                Ok(Request::Ping) => (
+                    obj(vec![("ok", Json::Bool(true)), ("pong", Json::Bool(true))]),
+                    false,
+                ),
+                Ok(Request::Stats) => {
+                    let mut snap = engine.metrics().snapshot();
+                    if let Json::Obj(pairs) = &mut snap {
+                        pairs.push((
+                            "store_entries".to_string(),
+                            Json::Int(engine.store().len() as i64),
+                        ));
+                    }
+                    (obj(vec![("ok", Json::Bool(true)), ("stats", snap)]), false)
+                }
+                Ok(Request::Shutdown) => (
+                    obj(vec![("ok", Json::Bool(true)), ("bye", Json::Bool(true))]),
+                    true,
+                ),
+                Ok(Request::Analyze(req)) => {
+                    let queue_wait = semaphore.acquire();
+                    Metrics::add(
+                        &engine.metrics().queue_wait_us,
+                        queue_wait.as_micros() as u64,
+                    );
+                    let resp = run_analyze(&req, engine, &conn, queue_wait);
+                    semaphore.release();
+                    (resp, false)
+                }
+            },
+        };
+
+        conn.write_all(response.render().as_bytes())?;
+        conn.write_all(b"\n")?;
+        conn.flush()?;
+
+        if stop {
+            shutdown.store(true, Ordering::Release);
+            // Poke the accept loop so it observes the flag.
+            let _ = TcpStream::connect(local);
+            return Ok(());
+        }
+    }
+    Ok(())
+}
+
+fn run_analyze(
+    req: &AnalyzeRequest,
+    engine: &Engine,
+    conn: &TcpStream,
+    queue_wait: Duration,
+) -> Json {
+    let program = match req.spec.build() {
+        Ok(p) => p,
+        Err(e) => {
+            Metrics::bump(&engine.metrics().bad_requests);
+            return error_response("bad_request", &e);
+        }
+    };
+    let config = match CacheConfig::new(req.size_bytes, req.line_bytes, req.assoc) {
+        Ok(c) => c,
+        Err(e) => {
+            Metrics::bump(&engine.metrics().bad_requests);
+            return error_response("bad_request", &e.to_string());
+        }
+    };
+    let cancel = match req.timeout_ms {
+        Some(ms) => CancelToken::with_timeout(Duration::from_millis(ms)),
+        None => CancelToken::new(),
+    };
+
+    // Watch the connection while the analysis runs: a client that hangs up
+    // cancels its own job. `peek` never consumes pipelined request bytes.
+    let done = Arc::new(AtomicBool::new(false));
+    let watcher = conn.try_clone().ok().map(|watch_conn| {
+        let cancel = cancel.clone();
+        let done = done.clone();
+        let _ = watch_conn.set_read_timeout(Some(Duration::from_millis(50)));
+        std::thread::spawn(move || {
+            let mut buf = [0u8; 1];
+            while !done.load(Ordering::Acquire) {
+                match watch_conn.peek(&mut buf) {
+                    Ok(0) => {
+                        cancel.cancel(); // orderly client EOF
+                        return;
+                    }
+                    Ok(_) => std::thread::sleep(Duration::from_millis(20)),
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut => {}
+                    Err(_) => {
+                        cancel.cancel(); // connection reset
+                        return;
+                    }
+                }
+            }
+        })
+    });
+
+    let job = Job {
+        program: &program,
+        config,
+        mode: match req.mode.sampling() {
+            Some(options) => AnalysisMode::Estimate(options),
+            None => AnalysisMode::Exact,
+        },
+        reuse_cap: None,
+        cancel: cancel.clone(),
+        use_store: req.use_store,
+        threads: req.threads,
+        walk: req.strategy,
+    };
+    let outcome = engine.run(&job);
+
+    done.store(true, Ordering::Release);
+    if let Some(w) = watcher {
+        let _ = w.join();
+        // The watcher's read timeout is a property of the shared socket;
+        // restore blocking reads for the request loop.
+        let _ = conn.set_read_timeout(None);
+    }
+
+    match outcome {
+        Ok(out) => {
+            let metrics = obj(vec![
+                (
+                    "store",
+                    Json::Str(if out.from_store { "hit" } else { "miss" }.to_string()),
+                ),
+                ("points", Json::Int(out.points as i64)),
+                ("wall_us", Json::Int(out.wall.as_micros() as i64)),
+                ("queue_wait_us", Json::Int(queue_wait.as_micros() as i64)),
+                ("threads", Json::Int(job.threads.count() as i64)),
+                (
+                    "strategy",
+                    Json::Str(
+                        match req.strategy {
+                            WalkStrategy::SetSkip => "set-skip",
+                            WalkStrategy::LegacyScan => "legacy-scan",
+                        }
+                        .to_string(),
+                    ),
+                ),
+            ]);
+            obj(vec![
+                ("ok", Json::Bool(true)),
+                ("fingerprint", Json::Str(out.fingerprint.to_string())),
+                ("report", Json::Raw(out.payload.as_str().to_string())),
+                ("metrics", metrics),
+            ])
+        }
+        Err(err) => {
+            let (kind, points_done) = match err {
+                EngineError::Timeout { points_done } => ("timeout", points_done),
+                EngineError::Cancelled { points_done } => ("cancelled", points_done),
+            };
+            let mut resp = error_response(kind, &err.to_string());
+            if let Json::Obj(pairs) = &mut resp {
+                pairs.push(("points_done".to_string(), Json::Int(points_done as i64)));
+            }
+            resp
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! The content-addressed result store: an in-memory LRU backed by an
+//! optional append-only on-disk log.
+//!
+//! Keys are the 128-bit job [`Fingerprint`]s of `engine::job_fingerprint`;
+//! values are the canonical report payloads. The disk log lives at
+//! `<dir>/results.cmes` and is a sequence of frames:
+//!
+//! ```text
+//! "CMES" | fingerprint (16 B LE) | payload len (u32 LE) | crc32 (u32 LE) | payload
+//! ```
+//!
+//! On open the log is scanned once. A truncated or garbled tail (e.g. the
+//! process died mid-append) is cut off — the file is truncated to the last
+//! frame boundary so later appends stay well-framed. A complete frame whose
+//! payload fails its CRC is *skipped* (not loaded); the entry is simply
+//! recomputed on next demand and re-appended. Either way corruption costs
+//! one recomputation, never a wrong answer.
+
+use cme_ir::Fingerprint;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+const MAGIC: &[u8; 4] = b"CMES";
+const HEADER_LEN: usize = 4 + 16 + 4 + 4;
+
+/// IEEE CRC-32 (reflected, polynomial `0xEDB88320`), bitwise — payloads are
+/// small enough that a table buys nothing.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// One cached result.
+#[derive(Debug, Clone)]
+pub struct StoredResult {
+    /// The canonical report payload (spliced verbatim into responses).
+    pub payload: Arc<String>,
+    /// Whole-program miss ratio, extracted so sweeps can reuse hits without
+    /// re-parsing the payload.
+    pub miss_ratio: f64,
+    /// Points classified when the result was computed.
+    pub points: u64,
+}
+
+#[derive(Debug)]
+struct MemEntry {
+    result: StoredResult,
+    last_used: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    map: HashMap<u128, MemEntry>,
+    tick: u64,
+    /// Fingerprints known to already have a frame on disk (avoids duplicate
+    /// appends when an evicted entry is recomputed).
+    on_disk: HashMap<u128, ()>,
+    file: Option<File>,
+}
+
+/// Statistics from opening an on-disk log.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadStats {
+    /// Frames loaded successfully.
+    pub loaded: usize,
+    /// Complete frames dropped for CRC mismatch.
+    pub corrupt: usize,
+    /// Bytes cut off the tail (truncated/garbled final frame).
+    pub truncated_bytes: u64,
+}
+
+/// The store. Cheap to share (`Arc` internally via the caller).
+#[derive(Debug)]
+pub struct Store {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    path: Option<PathBuf>,
+    load_stats: LoadStats,
+}
+
+impl Store {
+    /// An in-memory-only store holding at most `capacity` entries.
+    pub fn in_memory(capacity: usize) -> Store {
+        Store {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+                on_disk: HashMap::new(),
+                file: None,
+            }),
+            capacity: capacity.max(1),
+            path: None,
+            load_stats: LoadStats::default(),
+        }
+    }
+
+    /// Opens (creating if needed) a disk-backed store under `dir`.
+    pub fn open(dir: &Path, capacity: usize) -> std::io::Result<Store> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join("results.cmes");
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+
+        let mut map = HashMap::new();
+        let mut on_disk = HashMap::new();
+        let mut stats = LoadStats::default();
+        let mut pos = 0usize;
+        let mut tick = 0u64;
+        loop {
+            if pos == bytes.len() {
+                break; // clean end
+            }
+            if pos + HEADER_LEN > bytes.len() || &bytes[pos..pos + 4] != MAGIC {
+                // Garbled or truncated header: cut the tail here.
+                stats.truncated_bytes = (bytes.len() - pos) as u64;
+                file.set_len(pos as u64)?;
+                break;
+            }
+            let fp = u128::from_le_bytes(bytes[pos + 4..pos + 20].try_into().unwrap());
+            let len =
+                u32::from_le_bytes(bytes[pos + 20..pos + 24].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(bytes[pos + 24..pos + 28].try_into().unwrap());
+            let body_start = pos + HEADER_LEN;
+            if body_start + len > bytes.len() {
+                // Truncated payload: cut the tail.
+                stats.truncated_bytes = (bytes.len() - pos) as u64;
+                file.set_len(pos as u64)?;
+                break;
+            }
+            let body = &bytes[body_start..body_start + len];
+            pos = body_start + len;
+            if crc32(body) != crc {
+                stats.corrupt += 1;
+                continue; // well-framed but damaged: skip, recompute later
+            }
+            match std::str::from_utf8(body) {
+                Ok(text) => {
+                    let (miss_ratio, points) = extract_summary(text);
+                    tick += 1;
+                    map.insert(
+                        fp,
+                        MemEntry {
+                            result: StoredResult {
+                                payload: Arc::new(text.to_string()),
+                                miss_ratio,
+                                points,
+                            },
+                            last_used: tick,
+                        },
+                    );
+                    on_disk.insert(fp, ());
+                    stats.loaded += 1;
+                }
+                Err(_) => stats.corrupt += 1,
+            }
+        }
+        file.seek(SeekFrom::End(0))?;
+
+        Ok(Store {
+            inner: Mutex::new(Inner {
+                map,
+                tick,
+                on_disk,
+                file: Some(file),
+            }),
+            capacity: capacity.max(1),
+            path: Some(path),
+            load_stats: stats,
+        })
+    }
+
+    /// What the opening scan found (zeros for in-memory stores).
+    pub fn load_stats(&self) -> LoadStats {
+        self.load_stats
+    }
+
+    /// The on-disk log path, if disk-backed.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Entries currently held in memory.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    /// Whether the in-memory cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up a result, refreshing its LRU position.
+    pub fn get(&self, fp: Fingerprint) -> Option<StoredResult> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let entry = inner.map.get_mut(&fp.0)?;
+        entry.last_used = tick;
+        Some(entry.result.clone())
+    }
+
+    /// Inserts a result, evicting the least-recently-used entry past
+    /// capacity and appending a frame to the disk log (once per key).
+    pub fn put(&self, fp: Fingerprint, result: StoredResult) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+
+        if inner.file.is_some() && !inner.on_disk.contains_key(&fp.0) {
+            let payload = result.payload.as_bytes();
+            let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
+            frame.extend_from_slice(MAGIC);
+            frame.extend_from_slice(&fp.0.to_le_bytes());
+            frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            frame.extend_from_slice(&crc32(payload).to_le_bytes());
+            frame.extend_from_slice(payload);
+            // Single write so a crash can only truncate, not interleave.
+            let file = inner.file.as_mut().unwrap();
+            if file.write_all(&frame).and_then(|()| file.flush()).is_ok() {
+                inner.on_disk.insert(fp.0, ());
+            }
+        }
+
+        inner.map.insert(
+            fp.0,
+            MemEntry {
+                result,
+                last_used: tick,
+            },
+        );
+        if inner.map.len() > self.capacity {
+            if let Some(&oldest) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k)
+            {
+                inner.map.remove(&oldest);
+            }
+        }
+    }
+}
+
+/// Pulls `miss_ratio` and total `analyzed` points out of a payload without
+/// a full protocol dependency (the payload is our own canonical JSON).
+fn extract_summary(text: &str) -> (f64, u64) {
+    match crate::json::Json::parse(text) {
+        Ok(v) => {
+            let ratio = v
+                .get("miss_ratio")
+                .and_then(crate::json::Json::as_f64)
+                .unwrap_or(0.0);
+            let points = v
+                .get("points")
+                .and_then(crate::json::Json::as_u64)
+                .unwrap_or(0);
+            (ratio, points)
+        }
+        Err(_) => (0.0, 0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(n: u128) -> Fingerprint {
+        Fingerprint(n)
+    }
+
+    fn result(text: &str) -> StoredResult {
+        StoredResult {
+            payload: Arc::new(text.to_string()),
+            miss_ratio: 0.5,
+            points: 10,
+        }
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF43926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let s = Store::in_memory(2);
+        s.put(fp(1), result("one"));
+        s.put(fp(2), result("two"));
+        assert!(s.get(fp(1)).is_some()); // refresh 1
+        s.put(fp(3), result("three")); // evicts 2
+        assert!(s.get(fp(2)).is_none());
+        assert!(s.get(fp(1)).is_some());
+        assert!(s.get(fp(3)).is_some());
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn disk_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("cme-store-rt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let s = Store::open(&dir, 16).unwrap();
+            s.put(fp(7), result(r#"{"miss_ratio":0.25,"points":40}"#));
+            s.put(fp(8), result(r#"{"miss_ratio":0.75,"points":40}"#));
+        }
+        let s = Store::open(&dir, 16).unwrap();
+        assert_eq!(s.load_stats().loaded, 2);
+        assert_eq!(s.load_stats().corrupt, 0);
+        let r = s.get(fp(7)).expect("persisted");
+        assert_eq!(&*r.payload, r#"{"miss_ratio":0.25,"points":40}"#);
+        assert_eq!(r.miss_ratio, 0.25);
+        assert_eq!(r.points, 40);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

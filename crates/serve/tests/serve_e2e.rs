@@ -1,0 +1,225 @@
+//! End-to-end tests over a real TCP connection: cold/hot byte-identity,
+//! deadline propagation, client-disconnect cancellation and shutdown.
+
+use cme_serve::json::Json;
+use cme_serve::{Client, Server, ServerOptions};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("cme-e2e-{tag}-{}", std::process::id()))
+}
+
+struct Daemon {
+    addr: SocketAddr,
+    thread: Option<std::thread::JoinHandle<std::io::Result<()>>>,
+    metrics_dump: PathBuf,
+}
+
+impl Daemon {
+    fn start(tag: &str) -> Daemon {
+        let metrics_dump = temp_path(&format!("{tag}-metrics"));
+        let _ = std::fs::remove_file(&metrics_dump);
+        let server = Server::bind(ServerOptions {
+            workers: 2,
+            metrics_dump: Some(metrics_dump.clone()),
+            ..ServerOptions::default()
+        })
+        .expect("bind");
+        let addr = server.local_addr().unwrap();
+        let thread = std::thread::spawn(move || server.run());
+        Daemon {
+            addr,
+            thread: Some(thread),
+            metrics_dump,
+        }
+    }
+
+    fn client(&self) -> Client {
+        Client::connect(self.addr).expect("connect")
+    }
+
+    fn shutdown(mut self) -> Json {
+        let resp = self
+            .client()
+            .request(&Json::parse(r#"{"cmd":"shutdown"}"#).unwrap())
+            .expect("shutdown response");
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+        self.thread
+            .take()
+            .unwrap()
+            .join()
+            .expect("server thread")
+            .expect("server exit");
+        let dump = std::fs::read_to_string(&self.metrics_dump).expect("metrics dump written");
+        let _ = std::fs::remove_file(&self.metrics_dump);
+        Json::parse(dump.trim()).expect("metrics dump parses")
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        if let Some(t) = self.thread.take() {
+            // Best effort: make sure a panicking test does not hang.
+            if let Ok(mut c) = Client::connect(self.addr) {
+                let _ = c.request_line(r#"{"cmd":"shutdown"}"#);
+            }
+            let _ = t.join();
+        }
+    }
+}
+
+/// Cuts the raw `"report":…` span out of a response line (spliced verbatim
+/// by the server, so this is a byte-exact comparison of stored payloads).
+fn report_bytes(line: &str) -> &str {
+    let start = line.find(r#""report":"#).expect("has report") + r#""report":"#.len();
+    let end = line.find(r#","metrics":"#).expect("has metrics");
+    &line[start..end]
+}
+
+#[test]
+fn cold_then_hot_is_byte_identical() {
+    let daemon = Daemon::start("hotcold");
+    let mut client = daemon.client();
+
+    let pong = client
+        .request(&Json::parse(r#"{"cmd":"ping"}"#).unwrap())
+        .unwrap();
+    assert_eq!(pong.get("pong"), Some(&Json::Bool(true)));
+
+    let req = r#"{"cmd":"analyze","workload":"mmt","n":24,"mode":"exact","cache":16384,"line":32,"assoc":2}"#;
+    let cold_line = client.request_line(req).unwrap();
+    let cold = Json::parse(&cold_line).unwrap();
+    assert_eq!(cold.get("ok"), Some(&Json::Bool(true)), "{cold_line}");
+    let cold_metrics = cold.get("metrics").unwrap();
+    assert_eq!(
+        cold_metrics.get("store").unwrap().as_str(),
+        Some("miss"),
+        "first query must be cold"
+    );
+    assert!(cold_metrics.get("points").unwrap().as_u64().unwrap() > 0);
+    assert!(cold_metrics.get("threads").unwrap().as_u64().unwrap() >= 1);
+
+    // Hot query from a *different* connection: same bytes, store hit.
+    let mut second = daemon.client();
+    let hot_line = second.request_line(req).unwrap();
+    let hot = Json::parse(&hot_line).unwrap();
+    assert_eq!(hot.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(hot.get("metrics").unwrap().get("store").unwrap().as_str(), Some("hit"));
+    assert_eq!(report_bytes(&cold_line), report_bytes(&hot_line));
+    assert_eq!(cold.get("fingerprint"), hot.get("fingerprint"));
+
+    // Stats reflect one miss + one hit.
+    let stats = client
+        .request(&Json::parse(r#"{"cmd":"stats"}"#).unwrap())
+        .unwrap();
+    let s = stats.get("stats").unwrap();
+    assert_eq!(s.get("store_hits").unwrap().as_u64(), Some(1));
+    assert_eq!(s.get("store_misses").unwrap().as_u64(), Some(1));
+    assert_eq!(s.get("store_entries").unwrap().as_u64(), Some(1));
+
+    let dump = daemon.shutdown();
+    assert_eq!(dump.get("store_hits").unwrap().as_u64(), Some(1));
+    assert!(dump.get("requests").unwrap().as_u64().unwrap() >= 4);
+}
+
+#[test]
+fn timeout_returns_structured_error_and_releases_worker() {
+    let daemon = Daemon::start("timeout");
+    let mut client = daemon.client();
+
+    // Big enough that 1 ms cannot finish it.
+    let req = r#"{"cmd":"analyze","workload":"mmt","n":96,"mode":"exact","timeout_ms":1,"store":false}"#;
+    let resp = client
+        .request(&Json::parse(req).unwrap())
+        .expect("a clean error response, not a dropped connection");
+    assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(resp.get("kind").unwrap().as_str(), Some("timeout"));
+    assert!(resp
+        .get("error")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("deadline"));
+    assert!(resp.get("points_done").unwrap().as_u64().is_some());
+
+    // The same worker/connection still serves requests afterwards.
+    let pong = client
+        .request(&Json::parse(r#"{"cmd":"ping"}"#).unwrap())
+        .unwrap();
+    assert_eq!(pong.get("pong"), Some(&Json::Bool(true)));
+
+    let stats = client
+        .request(&Json::parse(r#"{"cmd":"stats"}"#).unwrap())
+        .unwrap();
+    assert_eq!(
+        stats.get("stats").unwrap().get("timeouts").unwrap().as_u64(),
+        Some(1)
+    );
+    daemon.shutdown();
+}
+
+#[test]
+fn disconnect_cancels_running_analysis() {
+    let daemon = Daemon::start("disconnect");
+
+    // Fire a long analysis and hang up immediately.
+    {
+        let client = daemon.client();
+        use std::io::Write;
+        // Raw write without waiting for the response.
+        let mut raw = std::net::TcpStream::connect(daemon.addr).unwrap();
+        raw.write_all(
+            br#"{"cmd":"analyze","workload":"mmt","n":128,"mode":"exact","store":false}"#,
+        )
+        .unwrap();
+        raw.write_all(b"\n").unwrap();
+        raw.flush().unwrap();
+        drop(raw); // client gone
+        let _ = client; // keep a second connection alive meanwhile
+    }
+
+    // The watcher should cancel the orphaned job well before it finishes.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut cancelled = 0;
+    while Instant::now() < deadline {
+        let mut c = daemon.client();
+        let stats = c
+            .request(&Json::parse(r#"{"cmd":"stats"}"#).unwrap())
+            .unwrap();
+        cancelled = stats
+            .get("stats")
+            .unwrap()
+            .get("cancelled")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        if cancelled >= 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert_eq!(cancelled, 1, "disconnect must cancel the running analysis");
+    daemon.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_bad_request() {
+    let daemon = Daemon::start("badreq");
+    let mut client = daemon.client();
+    for req in [
+        "this is not json",
+        r#"{"cmd":"analyze"}"#,
+        r#"{"cmd":"analyze","workload":"nope"}"#,
+        // Bad geometry: non-power-of-two cache size.
+        r#"{"cmd":"analyze","workload":"mmt","n":8,"cache":5000}"#,
+        // Malformed FORTRAN source surfaces a diagnostic, not a crash.
+        r#"{"cmd":"analyze","source":"      DO 10 I = 1, N\n      END"}"#,
+    ] {
+        let resp = Json::parse(&client.request_line(req).unwrap()).unwrap();
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)), "{req}");
+        assert_eq!(resp.get("kind").unwrap().as_str(), Some("bad_request"), "{req}");
+    }
+    daemon.shutdown();
+}

@@ -35,4 +35,45 @@ echo "== classify walk-strategy harness =="
 cargo run -p cme-bench --bin bench_classify --release --offline -- \
     --scale "${BENCH_SCALE:-small}" --out BENCH_classify.json
 
+echo "== result-store harness =="
+# Cold vs hot query through one engine; asserts byte-identical payloads
+# (and a >=100x hot speedup at paper scale).
+cargo run -p cme-bench --bin bench_serve --release --offline -- \
+    --scale "${BENCH_SCALE:-small}" --out BENCH_serve.json
+
+echo "== serve smoke test =="
+# Boot the daemon on an ephemeral port, issue one cold and one hot query
+# from separate client processes, and require byte-identical reports.
+SMOKE_DIR=$(mktemp -d)
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$SMOKE_DIR"' EXIT
+target/release/cme serve --addr 127.0.0.1:0 \
+    --port-file "$SMOKE_DIR/port" --store "$SMOKE_DIR/store" \
+    --metrics-dump "$SMOKE_DIR/metrics.json" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [ -s "$SMOKE_DIR/port" ] && break; sleep 0.1; done
+[ -s "$SMOKE_DIR/port" ] || { echo "daemon never wrote its port file"; exit 1; }
+
+QUERY=(target/release/cme query --port-file "$SMOKE_DIR/port"
+       --workload mmt --n 24 --exact --cache 16384 --report-only)
+"${QUERY[@]}" > "$SMOKE_DIR/cold.json"
+"${QUERY[@]}" > "$SMOKE_DIR/hot.json"
+cmp "$SMOKE_DIR/cold.json" "$SMOKE_DIR/hot.json" \
+    || { echo "hot report differs from cold report"; exit 1; }
+
+# A 1 ms deadline on a paper-size job must fail cleanly (exit 2, daemon
+# alive), not hang a worker or kill the server.
+rc=0
+target/release/cme query --port-file "$SMOKE_DIR/port" \
+    --workload mmt --n 96 --exact --timeout-ms 1 --no-store \
+    2> "$SMOKE_DIR/timeout.err" || rc=$?
+[ "$rc" -eq 2 ] || { echo "timeout query exited $rc, want 2"; exit 1; }
+grep -q '"kind":"timeout"' "$SMOKE_DIR/timeout.err" \
+    || { echo "timeout query did not report a timeout"; cat "$SMOKE_DIR/timeout.err"; exit 1; }
+
+target/release/cme stats --port-file "$SMOKE_DIR/port" | grep -q '"store_hits":1' \
+    || { echo "stats did not show the store hit"; exit 1; }
+target/release/cme shutdown --port-file "$SMOKE_DIR/port" > /dev/null
+wait "$SERVE_PID"
+[ -s "$SMOKE_DIR/metrics.json" ] || { echo "no metrics dump on shutdown"; exit 1; }
+
 echo "== ok =="

@@ -18,7 +18,10 @@
 //! * [`fortran`] — a FORTRAN-subset front end;
 //! * [`baselines`] — comparison estimators (probabilistic model);
 //! * [`workloads`] — the paper's kernels and whole-program workloads;
-//! * [`opt`] — model-driven padding and tile-size selection.
+//! * [`opt`] — model-driven padding and tile-size selection;
+//! * [`serve`] — the persistent analysis service (`cme serve`): a
+//!   content-addressed result store, deadline/cancellation propagation
+//!   and per-request metrics behind an NDJSON-over-TCP protocol.
 //!
 //! # Quickstart
 //!
@@ -43,6 +46,7 @@ pub use cme_ir as ir;
 pub use cme_opt as opt;
 pub use cme_poly as poly;
 pub use cme_reuse as reuse;
+pub use cme_serve as serve;
 pub use cme_workloads as workloads;
 
 /// The most commonly used items, for glob import.

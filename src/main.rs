@@ -1,0 +1,256 @@
+//! The `cme` command: front end for the persistent analysis service.
+//!
+//! ```text
+//! cme serve    [--addr A] [--port-file P] [--store DIR] [--workers N]
+//!              [--store-capacity N] [--metrics-dump P]
+//! cme query    [--addr A | --port-file P] --workload K | --file F.f
+//!              [--n N] [--iters N] [--bj N] [--bk N] [--param K=V]...
+//!              [--cache B] [--line B] [--assoc W] [--exact]
+//!              [--confidence C] [--width W] [--seed S] [--timeout-ms MS]
+//!              [--no-store] [--threads N] [--strategy set-skip|legacy-scan]
+//!              [--report-only]
+//! cme stats    [--addr A | --port-file P]
+//! cme shutdown [--addr A | --port-file P]
+//! ```
+//!
+//! `query` prints the full response line (or, with `--report-only`, just the
+//! canonical report bytes — byte-identical across store hits, threads and
+//! walk strategies, so two runs can be `diff`ed). Exit codes: 0 success,
+//! 1 usage/transport error, 2 the server answered with an error.
+
+use cme_serve::json::Json;
+use cme_serve::{Client, Server, ServerOptions};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const DEFAULT_ADDR: &str = "127.0.0.1:7199";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(1);
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "serve" => cmd_serve(rest),
+        "query" => cmd_query(rest),
+        "stats" => cmd_verb(rest, "stats"),
+        "shutdown" => cmd_verb(rest, "shutdown"),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
+    };
+    match result {
+        Ok(code) => code,
+        Err(CliError::Usage(msg)) => {
+            eprintln!("cme: {msg}\n\n{USAGE}");
+            ExitCode::from(1)
+        }
+        Err(CliError::Io(e)) => {
+            eprintln!("cme: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  cme serve    [--addr A] [--port-file P] [--store DIR] [--workers N]
+               [--store-capacity N] [--metrics-dump P]
+  cme query    [--addr A | --port-file P] --workload K | --file F.f
+               [--n N] [--iters N] [--bj N] [--bk N] [--param K=V]...
+               [--cache B] [--line B] [--assoc W] [--exact]
+               [--confidence C] [--width W] [--seed S] [--timeout-ms MS]
+               [--no-store] [--threads N] [--strategy set-skip|legacy-scan]
+               [--report-only]
+  cme stats    [--addr A | --port-file P]
+  cme shutdown [--addr A | --port-file P]";
+
+enum CliError {
+    Usage(String),
+    Io(std::io::Error),
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> CliError {
+        CliError::Io(e)
+    }
+}
+
+/// A tiny flag cursor: `--flag value` pairs plus boolean flags.
+struct Flags<'a> {
+    args: &'a [String],
+    i: usize,
+}
+
+impl<'a> Flags<'a> {
+    fn new(args: &'a [String]) -> Flags<'a> {
+        Flags { args, i: 0 }
+    }
+
+    fn next(&mut self) -> Option<&'a str> {
+        let a = self.args.get(self.i)?;
+        self.i += 1;
+        Some(a)
+    }
+
+    fn value(&mut self, flag: &str) -> Result<&'a str, CliError> {
+        let v = self
+            .args
+            .get(self.i)
+            .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))?;
+        self.i += 1;
+        Ok(v)
+    }
+
+    fn parsed<T: std::str::FromStr>(&mut self, flag: &str) -> Result<T, CliError> {
+        let raw = self.value(flag)?;
+        raw.parse()
+            .map_err(|_| CliError::Usage(format!("bad value `{raw}` for {flag}")))
+    }
+}
+
+/// Resolves the daemon address from `--addr`/`--port-file`.
+fn resolve_addr(addr: Option<String>, port_file: Option<PathBuf>) -> Result<String, CliError> {
+    if let Some(a) = addr {
+        return Ok(a);
+    }
+    if let Some(p) = port_file {
+        let port = std::fs::read_to_string(&p)?;
+        let port = port.trim();
+        return Ok(format!("127.0.0.1:{port}"));
+    }
+    Ok(DEFAULT_ADDR.to_string())
+}
+
+fn cmd_serve(args: &[String]) -> Result<ExitCode, CliError> {
+    let mut options = ServerOptions {
+        addr: DEFAULT_ADDR.to_string(),
+        ..ServerOptions::default()
+    };
+    let mut flags = Flags::new(args);
+    while let Some(flag) = flags.next() {
+        match flag {
+            "--addr" => options.addr = flags.value(flag)?.to_string(),
+            "--port-file" => options.port_file = Some(PathBuf::from(flags.value(flag)?)),
+            "--store" => options.store_dir = Some(PathBuf::from(flags.value(flag)?)),
+            "--store-capacity" => options.store_capacity = flags.parsed(flag)?,
+            "--workers" => options.workers = flags.parsed(flag)?,
+            "--metrics-dump" => options.metrics_dump = Some(PathBuf::from(flags.value(flag)?)),
+            other => return Err(CliError::Usage(format!("unknown serve flag `{other}`"))),
+        }
+    }
+    let server = Server::bind(options)?;
+    eprintln!("cme serve: listening on {}", server.local_addr()?);
+    server.run()?;
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_verb(args: &[String], verb: &str) -> Result<ExitCode, CliError> {
+    let (mut addr, mut port_file) = (None, None);
+    let mut flags = Flags::new(args);
+    while let Some(flag) = flags.next() {
+        match flag {
+            "--addr" => addr = Some(flags.value(flag)?.to_string()),
+            "--port-file" => port_file = Some(PathBuf::from(flags.value(flag)?)),
+            other => return Err(CliError::Usage(format!("unknown {verb} flag `{other}`"))),
+        }
+    }
+    let mut client = Client::connect(resolve_addr(addr, port_file)?)?;
+    let line = client.request_line(&format!(r#"{{"cmd":"{verb}"}}"#))?;
+    println!("{line}");
+    let ok = Json::parse(&line)
+        .ok()
+        .and_then(|v| v.get("ok").and_then(Json::as_bool))
+        .unwrap_or(false);
+    Ok(if ok { ExitCode::SUCCESS } else { ExitCode::from(2) })
+}
+
+fn cmd_query(args: &[String]) -> Result<ExitCode, CliError> {
+    let (mut addr, mut port_file) = (None, None);
+    let mut report_only = false;
+    // Request fields, accumulated in insertion order.
+    let mut fields: Vec<(&str, Json)> = vec![("cmd", Json::Str("analyze".to_string()))];
+    let mut params: Vec<(String, Json)> = Vec::new();
+    let mut mode = "estimate";
+
+    let mut flags = Flags::new(args);
+    while let Some(flag) = flags.next() {
+        match flag {
+            "--addr" => addr = Some(flags.value(flag)?.to_string()),
+            "--port-file" => port_file = Some(PathBuf::from(flags.value(flag)?)),
+            "--workload" => fields.push(("workload", Json::Str(flags.value(flag)?.to_string()))),
+            "--file" => {
+                let path = flags.value(flag)?;
+                let text = std::fs::read_to_string(path)?;
+                fields.push(("source", Json::Str(text)));
+            }
+            "--param" => {
+                let raw = flags.value(flag)?;
+                let (k, v) = raw
+                    .split_once('=')
+                    .ok_or_else(|| CliError::Usage(format!("--param wants K=V, got `{raw}`")))?;
+                let v: i64 = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("--param value `{v}` not an integer")))?;
+                params.push((k.to_string(), Json::Int(v)));
+            }
+            "--n" => fields.push(("n", Json::Int(flags.parsed(flag)?))),
+            "--iters" => fields.push(("iters", Json::Int(flags.parsed(flag)?))),
+            "--bj" => fields.push(("bj", Json::Int(flags.parsed(flag)?))),
+            "--bk" => fields.push(("bk", Json::Int(flags.parsed(flag)?))),
+            "--cache" => fields.push(("cache", Json::Int(flags.parsed(flag)?))),
+            "--line" => fields.push(("line", Json::Int(flags.parsed(flag)?))),
+            "--assoc" => fields.push(("assoc", Json::Int(flags.parsed(flag)?))),
+            "--exact" => mode = "exact",
+            "--confidence" => fields.push(("confidence", Json::Float(flags.parsed(flag)?))),
+            "--width" => fields.push(("width", Json::Float(flags.parsed(flag)?))),
+            "--seed" => fields.push(("seed", Json::Int(flags.parsed(flag)?))),
+            "--timeout-ms" => fields.push(("timeout_ms", Json::Int(flags.parsed(flag)?))),
+            "--no-store" => fields.push(("store", Json::Bool(false))),
+            "--threads" => fields.push(("threads", Json::Int(flags.parsed(flag)?))),
+            "--strategy" => fields.push(("strategy", Json::Str(flags.value(flag)?.to_string()))),
+            "--report-only" => report_only = true,
+            other => return Err(CliError::Usage(format!("unknown query flag `{other}`"))),
+        }
+    }
+    fields.push(("mode", Json::Str(mode.to_string())));
+    if !params.is_empty() {
+        fields.push(("params", Json::Obj(params)));
+    }
+    let request = Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    );
+
+    let mut client = Client::connect(resolve_addr(addr, port_file)?)?;
+    let line = client.request_line(&request.render())?;
+    let ok = Json::parse(&line)
+        .ok()
+        .and_then(|v| v.get("ok").and_then(Json::as_bool))
+        .unwrap_or(false);
+    if !ok {
+        eprintln!("{line}");
+        return Ok(ExitCode::from(2));
+    }
+    if report_only {
+        // Cut the raw report span out of the line rather than re-rendering:
+        // the bytes are exactly what the store holds, so two `--report-only`
+        // runs of the same job can be compared with `diff`/`cmp`.
+        let start = line
+            .find(r#""report":"#)
+            .map(|i| i + r#""report":"#.len())
+            .ok_or_else(|| CliError::Usage("response has no report".to_string()))?;
+        let end = line
+            .rfind(r#","metrics":"#)
+            .ok_or_else(|| CliError::Usage("response has no metrics".to_string()))?;
+        println!("{}", &line[start..end]);
+    } else {
+        println!("{line}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
