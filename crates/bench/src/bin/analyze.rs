@@ -19,8 +19,11 @@
 //! * `--threads <n>` — worker threads for point classification
 //!   (0 or absent = one per hardware thread; 1 = serial). The report is
 //!   byte-identical for every value.
+//! * `--prepass <on|off>` — the definitely-hit/definitely-miss pre-pass
+//!   (default on). Pure accelerator: the report is byte-identical either
+//!   way.
 
-use cme_analysis::{EstimateMisses, FindMisses, SamplingOptions};
+use cme_analysis::{EstimateMisses, FindMisses, PrepassMode, SamplingOptions};
 use cme_cache::{CacheConfig, Simulator};
 use cme_ir::Program;
 use std::collections::HashMap;
@@ -99,11 +102,20 @@ fn main() -> ExitCode {
     );
 
     let threads = cme_bench::threads_from_args();
+    let prepass = match get("--prepass").as_deref() {
+        None | Some("on") => PrepassMode::On,
+        Some("off") => PrepassMode::Off,
+        Some(other) => return fail(&format!("unknown prepass mode `{other}`")),
+    };
     let report = if has("--exact") {
-        FindMisses::new(&program, cfg).threads(threads).run()
+        FindMisses::new(&program, cfg)
+            .threads(threads)
+            .prepass(prepass)
+            .run()
     } else {
         let opts = SamplingOptions {
             threads,
+            prepass,
             ..SamplingOptions::paper_default()
         };
         EstimateMisses::new(&program, cfg, opts).run()
@@ -115,6 +127,15 @@ fn main() -> ExitCode {
         report.elapsed(),
         100.0 * report.miss_ratio()
     );
+    if report.prepass_resolved() > 0 {
+        let analyzed: u64 = report.references().iter().map(|r| r.analyzed).sum();
+        println!(
+            "pre-pass resolved {} of {} points ({:.1}%)",
+            report.prepass_resolved(),
+            analyzed,
+            100.0 * report.prepass_resolved() as f64 / analyzed.max(1) as f64
+        );
+    }
 
     if has("--simulate") {
         let t = std::time::Instant::now();

@@ -1,0 +1,185 @@
+//! Timing harness for the definitely-hit/definitely-miss pre-pass: runs
+//! cold `FindMisses` (set-skip walk, serial) with the pre-pass off and on,
+//! verifies the reports agree point-for-point, records the resolution rate
+//! (share of points the pre-pass settled without an interference walk) and
+//! writes the numbers to `BENCH_prepass.json`.
+//!
+//! ```text
+//! cargo run -p cme-bench --bin bench_prepass --release -- \
+//!     [--scale small|medium|paper] [--out BENCH_prepass.json]
+//! ```
+//!
+//! `--scale paper` uses the paper's problem sizes (MMT N=BJ=100, BK=50,
+//! Hydro 100×100, MGRID 100); the default `small` is a CI smoke size.
+//!
+//! Floors (hard process-exit failures, used by `scripts/ci.sh`):
+//! * MMT resolution rate ≥ 50% — the pre-pass must settle at least half of
+//!   the blocked-matmul points, else it has regressed into Unknown.
+//! * Pre-pass-on wall ≤ pre-pass-off wall on MMT (best-of-2 each) — the
+//!   pre-pass must pay for itself where it resolves.
+
+use cme_analysis::{FindMisses, PrepassMode, Report, Threads, WalkStrategy};
+use cme_bench::{timed, Scale, Table};
+use cme_cache::CacheConfig;
+use cme_ir::Program;
+use cme_reuse::ReuseAnalysis;
+use std::time::Duration;
+
+struct Row {
+    workload: String,
+    points: u64,
+    resolved: u64,
+    off: Duration,
+    on: Duration,
+}
+
+fn run(
+    program: &Program,
+    reuse: &ReuseAnalysis,
+    cfg: CacheConfig,
+    prepass: PrepassMode,
+) -> (Report, Duration) {
+    // Best of two: the second run rides warm caches, which is what the
+    // serve engine's steady state looks like.
+    let (a, ta) = timed(|| {
+        FindMisses::with_reuse(program, cfg, reuse.clone())
+            .strategy(WalkStrategy::SetSkip)
+            .threads(Threads::Fixed(1))
+            .prepass(prepass)
+            .run()
+    });
+    let (_, tb) = timed(|| {
+        FindMisses::with_reuse(program, cfg, reuse.clone())
+            .strategy(WalkStrategy::SetSkip)
+            .threads(Threads::Fixed(1))
+            .prepass(prepass)
+            .run()
+    });
+    (a, ta.min(tb))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let scale = Scale::from_args();
+    let out = get("--out").unwrap_or_else(|| "BENCH_prepass.json".to_string());
+
+    let workloads: Vec<(String, Program)> = match scale {
+        Scale::Small => vec![
+            ("mmt(N=16,BJ=16,BK=8)".into(), cme_workloads::mmt(16, 16, 8)),
+            ("hydro(24x24)".into(), cme_workloads::hydro(24, 24)),
+            ("mgrid(12)".into(), cme_workloads::mgrid(12)),
+        ],
+        Scale::Medium => vec![
+            ("mmt(N=40,BJ=40,BK=20)".into(), cme_workloads::mmt(40, 40, 20)),
+            ("hydro(60x60)".into(), cme_workloads::hydro(60, 60)),
+            ("mgrid(40)".into(), cme_workloads::mgrid(40)),
+        ],
+        Scale::Paper => vec![
+            (
+                "mmt(N=100,BJ=100,BK=50)".into(),
+                cme_workloads::mmt(100, 100, 50),
+            ),
+            ("hydro(100x100)".into(), cme_workloads::hydro(100, 100)),
+            ("mgrid(100)".into(), cme_workloads::mgrid(100)),
+        ],
+    };
+
+    let cfg = CacheConfig::new(32 * 1024, 32, 2).expect("valid geometry");
+    eprintln!("bench_prepass: scale {}, cache {cfg}, serial set-skip", scale.label());
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (name, program) in &workloads {
+        // Reuse vectors are shared; only classification is being timed.
+        let reuse = ReuseAnalysis::analyze(program, cfg.line_bytes());
+
+        let (off, off_t) = run(program, &reuse, cfg, PrepassMode::Off);
+        eprintln!("{name}: prepass-off {off_t:?}");
+        let (on, on_t) = run(program, &reuse, cfg, PrepassMode::On);
+        let points: u64 = on.references().iter().map(|r| r.analyzed).sum();
+        eprintln!(
+            "{name}: prepass-on {on_t:?} ({}/{points} resolved)",
+            on.prepass_resolved()
+        );
+        assert_eq!(
+            off.references(),
+            on.references(),
+            "{name}: prepass-on and prepass-off reports diverged"
+        );
+        assert_eq!(off.prepass_resolved(), 0, "{name}: off mode ran the pre-pass");
+
+        rows.push(Row {
+            workload: name.clone(),
+            points,
+            resolved: on.prepass_resolved(),
+            off: off_t,
+            on: on_t,
+        });
+    }
+
+    let mut table = Table::new(&[
+        "workload",
+        "points",
+        "resolved %",
+        "off (s)",
+        "on (s)",
+        "speedup",
+    ]);
+    let mut json_rows = Vec::new();
+    for r in &rows {
+        let rate = r.resolved as f64 / r.points.max(1) as f64;
+        let speedup = r.off.as_secs_f64() / r.on.as_secs_f64().max(1e-9);
+        table.row(vec![
+            r.workload.clone(),
+            r.points.to_string(),
+            format!("{:.1}", 100.0 * rate),
+            cme_bench::secs(r.off),
+            cme_bench::secs(r.on),
+            format!("{speedup:.2}x"),
+        ]);
+        json_rows.push(format!(
+            "    {{\"workload\": \"{}\", \"points\": {}, \"resolved\": {}, \
+             \"resolved_rate\": {:.4}, \"off_ms\": {:.1}, \"on_ms\": {:.1}, \
+             \"speedup\": {:.2}}}",
+            r.workload,
+            r.points,
+            r.resolved,
+            rate,
+            r.off.as_secs_f64() * 1e3,
+            r.on.as_secs_f64() * 1e3,
+            speedup,
+        ));
+    }
+    table.print();
+
+    let json = format!(
+        "{{\n  \"scale\": \"{}\",\n  \"cache\": \"32KB/32B/2-way\",\n  \"threads\": 1,\n  \"hw_threads\": {},\n  \"strategy\": \"set-skip\",\n  \"prepass\": \"on-vs-off\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        scale.label(),
+        cme_bench::hw_threads(),
+        json_rows.join(",\n")
+    );
+    std::fs::write(&out, &json).expect("write BENCH_prepass.json");
+    eprintln!("-> {out}");
+
+    // CI floors. MMT is the workload the pre-pass is built for: long
+    // streaming rows with uniform verdicts.
+    let mmt = rows.iter().find(|r| r.workload.starts_with("mmt")).expect("mmt row");
+    let rate = mmt.resolved as f64 / mmt.points.max(1) as f64;
+    assert!(
+        rate >= 0.5,
+        "pre-pass resolution regressed on {}: {:.1}% < 50%",
+        mmt.workload,
+        100.0 * rate
+    );
+    assert!(
+        mmt.on <= mmt.off,
+        "pre-pass no longer pays for itself on {}: on {:?} > off {:?}",
+        mmt.workload,
+        mmt.on,
+        mmt.off
+    );
+}

@@ -95,22 +95,23 @@ impl Scratch {
 }
 
 /// Precomputed per-vector invariants: everything the cold equations need
-/// that does not depend on the iteration point.
+/// that does not depend on the iteration point. Shared with the pre-pass
+/// (`crate::prepass`), which reduces the same screens to one dimension.
 #[derive(Debug, Clone)]
-struct VectorPlan<'p> {
-    producer: RefId,
+pub(crate) struct VectorPlan<'p> {
+    pub(crate) producer: RefId,
     /// The reuse vector in interleaved label/index form (2n entries).
-    vector: &'p [i64],
+    pub(crate) vector: &'p [i64],
     /// Bounding box of `RIS_p`, for the cheap containment pre-screen.
-    producer_bbox: &'p [(i64, i64)],
-    producer_rank: usize,
+    pub(crate) producer_bbox: &'p [(i64, i64)],
+    pub(crate) producer_rank: usize,
 }
 
 /// All vectors of one consumer, in lexicographic order, plus its rank.
 #[derive(Debug, Clone)]
-struct ConsumerPlan<'p> {
-    vectors: Vec<VectorPlan<'p>>,
-    consumer_rank: usize,
+pub(crate) struct ConsumerPlan<'p> {
+    pub(crate) vectors: Vec<VectorPlan<'p>>,
+    pub(crate) consumer_rank: usize,
 }
 
 /// Per-reference invariants of the contention bound: everything needed to
@@ -193,6 +194,12 @@ impl<'p> Classifier<'p> {
     /// The cache geometry.
     pub fn config(&self) -> &CacheConfig {
         &self.config
+    }
+
+    /// The consumer plan of reference `r` (for the pre-pass, which walks
+    /// the same vectors in the same order).
+    pub(crate) fn plan(&self, r: RefId) -> &ConsumerPlan<'p> {
+        &self.plans[r]
     }
 
     /// Classifies the access of reference `r` at index point `point`
@@ -412,48 +419,9 @@ impl<'p> Classifier<'p> {
         let mut sum: i64 = 0;
         let mut reused_counted = false;
         for bp in &self.bounds {
-            let mut w_min = bp.plan.constant_term();
-            let mut w_max = w_min;
-            let mut excluded = false;
-            for d in 0..n {
-                // Interleaved positions: label at 2d, index at 2d + 1.
-                let lpos = 2 * d;
-                if lpos < diff {
-                    if bp.label[d] != from[lpos] {
-                        excluded = true;
-                        break;
-                    }
-                } else if lpos == diff && (bp.label[d] < from[lpos] || bp.label[d] > to[lpos]) {
-                    excluded = true;
-                    break;
-                }
-                let ipos = 2 * d + 1;
-                let (mut lo, mut hi) = bp.bbox[d];
-                if ipos < diff {
-                    lo = lo.max(from[ipos]);
-                    hi = hi.min(from[ipos]);
-                } else if ipos == diff {
-                    lo = lo.max(from[ipos]);
-                    hi = hi.min(to[ipos]);
-                }
-                if lo > hi {
-                    excluded = true;
-                    break;
-                }
-                let c = bp.plan.coeff(d);
-                if c >= 0 {
-                    w_min += c * lo;
-                    w_max += c * hi;
-                } else {
-                    w_min += c * hi;
-                    w_max += c * lo;
-                }
-            }
-            if excluded {
+            let Some((l_min, l_max)) = self.ref_line_window(bp, from, to, diff) else {
                 continue;
-            }
-            let l_min = self.config.mem_line(w_min);
-            let l_max = self.config.mem_line(w_max);
+            };
             // Lines ≡ target_set (mod nsets) within [l_min, l_max].
             let cnt = (l_max - target_set).div_euclid(nsets)
                 - (l_min - 1 - target_set).div_euclid(nsets);
@@ -469,6 +437,87 @@ impl<'p> Classifier<'p> {
             }
         }
         sum - (reused_counted as i64) < k
+    }
+
+    /// The memory-line window one reference can touch within the
+    /// lexicographic interval `[from, to]`, or `None` when the reference
+    /// cannot execute in the interval at all. `diff` is the first position
+    /// where the endpoints differ (precomputed by the callers). Shared by
+    /// [`Classifier::hit_by_contention_bound`] and the pre-pass's
+    /// row-uniform bound so both screens stay in lock-step.
+    fn ref_line_window(
+        &self,
+        bp: &RefBoundPlan<'_>,
+        from: &[i64],
+        to: &[i64],
+        diff: usize,
+    ) -> Option<(i64, i64)> {
+        let n = self.program.depth();
+        let mut w_min = bp.plan.constant_term();
+        let mut w_max = w_min;
+        for d in 0..n {
+            // Interleaved positions: label at 2d, index at 2d + 1.
+            let lpos = 2 * d;
+            if lpos < diff {
+                if bp.label[d] != from[lpos] {
+                    return None;
+                }
+            } else if lpos == diff && (bp.label[d] < from[lpos] || bp.label[d] > to[lpos]) {
+                return None;
+            }
+            let ipos = 2 * d + 1;
+            let (mut lo, mut hi) = bp.bbox[d];
+            if ipos < diff {
+                lo = lo.max(from[ipos]);
+                hi = hi.min(from[ipos]);
+            } else if ipos == diff {
+                lo = lo.max(from[ipos]);
+                hi = hi.min(to[ipos]);
+            }
+            if lo > hi {
+                return None;
+            }
+            let c = bp.plan.coeff(d);
+            if c >= 0 {
+                w_min += c * lo;
+                w_max += c * hi;
+            } else {
+                w_min += c * hi;
+                w_max += c * lo;
+            }
+        }
+        Some((self.config.mem_line(w_min), self.config.mem_line(w_max)))
+    }
+
+    /// A row-uniform variant of the contention bound for the pre-pass: the
+    /// interval `[from, to]` covers a whole row's interference windows, and
+    /// the per-set line count drops the congruence residue (any class of an
+    /// interval of lines `[l_min, l_max]` has at most
+    /// `⌊(l_max − l_min)/nsets⌋ + 1` members) and the reused-line
+    /// subtraction. The result is therefore an upper bound on the exact
+    /// walk's distinct-contention count for *every* point of the row along
+    /// the vector that produced `[from, to]`: `true` means each such point
+    /// is a classifier hit.
+    pub(crate) fn row_contention_hit(&self, from: &[i64], to: &[i64]) -> bool {
+        let k = self.config.assoc() as i64;
+        let nsets = self.config.num_sets() as i64;
+        let n = self.program.depth();
+        let diff = from
+            .iter()
+            .zip(to)
+            .position(|(a, b)| a != b)
+            .unwrap_or(2 * n);
+        let mut sum: i64 = 0;
+        for bp in &self.bounds {
+            let Some((l_min, l_max)) = self.ref_line_window(bp, from, to, diff) else {
+                continue;
+            };
+            sum += (l_max - l_min).div_euclid(nsets) + 1;
+            if sum >= k {
+                return false;
+            }
+        }
+        sum < k
     }
 }
 

@@ -3,8 +3,9 @@
 
 use crate::cancel::{CancelToken, Cancelled};
 use crate::classify::Classifier;
-use crate::options::SamplingOptions;
+use crate::options::{PrepassMode, SamplingOptions};
 use crate::parallel;
+use crate::prepass;
 use crate::report::{Coverage, RefReport, Report};
 use cme_cache::CacheConfig;
 use cme_ir::Program;
@@ -92,15 +93,39 @@ impl<'p> EstimateMisses<'p> {
         let threads = self.options.threads.count();
         let mut reports = Vec::with_capacity(self.program.references().len());
         let mut points_done = 0u64;
+        let mut prepass_resolved = 0u64;
         for r in 0..self.program.references().len() {
             let ris = self.program.ris(r);
             let volume = ris.count();
             let (tally, coverage) = match self.options.plan(volume) {
-                crate::options::SamplePlan::Exhaustive => (
-                    parallel::classify_exhaustive(&classifier, r, ris, threads, cancel)
+                crate::options::SamplePlan::Exhaustive => {
+                    // The pre-pass costs O(|RIS|); it pays for itself only
+                    // on exhaustively-analysed references. Sampled
+                    // references classify ~a few hundred points, so they
+                    // always take the plain walk.
+                    let verdicts = match self.options.prepass {
+                        PrepassMode::On => Some(
+                            prepass::analyze_reference(&classifier, r, cancel)
+                                .map_err(|_| Cancelled { points_done })?,
+                        ),
+                        PrepassMode::Off => None,
+                    };
+                    if let Some(v) = &verdicts {
+                        prepass_resolved += v.resolved();
+                    }
+                    (
+                        parallel::classify_exhaustive(
+                            &classifier,
+                            r,
+                            ris,
+                            threads,
+                            cancel,
+                            verdicts.as_ref(),
+                        )
                         .ok_or(Cancelled { points_done })?,
-                    Coverage::Exhaustive,
-                ),
+                        Coverage::Exhaustive,
+                    )
+                }
                 crate::options::SamplePlan::Sample(nsamples) => {
                     // Per-reference deterministic seed; each sample chunk
                     // derives its own RNG stream from it, so the sampled
@@ -130,7 +155,7 @@ impl<'p> EstimateMisses<'p> {
                 coverage,
             });
         }
-        Ok(Report::new(reports, start.elapsed()))
+        Ok(Report::new(reports, start.elapsed()).with_prepass_resolved(prepass_resolved))
     }
 }
 

@@ -2,8 +2,9 @@
 
 use crate::cancel::{CancelToken, Cancelled};
 use crate::classify::{Classifier, WalkStrategy};
-use crate::options::Threads;
+use crate::options::{PrepassMode, Threads};
 use crate::parallel;
+use crate::prepass;
 use crate::report::{Coverage, RefReport, Report};
 use cme_cache::CacheConfig;
 use cme_ir::Program;
@@ -40,6 +41,7 @@ pub struct FindMisses<'p> {
     reuse: ReuseAnalysis,
     threads: Threads,
     walk: WalkStrategy,
+    prepass: PrepassMode,
 }
 
 impl<'p> FindMisses<'p> {
@@ -52,6 +54,7 @@ impl<'p> FindMisses<'p> {
             reuse,
             threads: Threads::default(),
             walk: WalkStrategy::default(),
+            prepass: PrepassMode::default(),
         }
     }
 
@@ -64,6 +67,7 @@ impl<'p> FindMisses<'p> {
             reuse,
             threads: Threads::default(),
             walk: WalkStrategy::default(),
+            prepass: PrepassMode::default(),
         }
     }
 
@@ -81,6 +85,16 @@ impl<'p> FindMisses<'p> {
     /// testing and benchmarking against the legacy full scan.
     pub fn strategy(mut self, walk: WalkStrategy) -> Self {
         self.walk = walk;
+        self
+    }
+
+    /// Enables or disables the definitely-hit/definitely-miss pre-pass
+    /// (default [`PrepassMode::On`]). The pre-pass resolves points only to
+    /// the verdict the exact walk would reach, so the report is
+    /// byte-identical for both settings; `Off` exists for differential
+    /// testing and timing comparisons.
+    pub fn prepass(mut self, mode: PrepassMode) -> Self {
+        self.prepass = mode;
         self
     }
 
@@ -106,10 +120,28 @@ impl<'p> FindMisses<'p> {
         let threads = self.threads.count();
         let mut reports = Vec::with_capacity(self.program.references().len());
         let mut points_done = 0u64;
+        let mut prepass_resolved = 0u64;
         for r in 0..self.program.references().len() {
             let ris = self.program.ris(r);
-            let tally = parallel::classify_exhaustive(&classifier, r, ris, threads, cancel)
-                .ok_or(Cancelled { points_done })?;
+            let verdicts = match self.prepass {
+                PrepassMode::On => Some(
+                    prepass::analyze_reference(&classifier, r, cancel)
+                        .map_err(|_| Cancelled { points_done })?,
+                ),
+                PrepassMode::Off => None,
+            };
+            if let Some(v) = &verdicts {
+                prepass_resolved += v.resolved();
+            }
+            let tally = parallel::classify_exhaustive(
+                &classifier,
+                r,
+                ris,
+                threads,
+                cancel,
+                verdicts.as_ref(),
+            )
+            .ok_or(Cancelled { points_done })?;
             points_done += tally.analyzed();
             reports.push(RefReport {
                 r,
@@ -121,7 +153,7 @@ impl<'p> FindMisses<'p> {
                 coverage: Coverage::Exhaustive,
             });
         }
-        Ok(Report::new(reports, start.elapsed()))
+        Ok(Report::new(reports, start.elapsed()).with_prepass_resolved(prepass_resolved))
     }
 }
 

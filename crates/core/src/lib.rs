@@ -47,11 +47,13 @@ pub mod estimate;
 pub mod find;
 pub mod options;
 pub mod parallel;
+pub mod prepass;
 pub mod report;
 
 pub use cancel::{CancelToken, Cancelled};
 pub use classify::{Classifier, PointClass, Scratch, WalkStrategy};
 pub use estimate::EstimateMisses;
 pub use find::FindMisses;
-pub use options::{SamplingOptions, Threads};
+pub use options::{PrepassMode, SamplingOptions, Threads};
+pub use prepass::{Prepass, RefVerdicts, Verdict};
 pub use report::{Coverage, RefReport, Report};

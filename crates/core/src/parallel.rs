@@ -30,6 +30,7 @@
 
 use crate::cancel::CancelToken;
 use crate::classify::{Classifier, PointClass, Scratch};
+use crate::prepass::{RefVerdicts, Verdict};
 use crate::report::Coverage;
 use cme_ir::RefId;
 use cme_poly::rng::{derive_seed, SeededRng};
@@ -169,6 +170,17 @@ impl Tally {
         }
     }
 
+    /// Counts one pre-pass verdict. A resolved point contributes exactly
+    /// the increment its [`PointClass`] would (the tally never records
+    /// which vector decided), so consulting the pre-pass changes no report.
+    pub fn bump_verdict(&mut self, v: Verdict) {
+        match v {
+            Verdict::Cold => self.cold += 1,
+            Verdict::Replacement => self.replacement += 1,
+            Verdict::Hit => self.hits += 1,
+        }
+    }
+
     /// Adds another tally into this one.
     pub fn merge(&mut self, other: Tally) {
         self.cold += other.cold;
@@ -188,19 +200,30 @@ impl Tally {
 /// enumeration is a tiny fraction of classification cost), split into
 /// [`CHUNK_POINTS`]-sized chunks and reduced in chunk order. Small spaces
 /// take the serial path directly.
+///
+/// When pre-pass `verdicts` are supplied, resolved points skip the
+/// interference walk and bump the tally directly. The chunk layout, the
+/// cancellation checks and the index-ordered reduction still cover the
+/// full index space, and resolved points count exactly what the walk
+/// would, so reports stay byte-identical with or without verdicts.
 pub(crate) fn classify_exhaustive(
     classifier: &Classifier<'_>,
     r: RefId,
     ris: &Space,
     threads: usize,
     cancel: &CancelToken,
+    verdicts: Option<&RefVerdicts>,
 ) -> Option<Tally> {
     let dim = classifier.program().depth();
     let serial_tally = || {
         let mut tally = Tally::default();
         let mut scratch = Scratch::new();
+        let mut cursor = 0usize;
         ris.for_each_point(|point| {
-            tally.bump(classifier.classify_with_scratch(r, point, &mut scratch));
+            match verdicts.and_then(|v| v.lookup(point, &mut cursor)) {
+                Some(v) => tally.bump_verdict(v),
+                None => tally.bump(classifier.classify_with_scratch(r, point, &mut scratch)),
+            }
         });
         tally
     };
@@ -227,8 +250,14 @@ pub(crate) fn classify_exhaustive(
         let lo = ci * CHUNK_POINTS;
         let hi = npoints.min(lo + CHUNK_POINTS);
         let mut tally = Tally::default();
+        // Chunks are contiguous lex ranges, so one binary search positions
+        // the verdict cursor and the per-point lookups advance linearly.
+        let mut cursor = verdicts.map_or(0, |v| v.cursor_at(&flat[lo * dim..(lo + 1) * dim]));
         for point in flat[lo * dim..hi * dim].chunks_exact(dim) {
-            tally.bump(classifier.classify_with_scratch(r, point, scratch));
+            match verdicts.and_then(|v| v.lookup(point, &mut cursor)) {
+                Some(v) => tally.bump_verdict(v),
+                None => tally.bump(classifier.classify_with_scratch(r, point, scratch)),
+            }
         }
         tally
     })?;

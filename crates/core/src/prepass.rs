@@ -1,0 +1,888 @@
+//! The definitely-hit/definitely-miss pre-pass (DESIGN.md §12).
+//!
+//! Before the exact per-point walk runs, this module classifies as many
+//! `(reference, iteration point)` pairs as it can by abstract interpretation
+//! over whole *rows* of the iteration space — in the spirit of the must/may
+//! LRU age analyses of Touzeau, Maïza, Monniaux and Reineke ("Fast and exact
+//! analysis for LRU caches"): prove the easy verdicts cheaply, leave only an
+//! uncertain residue for the expensive exact machinery.
+//!
+//! A *row* is a maximal run of consecutive innermost-index values of one
+//! reference's RIS at a fixed outer-index prefix. At a fixed prefix every
+//! quantity the cold/replacement equations consult becomes affine in the one
+//! remaining variable `v`, so each screen of the classifier collapses to
+//! exact 1-D interval arithmetic:
+//!
+//! * **producer-exists** — every RIS constraint of the producer reduces to
+//!   `a·v + b ⋈ 0`, i.e. a half-line, a point or an excluded value; their
+//!   conjunction (plus the bounding box, which is what the classifier
+//!   pre-screens with) is an interval with at most a few holes;
+//! * **same-line** — consumer and producer addresses are `base + stride·v`,
+//!   so the line match is one comparison per point;
+//! * **replacement** — decided by one of two *exact-or-nothing* devices:
+//!   a row-uniform contention bound (computed once per `(row, vector)`,
+//!   `O(1)` per point: if even the widened whole-row interference window
+//!   cannot supply `k` distinct conflicting lines, every point of the row is
+//!   a hit along that vector), or, for vectors whose interference interval
+//!   stays inside the innermost loop row, a direct evaluation of the window
+//!   in exactly the interference-walk's visit order.
+//!
+//! The resulting per-point verdicts — `AlwaysHit`, always-miss
+//! ([`Verdict::Cold`] / [`Verdict::Replacement`]) or unknown — **equal the
+//! classifier's verdicts wherever they are not unknown**. That is a stronger
+//! property than soundness and it is what keeps reports byte-identical with
+//! the pre-pass on or off: a resolved point contributes exactly the tally
+//! increment the walk would have produced.
+//!
+//! # Degradation rule (the Monniaux complexity-gap boundary)
+//!
+//! Anything the 1-D reduction cannot express *exactly* degrades to unknown,
+//! never to a guess. Concretely: interference intervals that cross the
+//! innermost row (all cross-nest and inlined-call-boundary reuse) are only
+//! resolved through the row-uniform contention bound; when that bound cannot
+//! prove a hit the point stays unknown and the exact walk decides it.
+//! Guards *within* the innermost row are evaluated exactly (inlined
+//! straight-line code is handled precisely); rows whose verdict pattern is
+//! too irregular to store as runs or a periodic tier degrade wholesale to
+//! unknown rather than spilling into per-point bitmaps.
+//!
+//! # Tier representation
+//!
+//! Verdicts are stored per row as one of three range-based tiers —
+//! uniform, run-length segments, or a periodic pattern of segments (the
+//! congruence tier: address periodicity makes verdict patterns repeat with
+//! the line size over the innermost stride). Lookup is `O(log runs)` after
+//! an amortised-`O(1)` cursor walk over rows, and memory stays proportional
+//! to the number of rows, not points.
+
+use crate::cancel::{CancelToken, Cancelled};
+use crate::classify::Classifier;
+use cme_cache::CacheConfig;
+use cme_ir::RefId;
+use cme_poly::vector::{div_ceil, div_floor};
+use cme_poly::{Affine, Constraint, ConstraintKind};
+
+/// A resolved verdict for one iteration point: what the exact walk would
+/// conclude, proven without running it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The access definitely hits (`AlwaysHit`).
+    Hit,
+    /// The access definitely misses on a never-before-seen line.
+    Cold,
+    /// The access definitely misses by LRU replacement.
+    Replacement,
+}
+
+/// Points per cancellation check inside the pre-pass.
+const CANCEL_GRAIN: u64 = 4096;
+
+/// Budget (window accesses) for the exact intra-row window evaluation; a
+/// window of `(dv + 1) · row_accesses` beyond this falls back to the
+/// contention bound or unknown.
+const WINDOW_BUDGET: usize = 1024;
+
+/// Maximum run-length segments stored per row before trying the periodic
+/// tier; beyond both, the row degrades to uniformly unknown.
+const MAX_ROW_RUNS: usize = 48;
+
+/// Verdict codes inside row buffers; `UNKNOWN` is "let the walk decide".
+const UNKNOWN: u8 = 0;
+const HIT: u8 = 1;
+const COLD: u8 = 2;
+const REPL: u8 = 3;
+
+fn decode(code: u8) -> Option<Verdict> {
+    match code {
+        HIT => Some(Verdict::Hit),
+        COLD => Some(Verdict::Cold),
+        REPL => Some(Verdict::Replacement),
+        _ => None,
+    }
+}
+
+/// One row's verdicts in compressed tier form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum RowRep {
+    /// Every point of the row has this code.
+    Uniform(u8),
+    /// Run-length segments `(last v of run, code)`, ascending.
+    Runs(Vec<(i64, u8)>),
+    /// The congruence tier: codes repeat with `period`; one period is
+    /// stored as segments `(last offset of run, code)`.
+    Periodic {
+        period: i64,
+        pattern: Vec<(i64, u8)>,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Row {
+    lo: i64,
+    hi: i64,
+    rep: RowRep,
+}
+
+/// The pre-pass verdict map of one reference: rows in lexicographic order,
+/// each holding a compressed verdict tier over its contiguous `v` range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefVerdicts {
+    /// Outer-prefix length (`depth − 1`).
+    nprefix: usize,
+    /// Row prefixes, `nprefix` entries per row, same order as `rows`.
+    prefixes: Vec<i64>,
+    rows: Vec<Row>,
+    resolved: u64,
+    total: u64,
+}
+
+impl RefVerdicts {
+    /// A map that resolves nothing (used for depth-0 programs).
+    fn unresolved(nprefix: usize, total: u64) -> RefVerdicts {
+        RefVerdicts {
+            nprefix,
+            prefixes: Vec::new(),
+            rows: Vec::new(),
+            resolved: 0,
+            total,
+        }
+    }
+
+    /// Points with a definite verdict.
+    pub fn resolved(&self) -> u64 {
+        self.resolved
+    }
+
+    /// Points in the reference's RIS.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    fn prefix_of(&self, i: usize) -> &[i64] {
+        &self.prefixes[i * self.nprefix..(i + 1) * self.nprefix]
+    }
+
+    /// Whether row `i` ends strictly before `(pfx, v)` in lex order.
+    fn row_before(&self, i: usize, pfx: &[i64], v: i64) -> bool {
+        match self.prefix_of(i).cmp(pfx) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => self.rows[i].hi < v,
+        }
+    }
+
+    /// Positions a cursor at the first row not ending before `point` —
+    /// the right starting cursor for a lex-ordered scan beginning there.
+    pub fn cursor_at(&self, point: &[i64]) -> usize {
+        if self.rows.is_empty() {
+            return 0;
+        }
+        let (pfx, rest) = point.split_at(self.nprefix);
+        let v = rest[0];
+        let (mut lo, mut hi) = (0usize, self.rows.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.row_before(mid, pfx, v) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// The verdict at `point`, or `None` when the exact walk must decide.
+    ///
+    /// `cursor` is advanced monotonically; feed points in lexicographic
+    /// order (initialising the cursor with [`RefVerdicts::cursor_at`] when
+    /// starting mid-stream) for amortised-constant lookups.
+    pub fn lookup(&self, point: &[i64], cursor: &mut usize) -> Option<Verdict> {
+        if self.rows.is_empty() {
+            return None;
+        }
+        let (pfx, rest) = point.split_at(self.nprefix);
+        let v = rest[0];
+        while *cursor < self.rows.len() && self.row_before(*cursor, pfx, v) {
+            *cursor += 1;
+        }
+        let i = *cursor;
+        if i >= self.rows.len() {
+            return None;
+        }
+        let row = &self.rows[i];
+        if row.lo <= v && v <= row.hi && self.prefix_of(i) == pfx {
+            decode(row_code(&row.rep, row.lo, v))
+        } else {
+            None
+        }
+    }
+
+    fn push_row(&mut self, prefix: &[i64], lo: i64, hi: i64, buf: &[u8]) {
+        let rep = compress(buf, lo);
+        self.resolved += match rep {
+            // Degraded rows resolve nothing; every other tier reproduces
+            // the buffer exactly, so counting the buffer is counting the
+            // points classification will skip.
+            RowRep::Uniform(UNKNOWN) => 0,
+            _ => buf.iter().filter(|&&c| c != UNKNOWN).count() as u64,
+        };
+        self.prefixes.extend_from_slice(prefix);
+        self.rows.push(Row { lo, hi, rep });
+    }
+}
+
+/// The code at absolute position `v` of a row starting at `lo`.
+fn row_code(rep: &RowRep, lo: i64, v: i64) -> u8 {
+    match rep {
+        RowRep::Uniform(c) => *c,
+        RowRep::Runs(runs) => runs[runs.partition_point(|&(end, _)| end < v)].1,
+        RowRep::Periodic { period, pattern } => {
+            let off = (v - lo).rem_euclid(*period);
+            pattern[pattern.partition_point(|&(end, _)| end < off)].1
+        }
+    }
+}
+
+/// Run-length encodes `buf` as `(base + last index of run, code)` segments.
+fn rle(buf: &[u8], base: i64) -> Vec<(i64, u8)> {
+    let mut runs = Vec::new();
+    for (i, &c) in buf.iter().enumerate() {
+        match runs.last_mut() {
+            Some((end, code)) if *code == c => *end = base + i as i64,
+            _ => runs.push((base + i as i64, c)),
+        }
+    }
+    runs
+}
+
+fn count_runs(buf: &[u8]) -> usize {
+    1 + buf.windows(2).filter(|w| w[0] != w[1]).count()
+}
+
+/// The minimal weak period of `s` via the KMP failure function: the border
+/// property gives `s[i] = s[i + p]` for all valid `i`, hence
+/// `s[i] = s[i mod p]`.
+fn weak_period(s: &[u8]) -> usize {
+    let len = s.len();
+    let mut fail = vec![0usize; len];
+    let mut k = 0usize;
+    for i in 1..len {
+        while k > 0 && s[i] != s[k] {
+            k = fail[k - 1];
+        }
+        if s[i] == s[k] {
+            k += 1;
+        }
+        fail[i] = k;
+    }
+    len - fail[len - 1]
+}
+
+/// Compresses one row buffer into a tier, degrading to uniformly unknown
+/// when no compact range representation exists.
+fn compress(buf: &[u8], lo: i64) -> RowRep {
+    let first = buf[0];
+    if buf.iter().all(|&c| c == first) {
+        return RowRep::Uniform(first);
+    }
+    if count_runs(buf) <= MAX_ROW_RUNS {
+        return RowRep::Runs(rle(buf, lo));
+    }
+    let p = weak_period(buf);
+    if p <= buf.len() / 2 && count_runs(&buf[..p]) <= MAX_ROW_RUNS {
+        return RowRep::Periodic {
+            period: p as i64,
+            pattern: rle(&buf[..p], 0),
+        };
+    }
+    RowRep::Uniform(UNKNOWN)
+}
+
+/// Static (row-independent) per-vector context.
+struct VecStatic<'p> {
+    vector: &'p [i64],
+    producer_rank: usize,
+    paddr: &'p Affine,
+    pconstraints: &'p [Constraint],
+    pbbox: &'p [(i64, i64)],
+    p_empty: bool,
+    /// Innermost component of the vector.
+    dv: i64,
+    /// All components above the innermost index are zero: the interference
+    /// interval stays inside one row of the innermost loop.
+    intra_row: bool,
+}
+
+/// Per-`(row, vector)` applicability: the exact set of `v` where the cold
+/// equations leave this vector applicable, as an interval minus holes.
+struct VecRow {
+    excluded: bool,
+    alo: i64,
+    ahi: i64,
+    /// `v` values excluded by `≠` constraints (rare; usually empty).
+    ne: Vec<i64>,
+    /// Producer byte address at consumer index `v`: `pbase + pstride·v`.
+    pbase: i64,
+    pstride: i64,
+    /// Lazily computed row-uniform contention-bound result.
+    bound: Option<bool>,
+}
+
+const EXCLUDED: VecRow = VecRow {
+    excluded: true,
+    alo: 0,
+    ahi: -1,
+    ne: Vec::new(),
+    pbase: 0,
+    pstride: 0,
+    bound: None,
+};
+
+/// One statement of the innermost loop node, pre-resolved for window
+/// evaluation.
+struct RowStmt<'p> {
+    guard: &'p [Constraint],
+    /// `(lex_rank, address plan)` per reference, in statement order.
+    refs: Vec<(usize, &'p Affine)>,
+}
+
+/// Reduces every producer-side screen to the 1-D domain of the row.
+///
+/// The reduction mirrors the classifier exactly: the bounding-box
+/// pre-screen, then each RIS constraint evaluated with all variables but
+/// the innermost fixed. `u = v − dv` is the producer's innermost index.
+fn build_vec_row(vs: &VecStatic<'_>, prefix: &[i64], lo: i64, hi: i64, pprefix: &mut [i64]) -> VecRow {
+    if vs.p_empty {
+        return EXCLUDED;
+    }
+    let nprefix = prefix.len();
+    for (d, p) in pprefix.iter_mut().enumerate() {
+        *p = prefix[d] - vs.vector[2 * d + 1];
+    }
+    let (mut ulo, mut uhi) = (lo - vs.dv, hi - vs.dv);
+    for (d, &(blo, bhi)) in vs.pbbox.iter().enumerate() {
+        if d < nprefix {
+            if pprefix[d] < blo || pprefix[d] > bhi {
+                return EXCLUDED;
+            }
+        } else {
+            ulo = ulo.max(blo);
+            uhi = uhi.min(bhi);
+        }
+    }
+    let mut ne: Vec<i64> = Vec::new();
+    for c in vs.pconstraints {
+        let a = c.expr.coeff(nprefix);
+        let mut rest = c.expr.constant_term();
+        for d in 0..nprefix {
+            rest += c.expr.coeff(d) * pprefix[d];
+        }
+        // The constraint is `a·u + rest ⋈ 0` on the row.
+        match c.kind {
+            ConstraintKind::Ge => {
+                if a == 0 {
+                    if rest < 0 {
+                        return EXCLUDED;
+                    }
+                } else if a > 0 {
+                    ulo = ulo.max(div_ceil(-rest, a));
+                } else {
+                    uhi = uhi.min(div_floor(-rest, a));
+                }
+            }
+            ConstraintKind::Eq => {
+                if a == 0 {
+                    if rest != 0 {
+                        return EXCLUDED;
+                    }
+                } else if rest % a == 0 {
+                    let u0 = -rest / a;
+                    ulo = ulo.max(u0);
+                    uhi = uhi.min(u0);
+                } else {
+                    return EXCLUDED;
+                }
+            }
+            ConstraintKind::Ne => {
+                if a == 0 {
+                    if rest == 0 {
+                        return EXCLUDED;
+                    }
+                } else if rest % a == 0 {
+                    ne.push(-rest / a + vs.dv);
+                }
+            }
+        }
+    }
+    if ulo > uhi {
+        return EXCLUDED;
+    }
+    let mut pbase = vs.paddr.constant_term();
+    for d in 0..nprefix {
+        pbase += vs.paddr.coeff(d) * pprefix[d];
+    }
+    let pstride = vs.paddr.coeff(nprefix);
+    pbase -= pstride * vs.dv;
+    VecRow {
+        excluded: false,
+        alo: ulo + vs.dv,
+        ahi: uhi + vs.dv,
+        ne,
+        pbase,
+        pstride,
+        bound: None,
+    }
+}
+
+/// Evaluates one intra-row interference window exactly, in the walk's
+/// visit order (iterations descending, statements and references in
+/// reverse, guards honoured, boundary ranks filtered), returning the code
+/// the classifier's walk would return.
+#[allow(clippy::too_many_arguments)]
+fn window_eval(
+    config: &CacheConfig,
+    row_stmts: &[RowStmt<'_>],
+    idx: &mut [i64],
+    v: i64,
+    dv: i64,
+    reused_line: i64,
+    producer_rank: usize,
+    consumer_rank: usize,
+    k: usize,
+    lines: &mut Vec<i64>,
+) -> u8 {
+    let n = idx.len();
+    let target_set = config.set_of_line(reused_line);
+    lines.clear();
+    let mut w = v;
+    loop {
+        idx[n - 1] = w;
+        let at_start = w == v - dv;
+        let at_end = w == v;
+        for s in row_stmts.iter().rev() {
+            if !s.guard.iter().all(|c| c.holds(idx)) {
+                continue;
+            }
+            for &(rank, plan) in s.refs.iter().rev() {
+                if at_start && rank <= producer_rank {
+                    continue;
+                }
+                if at_end && rank >= consumer_rank {
+                    continue;
+                }
+                let line = config.mem_line(plan.eval(idx));
+                if line == reused_line {
+                    // Re-touch with fewer than k distinct contentions
+                    // since: the line survived.
+                    return HIT;
+                }
+                if config.set_of_line(line) != target_set {
+                    continue;
+                }
+                if !lines.contains(&line) {
+                    lines.push(line);
+                    if lines.len() >= k {
+                        return REPL;
+                    }
+                }
+            }
+        }
+        if at_start {
+            break;
+        }
+        w -= 1;
+    }
+    HIT
+}
+
+/// Runs the pre-pass for one reference: segments its RIS into rows, decides
+/// each point through the exact 1-D screens, and compresses the verdicts
+/// into tiers. Checked against `cancel` every [`CANCEL_GRAIN`] points.
+pub fn analyze_reference(
+    cl: &Classifier<'_>,
+    r: RefId,
+    cancel: &CancelToken,
+) -> Result<RefVerdicts, Cancelled> {
+    let program = cl.program();
+    let config = cl.config();
+    let n = program.depth();
+    let ris = program.ris(r);
+    let total = ris.count();
+    if n == 0 || total == 0 {
+        return Ok(RefVerdicts::unresolved(n.saturating_sub(1), total));
+    }
+    let nprefix = n - 1;
+    let plan = cl.plan(r);
+    let consumer_rank = plan.consumer_rank;
+    let label = &program.statement(program.reference(r).stmt).label;
+    let caddr = program.addr_plan(r);
+    let k = config.assoc() as usize;
+
+    let statics: Vec<VecStatic<'_>> = plan
+        .vectors
+        .iter()
+        .map(|vp| {
+            let pspace = program.ris(vp.producer);
+            VecStatic {
+                vector: vp.vector,
+                producer_rank: vp.producer_rank,
+                paddr: program.addr_plan(vp.producer),
+                pconstraints: pspace.system().constraints(),
+                pbbox: vp.producer_bbox,
+                p_empty: pspace.known_empty(),
+                dv: vp.vector[2 * n - 1],
+                intra_row: vp.vector[..2 * n - 1].iter().all(|&x| x == 0),
+            }
+        })
+        .collect();
+
+    // The innermost loop node's statements, for exact window evaluation.
+    let leaf = *program
+        .loop_path(label)
+        .last()
+        .expect("statement at depth >= 1 has a loop path");
+    let row_stmts: Vec<RowStmt<'_>> = leaf
+        .stmts
+        .iter()
+        .map(|&sid| {
+            let s = program.statement(sid);
+            RowStmt {
+                guard: &s.guard,
+                refs: s
+                    .refs
+                    .iter()
+                    .map(|&rid| (program.reference(rid).lex_rank, program.addr_plan(rid)))
+                    .collect(),
+            }
+        })
+        .collect();
+    let row_accesses: usize = row_stmts.iter().map(|s| s.refs.len()).sum::<usize>().max(1);
+
+    // Segment the RIS into rows: maximal runs of consecutive innermost
+    // values at a fixed prefix (≠ holes and guard edges split rows).
+    let mut raw: Vec<(Vec<i64>, i64, i64)> = Vec::new();
+    ris.for_each_point(|p| {
+        let v = p[nprefix];
+        match raw.last_mut() {
+            Some((pfx, _, hi)) if *hi + 1 == v && pfx.as_slice() == &p[..nprefix] => *hi = v,
+            _ => raw.push((p[..nprefix].to_vec(), v, v)),
+        }
+    });
+
+    let mut out = RefVerdicts {
+        nprefix,
+        prefixes: Vec::with_capacity(raw.len() * nprefix),
+        rows: Vec::with_capacity(raw.len()),
+        resolved: 0,
+        total,
+    };
+    let mut buf: Vec<u8> = Vec::new();
+    let mut vrows: Vec<VecRow> = Vec::new();
+    let mut pprefix = vec![0i64; nprefix];
+    let mut idx = vec![0i64; n];
+    let mut lines: Vec<i64> = Vec::new();
+    let mut from_buf = vec![0i64; 2 * n];
+    let mut to_buf = vec![0i64; 2 * n];
+    let mut since_check = 0u64;
+
+    for (prefix, lo, hi) in &raw {
+        let (lo, hi) = (*lo, *hi);
+        let mut cbase = caddr.constant_term();
+        for d in 0..nprefix {
+            cbase += caddr.coeff(d) * prefix[d];
+        }
+        let cstride = caddr.coeff(nprefix);
+        idx[..nprefix].copy_from_slice(prefix);
+
+        // Vector rows are reduced lazily: most points decide at an early
+        // vector, so later vectors' 1-D reductions are usually never built.
+        vrows.clear();
+
+        buf.clear();
+        for v in lo..=hi {
+            since_check += 1;
+            if since_check >= CANCEL_GRAIN {
+                since_check = 0;
+                if cancel.is_cancelled() {
+                    return Err(Cancelled { points_done: 0 });
+                }
+            }
+            let line_c = config.mem_line(cbase + cstride * v);
+            let mut code = COLD;
+            for vi in 0..statics.len() {
+                if vi == vrows.len() {
+                    vrows.push(build_vec_row(&statics[vi], prefix, lo, hi, &mut pprefix));
+                }
+                let vr = &mut vrows[vi];
+                if vr.excluded
+                    || v < vr.alo
+                    || v > vr.ahi
+                    || (!vr.ne.is_empty() && vr.ne.contains(&v))
+                {
+                    continue;
+                }
+                if config.mem_line(vr.pbase + vr.pstride * v) != line_c {
+                    continue;
+                }
+                // The first applicable vector decides, as in the
+                // classifier. Try the O(1) row-uniform bound first, then
+                // the exact window for intra-row vectors.
+                let vs = &statics[vi];
+                if vr.bound.is_none() {
+                    for d in 0..n {
+                        to_buf[2 * d] = label[d];
+                        to_buf[2 * d + 1] = if d < nprefix { prefix[d] } else { hi };
+                    }
+                    for (pos, f) in from_buf.iter_mut().enumerate() {
+                        *f = to_buf[pos] - vs.vector[pos];
+                    }
+                    from_buf[2 * n - 1] = lo - vs.dv;
+                    vr.bound = Some(cl.row_contention_hit(&from_buf, &to_buf));
+                }
+                code = if vr.bound == Some(true) {
+                    HIT
+                } else if vs.intra_row
+                    && vs.dv >= 0
+                    && (vs.dv as usize + 1).saturating_mul(row_accesses) <= WINDOW_BUDGET
+                {
+                    window_eval(
+                        config,
+                        &row_stmts,
+                        &mut idx,
+                        v,
+                        vs.dv,
+                        line_c,
+                        vs.producer_rank,
+                        consumer_rank,
+                        k,
+                        &mut lines,
+                    )
+                } else {
+                    UNKNOWN
+                };
+                break;
+            }
+            buf.push(code);
+        }
+        out.push_row(prefix, lo, hi, &buf);
+    }
+    Ok(out)
+}
+
+/// The pre-pass for a whole program: one [`RefVerdicts`] per reference.
+#[derive(Debug, Clone)]
+pub struct Prepass {
+    per_ref: Vec<RefVerdicts>,
+}
+
+impl Prepass {
+    /// Runs [`analyze_reference`] for every reference of the classifier's
+    /// program.
+    pub fn build(cl: &Classifier<'_>, cancel: &CancelToken) -> Result<Prepass, Cancelled> {
+        let nrefs = cl.program().references().len();
+        let mut per_ref = Vec::with_capacity(nrefs);
+        for r in 0..nrefs {
+            per_ref.push(analyze_reference(cl, r, cancel)?);
+        }
+        Ok(Prepass { per_ref })
+    }
+
+    /// The verdict map of one reference.
+    pub fn reference(&self, r: RefId) -> &RefVerdicts {
+        &self.per_ref[r]
+    }
+
+    /// Points resolved across all references.
+    pub fn resolved_points(&self) -> u64 {
+        self.per_ref.iter().map(RefVerdicts::resolved).sum()
+    }
+
+    /// Points in all RISs.
+    pub fn total_points(&self) -> u64 {
+        self.per_ref.iter().map(RefVerdicts::total).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::{PointClass, Scratch};
+    use cme_ir::{LinExpr, Program, ProgramBuilder, SNode, SRef};
+    use cme_reuse::ReuseAnalysis;
+
+    #[test]
+    fn weak_period_finds_minimal_periods() {
+        assert_eq!(weak_period(&[1, 2, 1, 2, 1, 2]), 2);
+        assert_eq!(weak_period(&[1, 2, 3, 1, 2, 3, 1, 2]), 3);
+        assert_eq!(weak_period(&[1, 1, 1, 1]), 1);
+        assert_eq!(weak_period(&[1, 2, 3, 4]), 4);
+    }
+
+    #[test]
+    fn compression_reproduces_buffers() {
+        // Uniform, runs, periodic and degraded cases.
+        let uniform = vec![HIT; 100];
+        let runs: Vec<u8> = (0..100).map(|i| if i < 37 { COLD } else { HIT }).collect();
+        let periodic: Vec<u8> = (0..200).map(|i| if i % 4 == 0 { COLD } else { HIT }).collect();
+        for (buf, lo) in [(&uniform, 5i64), (&runs, -3), (&periodic, 11)] {
+            let rep = compress(buf, lo);
+            assert_ne!(rep, RowRep::Uniform(UNKNOWN), "should not degrade");
+            for (i, &c) in buf.iter().enumerate() {
+                assert_eq!(row_code(&rep, lo, lo + i as i64), c, "index {i}");
+            }
+        }
+        // An aperiodic high-entropy buffer degrades to unknown.
+        let noisy: Vec<u8> = (0..400u32)
+            .map(|i| [HIT, COLD, REPL, UNKNOWN][(i * i % 97 % 4) as usize])
+            .collect();
+        if count_runs(&noisy) > MAX_ROW_RUNS {
+            assert_eq!(compress(&noisy, 0), RowRep::Uniform(UNKNOWN));
+        }
+    }
+
+    fn stream_program() -> Program {
+        let mut b = ProgramBuilder::new("stream");
+        b.array("A", &[64], 8);
+        b.push(SNode::loop_(
+            "I",
+            1,
+            64,
+            vec![SNode::reads_only(vec![SRef::new(
+                "A",
+                vec![LinExpr::var("I")],
+            )])],
+        ));
+        b.build().unwrap()
+    }
+
+    /// The core contract: wherever the pre-pass resolves a point, its
+    /// verdict equals the classifier's.
+    fn assert_matches_classifier(program: &Program, cfg: CacheConfig) -> (u64, u64) {
+        let reuse = ReuseAnalysis::analyze(program, cfg.line_bytes());
+        let cl = Classifier::new(program, &reuse, cfg);
+        let mut scratch = Scratch::new();
+        let (mut resolved, mut total) = (0u64, 0u64);
+        for r in 0..program.references().len() {
+            let vd = analyze_reference(&cl, r, &CancelToken::never()).unwrap();
+            let mut cursor = 0usize;
+            program.ris(r).for_each_point(|p| {
+                total += 1;
+                if let Some(v) = vd.lookup(p, &mut cursor) {
+                    resolved += 1;
+                    let class = cl.classify_with_scratch(r, p, &mut scratch);
+                    let want = match class {
+                        PointClass::Hit { .. } => Verdict::Hit,
+                        PointClass::Cold => Verdict::Cold,
+                        PointClass::ReplacementMiss { .. } => Verdict::Replacement,
+                    };
+                    assert_eq!(v, want, "ref {r} point {p:?}");
+                }
+            });
+            assert_eq!(vd.total(), program.ris(r).count());
+        }
+        (resolved, total)
+    }
+
+    #[test]
+    fn stream_fully_resolved_and_exact() {
+        let p = stream_program();
+        let cfg = CacheConfig::new(1024, 32, 1).unwrap();
+        let (resolved, total) = assert_matches_classifier(&p, cfg);
+        // A pure sequential scan is entirely decidable within rows.
+        assert_eq!(resolved, total);
+        assert_eq!(total, 64);
+    }
+
+    #[test]
+    fn guarded_two_deep_nest_matches_classifier() {
+        use cme_ir::{LinRel, RelOp};
+        let n = 24i64;
+        let mut b = ProgramBuilder::new("guarded");
+        b.array("A", &[n, n], 8);
+        b.array("B", &[n, n], 8);
+        let (i, j) = (LinExpr::var("I"), LinExpr::var("J"));
+        b.push(SNode::loop_(
+            "J",
+            2,
+            n,
+            vec![SNode::loop_(
+                "I",
+                1,
+                n,
+                vec![
+                    SNode::assign(
+                        SRef::new("A", vec![i.clone(), j.clone()]),
+                        vec![SRef::new("A", vec![i.clone(), j.offset(-1)])],
+                    ),
+                    SNode::if_(
+                        vec![LinRel::new(i.clone(), RelOp::Le, j.clone())],
+                        vec![SNode::reads_only(vec![SRef::new(
+                            "B",
+                            vec![j.clone(), i.clone()],
+                        )])],
+                    ),
+                ],
+            )],
+        ));
+        let p = b.build().unwrap();
+        for cfg in [
+            CacheConfig::new(4096, 32, 2).unwrap(),
+            CacheConfig::with_geometry(24, 12, 2).unwrap(),
+        ] {
+            let (resolved, total) = assert_matches_classifier(&p, cfg);
+            assert!(resolved > 0, "cfg {cfg:?}: pre-pass resolved nothing");
+            assert!(resolved <= total);
+        }
+    }
+
+    #[test]
+    fn cursor_lookup_matches_fresh_binary_search() {
+        let p = stream_program();
+        let cfg = CacheConfig::new(512, 32, 2).unwrap();
+        let reuse = ReuseAnalysis::analyze(&p, cfg.line_bytes());
+        let cl = Classifier::new(&p, &reuse, cfg);
+        let vd = analyze_reference(&cl, 0, &CancelToken::never()).unwrap();
+        let mut cursor = 0usize;
+        p.ris(0).for_each_point(|pt| {
+            let linear = vd.lookup(pt, &mut cursor);
+            let mut fresh = vd.cursor_at(pt);
+            assert_eq!(linear, vd.lookup(pt, &mut fresh), "point {pt:?}");
+        });
+    }
+
+    #[test]
+    fn cancelled_token_aborts_prepass() {
+        let p = stream_program();
+        let cfg = CacheConfig::new(1024, 32, 1).unwrap();
+        let reuse = ReuseAnalysis::analyze(&p, cfg.line_bytes());
+        let cl = Classifier::new(&p, &reuse, cfg);
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        // 64 points is under one cancel grain, so force many grains by
+        // checking Prepass::build over an already-cancelled token on a
+        // bigger space.
+        let mut b = ProgramBuilder::new("big");
+        b.array("X", &[128, 128], 8);
+        let (i, j) = (LinExpr::var("I"), LinExpr::var("J"));
+        b.push(SNode::loop_(
+            "J",
+            1,
+            128,
+            vec![SNode::loop_(
+                "I",
+                1,
+                128,
+                vec![SNode::reads_only(vec![SRef::new(
+                    "X",
+                    vec![i.clone(), j.clone()],
+                )])],
+            )],
+        ));
+        let big = b.build().unwrap();
+        let reuse_big = ReuseAnalysis::analyze(&big, cfg.line_bytes());
+        let cl_big = Classifier::new(&big, &reuse_big, cfg);
+        assert!(Prepass::build(&cl_big, &cancel).is_err());
+        // A never token always succeeds.
+        assert!(Prepass::build(&cl, &CancelToken::never()).is_ok());
+    }
+}

@@ -56,11 +56,30 @@ impl RefReport {
 pub struct Report {
     per_ref: Vec<RefReport>,
     elapsed: std::time::Duration,
+    /// Points resolved by the hit/miss pre-pass (0 when it was off).
+    /// Diagnostic only: deliberately absent from [`Report::render`], whose
+    /// bytes must not depend on how points were classified.
+    prepass_resolved: u64,
 }
 
 impl Report {
     pub(crate) fn new(per_ref: Vec<RefReport>, elapsed: std::time::Duration) -> Self {
-        Report { per_ref, elapsed }
+        Report {
+            per_ref,
+            elapsed,
+            prepass_resolved: 0,
+        }
+    }
+
+    pub(crate) fn with_prepass_resolved(mut self, n: u64) -> Self {
+        self.prepass_resolved = n;
+        self
+    }
+
+    /// Points the hit/miss pre-pass resolved without an interference walk
+    /// (0 when the pre-pass was off or resolved nothing).
+    pub fn prepass_resolved(&self) -> u64 {
+        self.prepass_resolved
     }
 
     /// Per-reference reports, indexed by [`RefId`].

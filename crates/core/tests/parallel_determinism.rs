@@ -4,7 +4,7 @@
 //! miss counts and ratios. (Whole-`Report` equality is not used because a
 //! `Report` also records wall-clock time.)
 
-use cme_analysis::{EstimateMisses, FindMisses, SamplingOptions, Threads, WalkStrategy};
+use cme_analysis::{EstimateMisses, FindMisses, PrepassMode, SamplingOptions, Threads, WalkStrategy};
 use cme_cache::CacheConfig;
 use cme_ir::{LinExpr, LinRel, Program, ProgramBuilder, RelOp, SNode, SRef};
 
@@ -120,10 +120,11 @@ fn faithful_options_identical_across_thread_counts() {
     }
 }
 
-/// The walk strategy and the thread count are independent determinism
-/// axes: every (strategy, threads) combination — including the default
-/// set-conscious skip-walk at 1, 2 and 8 workers — yields a report
-/// identical to the legacy full scan run serially.
+/// The walk strategy, the thread count and the hit/miss pre-pass are
+/// independent determinism axes: every (prepass, strategy, threads)
+/// combination — including the default set-conscious skip-walk with the
+/// pre-pass on at 1, 2 and 8 workers — yields a report identical to the
+/// legacy full scan run serially with the pre-pass off.
 #[test]
 fn strategy_and_threads_identical_reports() {
     let cfg = CacheConfig::new(4096, 32, 2).unwrap();
@@ -131,23 +132,27 @@ fn strategy_and_threads_identical_reports() {
         let baseline = FindMisses::new(program, cfg)
             .strategy(WalkStrategy::LegacyScan)
             .threads(Threads::Fixed(1))
+            .prepass(PrepassMode::Off)
             .run();
-        for walk in [WalkStrategy::SetSkip, WalkStrategy::LegacyScan] {
-            for threads in [1usize, 2, 8] {
-                let report = FindMisses::new(program, cfg)
-                    .strategy(walk)
-                    .threads(Threads::Fixed(threads))
-                    .run();
-                assert_eq!(
-                    baseline.references(),
-                    report.references(),
-                    "{name}: {walk:?} diverged at {threads} threads"
-                );
-                assert_eq!(
-                    baseline.exact_misses(),
-                    report.exact_misses(),
-                    "{name}: {walk:?}/{threads}"
-                );
+        for prepass in [PrepassMode::On, PrepassMode::Off] {
+            for walk in [WalkStrategy::SetSkip, WalkStrategy::LegacyScan] {
+                for threads in [1usize, 2, 8] {
+                    let report = FindMisses::new(program, cfg)
+                        .strategy(walk)
+                        .threads(Threads::Fixed(threads))
+                        .prepass(prepass)
+                        .run();
+                    assert_eq!(
+                        baseline.references(),
+                        report.references(),
+                        "{name}: {prepass:?}/{walk:?} diverged at {threads} threads"
+                    );
+                    assert_eq!(
+                        baseline.exact_misses(),
+                        report.exact_misses(),
+                        "{name}: {prepass:?}/{walk:?}/{threads}"
+                    );
+                }
             }
         }
     }

@@ -11,7 +11,8 @@
 use crate::metrics::Metrics;
 use crate::store::{Store, StoredResult};
 use cme_analysis::{
-    CancelToken, EstimateMisses, FindMisses, Report, SamplingOptions, Threads, WalkStrategy,
+    CancelToken, EstimateMisses, FindMisses, PrepassMode, Report, SamplingOptions, Threads,
+    WalkStrategy,
 };
 use cme_cache::CacheConfig;
 use cme_ir::{fingerprint_program, structural_fingerprint, Fingerprint, FpHasher, Program};
@@ -44,6 +45,9 @@ pub struct Job<'p> {
     pub use_store: bool,
     pub threads: Threads,
     pub walk: WalkStrategy,
+    /// Hit/miss pre-pass toggle. Like `threads` and `walk`, excluded from
+    /// the fingerprint: the pre-pass never changes results, only wall time.
+    pub prepass: PrepassMode,
 }
 
 impl<'p> Job<'p> {
@@ -58,6 +62,7 @@ impl<'p> Job<'p> {
             use_store: true,
             threads: Threads::Auto,
             walk: WalkStrategy::default(),
+            prepass: PrepassMode::default(),
         }
     }
 
@@ -72,6 +77,7 @@ impl<'p> Job<'p> {
             use_store: true,
             threads: Threads::Auto,
             walk: WalkStrategy::default(),
+            prepass: PrepassMode::default(),
         }
     }
 }
@@ -89,6 +95,9 @@ pub struct Outcome {
     /// Analysis wall time (zero for store hits).
     pub wall: Duration,
     pub miss_ratio: f64,
+    /// Points the hit/miss pre-pass resolved (zero for store hits: the
+    /// stored payload carries no mode-dependent diagnostics).
+    pub prepass_resolved: u64,
 }
 
 /// Why an analysis did not complete.
@@ -116,8 +125,9 @@ impl std::fmt::Display for EngineError {
 impl std::error::Error for EngineError {}
 
 /// The content-addressed job key: program (including layout), cache
-/// geometry, analysis mode and reuse cap. Thread count and walk strategy
-/// are deliberately excluded — results are byte-identical across them.
+/// geometry, analysis mode and reuse cap. Thread count, walk strategy and
+/// the hit/miss pre-pass are deliberately excluded — results are
+/// byte-identical across them.
 pub fn job_fingerprint(
     program: &Program,
     config: CacheConfig,
@@ -145,7 +155,7 @@ pub fn job_fingerprint(
                     h.write_f64(w);
                 }
             }
-            // `o.threads` excluded on purpose.
+            // `o.threads` and `o.prepass` excluded on purpose.
         }
     }
     match reuse_cap {
@@ -226,6 +236,7 @@ impl Engine {
                     points: hit.points,
                     wall: Duration::ZERO,
                     miss_ratio: hit.miss_ratio,
+                    prepass_resolved: 0,
                 });
             }
         }
@@ -238,11 +249,13 @@ impl Engine {
                 FindMisses::with_reuse(job.program, job.config, (*reuse).clone())
                     .threads(job.threads)
                     .strategy(job.walk)
+                    .prepass(job.prepass)
                     .run_cancellable(&job.cancel)
             }
             AnalysisMode::Estimate(options) => {
                 let options = SamplingOptions {
                     threads: job.threads,
+                    prepass: job.prepass,
                     ..options.clone()
                 };
                 EstimateMisses::with_reuse(job.program, job.config, options, (*reuse).clone())
@@ -266,8 +279,14 @@ impl Engine {
 
         let points: u64 = report.references().iter().map(|r| r.analyzed).sum();
         let miss_ratio = report.miss_ratio();
+        let prepass_resolved = report.prepass_resolved();
         let payload = Arc::new(render_payload(job.program, job.config, &job.mode, &report));
         Metrics::add(&self.metrics.points_classified, points);
+        Metrics::add(&self.metrics.prepass_resolved_points, prepass_resolved);
+        Metrics::add(
+            &self.metrics.prepass_unresolved_points,
+            points - prepass_resolved,
+        );
         Metrics::add(&self.metrics.analysis_wall_us, wall.as_micros() as u64);
         if job.use_store {
             self.store.put(
@@ -286,6 +305,7 @@ impl Engine {
             points,
             wall,
             miss_ratio,
+            prepass_resolved,
         })
     }
 }
@@ -445,12 +465,54 @@ mod tests {
         serial.use_store = false;
         serial.threads = Threads::Fixed(1);
         serial.walk = WalkStrategy::LegacyScan;
+        serial.prepass = PrepassMode::Off;
         let mut parallel = Job::exact(&p, cfg);
         parallel.use_store = false;
         parallel.threads = Threads::Fixed(4);
         let a = engine.run(&serial).unwrap();
         let b = engine.run(&parallel).unwrap();
         assert_eq!(&*a.payload, &*b.payload);
+    }
+
+    /// The pre-pass is a pure accelerator: like thread count and walk
+    /// strategy it is excluded from the job fingerprint, so a result
+    /// computed with it off is served hot to a request with it on (and
+    /// vice versa).
+    #[test]
+    fn store_hit_across_prepass_modes() {
+        use std::sync::atomic::Ordering;
+        let p = small_program();
+        let cfg = CacheConfig::new(1024, 32, 2).unwrap();
+        let engine = Engine::in_memory(8);
+        let mut off = Job::exact(&p, cfg);
+        off.prepass = PrepassMode::Off;
+        let cold = engine.run(&off).unwrap();
+        assert!(!cold.from_store);
+        assert_eq!(cold.prepass_resolved, 0);
+        let mut on = Job::exact(&p, cfg);
+        on.prepass = PrepassMode::On;
+        let hot = engine.run(&on).unwrap();
+        assert!(hot.from_store, "prepass mode must not change the job key");
+        assert_eq!(&*cold.payload, &*hot.payload);
+        assert_eq!(
+            engine.metrics().prepass_resolved_points.load(Ordering::Relaxed),
+            0
+        );
+        assert_eq!(
+            engine
+                .metrics()
+                .prepass_unresolved_points
+                .load(Ordering::Relaxed),
+            cold.points
+        );
+        // And with store off, the two modes render identical bytes while
+        // the pre-pass reports what it resolved.
+        let mut fresh_on = Job::exact(&p, cfg);
+        fresh_on.use_store = false;
+        fresh_on.prepass = PrepassMode::On;
+        let ran = engine.run(&fresh_on).unwrap();
+        assert_eq!(&*ran.payload, &*cold.payload);
+        assert!(ran.prepass_resolved > 0, "sequential scan should resolve");
     }
 
     #[test]

@@ -29,6 +29,12 @@ pub struct Metrics {
     pub bad_requests: AtomicU64,
     /// Points classified by analyses that ran to completion.
     pub points_classified: AtomicU64,
+    /// Of the classified points, how many the hit/miss pre-pass resolved
+    /// without an interference walk.
+    pub prepass_resolved_points: AtomicU64,
+    /// Of the classified points, how many still took the exact walk
+    /// (pre-pass off, sampled coverage, or unresolved residue).
+    pub prepass_unresolved_points: AtomicU64,
     /// Total microseconds requests waited in the accept queue.
     pub queue_wait_us: AtomicU64,
     /// Total microseconds of analysis wall time (store misses only).
@@ -62,6 +68,11 @@ impl Metrics {
             ("cancelled", g(&self.cancelled)),
             ("bad_requests", g(&self.bad_requests)),
             ("points_classified", g(&self.points_classified)),
+            ("prepass_resolved_points", g(&self.prepass_resolved_points)),
+            (
+                "prepass_unresolved_points",
+                g(&self.prepass_unresolved_points),
+            ),
             ("queue_wait_us", g(&self.queue_wait_us)),
             ("analysis_wall_us", g(&self.analysis_wall_us)),
         ])

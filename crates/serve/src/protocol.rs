@@ -17,8 +17,9 @@
 //! "assoc":2`. The mode is `"mode":"exact"` or `"mode":"estimate"` with
 //! optional `"confidence"`, `"width"`, `"seed"`. Optional knobs:
 //! `"timeout_ms"`, `"store":false` (bypass the result store),
-//! `"threads"` (0 = one per hardware thread) and
-//! `"strategy":"set-skip"|"legacy-scan"`.
+//! `"threads"` (0 = one per hardware thread),
+//! `"strategy":"set-skip"|"legacy-scan"` and `"prepass":"on"|"off"` (the
+//! hit/miss pre-pass; on by default, never changes results).
 //!
 //! Responses always carry `"ok"`. Successful `analyze` responses embed the
 //! canonical report under `"report"` plus `"fingerprint"` and a
@@ -26,7 +27,7 @@
 //! `"kind"` (`"bad_request"`, `"timeout"`, `"cancelled"`).
 
 use crate::json::{obj, Json};
-use cme_analysis::{SamplingOptions, Threads, WalkStrategy};
+use cme_analysis::{PrepassMode, SamplingOptions, Threads, WalkStrategy};
 use cme_ir::Program;
 use std::collections::HashMap;
 
@@ -136,6 +137,7 @@ pub struct AnalyzeRequest {
     pub use_store: bool,
     pub threads: Threads,
     pub strategy: WalkStrategy,
+    pub prepass: PrepassMode,
 }
 
 /// One request line.
@@ -212,6 +214,12 @@ impl Request {
             Some(other) => return Err(format!("unknown strategy `{other}`")),
         };
 
+        let prepass = match v.get("prepass").and_then(Json::as_str) {
+            None | Some("on") => PrepassMode::On,
+            Some("off") => PrepassMode::Off,
+            Some(other) => return Err(format!("unknown prepass mode `{other}`")),
+        };
+
         Ok(AnalyzeRequest {
             spec,
             size_bytes: v.get("cache").and_then(Json::as_u64).unwrap_or(32 * 1024),
@@ -228,6 +236,7 @@ impl Request {
                 v.get("threads").and_then(Json::as_u64).unwrap_or(0) as usize
             ),
             strategy,
+            prepass,
         })
     }
 }
@@ -272,6 +281,28 @@ mod tests {
         assert!(!req.use_store);
         assert_eq!(req.strategy, WalkStrategy::LegacyScan);
         assert_eq!(req.threads, Threads::Fixed(2));
+        assert_eq!(req.prepass, PrepassMode::On, "prepass defaults to on");
+    }
+
+    #[test]
+    fn parses_prepass_modes() {
+        for (text, want) in [
+            (r#"{"cmd":"analyze","workload":"mmt","n":8}"#, PrepassMode::On),
+            (
+                r#"{"cmd":"analyze","workload":"mmt","n":8,"prepass":"on"}"#,
+                PrepassMode::On,
+            ),
+            (
+                r#"{"cmd":"analyze","workload":"mmt","n":8,"prepass":"off"}"#,
+                PrepassMode::Off,
+            ),
+        ] {
+            let v = Json::parse(text).unwrap();
+            let Request::Analyze(req) = Request::from_json(&v).unwrap() else {
+                panic!("expected analyze: {text}");
+            };
+            assert_eq!(req.prepass, want, "{text}");
+        }
     }
 
     #[test]
@@ -295,6 +326,7 @@ mod tests {
             r#"{"nope":1}"#,
             r#"{"cmd":"analyze"}"#,
             r#"{"cmd":"analyze","workload":"mmt","mode":"wat"}"#,
+            r#"{"cmd":"analyze","workload":"mmt","prepass":"maybe"}"#,
             r#"{"cmd":"frobnicate"}"#,
         ] {
             let v = Json::parse(text).unwrap();

@@ -18,7 +18,7 @@ use crate::json::{obj, Json};
 use crate::metrics::Metrics;
 use crate::protocol::{error_response, AnalyzeRequest, Request};
 use crate::store::Store;
-use cme_analysis::{CancelToken, WalkStrategy};
+use cme_analysis::{CancelToken, PrepassMode, WalkStrategy};
 use cme_cache::CacheConfig;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -303,6 +303,7 @@ fn run_analyze(
         use_store: req.use_store,
         threads: req.threads,
         walk: req.strategy,
+        prepass: req.prepass,
     };
     let outcome = engine.run(&job);
 
@@ -334,6 +335,28 @@ fn run_analyze(
                         }
                         .to_string(),
                     ),
+                ),
+                (
+                    "prepass",
+                    Json::Str(
+                        match req.prepass {
+                            PrepassMode::On => "on",
+                            PrepassMode::Off => "off",
+                        }
+                        .to_string(),
+                    ),
+                ),
+                (
+                    // Share of this run's points the pre-pass resolved;
+                    // null on store hits (nothing was classified).
+                    "prepass_resolved_pct",
+                    if out.from_store {
+                        Json::Null
+                    } else {
+                        Json::Float(
+                            100.0 * out.prepass_resolved as f64 / out.points.max(1) as f64,
+                        )
+                    },
                 ),
             ]);
             obj(vec![

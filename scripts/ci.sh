@@ -35,6 +35,13 @@ echo "== classify walk-strategy harness =="
 cargo run -p cme-bench --bin bench_classify --release --offline -- \
     --scale "${BENCH_SCALE:-small}" --out BENCH_classify.json
 
+echo "== hit/miss pre-pass harness =="
+# Times cold FindMisses with the pre-pass off vs on (serial set-skip),
+# asserts the reports are bit-identical, and enforces the floors: MMT
+# resolution rate >= 50% and pre-pass-on wall <= pre-pass-off wall.
+cargo run -p cme-bench --bin bench_prepass --release --offline -- \
+    --scale "${BENCH_SCALE:-small}" --out BENCH_prepass.json
+
 echo "== result-store harness =="
 # Cold vs hot query through one engine; asserts byte-identical payloads
 # (and a >=100x hot speedup at paper scale).

@@ -8,7 +8,7 @@
 //!              [--cache B] [--line B] [--assoc W] [--exact]
 //!              [--confidence C] [--width W] [--seed S] [--timeout-ms MS]
 //!              [--no-store] [--threads N] [--strategy set-skip|legacy-scan]
-//!              [--report-only]
+//!              [--prepass on|off] [--report-only]
 //! cme stats    [--addr A | --port-file P]
 //! cme shutdown [--addr A | --port-file P]
 //! ```
@@ -64,7 +64,7 @@ const USAGE: &str = "usage:
                [--cache B] [--line B] [--assoc W] [--exact]
                [--confidence C] [--width W] [--seed S] [--timeout-ms MS]
                [--no-store] [--threads N] [--strategy set-skip|legacy-scan]
-               [--report-only]
+               [--prepass on|off] [--report-only]
   cme stats    [--addr A | --port-file P]
   cme shutdown [--addr A | --port-file P]";
 
@@ -212,6 +212,7 @@ fn cmd_query(args: &[String]) -> Result<ExitCode, CliError> {
             "--no-store" => fields.push(("store", Json::Bool(false))),
             "--threads" => fields.push(("threads", Json::Int(flags.parsed(flag)?))),
             "--strategy" => fields.push(("strategy", Json::Str(flags.value(flag)?.to_string()))),
+            "--prepass" => fields.push(("prepass", Json::Str(flags.value(flag)?.to_string()))),
             "--report-only" => report_only = true,
             other => return Err(CliError::Usage(format!("unknown query flag `{other}`"))),
         }
