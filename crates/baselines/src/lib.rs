@@ -46,7 +46,9 @@ impl CacheModel for ExactCmeModel {
     }
 
     fn miss_ratio(&self, program: &Program, config: CacheConfig) -> f64 {
-        cme_analysis::FindMisses::new(program, config).run().miss_ratio()
+        cme_analysis::FindMisses::new(program, config)
+            .run()
+            .miss_ratio()
     }
 }
 

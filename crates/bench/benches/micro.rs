@@ -105,7 +105,11 @@ fn bench_sampling_ablation() {
 /// programs.
 fn bench_vector_cap_ablation() {
     let program = cme_workloads::mmt(32, 16, 8);
-    for (label, cap) in [("cap_32", 32usize), ("cap_128", 128), ("uncapped", usize::MAX)] {
+    for (label, cap) in [
+        ("cap_32", 32usize),
+        ("cap_128", 128),
+        ("uncapped", usize::MAX),
+    ] {
         bench(&format!("vector_cap_ablation/{label}"), 5, || {
             ReuseAnalysis::analyze_capped(black_box(&program), 32, cap)
         });

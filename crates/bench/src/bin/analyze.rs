@@ -22,8 +22,11 @@
 //! * `--prepass <on|off>` — the definitely-hit/definitely-miss pre-pass
 //!   (default on). Pure accelerator: the report is byte-identical either
 //!   way.
+//! * `--symbolic` — count closed-form references symbolically instead of
+//!   walking their iteration points (default off). Falls back per
+//!   reference; the report is byte-identical either way.
 
-use cme_analysis::{EstimateMisses, FindMisses, PrepassMode, SamplingOptions};
+use cme_analysis::{EstimateMisses, FindMisses, PrepassMode, SamplingOptions, SymbolicMode};
 use cme_cache::{CacheConfig, Simulator};
 use cme_ir::Program;
 use std::collections::HashMap;
@@ -107,15 +110,22 @@ fn main() -> ExitCode {
         Some("off") => PrepassMode::Off,
         Some(other) => return fail(&format!("unknown prepass mode `{other}`")),
     };
+    let symbolic = if has("--symbolic") {
+        SymbolicMode::On
+    } else {
+        SymbolicMode::Off
+    };
     let report = if has("--exact") {
         FindMisses::new(&program, cfg)
             .threads(threads)
             .prepass(prepass)
+            .symbolic(symbolic)
             .run()
     } else {
         let opts = SamplingOptions {
             threads,
             prepass,
+            symbolic,
             ..SamplingOptions::paper_default()
         };
         EstimateMisses::new(&program, cfg, opts).run()
@@ -123,10 +133,22 @@ fn main() -> ExitCode {
     print!("{}", report.render(&program));
     println!(
         "\n{} in {:?}: miss ratio {:.2}%",
-        if has("--exact") { "FindMisses" } else { "EstimateMisses" },
+        if has("--exact") {
+            "FindMisses"
+        } else {
+            "EstimateMisses"
+        },
         report.elapsed(),
         100.0 * report.miss_ratio()
     );
+    if report.symbolic_refs_closed() > 0 {
+        println!(
+            "symbolic tier closed {} of {} references ({} points in closed form)",
+            report.symbolic_refs_closed(),
+            report.references().len(),
+            report.symbolic_points_closed()
+        );
+    }
     if report.prepass_resolved() > 0 {
         let analyzed: u64 = report.references().iter().map(|r| r.analyzed).sum();
         println!(

@@ -64,7 +64,10 @@ fn main() {
             ("mgrid(12)".into(), cme_workloads::mgrid(12)),
         ],
         Scale::Medium => vec![
-            ("mmt(N=40,BJ=40,BK=20)".into(), cme_workloads::mmt(40, 40, 20)),
+            (
+                "mmt(N=40,BJ=40,BK=20)".into(),
+                cme_workloads::mmt(40, 40, 20),
+            ),
             ("hydro(60x60)".into(), cme_workloads::hydro(60, 60)),
             ("mgrid(40)".into(), cme_workloads::mgrid(40)),
         ],
@@ -90,7 +93,13 @@ fn main() {
         // Reuse vectors are shared; only classification is being timed.
         let reuse = ReuseAnalysis::analyze(program, cfg.line_bytes());
 
-        let (skip_s, skip_s_t) = run(program, &reuse, cfg, WalkStrategy::SetSkip, Threads::Fixed(1));
+        let (skip_s, skip_s_t) = run(
+            program,
+            &reuse,
+            cfg,
+            WalkStrategy::SetSkip,
+            Threads::Fixed(1),
+        );
         eprintln!("{name}: set-skip serial {skip_s_t:?}");
         let (skip_p, skip_p_t) = run(program, &reuse, cfg, WalkStrategy::SetSkip, threads);
         eprintln!("{name}: set-skip {nthreads}-thread {skip_p_t:?}");
@@ -140,9 +149,7 @@ fn main() {
     let mut json_rows = Vec::new();
     for r in &rows {
         let skip_s = r.skip_serial.as_secs_f64();
-        let speedup = r
-            .legacy_serial
-            .map(|t| t.as_secs_f64() / skip_s.max(1e-9));
+        let speedup = r.legacy_serial.map(|t| t.as_secs_f64() / skip_s.max(1e-9));
         let pps = r.points as f64 / skip_s.max(1e-9);
         table.row(vec![
             r.workload.clone(),

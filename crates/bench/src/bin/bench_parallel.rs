@@ -60,12 +60,21 @@ fn main() {
     );
 
     let speedup = serial_t.as_secs_f64() / parallel_t.as_secs_f64().max(1e-9);
+    // On a single-hardware-thread host "parallel vs serial" measures only
+    // pool overhead; a near-1.0 ratio there is noise, not a speedup, so
+    // record null plus a caveat rather than a misleading number.
+    let hw = cme_bench::hw_threads();
+    let speedup_field = if hw == 1 {
+        "\"speedup\": null,\n  \"caveat\": \"host has 1 hardware thread; serial-vs-parallel wall ratio is not a parallel speedup\""
+            .to_string()
+    } else {
+        format!("\"speedup\": {speedup:.2}")
+    };
     let json = format!(
-        "{{\n  \"workload\": \"mmt(N={n},BJ={bj},BK={bk})\",\n  \"points\": {},\n  \"serial_ms\": {:.1},\n  \"parallel_ms\": {:.1},\n  \"threads\": {max_threads},\n  \"hw_threads\": {},\n  \"strategy\": \"set-skip\",\n  \"speedup\": {speedup:.2}\n}}\n",
+        "{{\n  \"workload\": \"mmt(N={n},BJ={bj},BK={bk})\",\n  \"points\": {},\n  \"serial_ms\": {:.1},\n  \"parallel_ms\": {:.1},\n  \"threads\": {max_threads},\n  \"hw_threads\": {hw},\n  \"strategy\": \"set-skip\",\n  {speedup_field}\n}}\n",
         serial.total_accesses(),
         serial_t.as_secs_f64() * 1e3,
         parallel_t.as_secs_f64() * 1e3,
-        cme_bench::hw_threads(),
     );
     std::fs::write(&out, &json).expect("write BENCH_parallel.json");
     eprintln!("speedup {speedup:.2}x -> {out}");

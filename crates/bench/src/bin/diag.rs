@@ -8,16 +8,30 @@ fn main() {
     let p = cme_workloads::applu_like(12, 20);
     let src = cme_workloads::applu_like_source(12, 10);
     let st = src.stats();
-    println!("build: {:?} (src: {} subs {} calls {} refs; inlined {} refs, {} accesses)",
-        t0.elapsed(), st.subroutines, st.calls, st.references,
-        p.references().len(), p.total_accesses());
+    println!(
+        "build: {:?} (src: {} subs {} calls {} refs; inlined {} refs, {} accesses)",
+        t0.elapsed(),
+        st.subroutines,
+        st.calls,
+        st.references,
+        p.references().len(),
+        p.total_accesses()
+    );
     let t1 = Instant::now();
     let reuse = ReuseAnalysis::analyze_capped(&p, 32, 128);
-    println!("reuse gen: {:?} ({} vectors)", t1.elapsed(), reuse.vectors().len());
+    println!(
+        "reuse gen: {:?} ({} vectors)",
+        t1.elapsed(),
+        reuse.vectors().len()
+    );
     let cfg = CacheConfig::new(8 * 1024, 32, 1).unwrap();
     let t2 = Instant::now();
     let est = EstimateMisses::with_reuse(&p, cfg, SamplingOptions::paper_default(), reuse).run();
-    println!("classification: {:?} (ratio {:.4})", t2.elapsed(), est.miss_ratio());
+    println!(
+        "classification: {:?} (ratio {:.4})",
+        t2.elapsed(),
+        est.miss_ratio()
+    );
     let t3 = Instant::now();
     let sim = cme_cache::Simulator::new(cfg).run(&p);
     println!("sim: {:?} (ratio {:.4})", t3.elapsed(), sim.miss_ratio());

@@ -51,8 +51,15 @@ fn main() {
         caches[0].1
     );
     let mut t = Table::new(&[
-        "Program", "Cache", "Sim misses", "Find misses", "Sim %", "Find %", "Abs err",
-        "Find t(s)", "Sim t(s)",
+        "Program",
+        "Cache",
+        "Sim misses",
+        "Find misses",
+        "Sim %",
+        "Find %",
+        "Abs err",
+        "Find t(s)",
+        "Sim t(s)",
     ]);
     for (name, program) in &kernels {
         // Reuse vectors depend only on the line size, shared by all three

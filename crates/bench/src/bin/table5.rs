@@ -29,7 +29,15 @@ fn main() {
         ),
     ];
     let mut t = Table::new(&[
-        "Program", "#lines", "", "#subroutines", "", "#calls", "", "#references", "",
+        "Program",
+        "#lines",
+        "",
+        "#subroutines",
+        "",
+        "#calls",
+        "",
+        "#references",
+        "",
     ]);
     for (name, src, paper) in rows {
         let s = src.stats();

@@ -25,7 +25,10 @@ fn main() {
     let (programs, caches): (Vec<(&str, Program)>, _) = match scale {
         Scale::Small => (
             vec![
-                ("tomcatv-like (N=32,T=8)", cme_workloads::tomcatv_like(32, 8)),
+                (
+                    "tomcatv-like (N=32,T=8)",
+                    cme_workloads::tomcatv_like(32, 8),
+                ),
                 ("swim-like (N=32,T=8)", cme_workloads::swim_like(32, 8)),
                 ("applu-like (N=10,T=6)", cme_workloads::applu_like(10, 6)),
             ],
@@ -33,7 +36,10 @@ fn main() {
         ),
         Scale::Medium => (
             vec![
-                ("tomcatv-like (N=64,T=30)", cme_workloads::tomcatv_like(64, 30)),
+                (
+                    "tomcatv-like (N=64,T=30)",
+                    cme_workloads::tomcatv_like(64, 30),
+                ),
                 ("swim-like (N=64,T=30)", cme_workloads::swim_like(64, 30)),
                 ("applu-like (N=12,T=20)", cme_workloads::applu_like(12, 20)),
             ],
@@ -45,7 +51,10 @@ fn main() {
                     "tomcatv-like (N=256,T=100)",
                     cme_workloads::tomcatv_like(256, 100),
                 ),
-                ("swim-like (N=256,T=100)", cme_workloads::swim_like(256, 100)),
+                (
+                    "swim-like (N=256,T=100)",
+                    cme_workloads::swim_like(256, 100),
+                ),
                 ("applu-like (N=16,T=75)", cme_workloads::applu_like(16, 75)),
             ],
             paper_caches(),
@@ -62,9 +71,8 @@ fn main() {
     for (name, program) in &programs {
         // Reuse vectors are shared across the three configurations and
         // capped per consumer on reference-dense programs (see DESIGN.md).
-        let (reuse, reuse_t) = timed(|| {
-            ReuseAnalysis::analyze_capped(program, caches[0].1.line_bytes(), 128)
-        });
+        let (reuse, reuse_t) =
+            timed(|| ReuseAnalysis::analyze_capped(program, caches[0].1.line_bytes(), 128));
         eprintln!("[{name}] reuse vectors in {}s", secs(reuse_t));
         for (cname, cfg) in &caches {
             let (sim, sim_t) = timed(|| Simulator::new(*cfg).run(program));

@@ -12,8 +12,8 @@
 //! the large-cache rows where the absolute number of misses is small.
 
 use cme_analysis::{EstimateMisses, SamplingOptions};
-use cme_bench::{timed, Scale, Table};
 use cme_baselines::probabilistic_estimate;
+use cme_bench::{timed, Scale, Table};
 use cme_cache::{CacheConfig, Simulator};
 
 /// The sixteen rows of Table 7: (N, BJ, BK, C_s, L_s, k).
@@ -54,7 +54,16 @@ fn main() {
         scale.label()
     );
     let mut t = Table::new(&[
-        "N", "BJ", "BK", "Cs(Kelem)", "Ls(elem)", "k", "Sim %", "dP %", "dE %", "t(s)",
+        "N",
+        "BJ",
+        "BK",
+        "Cs(Kelem)",
+        "Ls(elem)",
+        "k",
+        "Sim %",
+        "dP %",
+        "dE %",
+        "t(s)",
     ]);
     let mut wins = 0u32;
     let mut rows = 0u32;

@@ -33,7 +33,8 @@ fn malformed_fortran_exits_nonzero_with_file_line_diagnostic() {
         "diagnostic must name the file: {stderr}"
     );
     // `path:line:` — the diagnostic points into the source.
-    let after_path = &stderr[stderr.find(path.to_str().unwrap()).unwrap() + path.as_os_str().len()..];
+    let after_path =
+        &stderr[stderr.find(path.to_str().unwrap()).unwrap() + path.as_os_str().len()..];
     assert!(
         after_path.starts_with(':')
             && after_path[1..]
@@ -70,10 +71,20 @@ fn unknown_workload_exits_nonzero() {
 fn well_formed_file_still_succeeds() {
     let src = "      SUBROUTINE S\n      REAL*8 A(N)\n      DO 10 I = 1, N\n      A(I) = 0.0\n10    CONTINUE\n      END\n";
     let path = temp_file("good", src);
-    let out = analyze(&["--file", path.to_str().unwrap(), "--param", "N=16", "--exact"]);
+    let out = analyze(&[
+        "--file",
+        path.to_str().unwrap(),
+        "--param",
+        "N=16",
+        "--exact",
+    ]);
     let stdout = String::from_utf8_lossy(&out.stdout);
     let _ = std::fs::remove_file(&path);
 
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(stdout.contains("miss ratio"), "{stdout}");
 }

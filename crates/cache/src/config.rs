@@ -303,7 +303,11 @@ mod tests {
                     addr.div_euclid(l).rem_euclid(s),
                     "{cfg} addr {addr}"
                 );
-                assert_eq!(cfg.set_of_line(addr), addr.rem_euclid(s), "{cfg} line {addr}");
+                assert_eq!(
+                    cfg.set_of_line(addr),
+                    addr.rem_euclid(s),
+                    "{cfg} line {addr}"
+                );
             }
         }
     }

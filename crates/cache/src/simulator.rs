@@ -170,13 +170,19 @@ mod tests {
                 "I",
                 1,
                 len,
-                vec![SNode::reads_only(vec![SRef::new("A", vec![LinExpr::var("I")])])],
+                vec![SNode::reads_only(vec![SRef::new(
+                    "A",
+                    vec![LinExpr::var("I")],
+                )])],
             ));
             b2.push(SNode::loop_(
                 "J",
                 1,
                 len,
-                vec![SNode::reads_only(vec![SRef::new("A", vec![LinExpr::var("J")])])],
+                vec![SNode::reads_only(vec![SRef::new(
+                    "A",
+                    vec![LinExpr::var("J")],
+                )])],
             ));
             b2.build().unwrap()
         };
@@ -252,7 +258,10 @@ mod tests {
             "I",
             5,
             4, // empty range
-            vec![SNode::assign(SRef::new("A", vec![LinExpr::var("I")]), vec![])],
+            vec![SNode::assign(
+                SRef::new("A", vec![LinExpr::var("I")]),
+                vec![],
+            )],
         ));
         let p = b.build().unwrap();
         let cfg = CacheConfig::new(1024, 32, 1).unwrap();

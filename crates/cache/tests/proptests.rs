@@ -78,10 +78,7 @@ fn misses_monotone_in_cache_size() {
             let cfg = CacheConfig::new(1024 * ways as u64, 32, ways).unwrap();
             let mut cache = Cache::new(cfg);
             let misses = trace.iter().filter(|&&a| cache.access(a)).count() as u64;
-            assert!(
-                misses <= last,
-                "case {case} ways {ways}: {misses} > {last}"
-            );
+            assert!(misses <= last, "case {case} ways {ways}: {misses} > {last}");
             last = misses;
         }
     }

@@ -163,7 +163,10 @@ impl<'p> Classifier<'p> {
             .collect();
         let bounds = (0..program.references().len())
             .map(|r| RefBoundPlan {
-                label: program.statement(program.reference(r).stmt).label.as_slice(),
+                label: program
+                    .statement(program.reference(r).stmt)
+                    .label
+                    .as_slice(),
                 bbox: program.ris(r).bounding_box(),
                 plan: program.addr_plan(r),
             })
@@ -359,8 +362,11 @@ impl<'p> Classifier<'p> {
                 if self.hit_by_contention_bound(from, to, reused_line, target_set) {
                     return false;
                 }
-                let filter =
-                    SetFilter::new(config.line_bytes() as i64, config.num_sets() as i64, target_set);
+                let filter = SetFilter::new(
+                    config.line_bytes() as i64,
+                    config.num_sets() as i64,
+                    target_set,
+                );
                 walker.walk_range_rev_in_set(program, from, to, &filter, |a, tag| {
                     let rank = program.reference(a.r).lex_rank;
                     if tag.at_start && rank <= producer_rank {
@@ -423,8 +429,8 @@ impl<'p> Classifier<'p> {
                 continue;
             };
             // Lines ≡ target_set (mod nsets) within [l_min, l_max].
-            let cnt = (l_max - target_set).div_euclid(nsets)
-                - (l_min - 1 - target_set).div_euclid(nsets);
+            let cnt =
+                (l_max - target_set).div_euclid(nsets) - (l_min - 1 - target_set).div_euclid(nsets);
             if cnt <= 0 {
                 continue;
             }

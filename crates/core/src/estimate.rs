@@ -3,10 +3,11 @@
 
 use crate::cancel::{CancelToken, Cancelled};
 use crate::classify::Classifier;
-use crate::options::{PrepassMode, SamplingOptions};
+use crate::options::{PrepassMode, SamplingOptions, SymbolicMode};
 use crate::parallel;
 use crate::prepass;
 use crate::report::{Coverage, RefReport, Report};
+use crate::symbolic;
 use cme_cache::CacheConfig;
 use cme_ir::Program;
 use cme_reuse::ReuseAnalysis;
@@ -94,11 +95,36 @@ impl<'p> EstimateMisses<'p> {
         let mut reports = Vec::with_capacity(self.program.references().len());
         let mut points_done = 0u64;
         let mut prepass_resolved = 0u64;
+        let mut symbolic_refs = 0u64;
+        let mut symbolic_points = 0u64;
         for r in 0..self.program.references().len() {
             let ris = self.program.ris(r);
             let volume = ris.count();
             let (tally, coverage) = match self.options.plan(volume) {
                 crate::options::SamplePlan::Exhaustive => {
+                    // Symbolic closure replaces only the exhaustive walk:
+                    // sampled references already cost O(samples), not
+                    // O(|RIS|), and closed counts equal the exhaustive
+                    // tally — so the report bytes cannot change.
+                    if self.options.symbolic == SymbolicMode::On {
+                        let sym = symbolic::analyze_reference(&classifier, r, cancel)
+                            .map_err(|_| Cancelled { points_done })?;
+                        if let Some(counts) = sym.counts() {
+                            symbolic_refs += 1;
+                            symbolic_points += counts.total();
+                            points_done += counts.total();
+                            reports.push(RefReport {
+                                r,
+                                ris_size: volume,
+                                analyzed: counts.total(),
+                                cold: counts.cold,
+                                replacement: counts.replacement,
+                                hits: counts.hits,
+                                coverage: Coverage::Exhaustive,
+                            });
+                            continue;
+                        }
+                    }
                     // The pre-pass costs O(|RIS|); it pays for itself only
                     // on exhaustively-analysed references. Sampled
                     // references classify ~a few hundred points, so they
@@ -130,8 +156,7 @@ impl<'p> EstimateMisses<'p> {
                     // Per-reference deterministic seed; each sample chunk
                     // derives its own RNG stream from it, so the sampled
                     // point set is independent of the thread count.
-                    let ref_seed =
-                        self.options.seed ^ (r as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                    let ref_seed = self.options.seed ^ (r as u64).wrapping_mul(0x9E3779B97F4A7C15);
                     parallel::classify_sampled(
                         &classifier,
                         r,
@@ -155,7 +180,9 @@ impl<'p> EstimateMisses<'p> {
                 coverage,
             });
         }
-        Ok(Report::new(reports, start.elapsed()).with_prepass_resolved(prepass_resolved))
+        Ok(Report::new(reports, start.elapsed())
+            .with_prepass_resolved(prepass_resolved)
+            .with_symbolic_closed(symbolic_refs, symbolic_points))
     }
 }
 
@@ -240,7 +267,9 @@ mod tests {
         let p = stencil_program(48);
         let cfg = CacheConfig::new(4096, 32, 1).unwrap();
         let opts = SamplingOptions::paper_default();
-        let a = EstimateMisses::new(&p, cfg, opts.clone()).run().miss_ratio();
+        let a = EstimateMisses::new(&p, cfg, opts.clone())
+            .run()
+            .miss_ratio();
         let b = EstimateMisses::new(&p, cfg, opts).run().miss_ratio();
         assert_eq!(a, b);
     }

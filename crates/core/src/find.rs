@@ -2,10 +2,11 @@
 
 use crate::cancel::{CancelToken, Cancelled};
 use crate::classify::{Classifier, WalkStrategy};
-use crate::options::{PrepassMode, Threads};
+use crate::options::{PrepassMode, SymbolicMode, Threads};
 use crate::parallel;
 use crate::prepass;
 use crate::report::{Coverage, RefReport, Report};
+use crate::symbolic;
 use cme_cache::CacheConfig;
 use cme_ir::Program;
 use cme_reuse::ReuseAnalysis;
@@ -42,6 +43,7 @@ pub struct FindMisses<'p> {
     threads: Threads,
     walk: WalkStrategy,
     prepass: PrepassMode,
+    symbolic: SymbolicMode,
 }
 
 impl<'p> FindMisses<'p> {
@@ -55,6 +57,7 @@ impl<'p> FindMisses<'p> {
             threads: Threads::default(),
             walk: WalkStrategy::default(),
             prepass: PrepassMode::default(),
+            symbolic: SymbolicMode::default(),
         }
     }
 
@@ -68,6 +71,7 @@ impl<'p> FindMisses<'p> {
             threads: Threads::default(),
             walk: WalkStrategy::default(),
             prepass: PrepassMode::default(),
+            symbolic: SymbolicMode::default(),
         }
     }
 
@@ -98,6 +102,16 @@ impl<'p> FindMisses<'p> {
         self
     }
 
+    /// Enables the symbolic counting tier (default [`SymbolicMode::Off`]).
+    /// References whose miss equations close into segment × residue-class
+    /// form are counted without visiting iteration points; the rest take
+    /// the exact walk. Closed counts equal the classifier tally by
+    /// construction, so the report is byte-identical for both settings.
+    pub fn symbolic(mut self, mode: SymbolicMode) -> Self {
+        self.symbolic = mode;
+        self
+    }
+
     /// The generated reuse vectors.
     pub fn reuse(&self) -> &ReuseAnalysis {
         &self.reuse
@@ -121,8 +135,29 @@ impl<'p> FindMisses<'p> {
         let mut reports = Vec::with_capacity(self.program.references().len());
         let mut points_done = 0u64;
         let mut prepass_resolved = 0u64;
+        let mut symbolic_refs = 0u64;
+        let mut symbolic_points = 0u64;
         for r in 0..self.program.references().len() {
             let ris = self.program.ris(r);
+            if self.symbolic == SymbolicMode::On {
+                let sym = symbolic::analyze_reference(&classifier, r, cancel)
+                    .map_err(|_| Cancelled { points_done })?;
+                if let Some(counts) = sym.counts() {
+                    symbolic_refs += 1;
+                    symbolic_points += counts.total();
+                    points_done += counts.total();
+                    reports.push(RefReport {
+                        r,
+                        ris_size: counts.total(),
+                        analyzed: counts.total(),
+                        cold: counts.cold,
+                        replacement: counts.replacement,
+                        hits: counts.hits,
+                        coverage: Coverage::Exhaustive,
+                    });
+                    continue;
+                }
+            }
             let verdicts = match self.prepass {
                 PrepassMode::On => Some(
                     prepass::analyze_reference(&classifier, r, cancel)
@@ -153,7 +188,9 @@ impl<'p> FindMisses<'p> {
                 coverage: Coverage::Exhaustive,
             });
         }
-        Ok(Report::new(reports, start.elapsed()).with_prepass_resolved(prepass_resolved))
+        Ok(Report::new(reports, start.elapsed())
+            .with_prepass_resolved(prepass_resolved)
+            .with_symbolic_closed(symbolic_refs, symbolic_points))
     }
 }
 

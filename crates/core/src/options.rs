@@ -54,6 +54,24 @@ pub enum PrepassMode {
     Off,
 }
 
+/// Whether the symbolic miss-equation tier (`crate::symbolic`,
+/// DESIGN.md §13) answers references in closed form before enumeration.
+///
+/// The tier only ever returns the totals the exact walk would tally, and
+/// falls back per reference wherever its closure conditions fail, so
+/// reports are **byte-identical** for both settings (and across threads,
+/// walk strategies and prepass modes). `On` makes closed references cost
+/// `O(rows)` instead of `O(points)`; `Off` (the default) keeps the
+/// enumerated path everywhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SymbolicMode {
+    /// Answer closed references from the symbolic tier; enumerate the rest.
+    On,
+    /// Enumerate every reference. The default.
+    #[default]
+    Off,
+}
+
 /// Statistical sampling parameters for `EstimateMisses` (Fig. 6).
 ///
 /// The sample size per reference comes from the normal approximation to the
@@ -84,6 +102,10 @@ pub struct SamplingOptions {
     /// Whether the hit/miss pre-pass runs before exhaustively-analysed
     /// references. Reports are byte-identical for both settings.
     pub prepass: PrepassMode,
+    /// Whether exhaustively-analysed references may be answered by the
+    /// symbolic tier. Reports are byte-identical for both settings;
+    /// sampled references are never affected.
+    pub symbolic: SymbolicMode,
 }
 
 /// How a reference's iteration space will be analysed.
@@ -106,6 +128,7 @@ impl SamplingOptions {
             fallback: None,
             threads: Threads::Auto,
             prepass: PrepassMode::On,
+            symbolic: SymbolicMode::Off,
         }
     }
 
@@ -131,6 +154,7 @@ impl SamplingOptions {
                         fallback: None,
                         threads: self.threads,
                         prepass: self.prepass,
+                        symbolic: self.symbolic,
                     };
                     if let Some(n) = coarse.sample_size(population) {
                         return SamplePlan::Sample(n);
@@ -237,6 +261,7 @@ mod tests {
             fallback: None,
             threads: Threads::default(),
             prepass: PrepassMode::default(),
+            symbolic: SymbolicMode::default(),
         }
     }
 
@@ -261,7 +286,10 @@ mod tests {
         // Tiny RIS: exhaustive.
         assert_eq!(faithful.plan(20), SamplePlan::Exhaustive);
         // The default has no fallback tier: mid-size goes exhaustive.
-        assert_eq!(SamplingOptions::paper_default().plan(200), SamplePlan::Exhaustive);
+        assert_eq!(
+            SamplingOptions::paper_default().plan(200),
+            SamplePlan::Exhaustive
+        );
     }
 
     #[test]
@@ -293,8 +321,7 @@ mod tests {
             // Numerical CDF via erf approximation (Abramowitz–Stegun 7.1.26).
             let t = 1.0 / (1.0 + 0.3275911 * (z / std::f64::consts::SQRT_2).abs());
             let erf = 1.0
-                - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736)
-                    * t
+                - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
                     + 0.254829592)
                     * t
                     * (-(z / std::f64::consts::SQRT_2).powi(2)).exp();

@@ -219,12 +219,12 @@ pub(crate) fn classify_exhaustive(
         let mut tally = Tally::default();
         let mut scratch = Scratch::new();
         let mut cursor = 0usize;
-        ris.for_each_point(|point| {
-            match verdicts.and_then(|v| v.lookup(point, &mut cursor)) {
+        ris.for_each_point(
+            |point| match verdicts.and_then(|v| v.lookup(point, &mut cursor)) {
                 Some(v) => tally.bump_verdict(v),
                 None => tally.bump(classifier.classify_with_scratch(r, point, &mut scratch)),
-            }
-        });
+            },
+        );
         tally
     };
     // The non-cancellable serial paths stay allocation-free exactly as
@@ -246,21 +246,22 @@ pub(crate) fn classify_exhaustive(
         return Some(serial_tally());
     }
     let nchunks = npoints.div_ceil(CHUNK_POINTS).max(1);
-    let tallies = run_chunked_cancellable(threads, nchunks, cancel, Scratch::new, |scratch, ci| {
-        let lo = ci * CHUNK_POINTS;
-        let hi = npoints.min(lo + CHUNK_POINTS);
-        let mut tally = Tally::default();
-        // Chunks are contiguous lex ranges, so one binary search positions
-        // the verdict cursor and the per-point lookups advance linearly.
-        let mut cursor = verdicts.map_or(0, |v| v.cursor_at(&flat[lo * dim..(lo + 1) * dim]));
-        for point in flat[lo * dim..hi * dim].chunks_exact(dim) {
-            match verdicts.and_then(|v| v.lookup(point, &mut cursor)) {
-                Some(v) => tally.bump_verdict(v),
-                None => tally.bump(classifier.classify_with_scratch(r, point, scratch)),
+    let tallies =
+        run_chunked_cancellable(threads, nchunks, cancel, Scratch::new, |scratch, ci| {
+            let lo = ci * CHUNK_POINTS;
+            let hi = npoints.min(lo + CHUNK_POINTS);
+            let mut tally = Tally::default();
+            // Chunks are contiguous lex ranges, so one binary search positions
+            // the verdict cursor and the per-point lookups advance linearly.
+            let mut cursor = verdicts.map_or(0, |v| v.cursor_at(&flat[lo * dim..(lo + 1) * dim]));
+            for point in flat[lo * dim..hi * dim].chunks_exact(dim) {
+                match verdicts.and_then(|v| v.lookup(point, &mut cursor)) {
+                    Some(v) => tally.bump_verdict(v),
+                    None => tally.bump(classifier.classify_with_scratch(r, point, scratch)),
+                }
             }
-        }
-        tally
-    })?;
+            tally
+        })?;
     let mut total = Tally::default();
     for t in tallies {
         total.merge(t);
@@ -285,17 +286,18 @@ pub(crate) fn classify_sampled(
     cancel: &CancelToken,
 ) -> Option<(Tally, Coverage)> {
     let nchunks = nsamples.div_ceil(CHUNK_SAMPLES) as usize;
-    let results = run_chunked_cancellable(threads, nchunks, cancel, Scratch::new, |scratch, ci| {
-        let lo = ci as u64 * CHUNK_SAMPLES;
-        let quota = CHUNK_SAMPLES.min(nsamples - lo) as usize;
-        let mut rng = SeededRng::seed_from_u64(derive_seed(ref_seed, ci as u64));
-        let points = sample::sample_points(ris, &mut rng, quota, sample::DEFAULT_MAX_TRIALS);
-        let mut tally = Tally::default();
-        for point in &points {
-            tally.bump(classifier.classify_with_scratch(r, point, scratch));
-        }
-        (tally, points.len() as u64)
-    })?;
+    let results =
+        run_chunked_cancellable(threads, nchunks, cancel, Scratch::new, |scratch, ci| {
+            let lo = ci as u64 * CHUNK_SAMPLES;
+            let quota = CHUNK_SAMPLES.min(nsamples - lo) as usize;
+            let mut rng = SeededRng::seed_from_u64(derive_seed(ref_seed, ci as u64));
+            let points = sample::sample_points(ris, &mut rng, quota, sample::DEFAULT_MAX_TRIALS);
+            let mut tally = Tally::default();
+            for point in &points {
+                tally.bump(classifier.classify_with_scratch(r, point, scratch));
+            }
+            (tally, points.len() as u64)
+        })?;
     let mut total = Tally::default();
     let mut samples = 0u64;
     for (t, n) in results {
@@ -344,10 +346,15 @@ mod tests {
     #[test]
     fn run_chunked_is_ordered_and_complete() {
         for threads in [1usize, 2, 4, 8] {
-            let out = run_chunked(threads, 129, || 0u64, |state, i| {
-                *state += 1;
-                (i as u64) * 3
-            });
+            let out = run_chunked(
+                threads,
+                129,
+                || 0u64,
+                |state, i| {
+                    *state += 1;
+                    (i as u64) * 3
+                },
+            );
             assert_eq!(out.len(), 129, "threads={threads}");
             for (i, v) in out.iter().enumerate() {
                 assert_eq!(*v, (i as u64) * 3, "threads={threads} index {i}");

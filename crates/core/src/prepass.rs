@@ -56,9 +56,9 @@
 //! to the number of rows, not points.
 
 use crate::cancel::{CancelToken, Cancelled};
-use crate::classify::Classifier;
+use crate::classify::{Classifier, ConsumerPlan};
 use cme_cache::CacheConfig;
-use cme_ir::RefId;
+use cme_ir::{Program, RefId};
 use cme_poly::vector::{div_ceil, div_floor};
 use cme_poly::{Affine, Constraint, ConstraintKind};
 
@@ -80,17 +80,17 @@ const CANCEL_GRAIN: u64 = 4096;
 /// Budget (window accesses) for the exact intra-row window evaluation; a
 /// window of `(dv + 1) · row_accesses` beyond this falls back to the
 /// contention bound or unknown.
-const WINDOW_BUDGET: usize = 1024;
+pub(crate) const WINDOW_BUDGET: usize = 1024;
 
 /// Maximum run-length segments stored per row before trying the periodic
 /// tier; beyond both, the row degrades to uniformly unknown.
 const MAX_ROW_RUNS: usize = 48;
 
 /// Verdict codes inside row buffers; `UNKNOWN` is "let the walk decide".
-const UNKNOWN: u8 = 0;
-const HIT: u8 = 1;
-const COLD: u8 = 2;
-const REPL: u8 = 3;
+pub(crate) const UNKNOWN: u8 = 0;
+pub(crate) const HIT: u8 = 1;
+pub(crate) const COLD: u8 = 2;
+pub(crate) const REPL: u8 = 3;
 
 fn decode(code: u8) -> Option<Verdict> {
     match code {
@@ -299,36 +299,36 @@ fn compress(buf: &[u8], lo: i64) -> RowRep {
 }
 
 /// Static (row-independent) per-vector context.
-struct VecStatic<'p> {
-    vector: &'p [i64],
-    producer_rank: usize,
-    paddr: &'p Affine,
-    pconstraints: &'p [Constraint],
-    pbbox: &'p [(i64, i64)],
-    p_empty: bool,
+pub(crate) struct VecStatic<'p> {
+    pub(crate) vector: &'p [i64],
+    pub(crate) producer_rank: usize,
+    pub(crate) paddr: &'p Affine,
+    pub(crate) pconstraints: &'p [Constraint],
+    pub(crate) pbbox: &'p [(i64, i64)],
+    pub(crate) p_empty: bool,
     /// Innermost component of the vector.
-    dv: i64,
+    pub(crate) dv: i64,
     /// All components above the innermost index are zero: the interference
     /// interval stays inside one row of the innermost loop.
-    intra_row: bool,
+    pub(crate) intra_row: bool,
 }
 
 /// Per-`(row, vector)` applicability: the exact set of `v` where the cold
 /// equations leave this vector applicable, as an interval minus holes.
-struct VecRow {
-    excluded: bool,
-    alo: i64,
-    ahi: i64,
+pub(crate) struct VecRow {
+    pub(crate) excluded: bool,
+    pub(crate) alo: i64,
+    pub(crate) ahi: i64,
     /// `v` values excluded by `≠` constraints (rare; usually empty).
-    ne: Vec<i64>,
+    pub(crate) ne: Vec<i64>,
     /// Producer byte address at consumer index `v`: `pbase + pstride·v`.
-    pbase: i64,
-    pstride: i64,
+    pub(crate) pbase: i64,
+    pub(crate) pstride: i64,
     /// Lazily computed row-uniform contention-bound result.
-    bound: Option<bool>,
+    pub(crate) bound: Option<bool>,
 }
 
-const EXCLUDED: VecRow = VecRow {
+pub(crate) const EXCLUDED: VecRow = VecRow {
     excluded: true,
     alo: 0,
     ahi: -1,
@@ -340,10 +340,59 @@ const EXCLUDED: VecRow = VecRow {
 
 /// One statement of the innermost loop node, pre-resolved for window
 /// evaluation.
-struct RowStmt<'p> {
-    guard: &'p [Constraint],
+pub(crate) struct RowStmt<'p> {
+    pub(crate) guard: &'p [Constraint],
     /// `(lex_rank, address plan)` per reference, in statement order.
-    refs: Vec<(usize, &'p Affine)>,
+    pub(crate) refs: Vec<(usize, &'p Affine)>,
+}
+
+/// Builds the static per-vector contexts of one consumer, shared by the
+/// pre-pass and the symbolic tier (identical construction keeps their
+/// decisions aligned with the classifier's plan order).
+pub(crate) fn vec_statics<'p>(
+    program: &'p Program,
+    plan: &ConsumerPlan<'p>,
+    n: usize,
+) -> Vec<VecStatic<'p>> {
+    plan.vectors
+        .iter()
+        .map(|vp| {
+            let pspace = program.ris(vp.producer);
+            VecStatic {
+                vector: vp.vector,
+                producer_rank: vp.producer_rank,
+                paddr: program.addr_plan(vp.producer),
+                pconstraints: pspace.system().constraints(),
+                pbbox: vp.producer_bbox,
+                p_empty: pspace.known_empty(),
+                dv: vp.vector[2 * n - 1],
+                intra_row: vp.vector[..2 * n - 1].iter().all(|&x| x == 0),
+            }
+        })
+        .collect()
+}
+
+/// Resolves the statements of the innermost loop node containing `label`,
+/// for exact window evaluation.
+pub(crate) fn leaf_row_stmts<'p>(program: &'p Program, label: &[i64]) -> Vec<RowStmt<'p>> {
+    let leaf = *program
+        .loop_path(label)
+        .last()
+        .expect("statement at depth >= 1 has a loop path");
+    leaf.stmts
+        .iter()
+        .map(|&sid| {
+            let s = program.statement(sid);
+            RowStmt {
+                guard: &s.guard,
+                refs: s
+                    .refs
+                    .iter()
+                    .map(|&rid| (program.reference(rid).lex_rank, program.addr_plan(rid)))
+                    .collect(),
+            }
+        })
+        .collect()
 }
 
 /// Reduces every producer-side screen to the 1-D domain of the row.
@@ -351,7 +400,13 @@ struct RowStmt<'p> {
 /// The reduction mirrors the classifier exactly: the bounding-box
 /// pre-screen, then each RIS constraint evaluated with all variables but
 /// the innermost fixed. `u = v − dv` is the producer's innermost index.
-fn build_vec_row(vs: &VecStatic<'_>, prefix: &[i64], lo: i64, hi: i64, pprefix: &mut [i64]) -> VecRow {
+pub(crate) fn build_vec_row(
+    vs: &VecStatic<'_>,
+    prefix: &[i64],
+    lo: i64,
+    hi: i64,
+    pprefix: &mut [i64],
+) -> VecRow {
     if vs.p_empty {
         return EXCLUDED;
     }
@@ -374,8 +429,8 @@ fn build_vec_row(vs: &VecStatic<'_>, prefix: &[i64], lo: i64, hi: i64, pprefix: 
     for c in vs.pconstraints {
         let a = c.expr.coeff(nprefix);
         let mut rest = c.expr.constant_term();
-        for d in 0..nprefix {
-            rest += c.expr.coeff(d) * pprefix[d];
+        for (d, &pp) in pprefix.iter().enumerate().take(nprefix) {
+            rest += c.expr.coeff(d) * pp;
         }
         // The constraint is `a·u + rest ⋈ 0` on the row.
         match c.kind {
@@ -418,8 +473,8 @@ fn build_vec_row(vs: &VecStatic<'_>, prefix: &[i64], lo: i64, hi: i64, pprefix: 
         return EXCLUDED;
     }
     let mut pbase = vs.paddr.constant_term();
-    for d in 0..nprefix {
-        pbase += vs.paddr.coeff(d) * pprefix[d];
+    for (d, &pp) in pprefix.iter().enumerate().take(nprefix) {
+        pbase += vs.paddr.coeff(d) * pp;
     }
     let pstride = vs.paddr.coeff(nprefix);
     pbase -= pstride * vs.dv;
@@ -439,7 +494,7 @@ fn build_vec_row(vs: &VecStatic<'_>, prefix: &[i64], lo: i64, hi: i64, pprefix: 
 /// reverse, guards honoured, boundary ranks filtered), returning the code
 /// the classifier's walk would return.
 #[allow(clippy::too_many_arguments)]
-fn window_eval(
+pub(crate) fn window_eval(
     config: &CacheConfig,
     row_stmts: &[RowStmt<'_>],
     idx: &mut [i64],
@@ -518,44 +573,10 @@ pub fn analyze_reference(
     let caddr = program.addr_plan(r);
     let k = config.assoc() as usize;
 
-    let statics: Vec<VecStatic<'_>> = plan
-        .vectors
-        .iter()
-        .map(|vp| {
-            let pspace = program.ris(vp.producer);
-            VecStatic {
-                vector: vp.vector,
-                producer_rank: vp.producer_rank,
-                paddr: program.addr_plan(vp.producer),
-                pconstraints: pspace.system().constraints(),
-                pbbox: vp.producer_bbox,
-                p_empty: pspace.known_empty(),
-                dv: vp.vector[2 * n - 1],
-                intra_row: vp.vector[..2 * n - 1].iter().all(|&x| x == 0),
-            }
-        })
-        .collect();
+    let statics: Vec<VecStatic<'_>> = vec_statics(program, plan, n);
 
     // The innermost loop node's statements, for exact window evaluation.
-    let leaf = *program
-        .loop_path(label)
-        .last()
-        .expect("statement at depth >= 1 has a loop path");
-    let row_stmts: Vec<RowStmt<'_>> = leaf
-        .stmts
-        .iter()
-        .map(|&sid| {
-            let s = program.statement(sid);
-            RowStmt {
-                guard: &s.guard,
-                refs: s
-                    .refs
-                    .iter()
-                    .map(|&rid| (program.reference(rid).lex_rank, program.addr_plan(rid)))
-                    .collect(),
-            }
-        })
-        .collect();
+    let row_stmts: Vec<RowStmt<'_>> = leaf_row_stmts(program, label);
     let row_accesses: usize = row_stmts.iter().map(|s| s.refs.len()).sum::<usize>().max(1);
 
     // Segment the RIS into rows: maximal runs of consecutive innermost
@@ -588,8 +609,8 @@ pub fn analyze_reference(
     for (prefix, lo, hi) in &raw {
         let (lo, hi) = (*lo, *hi);
         let mut cbase = caddr.constant_term();
-        for d in 0..nprefix {
-            cbase += caddr.coeff(d) * prefix[d];
+        for (d, &p) in prefix.iter().enumerate().take(nprefix) {
+            cbase += caddr.coeff(d) * p;
         }
         let cstride = caddr.coeff(nprefix);
         idx[..nprefix].copy_from_slice(prefix);
@@ -723,7 +744,9 @@ mod tests {
         // Uniform, runs, periodic and degraded cases.
         let uniform = vec![HIT; 100];
         let runs: Vec<u8> = (0..100).map(|i| if i < 37 { COLD } else { HIT }).collect();
-        let periodic: Vec<u8> = (0..200).map(|i| if i % 4 == 0 { COLD } else { HIT }).collect();
+        let periodic: Vec<u8> = (0..200)
+            .map(|i| if i % 4 == 0 { COLD } else { HIT })
+            .collect();
         for (buf, lo) in [(&uniform, 5i64), (&runs, -3), (&periodic, 11)] {
             let rep = compress(buf, lo);
             assert_ne!(rep, RowRep::Uniform(UNKNOWN), "should not degrade");

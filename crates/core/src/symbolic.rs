@@ -1,0 +1,916 @@
+//! The symbolic miss-equation tier (DESIGN.md §13).
+//!
+//! [`FindMisses`](crate::FindMisses) answers by *enumeration*: every
+//! iteration point of every reference walks the cold/replacement equations.
+//! This module instead solves whole **rows** (maximal innermost-index runs
+//! at a fixed outer prefix) in closed form, so the per-reference cost is
+//! `O(rows × vectors)` instead of `O(points × walk)` — independent of the
+//! innermost trip count. The result is a piecewise count: for each row the
+//! verdict pattern is a function of *segments* (pieces cut by vector
+//! applicability intervals and guard thresholds) crossed with *residue
+//! classes* of the innermost index modulo the line period
+//! `P = L / gcd(L, stride)` — a quasi-polynomial in the loop bounds, in the
+//! sense of the fully-symbolic locality analyses cited in PAPERS.md.
+//!
+//! # Closure conditions
+//!
+//! A `(segment × residue)` cell is decided by evaluating the classifier's
+//! own devices **once** at a representative point, which is exact when the
+//! verdict is provably constant over the cell:
+//!
+//! * **cold / same-line screens** — producer applicability reduces to an
+//!   interval (segments are cut at its ends), and for an equal-stride
+//!   producer the line match depends only on `(base + stride·v) mod L`,
+//!   constant per residue class. A producer with a *different* innermost
+//!   stride is handled only when interval arithmetic proves its address gap
+//!   stays `≥ L` (never same line) across the segment.
+//! * **replacement** — the row-uniform contention bound (one computation
+//!   per `(row, vector)`, valid for every point of the row), or the exact
+//!   intra-row window evaluation. Re-evaluating a window at `v + P` shifts
+//!   every access address by the same multiple of `L` **iff all leaf
+//!   references share the consumer's innermost stride**, so the verdict is
+//!   residue-periodic exactly in that case; guard thresholds crossing the
+//!   window are cut out as short per-point bands first.
+//!
+//! Anything outside these conditions degrades — first to per-point exact
+//! evaluation when the segment is short, then to a whole-reference
+//! **fallback**: the reference keeps the enumerated path (prepass + walk).
+//! Wherever the tier closes, the per-reference totals **equal** the
+//! classifier's tallies, so reports stay byte-identical with the tier on or
+//! off; that is asserted by differential tests and by `bench_symbolic`.
+
+use crate::cancel::{CancelToken, Cancelled};
+use crate::classify::Classifier;
+use crate::prepass::{
+    build_vec_row, leaf_row_stmts, vec_statics, window_eval, RowStmt, VecRow, VecStatic, COLD, HIT,
+    REPL, WINDOW_BUDGET,
+};
+use cme_cache::CacheConfig;
+use cme_ir::RefId;
+use cme_poly::vector::{div_ceil, div_floor, gcd};
+use cme_poly::{Affine, ConstraintKind, Space};
+
+/// Evaluations between cancellation checks.
+const CANCEL_GRAIN: u64 = 4096;
+
+/// Segments up to this long are retried point-by-point when the
+/// residue-class argument does not apply, before the whole reference falls
+/// back to enumeration.
+const SMALL_SEG: i64 = 128;
+
+/// Closed-form per-reference totals: what `FindMisses` would tally by
+/// enumerating every point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RefCounts {
+    /// Cold (compulsory) misses.
+    pub cold: u64,
+    /// Replacement (capacity/conflict) misses.
+    pub replacement: u64,
+    /// Hits.
+    pub hits: u64,
+}
+
+impl RefCounts {
+    /// Total points counted.
+    pub fn total(&self) -> u64 {
+        self.cold + self.replacement + self.hits
+    }
+}
+
+/// The symbolic outcome for one reference: closed-form counts, or a
+/// fallback marker naming the first condition that failed to close.
+#[derive(Debug, Clone)]
+pub struct RefSymbolic {
+    counts: Option<RefCounts>,
+    reason: Option<&'static str>,
+    rows: u64,
+    total: u64,
+}
+
+impl RefSymbolic {
+    fn fallback(reason: &'static str, rows: u64, total: u64) -> RefSymbolic {
+        RefSymbolic {
+            counts: None,
+            reason: Some(reason),
+            rows,
+            total,
+        }
+    }
+
+    /// The closed-form counts, if the reference closed.
+    pub fn counts(&self) -> Option<RefCounts> {
+        self.counts
+    }
+
+    /// Whether the reference closed (counts available).
+    pub fn closed(&self) -> bool {
+        self.counts.is_some()
+    }
+
+    /// Why the reference fell back to enumeration, if it did.
+    pub fn fallback_reason(&self) -> Option<&'static str> {
+        self.reason
+    }
+
+    /// Rows of the reference's iteration space examined.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Points in the reference's RIS.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+/// The symbolic tier for a whole program: one [`RefSymbolic`] per
+/// reference.
+#[derive(Debug, Clone)]
+pub struct Symbolic {
+    per_ref: Vec<RefSymbolic>,
+}
+
+impl Symbolic {
+    /// Runs [`analyze_reference`] for every reference of the classifier's
+    /// program.
+    pub fn build(cl: &Classifier<'_>, cancel: &CancelToken) -> Result<Symbolic, Cancelled> {
+        let nrefs = cl.program().references().len();
+        let mut per_ref = Vec::with_capacity(nrefs);
+        for r in 0..nrefs {
+            per_ref.push(analyze_reference(cl, r, cancel)?);
+        }
+        Ok(Symbolic { per_ref })
+    }
+
+    /// The outcome for one reference.
+    pub fn reference(&self, r: RefId) -> &RefSymbolic {
+        &self.per_ref[r]
+    }
+
+    /// Per-reference outcomes in reference order.
+    pub fn references(&self) -> &[RefSymbolic] {
+        &self.per_ref
+    }
+
+    /// References that closed.
+    pub fn refs_closed(&self) -> usize {
+        self.per_ref.iter().filter(|r| r.closed()).count()
+    }
+
+    /// All references.
+    pub fn refs_total(&self) -> usize {
+        self.per_ref.len()
+    }
+
+    /// Points answered in closed form.
+    pub fn points_closed(&self) -> u64 {
+        self.per_ref
+            .iter()
+            .filter(|r| r.closed())
+            .map(|r| r.total)
+            .sum()
+    }
+
+    /// Points across all RISs.
+    pub fn points_total(&self) -> u64 {
+        self.per_ref.iter().map(|r| r.total).sum()
+    }
+}
+
+enum Stop {
+    Cancelled,
+    Fallback(&'static str),
+}
+
+/// Solves one reference's miss counts symbolically, or reports why it must
+/// fall back to enumeration. Wherever `counts` is returned it equals the
+/// exact classifier tally — the contract every caller relies on.
+pub fn analyze_reference(
+    cl: &Classifier<'_>,
+    r: RefId,
+    cancel: &CancelToken,
+) -> Result<RefSymbolic, Cancelled> {
+    if cancel.is_cancelled() {
+        return Err(Cancelled { points_done: 0 });
+    }
+    let program = cl.program();
+    let n = program.depth();
+    let ris = program.ris(r);
+    let total = ris.count();
+    if total == 0 {
+        return Ok(RefSymbolic {
+            counts: Some(RefCounts::default()),
+            reason: None,
+            rows: 0,
+            total,
+        });
+    }
+    if n == 0 {
+        return Ok(RefSymbolic::fallback("depth-0 program", 0, total));
+    }
+    let nprefix = n - 1;
+    let plan = cl.plan(r);
+    let caddr = program.addr_plan(r);
+    let cstride = caddr.coeff(nprefix);
+    let lbytes = cl.config().line_bytes() as i64;
+    let period = if cstride == 0 {
+        1
+    } else {
+        lbytes / gcd(lbytes, cstride.abs())
+    };
+    let statics = vec_statics(program, plan, n);
+    let label = program
+        .statement(program.reference(r).stmt)
+        .label
+        .as_slice();
+    let row_stmts = leaf_row_stmts(program, label);
+    let row_accesses: usize = row_stmts.iter().map(|s| s.refs.len()).sum::<usize>().max(1);
+    // The residue-class window argument needs every access of the row to
+    // shift by the same multiple of L under `v → v + P`: all leaf strides
+    // must equal the consumer's.
+    let leaf_uniform = row_stmts
+        .iter()
+        .all(|s| s.refs.iter().all(|&(_, p)| p.coeff(nprefix) == cstride));
+    let dv_max = statics
+        .iter()
+        .filter(|vs| {
+            vs.intra_row
+                && vs.dv >= 0
+                && (vs.dv as usize + 1).saturating_mul(row_accesses) <= WINDOW_BUDGET
+        })
+        .map(|vs| vs.dv)
+        .max()
+        .unwrap_or(0);
+    // `≠` constraints are invisible to `interval()`; resolve them per level
+    // once so row enumeration can subtract their holes.
+    let ne_by_level: Vec<Vec<usize>> = (0..n)
+        .map(|d| {
+            ris.system()
+                .constraints()
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.kind == ConstraintKind::Ne && c.expr.highest_var() == Some(d))
+                .map(|(i, _)| i)
+                .collect()
+        })
+        .collect();
+
+    let mut solver = RefSolver {
+        cl,
+        config: *cl.config(),
+        statics,
+        row_stmts,
+        row_accesses,
+        consumer_rank: plan.consumer_rank,
+        label,
+        caddr,
+        cstride,
+        lbytes,
+        period,
+        k: cl.config().assoc() as usize,
+        leaf_uniform,
+        dv_max,
+        n,
+        nprefix,
+        cancel,
+        ne_by_level,
+        vrows: Vec::new(),
+        pprefix: vec![0; nprefix],
+        idx: vec![0; n],
+        lines: Vec::new(),
+        from_buf: vec![0; 2 * n],
+        to_buf: vec![0; 2 * n],
+        cuts: Vec::new(),
+        bands: Vec::new(),
+        cbase: 0,
+        row_lo: 0,
+        row_hi: 0,
+        cold: 0,
+        repl: 0,
+        hit: 0,
+        rows: 0,
+        evals: 0,
+    };
+
+    let mut prefix = Vec::with_capacity(nprefix);
+    match solver.enumerate(ris, &mut prefix) {
+        Ok(()) => {
+            let counts = RefCounts {
+                cold: solver.cold,
+                replacement: solver.repl,
+                hits: solver.hit,
+            };
+            if counts.total() != total {
+                // Defensive: the segments must partition the RIS exactly.
+                debug_assert_eq!(counts.total(), total, "symbolic partition mismatch ref {r}");
+                return Ok(RefSymbolic::fallback(
+                    "internal partition mismatch",
+                    solver.rows,
+                    total,
+                ));
+            }
+            Ok(RefSymbolic {
+                counts: Some(counts),
+                reason: None,
+                rows: solver.rows,
+                total,
+            })
+        }
+        Err(Stop::Cancelled) => Err(Cancelled { points_done: 0 }),
+        Err(Stop::Fallback(reason)) => Ok(RefSymbolic::fallback(reason, solver.rows, total)),
+    }
+}
+
+struct RefSolver<'a, 'p> {
+    cl: &'a Classifier<'p>,
+    config: CacheConfig,
+    statics: Vec<VecStatic<'p>>,
+    row_stmts: Vec<RowStmt<'p>>,
+    row_accesses: usize,
+    consumer_rank: usize,
+    label: &'p [i64],
+    caddr: &'p Affine,
+    cstride: i64,
+    lbytes: i64,
+    period: i64,
+    k: usize,
+    leaf_uniform: bool,
+    dv_max: i64,
+    n: usize,
+    nprefix: usize,
+    cancel: &'a CancelToken,
+    ne_by_level: Vec<Vec<usize>>,
+    // Scratch, reused across rows.
+    vrows: Vec<VecRow>,
+    pprefix: Vec<i64>,
+    idx: Vec<i64>,
+    lines: Vec<i64>,
+    from_buf: Vec<i64>,
+    to_buf: Vec<i64>,
+    cuts: Vec<i64>,
+    bands: Vec<(i64, i64)>,
+    // Current row.
+    cbase: i64,
+    row_lo: i64,
+    row_hi: i64,
+    // Accumulated counts.
+    cold: u64,
+    repl: u64,
+    hit: u64,
+    rows: u64,
+    evals: u64,
+}
+
+impl RefSolver<'_, '_> {
+    /// Recursive prefix descent, mirroring `cme_poly::count`'s walk: exact
+    /// per-level intervals plus `≠` checks, with the innermost level solved
+    /// per row instead of per point.
+    fn enumerate(&mut self, space: &Space, prefix: &mut Vec<i64>) -> Result<(), Stop> {
+        let d = prefix.len();
+        if d == self.nprefix {
+            return self.rows_at_prefix(space, prefix);
+        }
+        let Some((lo, hi)) = space.system().interval(prefix, d) else {
+            return Ok(());
+        };
+        for v in lo..=hi {
+            prefix.push(v);
+            let ok = self.ne_by_level[d].iter().all(|&ci| {
+                space.system().constraints()[ci]
+                    .expr
+                    .partial_eval_prefix(prefix)
+                    .constant_term()
+                    != 0
+            });
+            if ok {
+                self.enumerate(space, prefix)?;
+            }
+            prefix.pop();
+        }
+        Ok(())
+    }
+
+    /// Splits the innermost interval at one prefix into maximal contiguous
+    /// rows (`≠` holes cut) and solves each.
+    fn rows_at_prefix(&mut self, space: &Space, prefix: &[i64]) -> Result<(), Stop> {
+        let d = self.nprefix;
+        let Some((lo, hi)) = space.system().interval(prefix, d) else {
+            return Ok(());
+        };
+        if lo > hi {
+            return Ok(());
+        }
+        let mut holes: Vec<i64> = Vec::new();
+        for &ci in &self.ne_by_level[d] {
+            let p = space.system().constraints()[ci]
+                .expr
+                .partial_eval_prefix(prefix);
+            let a = p.coeff(0);
+            let rest = p.constant_term();
+            if a == 0 {
+                if rest == 0 {
+                    return Ok(()); // `0 ≠ 0`: no points at this prefix
+                }
+            } else if rest % a == 0 {
+                holes.push(-rest / a);
+            }
+        }
+        holes.sort_unstable();
+        holes.dedup();
+        let mut start = lo;
+        for &h in &holes {
+            if h < start || h > hi {
+                continue;
+            }
+            if h > start {
+                self.solve_row(prefix, start, h - 1)?;
+            }
+            start = h + 1;
+        }
+        if start <= hi {
+            self.solve_row(prefix, start, hi)?;
+        }
+        Ok(())
+    }
+
+    /// Solves one row: cuts it into segments, decides each segment per
+    /// residue class (or per point where the class argument fails), and
+    /// accumulates the verdict counts.
+    fn solve_row(&mut self, prefix: &[i64], lo: i64, hi: i64) -> Result<(), Stop> {
+        self.rows += 1;
+        self.bump_eval()?;
+        let mut cbase = self.caddr.constant_term();
+        for (d, &p) in prefix.iter().enumerate().take(self.nprefix) {
+            cbase += self.caddr.coeff(d) * p;
+        }
+        self.cbase = cbase;
+        self.row_lo = lo;
+        self.row_hi = hi;
+        self.idx[..self.nprefix].copy_from_slice(prefix);
+
+        self.vrows.clear();
+        for i in 0..self.statics.len() {
+            let vr = build_vec_row(&self.statics[i], prefix, lo, hi, &mut self.pprefix);
+            self.vrows.push(vr);
+        }
+
+        // Segment cuts: vector applicability edges, `≠` holes of producers
+        // (isolated as width-1 per-point bands) and guard thresholds whose
+        // crossing makes window contents vary point-to-point.
+        self.cuts.clear();
+        self.bands.clear();
+        self.cuts.push(lo);
+        self.cuts.push(hi + 1);
+        for vr in &self.vrows {
+            if vr.excluded {
+                continue;
+            }
+            if vr.alo > lo && vr.alo <= hi {
+                self.cuts.push(vr.alo);
+            }
+            if vr.ahi >= lo && vr.ahi < hi {
+                self.cuts.push(vr.ahi + 1);
+            }
+            for &h in &vr.ne {
+                if h >= lo && h <= hi {
+                    self.cuts.push(h);
+                    self.cuts.push(h + 1);
+                    self.bands.push((h, h));
+                }
+            }
+        }
+        for si in 0..self.row_stmts.len() {
+            for gi in 0..self.row_stmts[si].guard.len() {
+                let c = &self.row_stmts[si].guard[gi];
+                let a = c.expr.coeff(self.nprefix);
+                if a == 0 {
+                    continue; // row-uniform truth: no threshold inside the row
+                }
+                let mut rest = c.expr.constant_term();
+                for (d, &p) in prefix.iter().enumerate().take(self.nprefix) {
+                    rest += c.expr.coeff(d) * p;
+                }
+                // Truth regions over `v`: all-false / mixed-window band /
+                // all-true (order depending on sign). Cuts isolate the
+                // regions even when the band is empty (`dv_max = 0` still
+                // flips single-point windows at the threshold).
+                let (cut_a, cut_b, band) = match c.kind {
+                    ConstraintKind::Ge => {
+                        if a > 0 {
+                            // true ⇔ w ≥ t: windows mix while t ∈ (v−dv, v].
+                            let t = div_ceil(-rest, a);
+                            (t, t + self.dv_max, (t, t + self.dv_max - 1))
+                        } else {
+                            // true ⇔ w ≤ t.
+                            let t = div_floor(-rest, a);
+                            (t + 1, t + self.dv_max + 1, (t + 1, t + self.dv_max))
+                        }
+                    }
+                    ConstraintKind::Eq | ConstraintKind::Ne => {
+                        if rest % a == 0 {
+                            let w0 = -rest / a;
+                            (w0, w0 + self.dv_max + 1, (w0, w0 + self.dv_max))
+                        } else {
+                            continue; // never crosses an integer point
+                        }
+                    }
+                };
+                for cut in [cut_a, cut_b] {
+                    if cut > lo && cut <= hi {
+                        self.cuts.push(cut);
+                    }
+                }
+                let (blo, bhi) = (band.0.max(lo), band.1.min(hi));
+                if blo <= bhi {
+                    self.bands.push((blo, bhi));
+                }
+            }
+        }
+        self.cuts.sort_unstable();
+        self.cuts.dedup();
+
+        let ncuts = self.cuts.len();
+        for w in 0..ncuts - 1 {
+            let (slo, shi) = (self.cuts[w], self.cuts[w + 1] - 1);
+            let per_point = self.bands.iter().any(|&(a, b)| a <= shi && slo <= b);
+            if per_point {
+                self.solve_seg_per_point(slo, shi)?;
+            } else {
+                match self.solve_seg_per_class(slo, shi) {
+                    Ok((c, rp, h)) => {
+                        self.cold += c;
+                        self.repl += rp;
+                        self.hit += h;
+                    }
+                    Err(Stop::Fallback(reason)) if shi - slo < SMALL_SEG => {
+                        // The class argument failed but the segment is
+                        // short: exact per-point evaluation instead.
+                        let _ = reason;
+                        self.solve_seg_per_point(slo, shi)?;
+                    }
+                    Err(stop) => return Err(stop),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Decides a segment once per residue class of `v mod P`, multiplying
+    /// by the class population. Counts are returned (not committed) so a
+    /// failed segment can be retried per point without double counting.
+    fn solve_seg_per_class(&mut self, slo: i64, shi: i64) -> Result<(u64, u64, u64), Stop> {
+        let (mut cold, mut repl, mut hit) = (0u64, 0u64, 0u64);
+        let reps = self.period.min(shi - slo + 1);
+        for j in 0..reps {
+            let v = slo + j;
+            let members = ((shi - v) / self.period + 1) as u64;
+            match self.eval_point(v, Some((slo, shi)))? {
+                COLD => cold += members,
+                REPL => repl += members,
+                HIT => hit += members,
+                _ => unreachable!("eval_point returns a definite verdict"),
+            }
+        }
+        Ok((cold, repl, hit))
+    }
+
+    /// Exact per-point evaluation for short segments and bands.
+    fn solve_seg_per_point(&mut self, slo: i64, shi: i64) -> Result<(), Stop> {
+        for v in slo..=shi {
+            match self.eval_point(v, None)? {
+                COLD => self.cold += 1,
+                REPL => self.repl += 1,
+                HIT => self.hit += 1,
+                _ => unreachable!("eval_point returns a definite verdict"),
+            }
+        }
+        Ok(())
+    }
+
+    fn bump_eval(&mut self) -> Result<(), Stop> {
+        self.evals += 1;
+        if self.evals.is_multiple_of(CANCEL_GRAIN) && self.cancel.is_cancelled() {
+            return Err(Stop::Cancelled);
+        }
+        Ok(())
+    }
+
+    /// First-match vector scan at one point, mirroring the classifier: the
+    /// first applicable same-line vector decides, via the row-uniform bound
+    /// or the exact window; no vector ⇒ cold.
+    ///
+    /// With `seg = Some(..)` the verdict must be constant over the whole
+    /// residue class within the segment (the caller multiplies it out), so
+    /// every consulted device must be residue-stable; any failure is a
+    /// `Fallback` stop. With `seg = None` the evaluation is exact for the
+    /// single point `v` and only genuinely undecidable devices stop.
+    fn eval_point(&mut self, v: i64, seg: Option<(i64, i64)>) -> Result<u8, Stop> {
+        self.bump_eval()?;
+        let line_c = self.config.mem_line(self.cbase + self.cstride * v);
+        for vi in 0..self.vrows.len() {
+            {
+                let vr = &self.vrows[vi];
+                if vr.excluded || v < vr.alo || v > vr.ahi {
+                    continue;
+                }
+                if !vr.ne.is_empty() && vr.ne.contains(&v) {
+                    continue;
+                }
+                if let Some((slo, shi)) = seg {
+                    if vr.pstride != self.cstride {
+                        // Cross-stride producer: the line match is not a
+                        // function of the residue class. Usable only when
+                        // the address gap provably clears a full line over
+                        // the segment (then the vector never applies).
+                        let a = vr.alo.max(slo);
+                        let b = vr.ahi.min(shi);
+                        let d0 = (vr.pbase - self.cbase) + (vr.pstride - self.cstride) * a;
+                        let d1 = (vr.pbase - self.cbase) + (vr.pstride - self.cstride) * b;
+                        let (dmin, dmax) = if d0 <= d1 { (d0, d1) } else { (d1, d0) };
+                        if dmin >= self.lbytes || dmax <= -self.lbytes {
+                            continue;
+                        }
+                        return Err(Stop::Fallback("cross-stride same-line overlap"));
+                    }
+                }
+                if self.config.mem_line(vr.pbase + vr.pstride * v) != line_c {
+                    continue;
+                }
+            }
+            // This vector decides the point (and, per the screens above,
+            // the whole class when `seg` is set).
+            if self.vrows[vi].bound.is_none() {
+                let vs = &self.statics[vi];
+                for d in 0..self.n {
+                    self.to_buf[2 * d] = self.label[d];
+                    self.to_buf[2 * d + 1] = if d < self.nprefix {
+                        self.idx[d]
+                    } else {
+                        self.row_hi
+                    };
+                }
+                for pos in 0..2 * self.n {
+                    self.from_buf[pos] = self.to_buf[pos] - vs.vector[pos];
+                }
+                self.from_buf[2 * self.n - 1] = self.row_lo - vs.dv;
+                let b = self.cl.row_contention_hit(&self.from_buf, &self.to_buf);
+                self.vrows[vi].bound = Some(b);
+            }
+            if self.vrows[vi].bound == Some(true) {
+                return Ok(HIT);
+            }
+            let vs = &self.statics[vi];
+            let window_ok = vs.intra_row
+                && vs.dv >= 0
+                && (vs.dv as usize + 1).saturating_mul(self.row_accesses) <= WINDOW_BUDGET;
+            if !window_ok {
+                return Err(Stop::Fallback(if vs.intra_row {
+                    "window budget exceeded"
+                } else {
+                    "cross-row interference undecided"
+                }));
+            }
+            if seg.is_some() && !self.leaf_uniform {
+                return Err(Stop::Fallback("mixed leaf strides"));
+            }
+            return Ok(window_eval(
+                &self.config,
+                &self.row_stmts,
+                &mut self.idx,
+                v,
+                vs.dv,
+                line_c,
+                vs.producer_rank,
+                self.consumer_rank,
+                self.k,
+                &mut self.lines,
+            ));
+        }
+        Ok(COLD)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::{PointClass, Scratch};
+    use cme_cache::CacheConfig;
+    use cme_ir::{LinExpr, LinRel, Program, ProgramBuilder, RelOp, SNode, SRef};
+    use cme_reuse::ReuseAnalysis;
+
+    /// The contract: wherever the tier closes, counts equal the exact
+    /// classifier tally. Returns (closed refs, total refs).
+    fn assert_matches_classifier(program: &Program, cfg: CacheConfig) -> (usize, usize) {
+        let reuse = ReuseAnalysis::analyze(program, cfg.line_bytes());
+        let cl = Classifier::new(program, &reuse, cfg);
+        let mut scratch = Scratch::new();
+        let mut closed = 0usize;
+        let nrefs = program.references().len();
+        for r in 0..nrefs {
+            let sym = analyze_reference(&cl, r, &CancelToken::never()).unwrap();
+            assert_eq!(sym.total(), program.ris(r).count(), "ref {r} total");
+            let Some(counts) = sym.counts() else {
+                continue;
+            };
+            closed += 1;
+            let mut want = RefCounts::default();
+            program
+                .ris(r)
+                .for_each_point(|p| match cl.classify_with_scratch(r, p, &mut scratch) {
+                    PointClass::Hit { .. } => want.hits += 1,
+                    PointClass::Cold => want.cold += 1,
+                    PointClass::ReplacementMiss { .. } => want.replacement += 1,
+                });
+            assert_eq!(counts, want, "ref {r} counts diverge from classifier");
+        }
+        (closed, nrefs)
+    }
+
+    fn stream_program(len: i64) -> Program {
+        let mut b = ProgramBuilder::new("stream");
+        b.array("A", &[len], 8);
+        b.push(SNode::loop_(
+            "I",
+            1,
+            len,
+            vec![SNode::reads_only(vec![SRef::new(
+                "A",
+                vec![LinExpr::var("I")],
+            )])],
+        ));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn stream_closes_exactly() {
+        for len in [17i64, 64, 301] {
+            let p = stream_program(len);
+            for cfg in [
+                CacheConfig::new(1024, 32, 1).unwrap(),
+                CacheConfig::new(512, 32, 2).unwrap(),
+                CacheConfig::with_geometry(24, 12, 2).unwrap(), // non-pow2
+            ] {
+                let (closed, total) = assert_matches_classifier(&p, cfg);
+                assert_eq!(closed, total, "len {len} cfg {cfg:?} must fully close");
+            }
+        }
+    }
+
+    #[test]
+    fn stencil_nest_closes_exactly() {
+        let n = 40i64;
+        let mut b = ProgramBuilder::new("stencil");
+        b.array("X", &[n, n], 8);
+        b.array("Y", &[n, n], 8);
+        let (i, j) = (LinExpr::var("I"), LinExpr::var("J"));
+        b.push(SNode::loop_(
+            "J",
+            2,
+            n - 1,
+            vec![SNode::loop_(
+                "I",
+                2,
+                n - 1,
+                vec![SNode::assign(
+                    SRef::new("Y", vec![i.clone(), j.clone()]),
+                    vec![
+                        SRef::new("X", vec![i.offset(-1), j.clone()]),
+                        SRef::new("X", vec![i.offset(1), j.clone()]),
+                        SRef::new("X", vec![i.clone(), j.clone()]),
+                    ],
+                )],
+            )],
+        ));
+        let p = b.build().unwrap();
+        for cfg in [
+            CacheConfig::new(4 * 1024, 32, 4).unwrap(),
+            CacheConfig::new(32 * 1024, 32, 2).unwrap(),
+            CacheConfig::with_geometry(40, 20, 3).unwrap(), // non-pow2
+        ] {
+            let (closed, _) = assert_matches_classifier(&p, cfg);
+            assert!(closed > 0, "cfg {cfg:?}: nothing closed");
+        }
+    }
+
+    #[test]
+    fn guarded_nest_matches_wherever_closed() {
+        let n = 24i64;
+        let mut b = ProgramBuilder::new("guarded");
+        b.array("A", &[n, n], 8);
+        b.array("B", &[n, n], 8);
+        let (i, j) = (LinExpr::var("I"), LinExpr::var("J"));
+        b.push(SNode::loop_(
+            "J",
+            2,
+            n,
+            vec![SNode::loop_(
+                "I",
+                1,
+                n,
+                vec![
+                    SNode::assign(
+                        SRef::new("A", vec![i.clone(), j.clone()]),
+                        vec![SRef::new("A", vec![i.clone(), j.offset(-1)])],
+                    ),
+                    SNode::if_(
+                        vec![LinRel::new(i.clone(), RelOp::Le, j.clone())],
+                        vec![SNode::reads_only(vec![SRef::new(
+                            "B",
+                            vec![j.clone(), i.clone()],
+                        )])],
+                    ),
+                ],
+            )],
+        ));
+        let p = b.build().unwrap();
+        for cfg in [
+            CacheConfig::new(4096, 32, 2).unwrap(),
+            CacheConfig::with_geometry(24, 12, 2).unwrap(),
+        ] {
+            assert_matches_classifier(&p, cfg);
+        }
+    }
+
+    #[test]
+    fn cross_nest_reuse_matches_wherever_closed() {
+        // Two nests with cross-nest reuse: the cross-row vectors usually
+        // force fallbacks; whatever closes must still be exact.
+        let n = 20i64;
+        let mut b = ProgramBuilder::new("twonests");
+        b.array("X", &[n, n], 8);
+        b.array("Y", &[n, n], 8);
+        let (i, j) = (LinExpr::var("I"), LinExpr::var("J"));
+        b.push(SNode::loop_(
+            "J",
+            1,
+            n,
+            vec![SNode::loop_(
+                "I",
+                1,
+                n,
+                vec![SNode::assign(
+                    SRef::new("Y", vec![i.clone(), j.clone()]),
+                    vec![SRef::new("X", vec![i.clone(), j.clone()])],
+                )],
+            )],
+        ));
+        let (i2, j2) = (LinExpr::var("I2"), LinExpr::var("J2"));
+        b.push(SNode::loop_(
+            "J2",
+            1,
+            n,
+            vec![SNode::loop_(
+                "I2",
+                1,
+                n,
+                vec![SNode::assign(
+                    SRef::new("X", vec![i2.clone(), j2.clone()]),
+                    vec![SRef::new("Y", vec![i2.clone(), j2.clone()])],
+                )],
+            )],
+        ));
+        let p = b.build().unwrap();
+        for cfg in [
+            CacheConfig::new(1024, 32, 2).unwrap(),
+            CacheConfig::new(8192, 32, 1).unwrap(),
+        ] {
+            assert_matches_classifier(&p, cfg);
+        }
+    }
+
+    #[test]
+    fn empty_ris_closes_to_zero() {
+        // A guard that never holds gives an empty RIS.
+        let mut b = ProgramBuilder::new("empty");
+        b.array("A", &[8], 8);
+        let i = LinExpr::var("I");
+        b.push(SNode::loop_(
+            "I",
+            1,
+            8,
+            vec![SNode::if_(
+                vec![LinRel::new(i.clone(), RelOp::Ge, LinExpr::constant(100))],
+                vec![SNode::reads_only(vec![SRef::new("A", vec![i.clone()])])],
+            )],
+        ));
+        let p = b.build().unwrap();
+        let cfg = CacheConfig::new(1024, 32, 1).unwrap();
+        let reuse = ReuseAnalysis::analyze(&p, cfg.line_bytes());
+        let cl = Classifier::new(&p, &reuse, cfg);
+        let sym = analyze_reference(&cl, 0, &CancelToken::never()).unwrap();
+        assert!(sym.closed());
+        assert_eq!(sym.counts().unwrap().total(), 0);
+    }
+
+    #[test]
+    fn cancelled_token_aborts() {
+        let p = stream_program(64 * 1024);
+        let cfg = CacheConfig::new(1024, 32, 1).unwrap();
+        let reuse = ReuseAnalysis::analyze(&p, cfg.line_bytes());
+        let cl = Classifier::new(&p, &reuse, cfg);
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        assert!(Symbolic::build(&cl, &cancel).is_err());
+        assert!(Symbolic::build(&cl, &CancelToken::never()).is_ok());
+    }
+}

@@ -65,12 +65,7 @@ fn arb_program(rng: &mut SeededRng) -> cme_ir::Program {
     b.array("Y", &[24, 12], 8);
     b.array("Z", &[24, 12], 8);
     b.options(NormalizeOptions::default());
-    b.push(SNode::loop_(
-        "J",
-        1,
-        n,
-        vec![SNode::loop_("I", 1, n, body)],
-    ));
+    b.push(SNode::loop_("J", 1, n, vec![SNode::loop_("I", 1, n, body)]));
     if second_nest {
         let i = LinExpr::var("I2");
         let j = LinExpr::var("J2");
@@ -188,10 +183,9 @@ fn fallback_tier_estimates_within_coarse_interval() {
     let sim = Simulator::new(cfg).run(&program).miss_ratio();
     let report = EstimateMisses::new(&program, cfg, SamplingOptions::paper_faithful()).run();
     // Coverage must be the sampled coarse tier, not exhaustive.
-    assert!(report
-        .references()
-        .iter()
-        .all(|r| matches!(r.coverage, cme_analysis::Coverage::Sampled { samples } if samples < 50)));
+    assert!(report.references().iter().all(
+        |r| matches!(r.coverage, cme_analysis::Coverage::Sampled { samples } if samples < 50)
+    ));
     // Within the coarse ±0.15 guarantee (with margin for the 90% level).
     assert!(
         (report.miss_ratio() - sim).abs() < 0.2,

@@ -6,7 +6,7 @@
 
 use cme_analysis::{Classifier, FindMisses};
 use cme_cache::{CacheConfig, Simulator};
-use cme_ir::{LinExpr, LinRel, ProgramBuilder, Program, RelOp, SNode, SRef};
+use cme_ir::{LinExpr, LinRel, Program, ProgramBuilder, RelOp, SNode, SRef};
 use cme_reuse::ReuseAnalysis;
 use std::ops::ControlFlow;
 

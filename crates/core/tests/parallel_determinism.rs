@@ -4,7 +4,9 @@
 //! miss counts and ratios. (Whole-`Report` equality is not used because a
 //! `Report` also records wall-clock time.)
 
-use cme_analysis::{EstimateMisses, FindMisses, PrepassMode, SamplingOptions, Threads, WalkStrategy};
+use cme_analysis::{
+    EstimateMisses, FindMisses, PrepassMode, SamplingOptions, Threads, WalkStrategy,
+};
 use cme_cache::CacheConfig;
 use cme_ir::{LinExpr, LinRel, Program, ProgramBuilder, RelOp, SNode, SRef};
 
@@ -116,7 +118,11 @@ fn faithful_options_identical_across_thread_counts() {
     let baseline = EstimateMisses::new(&program, cfg, opts(1)).run();
     for threads in THREAD_COUNTS {
         let report = EstimateMisses::new(&program, cfg, opts(threads)).run();
-        assert_eq!(baseline.references(), report.references(), "{threads} threads");
+        assert_eq!(
+            baseline.references(),
+            report.references(),
+            "{threads} threads"
+        );
     }
 }
 

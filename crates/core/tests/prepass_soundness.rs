@@ -348,9 +348,9 @@ fn expired_deadline_aborts_inside_prepass() {
     let started = std::time::Instant::now();
     let result = FindMisses::new(&program, cfg)
         .prepass(PrepassMode::On)
-        .run_cancellable(&CancelToken::with_timeout(std::time::Duration::from_millis(
-            1,
-        )));
+        .run_cancellable(&CancelToken::with_timeout(
+            std::time::Duration::from_millis(1),
+        ));
     assert!(result.is_err(), "1ms deadline must cancel the analysis");
     assert!(
         started.elapsed() < std::time::Duration::from_secs(5),

@@ -21,7 +21,8 @@ fn assert_verdicts_identical(program: &Program, cfg: CacheConfig, tag: &str) {
             let a = skip.classify_with_scratch(r, point, &mut s1);
             let b = scan.classify_with_scratch(r, point, &mut s2);
             assert_eq!(
-                a, b,
+                a,
+                b,
                 "{tag} cfg {cfg}: ref {r} ({}) at {point:?}",
                 program.reference(r).display
             );

@@ -1,0 +1,212 @@
+//! The symbolic tier's central guarantee, tested end-to-end: with
+//! `SymbolicMode::On`, `FindMisses` and `EstimateMisses` produce reports
+//! with contents identical to the enumerated ones — per-reference tallies,
+//! coverage, miss counts, ratios — on the paper's kernels at several
+//! concrete problem sizes, on non-power-of-two cache geometries, and on
+//! programs where some references must take the per-reference fallback.
+//! On complete-vector programs the symbolic totals also match the LRU
+//! simulator, transitively through `FindMisses`' own exactness.
+
+use cme_analysis::{
+    CancelToken, Classifier, EstimateMisses, FindMisses, SamplingOptions, Symbolic, SymbolicMode,
+};
+use cme_cache::{CacheConfig, Simulator};
+use cme_ir::{LinExpr, LinRel, Program, ProgramBuilder, RelOp, SNode, SRef};
+use cme_reuse::ReuseAnalysis;
+
+/// Three concrete instantiations per paper kernel — different shapes, not
+/// just scalings — as the differential corpus.
+fn kernel_sizes() -> Vec<(String, Program)> {
+    let mut v: Vec<(String, Program)> = Vec::new();
+    for n in [16i64, 24, 33] {
+        v.push((format!("hydro-{n}"), cme_workloads::hydro(n, n)));
+    }
+    for n in [8i64, 12, 17] {
+        v.push((format!("mgrid-{n}"), cme_workloads::mgrid(n)));
+    }
+    for (n, bj, bk) in [(8i64, 8i64, 4i64), (16, 8, 4), (18, 9, 6)] {
+        v.push((format!("mmt-{n}x{bj}x{bk}"), cme_workloads::mmt(n, bj, bk)));
+    }
+    v
+}
+
+fn geometries() -> Vec<CacheConfig> {
+    vec![
+        CacheConfig::new(4096, 32, 2).unwrap(),
+        CacheConfig::new(1024, 32, 1).unwrap(),
+        // Non-power-of-two line size and set count: the closure argument
+        // must not lean on power-of-two set mapping.
+        CacheConfig::with_geometry(24, 12, 2).unwrap(),
+        CacheConfig::with_geometry(32, 21, 1).unwrap(),
+    ]
+}
+
+/// Exact analysis, symbolic on vs off: identical report contents on every
+/// kernel × geometry pair.
+#[test]
+fn findmisses_symbolic_identical_to_enumerated() {
+    for (name, program) in &kernel_sizes() {
+        for cfg in geometries() {
+            let enumerated = FindMisses::new(program, cfg).run();
+            let symbolic = FindMisses::new(program, cfg)
+                .symbolic(SymbolicMode::On)
+                .run();
+            assert_eq!(
+                enumerated.references(),
+                symbolic.references(),
+                "{name} on {cfg}: symbolic tier diverged"
+            );
+            assert_eq!(
+                enumerated.exact_misses(),
+                symbolic.exact_misses(),
+                "{name} on {cfg}"
+            );
+            assert_eq!(
+                enumerated.miss_ratio(),
+                symbolic.miss_ratio(),
+                "{name} on {cfg}"
+            );
+        }
+    }
+}
+
+/// Sampled analysis: only exhaustively-planned references may be answered
+/// symbolically, so the sampled report is bit-identical too.
+#[test]
+fn estimatemisses_symbolic_identical_to_enumerated() {
+    for (name, program) in &kernel_sizes() {
+        let cfg = CacheConfig::new(4096, 32, 2).unwrap();
+        let base = SamplingOptions::paper_default();
+        let enumerated = EstimateMisses::new(program, cfg, base.clone()).run();
+        let symbolic = EstimateMisses::new(
+            program,
+            cfg,
+            SamplingOptions {
+                symbolic: SymbolicMode::On,
+                ..base
+            },
+        )
+        .run();
+        assert_eq!(
+            enumerated.references(),
+            symbolic.references(),
+            "{name}: sampled symbolic diverged"
+        );
+    }
+}
+
+/// On guard-free perfect nests the reuse-vector set is complete and
+/// `FindMisses` matches the LRU simulator exactly; the symbolic report
+/// must therefore match the simulator too — and actually close, not just
+/// fall back to the walk it is being compared against.
+#[test]
+fn symbolic_matches_simulator_on_complete_vector_programs() {
+    let n = 20i64;
+    let mut b = ProgramBuilder::new("stencil");
+    b.array("U", &[n, n], 8);
+    b.array("V", &[n, n], 8);
+    let (i, j) = (LinExpr::var("I"), LinExpr::var("J"));
+    b.push(SNode::loop_(
+        "J",
+        2,
+        n - 1,
+        vec![SNode::loop_(
+            "I",
+            2,
+            n - 1,
+            vec![SNode::assign(
+                SRef::new("V", vec![i.clone(), j.clone()]),
+                vec![
+                    SRef::new("U", vec![i.offset(-1), j.clone()]),
+                    SRef::new("U", vec![i.offset(1), j.clone()]),
+                    SRef::new("U", vec![i.clone(), j.offset(-1)]),
+                ],
+            )],
+        )],
+    ));
+    let program = b.build().unwrap();
+    for (size, assoc) in [(1024u64, 1u32), (2048, 2), (4096, 4)] {
+        let cfg = CacheConfig::new(size, 32, assoc).unwrap();
+        let report = FindMisses::new(&program, cfg)
+            .symbolic(SymbolicMode::On)
+            .run();
+        let sim = Simulator::new(cfg).run(&program);
+        assert_eq!(
+            report.exact_misses(),
+            Some(sim.total_misses()),
+            "cfg {cfg}: symbolic report vs simulator"
+        );
+        // Closure is geometry-dependent (small direct-mapped caches leave
+        // a ref on the walk); what matters is that the tier does real work
+        // here, so the simulator comparison above exercises closed forms.
+        assert!(
+            report.symbolic_refs_closed() >= program.references().len() as u64 - 1,
+            "cfg {cfg}: stencil nest should close almost fully, closed {}",
+            report.symbolic_refs_closed()
+        );
+    }
+}
+
+/// A nest engineered onto the fallback path: the transposed `B(J,I)` read
+/// gives the leaf mixed strides, so its reference cannot close — the
+/// per-reference fallback must hand it to the exact classifier while the
+/// streaming references still close, and the report must stay identical.
+#[test]
+fn guarded_nest_takes_fallback_and_stays_identical() {
+    let n = 40i64;
+    let mut b = ProgramBuilder::new("guarded-transpose");
+    b.array("A", &[48, 48], 8);
+    b.array("B", &[48, 48], 8);
+    let (i, j) = (LinExpr::var("I"), LinExpr::var("J"));
+    b.push(SNode::loop_(
+        "J",
+        2,
+        n,
+        vec![SNode::loop_(
+            "I",
+            1,
+            n,
+            vec![
+                SNode::assign(
+                    SRef::new("A", vec![i.clone(), j.clone()]),
+                    vec![SRef::new("A", vec![i.clone(), j.offset(-1)])],
+                ),
+                SNode::if_(
+                    vec![LinRel::new(i.clone(), RelOp::Le, j.clone())],
+                    vec![SNode::reads_only(vec![SRef::new(
+                        "B",
+                        vec![j.clone(), i.clone()],
+                    )])],
+                ),
+            ],
+        )],
+    ));
+    let program = b.build().unwrap();
+    let cfg = CacheConfig::new(4096, 32, 2).unwrap();
+
+    // Inspect the tier directly: some reference must report a fallback.
+    let reuse = ReuseAnalysis::analyze(&program, cfg.line_bytes());
+    let cl = Classifier::new(&program, &reuse, cfg);
+    let sym = Symbolic::build(&cl, &CancelToken::never()).unwrap();
+    assert!(
+        sym.refs_closed() < sym.refs_total(),
+        "expected at least one fallback reference"
+    );
+    assert!(
+        sym.references()
+            .iter()
+            .any(|r| r.fallback_reason().is_some()),
+        "fallback must carry a reason"
+    );
+
+    // And end-to-end the mixed closed/fallback report is still identical.
+    let enumerated = FindMisses::new(&program, cfg).run();
+    let symbolic = FindMisses::new(&program, cfg)
+        .symbolic(SymbolicMode::On)
+        .run();
+    assert_eq!(enumerated.references(), symbolic.references());
+    assert!(
+        symbolic.symbolic_refs_closed() < program.references().len() as u64,
+        "the transposed read must not close"
+    );
+}

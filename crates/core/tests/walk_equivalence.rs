@@ -20,7 +20,13 @@ fn reference_walk(program: &Program, from: &[i64], to: &[i64], filter: &SetFilte
     let mut out = Vec::new();
     walk_range_rev(program, from, to, |acc, tag| {
         if filter.matches_addr(acc.addr) {
-            out.push((acc.r, acc.point.to_vec(), acc.addr, tag.at_start, tag.at_end));
+            out.push((
+                acc.r,
+                acc.point.to_vec(),
+                acc.addr,
+                tag.at_start,
+                tag.at_end,
+            ));
         }
         ControlFlow::Continue(())
     });
@@ -36,7 +42,13 @@ fn skip_walk(
 ) -> Vec<Visit> {
     let mut out = Vec::new();
     walker.walk_range_rev_in_set(program, from, to, filter, |acc, tag| {
-        out.push((acc.r, acc.point.to_vec(), acc.addr, tag.at_start, tag.at_end));
+        out.push((
+            acc.r,
+            acc.point.to_vec(),
+            acc.addr,
+            tag.at_start,
+            tag.at_end,
+        ));
         ControlFlow::Continue(())
     });
     out
@@ -102,12 +114,7 @@ fn arb_program(rng: &mut SeededRng) -> Program {
     b.array("Y", &[24, 12], elem);
     b.array("Z", &[24, 12], elem);
     b.options(NormalizeOptions::default());
-    b.push(SNode::loop_(
-        "J",
-        1,
-        n,
-        vec![SNode::loop_("I", 1, n, body)],
-    ));
+    b.push(SNode::loop_("J", 1, n, vec![SNode::loop_("I", 1, n, body)]));
     if rng.gen_bool() {
         let i = LinExpr::var("I2");
         b.push(SNode::loop_(
@@ -135,8 +142,8 @@ fn check_program(program: &Program, rng: &mut SeededRng, intervals: usize, tag: 
         } else {
             (a, b)
         };
-        let (line_bytes, num_sets) = [(16i64, 8i64), (32, 4), (32, 16), (24, 12)]
-            [rng.gen_below(4) as usize];
+        let (line_bytes, num_sets) =
+            [(16i64, 8i64), (32, 4), (32, 16), (24, 12)][rng.gen_below(4) as usize];
         let target_set = rng.gen_below(num_sets as u64) as i64;
         let filter = SetFilter::new(line_bytes, num_sets, target_set);
         let expect = reference_walk(program, from, to, &filter);
@@ -188,7 +195,13 @@ fn skip_walk_break_prefix_agrees() {
                 return ControlFlow::Break(());
             }
             left -= 1;
-            got.push((acc.r, acc.point.to_vec(), acc.addr, tag.at_start, tag.at_end));
+            got.push((
+                acc.r,
+                acc.point.to_vec(),
+                acc.addr,
+                tag.at_start,
+                tag.at_end,
+            ));
             ControlFlow::Continue(())
         });
         assert_eq!(got.as_slice(), &full[..cut], "prefix of length {cut}");

@@ -170,9 +170,7 @@ fn lex_line(text: &str, lineno: usize) -> Result<Vec<Token>, FortranError> {
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let mut j = i;
-                while j < chars.len()
-                    && (chars[j].is_ascii_alphanumeric() || chars[j] == '_')
-                {
+                while j < chars.len() && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
                     j += 1;
                 }
                 let word: String = chars[i..j].iter().collect::<String>().to_uppercase();

@@ -139,9 +139,9 @@ impl<'a> Parser<'a> {
     fn parse_unit(&mut self) -> Result<(Subroutine, bool), FortranError> {
         let line = self.lines[self.pos].clone();
         let mut t = Cursor::new(&line);
-        let kw = t.ident().ok_or_else(|| {
-            FortranError::parse(line.number, "expected PROGRAM or SUBROUTINE")
-        })?;
+        let kw = t
+            .ident()
+            .ok_or_else(|| FortranError::parse(line.number, "expected PROGRAM or SUBROUTINE"))?;
         let (name, formals, is_program) = match kw.as_str() {
             "PROGRAM" => {
                 let name = t
@@ -425,7 +425,10 @@ impl<'a> Parser<'a> {
             "PARAMETER" => {
                 // PARAMETER (N=100, M=200)
                 if !c.eat_punct('(') {
-                    return Err(FortranError::parse(line.number, "expected ( after PARAMETER"));
+                    return Err(FortranError::parse(
+                        line.number,
+                        "expected ( after PARAMETER",
+                    ));
                 }
                 loop {
                     let name = c.ident().ok_or_else(|| {
@@ -796,12 +799,7 @@ impl<'a> Parser<'a> {
 
     /// Turns an expression tree into an affine [`LinExpr`] over loop
     /// variables, folding parameters.
-    fn linearize(
-        &self,
-        tree: &ETree,
-        line: &Line,
-        unit: &Unit,
-    ) -> Result<LinExpr, FortranError> {
+    fn linearize(&self, tree: &ETree, line: &Line, unit: &Unit) -> Result<LinExpr, FortranError> {
         match tree {
             ETree::Num(v) => Ok(LinExpr::constant(*v)),
             ETree::RealNum => Err(FortranError {
@@ -886,12 +884,7 @@ impl<'a> Parser<'a> {
     }
 
     /// Evaluates a constant expression (dimension bound, PARAMETER value).
-    fn const_expr(
-        &self,
-        c: &mut Cursor,
-        line: &Line,
-        unit: &Unit,
-    ) -> Result<i64, FortranError> {
+    fn const_expr(&self, c: &mut Cursor, line: &Line, unit: &Unit) -> Result<i64, FortranError> {
         let tree = parse_expr(c, line.number)?;
         let e = self.linearize(&tree, line, unit)?;
         if !e.is_constant() {

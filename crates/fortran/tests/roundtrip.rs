@@ -28,7 +28,9 @@ fn roundtrip(src: &str, params: &[(&str, i64)]) {
     )
     .expect("normalise 1");
     let p2 = normalize(
-        &cme_inline::Inliner::new().inline(&second).expect("inline 2"),
+        &cme_inline::Inliner::new()
+            .inline(&second)
+            .expect("inline 2"),
         &NormalizeOptions::default(),
     )
     .expect("normalise 2");

@@ -207,7 +207,10 @@ mod tests {
 
     #[test]
     fn scalar_formal_is_propagateable() {
-        let caller = caller_with(vec![VarDecl::scalar("X", 8), VarDecl::array("A", &[10, 10], 8)]);
+        let caller = caller_with(vec![
+            VarDecl::scalar("X", 8),
+            VarDecl::array("A", &[10, 10], 8),
+        ]);
         let fp = VarDecl::scalar("Y", 8).formal();
         assert_eq!(
             classify_actual(&caller, &Actual::var("X"), &fp).unwrap(),
@@ -258,7 +261,9 @@ mod tests {
             classify_actual(&caller, &Actual::var("B"), &t).unwrap(),
             ActualClass::Renameable
         );
-        let s = VarDecl::array("S", &[10, 10, 1], 8).formal().assumed_last_dim();
+        let s = VarDecl::array("S", &[10, 10, 1], 8)
+            .formal()
+            .assumed_last_dim();
         let elem = Actual::element("B", vec![LinExpr::var("I1"), LinExpr::var("I2")]);
         assert_eq!(
             classify_actual(&caller, &elem, &s).unwrap(),
@@ -316,7 +321,9 @@ mod tests {
             VarDecl::scalar("Y", 8).formal(),
             VarDecl::array("C", &[10, 10], 8).formal(),
             VarDecl::array("D", &[400], 8).formal(),
-            VarDecl::array("S", &[10, 10, 1], 8).formal().assumed_last_dim(),
+            VarDecl::array("S", &[10, 10, 1], 8)
+                .formal()
+                .assumed_last_dim(),
         ];
         let mut g = Subroutine::new("g");
         g.formals = vec!["E".into(), "F".into(), "T".into()];

@@ -169,7 +169,11 @@ impl Inliner {
         let entry = src.entry_subroutine();
         let stack_name = {
             let mut name = "STACK".to_string();
-            while src.subroutines.iter().any(|s| s.decls.iter().any(|d| d.name == name)) {
+            while src
+                .subroutines
+                .iter()
+                .any(|s| s.decls.iter().any(|d| d.name == name))
+            {
                 name.push('_');
             }
             name
@@ -265,11 +269,7 @@ impl Inliner {
                 }
                 SNode::Assign(a) => {
                     out.push(SNode::Assign(SAssign {
-                        reads: a
-                            .reads
-                            .iter()
-                            .map(|r| rewrite_ref(r, bind, vars))
-                            .collect(),
+                        reads: a.reads.iter().map(|r| rewrite_ref(r, bind, vars)).collect(),
                         write: a.write.as_ref().map(|r| rewrite_ref(r, bind, vars)),
                         label: a.label.clone(),
                     }));
@@ -373,8 +373,12 @@ impl Inliner {
         let frame = call.args.len() as i64 + 1;
         let frame_base = ctx.sp;
         if ctx.model_stack {
-            let slot =
-                |k: i64| SRef::new(ctx.stack_name.clone(), vec![LinExpr::constant(frame_base + k)]);
+            let slot = |k: i64| {
+                SRef::new(
+                    ctx.stack_name.clone(),
+                    vec![LinExpr::constant(frame_base + k)],
+                )
+            };
             // Caller writes the return address and argument pointers …
             for k in 1..=frame {
                 out.push(SNode::assign(slot(k), vec![]));
@@ -500,10 +504,7 @@ impl Inliner {
         }
         let mut offs = vec![LinExpr::constant(0); fp.dims.len()];
         offs[0] = lin;
-        Ok(Binding::Array {
-            array: alias,
-            offs,
-        })
+        Ok(Binding::Array { array: alias, offs })
     }
 
     /// Table 2 census for a whole program (delegates to
@@ -583,10 +584,7 @@ fn rewrite_ref(r: &SRef, bind: &HashMap<String, Binding>, vars: &HashMap<String,
         Some(Binding::Rename(n)) => SRef::new(n.clone(), subs),
         Some(Binding::Array { array, offs }) => SRef::new(
             array.clone(),
-            subs.iter()
-                .zip(offs)
-                .map(|(s, o)| s.add(o))
-                .collect(),
+            subs.iter().zip(offs).map(|(s, o)| s.add(o)).collect(),
         ),
     }
 }
@@ -610,13 +608,13 @@ fn rewrite_actual(
         },
         Some(Binding::Array { array, offs }) => {
             if subs.is_empty() {
-                if offs.iter().all(|o| o.is_constant() && o.constant_term() == 0) {
+                if offs
+                    .iter()
+                    .all(|o| o.is_constant() && o.constant_term() == 0)
+                {
                     Actual::var(array.clone())
                 } else {
-                    Actual::element(
-                        array.clone(),
-                        offs.iter().map(|o| o.offset(1)).collect(),
-                    )
+                    Actual::element(array.clone(), offs.iter().map(|o| o.offset(1)).collect())
                 }
             } else {
                 Actual::element(

@@ -59,7 +59,9 @@ fn figure5() -> SourceProgram {
         VarDecl::scalar("Y", 8).formal(),
         VarDecl::array("C", &[10, 10], 8).formal(),
         VarDecl::array("D", &[400], 8).formal(),
-        VarDecl::array("S", &[10, 10, 1], 8).formal().assumed_last_dim(),
+        VarDecl::array("S", &[10, 10, 1], 8)
+            .formal()
+            .assumed_last_dim(),
     ];
     f.body = vec![SNode::loop_(
         "I3",
@@ -74,10 +76,7 @@ fn figure5() -> SourceProgram {
                     SRef::new("C", vec![i3.clone(), i4.offset(-1)]),
                     vec![
                         SRef::scalar("Y"),
-                        SRef::new(
-                            "D",
-                            vec![i3.offset(-1).add(&i4.offset(-1).scale(20))],
-                        ),
+                        SRef::new("D", vec![i3.offset(-1).add(&i4.offset(-1).scale(20))]),
                     ],
                 ),
                 SNode::assign(
@@ -210,10 +209,7 @@ fn hand_inlined_equivalence() {
 
     // Version 1: MAIN initialises V, then CALL smooth(V, W) twice.
     let mut main = Subroutine::new("MAIN");
-    main.decls = vec![
-        VarDecl::array("V", &[n], 8),
-        VarDecl::array("W", &[n], 8),
-    ];
+    main.decls = vec![VarDecl::array("V", &[n], 8), VarDecl::array("W", &[n], 8)];
     main.body = vec![
         SNode::loop_(
             "I",
@@ -250,10 +246,7 @@ fn hand_inlined_equivalence() {
 
     // Version 2: hand-inlined.
     let mut flat = Subroutine::new("MAIN");
-    flat.decls = vec![
-        VarDecl::array("V", &[n], 8),
-        VarDecl::array("W", &[n], 8),
-    ];
+    flat.decls = vec![VarDecl::array("V", &[n], 8), VarDecl::array("W", &[n], 8)];
     let mk_smooth = |src: &str, dst: &str, var: &str| {
         let v = ivar(var);
         SNode::loop_(
@@ -410,7 +403,7 @@ fn stack_model_emits_frame_accesses() {
         .find(|d| d.name == "STACK")
         .expect("stack declared");
     assert_eq!(stack_decl.dims, vec![DimSize::Fixed(2)]); // ret addr + 1 arg
-    // Frame accesses present: 2 writes + 1 ptr read + 1 ret read + loop body.
+                                                          // Frame accesses present: 2 writes + 1 ptr read + 1 ret read + loop body.
     let stats = inlined.stats();
     assert_eq!(stats.references, 2 + 1 + 1 + 1);
     // Without the stack model they are absent.

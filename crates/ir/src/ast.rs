@@ -419,7 +419,9 @@ impl Subroutine {
 
     /// The `COMMON` block (if any) a variable belongs to.
     pub fn common_of(&self, name: &str) -> Option<&CommonBlock> {
-        self.commons.iter().find(|c| c.vars.iter().any(|v| v == name))
+        self.commons
+            .iter()
+            .find(|c| c.vars.iter().any(|v| v == name))
     }
 }
 
@@ -457,7 +459,8 @@ impl SourceProgram {
     /// Panics if the entry name does not resolve (programs from the builder
     /// and the front end are always well-formed).
     pub fn entry_subroutine(&self) -> &Subroutine {
-        self.subroutine(&self.entry).expect("entry subroutine exists")
+        self.subroutine(&self.entry)
+            .expect("entry subroutine exists")
     }
 
     /// Statistics in the spirit of Table 5 of the paper: an estimated source
@@ -594,7 +597,9 @@ mod tests {
         let s = VarDecl::scalar("X", 8);
         assert!(s.is_scalar());
         assert_eq!(s.total_elems(), Some(1));
-        let f = VarDecl::array("S", &[10, 10, 1], 8).formal().assumed_last_dim();
+        let f = VarDecl::array("S", &[10, 10, 1], 8)
+            .formal()
+            .assumed_last_dim();
         assert_eq!(f.kind, VarKind::Formal);
         assert_eq!(f.total_elems(), None);
         assert_eq!(f.dims.last(), Some(&DimSize::Assumed));

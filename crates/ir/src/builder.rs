@@ -133,7 +133,10 @@ mod tests {
             "I",
             1,
             8,
-            vec![SNode::assign(SRef::new("A", vec![LinExpr::var("I")]), vec![])],
+            vec![SNode::assign(
+                SRef::new("A", vec![LinExpr::var("I")]),
+                vec![],
+            )],
         ));
         let p = b.build().unwrap();
         assert_eq!(p.base_address(0), 4096);

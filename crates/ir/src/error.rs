@@ -65,7 +65,10 @@ impl fmt::Display for IrError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IrError::UndeclaredVariable { name, subroutine } => {
-                write!(f, "undeclared variable `{name}` in subroutine `{subroutine}`")
+                write!(
+                    f,
+                    "undeclared variable `{name}` in subroutine `{subroutine}`"
+                )
             }
             IrError::SubscriptArity {
                 array,

@@ -333,7 +333,10 @@ mod tests {
 
     #[test]
     fn construction_and_arith() {
-        let e = LinExpr::var("I").scale(2).add(&LinExpr::var("J")).offset(-3);
+        let e = LinExpr::var("I")
+            .scale(2)
+            .add(&LinExpr::var("J"))
+            .offset(-3);
         assert_eq!(e.coeff("I"), 2);
         assert_eq!(e.coeff("J"), 1);
         assert_eq!(e.coeff("K"), 0);
@@ -354,7 +357,10 @@ mod tests {
     #[test]
     fn substitution() {
         // 2I + J - 3 with I := K + 1  ⇒  2K + J - 1
-        let e = LinExpr::var("I").scale(2).add(&LinExpr::var("J")).offset(-3);
+        let e = LinExpr::var("I")
+            .scale(2)
+            .add(&LinExpr::var("J"))
+            .offset(-3);
         let s = e.substitute("I", &LinExpr::var("K").offset(1));
         assert_eq!(s.coeff("K"), 2);
         assert_eq!(s.coeff("I"), 0);
@@ -372,7 +378,10 @@ mod tests {
 
     #[test]
     fn eval_and_to_affine_agree() {
-        let e = LinExpr::var("I").scale(3).add(&LinExpr::var("J").scale(-2)).offset(7);
+        let e = LinExpr::var("I")
+            .scale(3)
+            .add(&LinExpr::var("J").scale(-2))
+            .offset(7);
         let order = vec!["I".to_string(), "J".to_string()];
         let a = e.to_affine(&order).unwrap();
         for i in -3..3 {
@@ -392,7 +401,14 @@ mod tests {
 
     #[test]
     fn relop_negation_is_involutive_and_exact() {
-        for op in [RelOp::Eq, RelOp::Ne, RelOp::Le, RelOp::Lt, RelOp::Ge, RelOp::Gt] {
+        for op in [
+            RelOp::Eq,
+            RelOp::Ne,
+            RelOp::Le,
+            RelOp::Lt,
+            RelOp::Ge,
+            RelOp::Gt,
+        ] {
             assert_eq!(op.negated().negated(), op);
             for l in -2..=2 {
                 for r in -2..=2 {

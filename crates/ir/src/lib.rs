@@ -47,13 +47,15 @@ pub mod unparse;
 pub mod walk;
 
 pub use ast::{
-    Actual, CommonBlock, DimSize, SAssign, SCall, SIf, SLoop, SNode, SRef, SourceProgram, SourceStats,
-    Subroutine, VarDecl, VarKind,
+    Actual, CommonBlock, DimSize, SAssign, SCall, SIf, SLoop, SNode, SRef, SourceProgram,
+    SourceStats, Subroutine, VarDecl, VarKind,
 };
 pub use builder::ProgramBuilder;
 pub use error::IrError;
-pub use fingerprint::{fingerprint_program, structural_fingerprint, Fingerprint, FpHasher};
 pub use expr::{LinExpr, LinRel, RelOp};
+pub use fingerprint::{
+    fingerprint_program, shape_fingerprint, structural_fingerprint, Fingerprint, FpHasher,
+};
 pub use normalize::{normalize, normalize_subroutine, NormalizeOptions};
 pub use program::{
     AccessKind, Array, ArrayId, LoopNode, Program, RefId, Reference, Statement, StmtId, Storage,

@@ -27,9 +27,7 @@
 use crate::ast::{SAssign, SLoop, SNode, SourceProgram, Subroutine};
 use crate::error::IrError;
 use crate::expr::{LinExpr, LinRel, RelOp};
-use crate::program::{
-    AccessKind, Array, LoopNode, Program, Reference, Statement, StmtId, Storage,
-};
+use crate::program::{AccessKind, Array, LoopNode, Program, Reference, Statement, StmtId, Storage};
 use cme_poly::{Affine, Constraint};
 use std::collections::HashMap;
 
@@ -168,7 +166,15 @@ pub fn normalize_subroutine(
     }
     let Lowerer { stmts, refs, .. } = lower;
 
-    Program::from_parts(program_name, n, arrays, roots, stmts, refs, opts.layout_base)
+    Program::from_parts(
+        program_name,
+        n,
+        arrays,
+        roots,
+        stmts,
+        refs,
+        opts.layout_base,
+    )
 }
 
 /// A body item with the accumulated guard of its enclosing `IF`s.
@@ -235,9 +241,7 @@ fn normalize_steps(node: &SNode) -> Result<SNode, IrError> {
             // I := lb + (I' − 1)·s with I' reusing the original name (its
             // old meaning is fully substituted away).
             let fresh = format!("{}#step", l.var);
-            let replacement = l
-                .lb
-                .add(&LinExpr::var(fresh.clone()).offset(-1).scale(s));
+            let replacement = l.lb.add(&LinExpr::var(fresh.clone()).offset(-1).scale(s));
             let body = body
                 .iter()
                 .map(|b| substitute_node(b, &l.var, &replacement))
@@ -281,7 +285,11 @@ fn substitute_node(node: &SNode, name: &str, replacement: &LinExpr) -> SNode {
                 .collect(),
         }),
         SNode::If(i) => SNode::If(crate::ast::SIf {
-            conds: i.conds.iter().map(|c| c.substitute(name, replacement)).collect(),
+            conds: i
+                .conds
+                .iter()
+                .map(|c| c.substitute(name, replacement))
+                .collect(),
             then_body: i
                 .then_body
                 .iter()
@@ -294,7 +302,11 @@ fn substitute_node(node: &SNode, name: &str, replacement: &LinExpr) -> SNode {
                 .collect(),
         }),
         SNode::Assign(a) => SNode::Assign(SAssign {
-            reads: a.reads.iter().map(|r| r.substitute(name, replacement)).collect(),
+            reads: a
+                .reads
+                .iter()
+                .map(|r| r.substitute(name, replacement))
+                .collect(),
             write: a.write.as_ref().map(|r| r.substitute(name, replacement)),
             label: a.label.clone(),
         }),
@@ -305,7 +317,11 @@ fn substitute_node(node: &SNode, name: &str, replacement: &LinExpr) -> SNode {
                 .iter()
                 .map(|a| crate::ast::Actual {
                     name: a.name.clone(),
-                    subs: a.subs.iter().map(|s| s.substitute(name, replacement)).collect(),
+                    subs: a
+                        .subs
+                        .iter()
+                        .map(|s| s.substitute(name, replacement))
+                        .collect(),
                 })
                 .collect(),
         }),
@@ -392,7 +408,10 @@ impl<'a> Lowerer<'a> {
                     }
                     loops.push(l);
                 }
-                node @ SNode::Assign(_) => pending.push(Guarded { guard: g.guard, node }),
+                node @ SNode::Assign(_) => pending.push(Guarded {
+                    guard: g.guard,
+                    node,
+                }),
                 SNode::Call(c) => return Err(IrError::UnexpectedCall { callee: c.callee }),
                 SNode::If(_) => unreachable!("IFs flattened above"),
             }
@@ -403,7 +422,11 @@ impl<'a> Lowerer<'a> {
             let ub = last.ub.clone();
             let var = last.var.clone();
             for mut p in pending.drain(..) {
-                p.guard.push(LinRel::new(LinExpr::var(var.clone()), RelOp::Eq, ub.clone()));
+                p.guard.push(LinRel::new(
+                    LinExpr::var(var.clone()),
+                    RelOp::Eq,
+                    ub.clone(),
+                ));
                 last.body.push(reify(p));
             }
         }
@@ -442,9 +465,7 @@ impl<'a> Lowerer<'a> {
                                 stmt_ids.push(id);
                             }
                         }
-                        SNode::Call(c) => {
-                            return Err(IrError::UnexpectedCall { callee: c.callee })
-                        }
+                        SNode::Call(c) => return Err(IrError::UnexpectedCall { callee: c.callee }),
                         SNode::Loop(_) => {
                             return Err(IrError::Invalid {
                                 message: "loop deeper than computed maximal depth".into(),
@@ -667,7 +688,7 @@ pub(crate) fn assign_labels(roots: &[LoopNode], stmts: &mut [Statement]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ast::{SourceProgram, SRef, VarDecl};
+    use crate::ast::{SRef, SourceProgram, VarDecl};
     use crate::expr::LinExpr;
     use crate::program::AccessKind;
 
@@ -769,12 +790,7 @@ mod tests {
         let sizes: Vec<(String, u64)> = p
             .statements()
             .iter()
-            .map(|s| {
-                (
-                    s.name.clone().unwrap(),
-                    p.ris(s.refs[0]).count(),
-                )
-            })
+            .map(|s| (s.name.clone().unwrap(), p.ris(s.refs[0]).count()))
             .collect();
         let get = |n: &str| sizes.iter().find(|(m, _)| m == n).unwrap().1;
         assert_eq!(get("S1"), 9);
@@ -806,11 +822,7 @@ mod tests {
         let p = norm_figure1(n);
         let mut got: Vec<(String, i64)> = Vec::new();
         crate::walk::for_each_access(&p, |a| {
-            let name = p
-                .statement(p.reference(a.r).stmt)
-                .name
-                .clone()
-                .unwrap();
+            let name = p.statement(p.reference(a.r).stmt).name.clone().unwrap();
             got.push((name, a.addr));
             std::ops::ControlFlow::Continue(())
         });
@@ -848,7 +860,10 @@ mod tests {
             1,
             10,
             3,
-            vec![SNode::assign(SRef::new("A", vec![LinExpr::var("I")]), vec![])],
+            vec![SNode::assign(
+                SRef::new("A", vec![LinExpr::var("I")]),
+                vec![],
+            )],
         )];
         let p = normalize_subroutine("steps", &sub, &NormalizeOptions::default()).unwrap();
         let t = crate::walk::trace(&p);
@@ -866,7 +881,10 @@ mod tests {
             8,
             2,
             -2,
-            vec![SNode::assign(SRef::new("A", vec![LinExpr::var("I")]), vec![])],
+            vec![SNode::assign(
+                SRef::new("A", vec![LinExpr::var("I")]),
+                vec![],
+            )],
         )];
         let p = normalize_subroutine("steps", &sub, &NormalizeOptions::default()).unwrap();
         let addrs: Vec<i64> = crate::walk::trace(&p).iter().map(|&(_, a)| a).collect();
@@ -888,7 +906,10 @@ mod tests {
                 2,
                 LinExpr::var("M").scale(2),
                 2,
-                vec![SNode::assign(SRef::new("A", vec![LinExpr::var("J")]), vec![])],
+                vec![SNode::assign(
+                    SRef::new("A", vec![LinExpr::var("J")]),
+                    vec![],
+                )],
             )],
         )];
         let p = normalize_subroutine("steps", &sub, &NormalizeOptions::default()).unwrap();
@@ -915,8 +936,14 @@ mod tests {
         let p = normalize_subroutine("ifelse", &sub, &NormalizeOptions::default()).unwrap();
         let t = crate::walk::trace(&p);
         // A written for I ≤ 3 (3 accesses), B for I ≥ 4 (5 accesses).
-        let a_writes = t.iter().filter(|&&(r, _)| p.reference(r).array == 0).count();
-        let b_writes = t.iter().filter(|&&(r, _)| p.reference(r).array == 1).count();
+        let a_writes = t
+            .iter()
+            .filter(|&&(r, _)| p.reference(r).array == 0)
+            .count();
+        let b_writes = t
+            .iter()
+            .filter(|&&(r, _)| p.reference(r).array == 1)
+            .count();
         assert_eq!((a_writes, b_writes), (3, 5));
     }
 
@@ -970,7 +997,10 @@ mod tests {
             "I",
             1,
             4,
-            vec![SNode::assign(SRef::new("A", vec![LinExpr::var("Q")]), vec![])],
+            vec![SNode::assign(
+                SRef::new("A", vec![LinExpr::var("Q")]),
+                vec![],
+            )],
         )];
         let err = normalize_subroutine("bad", &sub, &NormalizeOptions::default()).unwrap_err();
         assert!(matches!(err, IrError::DataDependent { .. }));
@@ -985,7 +1015,11 @@ mod tests {
         ranks.sort_unstable();
         assert_eq!(ranks, sorted);
         assert_eq!(
-            p.references().iter().map(|r| r.lex_rank).collect::<std::collections::HashSet<_>>().len(),
+            p.references()
+                .iter()
+                .map(|r| r.lex_rank)
+                .collect::<std::collections::HashSet<_>>()
+                .len(),
             p.references().len()
         );
         // S1's write is the first reference lexically.

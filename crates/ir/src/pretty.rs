@@ -19,7 +19,12 @@ use std::fmt::Write;
 /// ```
 pub fn render(program: &Program) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "PROGRAM {} (depth {})", program.name(), program.depth());
+    let _ = writeln!(
+        out,
+        "PROGRAM {} (depth {})",
+        program.name(),
+        program.depth()
+    );
     for a in program.arrays() {
         let dims: Vec<String> = a
             .dims
@@ -168,31 +173,44 @@ mod tests {
 
 #[cfg(test)]
 mod more_tests {
+    use crate::ast::{SNode, SRef};
     use crate::builder::ProgramBuilder;
     use crate::expr::LinExpr;
-    use crate::ast::{SNode, SRef};
 
     #[test]
     fn renders_alias_and_assumed_dims() {
-        use crate::ast::VarDecl;
-        use crate::normalize::{normalize, NormalizeOptions};
         use crate::ast::SourceProgram;
         use crate::ast::Subroutine;
+        use crate::ast::VarDecl;
+        use crate::normalize::{normalize, NormalizeOptions};
         let mut sub = Subroutine::new("S");
         sub.decls = vec![
             VarDecl::array("B", &[6, 6], 8),
-            VarDecl::array("BV", &[6, 6, 1], 8).assumed_last_dim().aliasing("B"),
+            VarDecl::array("BV", &[6, 6, 1], 8)
+                .assumed_last_dim()
+                .aliasing("B"),
         ];
         sub.body = vec![SNode::loop_(
             "I",
             1,
             6,
             vec![SNode::assign(
-                SRef::new("BV", vec![LinExpr::var("I"), LinExpr::constant(1), LinExpr::constant(1)]),
+                SRef::new(
+                    "BV",
+                    vec![
+                        LinExpr::var("I"),
+                        LinExpr::constant(1),
+                        LinExpr::constant(1),
+                    ],
+                ),
                 vec![],
             )],
         )];
-        let p = normalize(&SourceProgram::single("alias", sub), &NormalizeOptions::default()).unwrap();
+        let p = normalize(
+            &SourceProgram::single("alias", sub),
+            &NormalizeOptions::default(),
+        )
+        .unwrap();
         let text = super::render(&p);
         assert!(text.contains("BV(6,6,*)"), "{text}");
         assert!(text.contains("VAR B(6,6)"), "{text}");

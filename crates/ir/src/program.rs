@@ -275,12 +275,9 @@ impl Program {
         }
         // References.
         for r in &self.refs {
-            let arr = self
-                .arrays
-                .get(r.array)
-                .ok_or_else(|| IrError::Invalid {
-                    message: format!("reference to unknown array id {}", r.array),
-                })?;
+            let arr = self.arrays.get(r.array).ok_or_else(|| IrError::Invalid {
+                message: format!("reference to unknown array id {}", r.array),
+            })?;
             if r.subs.len() != arr.dims.len() {
                 return Err(IrError::SubscriptArity {
                     array: arr.name.clone(),

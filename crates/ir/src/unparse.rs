@@ -7,7 +7,7 @@
 //! property the round-trip tests pin (parse ∘ unparse preserves the
 //! normalised trace).
 
-use crate::ast::{DimSize, SNode, SourceProgram, SRef, Subroutine};
+use crate::ast::{DimSize, SNode, SRef, SourceProgram, Subroutine};
 use crate::expr::LinExpr;
 use std::fmt::Write;
 
@@ -44,7 +44,12 @@ fn unparse_unit(sub: &Subroutine, is_entry: bool, out: &mut String) {
     } else if sub.formals.is_empty() {
         let _ = writeln!(out, "      SUBROUTINE {}", sub.name);
     } else {
-        let _ = writeln!(out, "      SUBROUTINE {}({})", sub.name, sub.formals.join(", "));
+        let _ = writeln!(
+            out,
+            "      SUBROUTINE {}({})",
+            sub.name,
+            sub.formals.join(", ")
+        );
     }
     // Type declarations grouped by element size.
     let mut by_size: std::collections::BTreeMap<u32, Vec<&str>> = Default::default();

@@ -85,12 +85,7 @@ where
     ControlFlow::Continue(())
 }
 
-fn visit_stmts<F>(
-    program: &Program,
-    stmts: &[StmtId],
-    idx: &[i64],
-    f: &mut F,
-) -> ControlFlow<()>
+fn visit_stmts<F>(program: &Program, stmts: &[StmtId], idx: &[i64], f: &mut F) -> ControlFlow<()>
 where
     F: FnMut(Access<'_>) -> ControlFlow<()>,
 {
@@ -698,7 +693,18 @@ impl SetWalker {
             ub = ub.min(ti);
         }
         if node.inner.is_empty() {
-            return self.walk_row(program, node, depth, idx, (lb, ub), (fi, ti), tf, tt, filter, f);
+            return self.walk_row(
+                program,
+                node,
+                depth,
+                idx,
+                (lb, ub),
+                (fi, ti),
+                tf,
+                tt,
+                filter,
+                f,
+            );
         }
         let mut v = ub;
         while v >= lb {
@@ -717,7 +723,18 @@ impl SetWalker {
                 }
                 let tf3 = tf2 && label == fl;
                 let tt3 = tt2 && label == tl;
-                self.walk_node(program, inner, depth + 1, idx, from, to, tf3, tt3, filter, f)?;
+                self.walk_node(
+                    program,
+                    inner,
+                    depth + 1,
+                    idx,
+                    from,
+                    to,
+                    tf3,
+                    tt3,
+                    filter,
+                    f,
+                )?;
             }
             v -= 1;
         }

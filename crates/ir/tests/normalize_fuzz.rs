@@ -210,10 +210,7 @@ fn arb_program(rng: &mut SeededRng) -> SourceProgram {
     body.push(SNode::loop_step("I", ilo, ihi, step, inner));
     let outer = SNode::loop_("J", 1, nj, body);
     let mut sub = Subroutine::new("FUZZ");
-    sub.decls = vec![
-        VarDecl::array("A", &[24], 8),
-        VarDecl::array("B", &[24], 8),
-    ];
+    sub.decls = vec![VarDecl::array("A", &[24], 8), VarDecl::array("B", &[24], 8)];
     sub.body = vec![outer];
     SourceProgram::single("fuzz", sub)
 }

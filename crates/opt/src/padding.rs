@@ -136,15 +136,20 @@ pub fn search_padding_in(
             // Evaluate every candidate padding of array `a` in parallel;
             // the results come back in candidate order, so the pick below
             // is deterministic regardless of worker scheduling.
-            let ratios = parallel::run_chunked(threads, candidates, || (), |_, c| {
-                let pad = c as i64 * line;
-                if pad == keep {
-                    return None;
-                }
-                let mut trial = padding.clone();
-                trial[a] = pad;
-                Some((eval(&program.with_padding(&trial)), pad))
-            });
+            let ratios = parallel::run_chunked(
+                threads,
+                candidates,
+                || (),
+                |_, c| {
+                    let pad = c as i64 * line;
+                    if pad == keep {
+                        return None;
+                    }
+                    let mut trial = padding.clone();
+                    trial[a] = pad;
+                    Some((eval(&program.with_padding(&trial)), pad))
+                },
+            );
             let mut best_here = (best_ratio, keep);
             for entry in ratios.into_iter().flatten() {
                 evaluations += 1;
@@ -250,20 +255,44 @@ mod tests {
         let cfg = CacheConfig::new(2048, 32, 1).unwrap();
         let engine = Engine::in_memory(256);
         let first = search_padding_in(&engine, &program, cfg, &PaddingOptions::default());
-        let misses_after_first = engine.metrics().store_misses.load(std::sync::atomic::Ordering::Relaxed);
+        let misses_after_first = engine
+            .metrics()
+            .store_misses
+            .load(std::sync::atomic::Ordering::Relaxed);
         let second = search_padding_in(&engine, &program, cfg, &PaddingOptions::default());
         assert_eq!(first, second);
         // The repeat search answers every evaluation from the store.
         assert_eq!(
-            engine.metrics().store_misses.load(std::sync::atomic::Ordering::Relaxed),
+            engine
+                .metrics()
+                .store_misses
+                .load(std::sync::atomic::Ordering::Relaxed),
             misses_after_first,
             "second search must not recompute anything"
         );
         assert!(
-            engine.metrics().store_hits.load(std::sync::atomic::Ordering::Relaxed)
+            engine
+                .metrics()
+                .store_hits
+                .load(std::sync::atomic::Ordering::Relaxed)
                 >= u64::from(first.evaluations),
             "second search should hit the store once per evaluation"
         );
+    }
+
+    /// A sweep with the symbolic tier on picks the identical plan: closed
+    /// references return the exact walk's totals, so every candidate's
+    /// predicted ratio — and hence the search trajectory — is unchanged.
+    #[test]
+    fn symbolic_sweep_matches_enumerated_plan() {
+        use cme_analysis::SymbolicMode;
+        let program = conflict_program(256);
+        let cfg = CacheConfig::new(2048, 32, 1).unwrap();
+        let plain = search_padding(&program, cfg, &PaddingOptions::default());
+        let mut opts = PaddingOptions::default();
+        opts.sampling.symbolic = SymbolicMode::On;
+        let symbolic = search_padding(&program, cfg, &opts);
+        assert_eq!(plain, symbolic);
     }
 
     #[test]

@@ -80,23 +80,30 @@ where
 {
     assert!(!candidates.is_empty(), "no tiling candidates supplied");
     let threads = sampling.threads.count();
-    let ratios = parallel::run_chunked(threads, candidates.len(), || (), |_, i| {
-        let program = build(&candidates[i]);
-        let mut job = Job::estimate(&program, config, sampling.clone());
-        // One level of parallelism only: the candidate sweep gets the
-        // workers, each evaluation classifies serially.
-        job.threads = Threads::Fixed(1);
-        job.prepass = sampling.prepass;
-        engine
-            .run(&job)
-            .expect("tile evaluations carry no deadline")
-            .miss_ratio
-    });
+    let ratios = parallel::run_chunked(
+        threads,
+        candidates.len(),
+        || (),
+        |_, i| {
+            let program = build(&candidates[i]);
+            let mut job = Job::estimate(&program, config, sampling.clone());
+            // One level of parallelism only: the candidate sweep gets the
+            // workers, each evaluation classifies serially.
+            job.threads = Threads::Fixed(1);
+            job.prepass = sampling.prepass;
+            engine
+                .run(&job)
+                .expect("tile evaluations carry no deadline")
+                .miss_ratio
+        },
+    );
     let mut sweep = Vec::with_capacity(candidates.len());
     let mut best = 0usize;
     for (i, (params, predicted_ratio)) in candidates.iter().zip(ratios).enumerate() {
         if predicted_ratio
-            < sweep.get(best).map_or(f64::INFINITY, |b: &TilePoint| b.predicted_ratio)
+            < sweep
+                .get(best)
+                .map_or(f64::INFINITY, |b: &TilePoint| b.predicted_ratio)
         {
             best = i;
         }
@@ -136,6 +143,38 @@ mod tests {
     fn grid_builds_filtered_cross_product() {
         let g = grid(&[&[1, 2], &[3, 4]], |c| c[0] + c[1] != 5);
         assert_eq!(g, vec![vec![1, 3], vec![2, 4]]);
+    }
+
+    /// Tile sweeps with the symbolic tier on return the identical sweep
+    /// (exhaustively-planned references close to the same totals; sampled
+    /// ones are untouched).
+    #[test]
+    fn symbolic_tile_sweep_matches_enumerated() {
+        use cme_analysis::SymbolicMode;
+        let n = 16i64;
+        let cfg = CacheConfig::new(2048, 32, 2).unwrap();
+        let candidates = grid(&[&[4, 8, 16], &[4, 8, 16]], |c| {
+            n % c[0] == 0 && n % c[1] == 0
+        });
+        let base = SamplingOptions {
+            confidence: 0.90,
+            width: 0.05,
+            seed: 7,
+            ..SamplingOptions::paper_default()
+        };
+        let plain = search_tiles(&candidates, cfg, base.clone(), |p| {
+            cme_workloads::mmt(n, p[0], p[1])
+        });
+        let symbolic = search_tiles(
+            &candidates,
+            cfg,
+            SamplingOptions {
+                symbolic: SymbolicMode::On,
+                ..base
+            },
+            |p| cme_workloads::mmt(n, p[0], p[1]),
+        );
+        assert_eq!(plain, symbolic);
     }
 
     #[test]

@@ -146,7 +146,10 @@ impl Affine {
     pub fn offset(&self, k: i64) -> Affine {
         Affine {
             coeffs: self.coeffs.clone(),
-            constant: self.constant.checked_add(k).expect("affine offset overflow"),
+            constant: self
+                .constant
+                .checked_add(k)
+                .expect("affine offset overflow"),
         }
     }
 

@@ -392,9 +392,6 @@ mod tests {
             Constraint::ne(Affine::constant(0, 3)).constant_truth(),
             Some(true)
         );
-        assert_eq!(
-            Constraint::ge(Affine::var(1, 0)).constant_truth(),
-            None
-        );
+        assert_eq!(Constraint::ge(Affine::var(1, 0)).constant_truth(), None);
     }
 }

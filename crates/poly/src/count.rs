@@ -88,12 +88,14 @@ fn level_checks(space: &Space, d: usize) -> Vec<usize> {
 /// coefficients on variables `≤ d` (so the sub-count below level `d` does
 /// not depend on the chosen value).
 fn suffix_independent(space: &Space, d: usize) -> bool {
-    space.system().constraints().iter().all(|c| {
-        match c.expr.highest_var() {
+    space
+        .system()
+        .constraints()
+        .iter()
+        .all(|c| match c.expr.highest_var() {
             Some(h) if h > d => (0..=d).all(|i| c.expr.coeff(i) == 0),
             _ => true,
-        }
-    })
+        })
 }
 
 /// Visits every point of the space in lexicographic order.

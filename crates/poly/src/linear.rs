@@ -115,7 +115,6 @@ impl Work {
             self.set(r, c, -v);
         }
     }
-
 }
 
 /// The Smith normal form `U A V = D` of an integer matrix.
@@ -554,9 +553,8 @@ mod tests {
             for b0 in -4i64..=4 {
                 for b1 in -4i64..=4 {
                     let b = [b0, b1];
-                    let brute = (-30i64..=30).any(|x0| {
-                        (-30i64..=30).any(|x1| m.mul_vec(&[x0, x1]) == b)
-                    });
+                    let brute =
+                        (-30i64..=30).any(|x0| (-30i64..=30).any(|x1| m.mul_vec(&[x0, x1]) == b));
                     match solve_integer(m, &b) {
                         Some(sol) => {
                             check_solution(m, &b, &sol);

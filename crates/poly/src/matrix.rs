@@ -132,7 +132,9 @@ impl IMat {
     /// Panics if `v.len() != self.cols()` or on overflow.
     pub fn mul_vec(&self, v: &[i64]) -> Vec<i64> {
         assert_eq!(v.len(), self.cols, "matrix-vector dimension mismatch");
-        (0..self.rows).map(|r| vector::dot(self.row(r), v)).collect()
+        (0..self.rows)
+            .map(|r| vector::dot(self.row(r), v))
+            .collect()
     }
 
     /// Matrix product `self * other`.

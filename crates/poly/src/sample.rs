@@ -219,8 +219,18 @@ mod tests {
         range(&mut s, 0, 1, 50);
         range(&mut s, 1, 1, 50);
         let sp = Space::new(s).unwrap();
-        let a = sample_points(&sp, &mut SeededRng::seed_from_u64(9), 64, DEFAULT_MAX_TRIALS);
-        let b = sample_points(&sp, &mut SeededRng::seed_from_u64(9), 64, DEFAULT_MAX_TRIALS);
+        let a = sample_points(
+            &sp,
+            &mut SeededRng::seed_from_u64(9),
+            64,
+            DEFAULT_MAX_TRIALS,
+        );
+        let b = sample_points(
+            &sp,
+            &mut SeededRng::seed_from_u64(9),
+            64,
+            DEFAULT_MAX_TRIALS,
+        );
         assert_eq!(a, b);
     }
 }

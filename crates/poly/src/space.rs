@@ -153,9 +153,10 @@ impl Space {
         // highest variable: its value is then a function of the prefix.
         let pinned: Vec<bool> = (0..n)
             .map(|d| {
-                system.constraints().iter().any(|c| {
-                    c.kind == ConstraintKind::Eq && c.expr.highest_var() == Some(d)
-                })
+                system
+                    .constraints()
+                    .iter()
+                    .any(|c| c.kind == ConstraintKind::Eq && c.expr.highest_var() == Some(d))
             })
             .collect();
 
@@ -219,17 +220,19 @@ impl Space {
 
     /// The volume of the bounding box as a saturating `u128`.
     pub fn box_volume(&self) -> u128 {
-        self.bbox
-            .iter()
-            .fold(1u128, |acc, &(lo, hi)| {
-                acc.saturating_mul((hi - lo + 1) as u128)
-            })
+        self.bbox.iter().fold(1u128, |acc, &(lo, hi)| {
+            acc.saturating_mul((hi - lo + 1) as u128)
+        })
     }
 }
 
 impl fmt::Debug for Space {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Space {{ box: {:?}, system: {:?} }}", self.bbox, self.system)
+        write!(
+            f,
+            "Space {{ box: {:?}, system: {:?} }}",
+            self.bbox, self.system
+        )
     }
 }
 

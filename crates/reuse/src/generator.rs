@@ -26,8 +26,8 @@ use crate::ugr::subscript_parts;
 use crate::vector::{ReuseClass, ReuseKind, ReuseVector};
 use cme_ir::{DimSize, Program, RefId};
 use cme_poly::{lex, linear::SmithSolver, vector as vecs, ConstraintKind, IMat};
-use std::rc::Rc;
 use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
 
 /// All reuse vectors of a program, indexed by consumer.
 #[derive(Debug, Clone)]
@@ -390,10 +390,14 @@ impl<'p> Generator<'p> {
             .collect();
         let n = bounds.len();
         let single_var = |r: RefId, d: usize| {
-            self.program.ris(r).system().constraints().iter().all(|cst| {
-                cst.expr.coeff(d) == 0
-                    || (0..n).all(|o| o == d || cst.expr.coeff(o) == 0)
-            })
+            self.program
+                .ris(r)
+                .system()
+                .constraints()
+                .iter()
+                .all(|cst| {
+                    cst.expr.coeff(d) == 0 || (0..n).all(|o| o == d || cst.expr.coeff(o) == 0)
+                })
         };
         let uniform: Vec<bool> = (0..n)
             .map(|d| single_var(p, d) && single_var(c, d))
@@ -578,12 +582,7 @@ const MAX_STEP: i64 = 4096;
 /// combinations. Steps are explored small-|k| first so a budget cut keeps
 /// the useful (small) candidates; the result is then sorted by L1 norm and
 /// truncated to `cap`.
-fn enumerate_lattice(
-    p0: &[i64],
-    basis: &[Vec<i64>],
-    bounds: &Feas,
-    cap: usize,
-) -> Vec<Vec<i64>> {
+fn enumerate_lattice(p0: &[i64], basis: &[Vec<i64>], bounds: &Feas, cap: usize) -> Vec<Vec<i64>> {
     let budget = cap.saturating_mul(2);
     // Bound the raw exploration too: wide feasibility windows would
     // otherwise make each call O(range²) regardless of how many distinct
@@ -978,10 +977,7 @@ mod tests {
         ));
         let p = b.build().unwrap();
         let ra = ReuseAnalysis::analyze(&p, 32);
-        let zero_to_write: Vec<_> = ra
-            .for_consumer(1)
-            .filter(|v| v.is_zero())
-            .collect();
+        let zero_to_write: Vec<_> = ra.for_consumer(1).filter(|v| v.is_zero()).collect();
         assert_eq!(zero_to_write.len(), 1);
         assert_eq!(zero_to_write[0].producer, 0);
         let zero_to_read: Vec<_> = ra.for_consumer(0).filter(|v| v.is_zero()).collect();

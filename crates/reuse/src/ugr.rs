@@ -113,10 +113,8 @@ mod tests {
                                 cme_ir::RelOp::Eq,
                                 LinExpr::constant(n),
                             )],
-                            vec![
-                                SNode::reads_only(vec![SRef::new("A", vec![i1.clone()])])
-                                    .labelled("S4"),
-                            ],
+                            vec![SNode::reads_only(vec![SRef::new("A", vec![i1.clone()])])
+                                .labelled("S4")],
                         ),
                     ],
                 ),

@@ -11,11 +11,13 @@
 use crate::metrics::Metrics;
 use crate::store::{Store, StoredResult};
 use cme_analysis::{
-    CancelToken, EstimateMisses, FindMisses, PrepassMode, Report, SamplingOptions, Threads,
-    WalkStrategy,
+    CancelToken, EstimateMisses, FindMisses, PrepassMode, Report, SamplingOptions, SymbolicMode,
+    Threads, WalkStrategy,
 };
 use cme_cache::CacheConfig;
-use cme_ir::{fingerprint_program, structural_fingerprint, Fingerprint, FpHasher, Program};
+use cme_ir::{
+    fingerprint_program, shape_fingerprint, structural_fingerprint, Fingerprint, FpHasher, Program,
+};
 use cme_reuse::ReuseAnalysis;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -48,11 +50,17 @@ pub struct Job<'p> {
     /// Hit/miss pre-pass toggle. Like `threads` and `walk`, excluded from
     /// the fingerprint: the pre-pass never changes results, only wall time.
     pub prepass: PrepassMode,
+    /// Symbolic counting-tier toggle. Closed references return the exact
+    /// walk's totals without enumeration, so — like `prepass` — it is
+    /// excluded from the fingerprint.
+    pub symbolic: SymbolicMode,
 }
 
 impl<'p> Job<'p> {
-    /// A default job: estimate mode, store on, auto threads.
+    /// A default job: estimate mode, store on, auto threads. The symbolic
+    /// toggle is taken from `options`.
     pub fn estimate(program: &'p Program, config: CacheConfig, options: SamplingOptions) -> Self {
+        let symbolic = options.symbolic;
         Job {
             program,
             config,
@@ -63,6 +71,7 @@ impl<'p> Job<'p> {
             threads: Threads::Auto,
             walk: WalkStrategy::default(),
             prepass: PrepassMode::default(),
+            symbolic,
         }
     }
 
@@ -78,6 +87,7 @@ impl<'p> Job<'p> {
             threads: Threads::Auto,
             walk: WalkStrategy::default(),
             prepass: PrepassMode::default(),
+            symbolic: SymbolicMode::default(),
         }
     }
 }
@@ -98,6 +108,13 @@ pub struct Outcome {
     /// Points the hit/miss pre-pass resolved (zero for store hits: the
     /// stored payload carries no mode-dependent diagnostics).
     pub prepass_resolved: u64,
+    /// References the symbolic tier answered in closed form (zero for
+    /// store hits).
+    pub symbolic_refs_closed: u64,
+    /// Points this run actually enumerated: `points` minus those covered
+    /// by symbolically closed references (zero for store hits — nothing
+    /// was classified at all).
+    pub enumerated_points: u64,
 }
 
 /// Why an analysis did not complete.
@@ -170,11 +187,68 @@ pub fn job_fingerprint(
 
 type ReuseKey = (u128, u64, u64);
 
+/// What a finished parametric analysis certifies about a program
+/// *structure* on a cache geometry: how much of it the symbolic tier
+/// closed at the size it was first seen. Closure is re-established on
+/// every run (bound-dependent conditions can differ between sizes), so
+/// the certificate is provenance, not a proof carried across sizes —
+/// but a fully-closed certificate tells clients that new sizes of this
+/// kernel are answered in `O(rows)` without enumeration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParametricCert {
+    /// References closed symbolically when the structure was certified.
+    pub refs_closed: u64,
+    /// Total references in the program.
+    pub refs_total: u64,
+}
+
+impl ParametricCert {
+    /// Every reference closed — parametric queries never enumerate.
+    pub fn fully_closed(&self) -> bool {
+        self.refs_closed == self.refs_total
+    }
+}
+
+/// How a parametric run related to the certificate store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CertStatus {
+    /// The structure had been analysed before (at any problem size).
+    Hit,
+    /// First sight of this structure; a certificate was recorded.
+    New,
+}
+
+/// The structural job key for parametric analyses: program *structure*
+/// (loop shape, reference patterns — not concrete bounds or layout
+/// offsets), cache geometry and reuse cap. Two sizes of one kernel share
+/// this key; that is the point.
+pub fn parametric_fingerprint(
+    program: &Program,
+    config: CacheConfig,
+    reuse_cap: Option<usize>,
+) -> Fingerprint {
+    let mut h = FpHasher::new();
+    h.write_str("cme-parametric-v1");
+    h.write_bytes(&shape_fingerprint(program).0.to_le_bytes());
+    h.write_u64(config.size_bytes());
+    h.write_u64(config.line_bytes());
+    h.write_u64(config.assoc() as u64);
+    match reuse_cap {
+        None => h.write_u8(0),
+        Some(c) => {
+            h.write_u8(1);
+            h.write_u64(c as u64);
+        }
+    }
+    h.finish()
+}
+
 /// The memoising analysis engine. Share it behind an `Arc`.
 #[derive(Debug)]
 pub struct Engine {
     store: Store,
     reuse_cache: Mutex<HashMap<ReuseKey, Arc<ReuseAnalysis>>>,
+    parametric_certs: Mutex<HashMap<Fingerprint, ParametricCert>>,
     metrics: Metrics,
 }
 
@@ -184,6 +258,7 @@ impl Engine {
         Engine {
             store,
             reuse_cache: Mutex::new(HashMap::new()),
+            parametric_certs: Mutex::new(HashMap::new()),
             metrics: Metrics::new(),
         }
     }
@@ -216,10 +291,7 @@ impl Engine {
             Some(cap) => ReuseAnalysis::analyze_capped(job.program, job.config.line_bytes(), cap),
             None => ReuseAnalysis::analyze(job.program, job.config.line_bytes()),
         });
-        self.reuse_cache
-            .lock()
-            .unwrap()
-            .insert(key, reuse.clone());
+        self.reuse_cache.lock().unwrap().insert(key, reuse.clone());
         reuse
     }
 
@@ -237,6 +309,8 @@ impl Engine {
                     wall: Duration::ZERO,
                     miss_ratio: hit.miss_ratio,
                     prepass_resolved: 0,
+                    symbolic_refs_closed: 0,
+                    enumerated_points: 0,
                 });
             }
         }
@@ -250,12 +324,14 @@ impl Engine {
                     .threads(job.threads)
                     .strategy(job.walk)
                     .prepass(job.prepass)
+                    .symbolic(job.symbolic)
                     .run_cancellable(&job.cancel)
             }
             AnalysisMode::Estimate(options) => {
                 let options = SamplingOptions {
                     threads: job.threads,
                     prepass: job.prepass,
+                    symbolic: job.symbolic,
                     ..options.clone()
                 };
                 EstimateMisses::with_reuse(job.program, job.config, options, (*reuse).clone())
@@ -280,12 +356,18 @@ impl Engine {
         let points: u64 = report.references().iter().map(|r| r.analyzed).sum();
         let miss_ratio = report.miss_ratio();
         let prepass_resolved = report.prepass_resolved();
+        let symbolic_refs_closed = report.symbolic_refs_closed();
+        let enumerated_points = points - report.symbolic_points_closed();
         let payload = Arc::new(render_payload(job.program, job.config, &job.mode, &report));
         Metrics::add(&self.metrics.points_classified, points);
         Metrics::add(&self.metrics.prepass_resolved_points, prepass_resolved);
         Metrics::add(
             &self.metrics.prepass_unresolved_points,
-            points - prepass_resolved,
+            enumerated_points.saturating_sub(prepass_resolved),
+        );
+        Metrics::add(
+            &self.metrics.symbolic_closed_points,
+            report.symbolic_points_closed(),
         );
         Metrics::add(&self.metrics.analysis_wall_us, wall.as_micros() as u64);
         if job.use_store {
@@ -306,7 +388,71 @@ impl Engine {
             wall,
             miss_ratio,
             prepass_resolved,
+            symbolic_refs_closed,
+            enumerated_points,
         })
+    }
+
+    /// Runs a *parametric* job: an exact analysis with the symbolic tier
+    /// forced on, keyed structurally so one certified kernel answers any
+    /// problem size. The flow is
+    ///
+    /// 1. full-fingerprint store lookup (exact repeats stay free),
+    /// 2. certificate lookup under [`parametric_fingerprint`] — a hit means
+    ///    this structure was analysed before at *some* size,
+    /// 3. a symbolic-first analysis at the requested size: closed
+    ///    references cost `O(rows)`, so a fully-closed kernel answers a
+    ///    never-seen size with zero enumerated points.
+    ///
+    /// Returns the outcome plus the certificate status and content.
+    pub fn run_parametric(
+        &self,
+        job: &Job,
+    ) -> Result<(Outcome, CertStatus, ParametricCert), EngineError> {
+        let cert_key = parametric_fingerprint(job.program, job.config, job.reuse_cap);
+        let prior = self
+            .parametric_certs
+            .lock()
+            .unwrap()
+            .get(&cert_key)
+            .copied();
+        let status = if prior.is_some() {
+            Metrics::bump(&self.metrics.parametric_cert_hits);
+            CertStatus::Hit
+        } else {
+            Metrics::bump(&self.metrics.parametric_cert_misses);
+            CertStatus::New
+        };
+        let symbolic_job = Job {
+            program: job.program,
+            config: job.config,
+            mode: AnalysisMode::Exact,
+            reuse_cap: job.reuse_cap,
+            cancel: job.cancel.clone(),
+            use_store: job.use_store,
+            threads: job.threads,
+            walk: job.walk,
+            prepass: job.prepass,
+            symbolic: SymbolicMode::On,
+        };
+        // A full-fingerprint store hit reports the certified closure (the
+        // run that populated the store established it).
+        let outcome = self.run(&symbolic_job)?;
+        let cert = if outcome.from_store {
+            prior.unwrap_or(ParametricCert {
+                refs_closed: 0,
+                refs_total: job.program.references().len() as u64,
+            })
+        } else {
+            ParametricCert {
+                refs_closed: outcome.symbolic_refs_closed,
+                refs_total: job.program.references().len() as u64,
+            }
+        };
+        if !outcome.from_store {
+            self.parametric_certs.lock().unwrap().insert(cert_key, cert);
+        }
+        Ok((outcome, status, cert))
     }
 }
 
@@ -350,10 +496,7 @@ pub fn render_payload(
     fields.push(("total_accesses", Json::Int(report.total_accesses() as i64)));
     fields.push(("points", Json::Int(points as i64)));
     fields.push(("miss_ratio", Json::Float(report.miss_ratio())));
-    fields.push((
-        "estimated_misses",
-        Json::Float(report.estimated_misses()),
-    ));
+    fields.push(("estimated_misses", Json::Float(report.estimated_misses())));
     fields.push((
         "exact_misses",
         match report.exact_misses() {
@@ -495,7 +638,10 @@ mod tests {
         assert!(hot.from_store, "prepass mode must not change the job key");
         assert_eq!(&*cold.payload, &*hot.payload);
         assert_eq!(
-            engine.metrics().prepass_resolved_points.load(Ordering::Relaxed),
+            engine
+                .metrics()
+                .prepass_resolved_points
+                .load(Ordering::Relaxed),
             0
         );
         assert_eq!(
@@ -526,6 +672,71 @@ mod tests {
         engine.run(&Job::exact(&padded, cfg)).unwrap();
         assert_eq!(engine.metrics().reuse_misses.load(Ordering::Relaxed), 1);
         assert_eq!(engine.metrics().reuse_hits.load(Ordering::Relaxed), 1);
+    }
+
+    /// A certified kernel answers a never-seen problem size without
+    /// enumerating a single point, byte-identical to the enumerated
+    /// report at that size.
+    #[test]
+    fn parametric_answers_new_size_without_enumeration() {
+        use std::sync::atomic::Ordering;
+        fn scan(n: i64) -> Program {
+            let mut b = ProgramBuilder::new("scan");
+            b.array("A", &[n, n], 8);
+            let (i, j) = (LinExpr::var("I"), LinExpr::var("J"));
+            b.push(SNode::loop_(
+                "J",
+                1,
+                n,
+                vec![SNode::loop_(
+                    "I",
+                    1,
+                    n,
+                    vec![SNode::reads_only(vec![SRef::new(
+                        "A",
+                        vec![i.clone(), j.clone()],
+                    )])],
+                )],
+            ));
+            b.build().unwrap()
+        }
+        let cfg = CacheConfig::new(1024, 32, 2).unwrap();
+        let engine = Engine::in_memory(8);
+
+        let p1 = scan(48);
+        let (first, status, cert) = engine.run_parametric(&Job::exact(&p1, cfg)).unwrap();
+        assert_eq!(status, CertStatus::New);
+        assert!(cert.fully_closed(), "{cert:?}");
+        assert!(!first.from_store);
+        assert_eq!(first.enumerated_points, 0, "scan must close symbolically");
+
+        // A size the engine has never seen: certificate hit, zero
+        // enumeration, and the full-fingerprint store records it for
+        // exact repeats.
+        let p2 = scan(72);
+        let (novel, status, cert) = engine.run_parametric(&Job::exact(&p2, cfg)).unwrap();
+        assert_eq!(status, CertStatus::Hit, "shape was certified at n=48");
+        assert!(!novel.from_store, "n=72 was never analysed");
+        assert_eq!(novel.enumerated_points, 0);
+        assert!(cert.fully_closed());
+        assert_eq!(
+            engine
+                .metrics()
+                .parametric_cert_hits
+                .load(Ordering::Relaxed),
+            1
+        );
+
+        // Byte-identical to the enumerated exact report at that size.
+        let mut plain = Job::exact(&p2, cfg);
+        plain.use_store = false;
+        let enumerated = engine.run(&plain).unwrap();
+        assert_eq!(&*novel.payload, &*enumerated.payload);
+        assert!(enumerated.enumerated_points > 0, "plain run enumerates");
+
+        // Exact repeat of the parametric query: answered from the store.
+        let (repeat, _, _) = engine.run_parametric(&Job::exact(&p2, cfg)).unwrap();
+        assert!(repeat.from_store);
     }
 
     #[test]

@@ -35,7 +35,10 @@ pub mod server;
 pub mod store;
 
 pub use client::Client;
-pub use engine::{job_fingerprint, AnalysisMode, Engine, EngineError, Job, Outcome};
+pub use engine::{
+    job_fingerprint, parametric_fingerprint, AnalysisMode, CertStatus, Engine, EngineError, Job,
+    Outcome, ParametricCert,
+};
 pub use json::Json;
 pub use metrics::Metrics;
 pub use protocol::{AnalyzeRequest, Mode, ProgramSpec, Request};

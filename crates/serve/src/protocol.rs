@@ -18,8 +18,13 @@
 //! optional `"confidence"`, `"width"`, `"seed"`. Optional knobs:
 //! `"timeout_ms"`, `"store":false` (bypass the result store),
 //! `"threads"` (0 = one per hardware thread),
-//! `"strategy":"set-skip"|"legacy-scan"` and `"prepass":"on"|"off"` (the
-//! hit/miss pre-pass; on by default, never changes results).
+//! `"strategy":"set-skip"|"legacy-scan"`, `"prepass":"on"|"off"` (the
+//! hit/miss pre-pass; on by default, never changes results),
+//! `"symbolic":"on"|"off"` (the closed-form counting tier; off by
+//! default, never changes results) and `"parametric":true` (exact mode
+//! only: force the symbolic tier and key a structural certificate, so one
+//! analysed kernel answers any problem size — closed references never
+//! enumerate).
 //!
 //! Responses always carry `"ok"`. Successful `analyze` responses embed the
 //! canonical report under `"report"` plus `"fingerprint"` and a
@@ -27,7 +32,7 @@
 //! `"kind"` (`"bad_request"`, `"timeout"`, `"cancelled"`).
 
 use crate::json::{obj, Json};
-use cme_analysis::{PrepassMode, SamplingOptions, Threads, WalkStrategy};
+use cme_analysis::{PrepassMode, SamplingOptions, SymbolicMode, Threads, WalkStrategy};
 use cme_ir::Program;
 use std::collections::HashMap;
 
@@ -82,8 +87,8 @@ impl ProgramSpec {
             }
             ProgramSpec::Source { text, params } => {
                 let params: HashMap<String, i64> = params.iter().cloned().collect();
-                let source = cme_fortran::parse_program(text, &params)
-                    .map_err(|e| format!("parse: {e}"))?;
+                let source =
+                    cme_fortran::parse_program(text, &params).map_err(|e| format!("parse: {e}"))?;
                 let inlined = cme_inline::Inliner::new()
                     .inline(&source)
                     .map_err(|e| format!("inline: {e}"))?;
@@ -138,6 +143,10 @@ pub struct AnalyzeRequest {
     pub threads: Threads,
     pub strategy: WalkStrategy,
     pub prepass: PrepassMode,
+    pub symbolic: SymbolicMode,
+    /// Route through the parametric engine path: exact mode with the
+    /// symbolic tier forced on, plus a structural certificate.
+    pub parametric: bool,
 }
 
 /// One request line.
@@ -201,8 +210,14 @@ impl Request {
                         .get("confidence")
                         .and_then(Json::as_f64)
                         .unwrap_or(defaults.confidence),
-                    width: v.get("width").and_then(Json::as_f64).unwrap_or(defaults.width),
-                    seed: v.get("seed").and_then(Json::as_u64).unwrap_or(defaults.seed),
+                    width: v
+                        .get("width")
+                        .and_then(Json::as_f64)
+                        .unwrap_or(defaults.width),
+                    seed: v
+                        .get("seed")
+                        .and_then(Json::as_u64)
+                        .unwrap_or(defaults.seed),
                 }
             }
             other => return Err(format!("unknown mode `{other}`")),
@@ -219,6 +234,17 @@ impl Request {
             Some("off") => PrepassMode::Off,
             Some(other) => return Err(format!("unknown prepass mode `{other}`")),
         };
+
+        let symbolic = match v.get("symbolic").and_then(Json::as_str) {
+            None | Some("off") => SymbolicMode::Off,
+            Some("on") => SymbolicMode::On,
+            Some(other) => return Err(format!("unknown symbolic mode `{other}`")),
+        };
+
+        let parametric = v.get("parametric").and_then(Json::as_bool).unwrap_or(false);
+        if parametric && !matches!(mode, Mode::Exact) {
+            return Err("parametric requests need `\"mode\":\"exact\"`".to_string());
+        }
 
         Ok(AnalyzeRequest {
             spec,
@@ -237,6 +263,8 @@ impl Request {
             ),
             strategy,
             prepass,
+            symbolic,
+            parametric,
         })
     }
 }
@@ -287,7 +315,10 @@ mod tests {
     #[test]
     fn parses_prepass_modes() {
         for (text, want) in [
-            (r#"{"cmd":"analyze","workload":"mmt","n":8}"#, PrepassMode::On),
+            (
+                r#"{"cmd":"analyze","workload":"mmt","n":8}"#,
+                PrepassMode::On,
+            ),
             (
                 r#"{"cmd":"analyze","workload":"mmt","n":8,"prepass":"on"}"#,
                 PrepassMode::On,
@@ -318,6 +349,35 @@ mod tests {
         };
         let p = req.spec.build().expect("source builds");
         assert_eq!(p.references().len(), 1);
+    }
+
+    #[test]
+    fn parses_symbolic_and_parametric() {
+        let v = Json::parse(r#"{"cmd":"analyze","workload":"mmt","n":8}"#).unwrap();
+        let Request::Analyze(req) = Request::from_json(&v).unwrap() else {
+            panic!("expected analyze");
+        };
+        assert_eq!(req.symbolic, SymbolicMode::Off, "symbolic defaults to off");
+        assert!(!req.parametric);
+
+        let v = Json::parse(
+            r#"{"cmd":"analyze","workload":"mmt","n":8,"mode":"exact","symbolic":"on","parametric":true}"#,
+        )
+        .unwrap();
+        let Request::Analyze(req) = Request::from_json(&v).unwrap() else {
+            panic!("expected analyze");
+        };
+        assert_eq!(req.symbolic, SymbolicMode::On);
+        assert!(req.parametric);
+
+        // Parametric needs exact mode; the symbolic knob itself is typo-checked.
+        for text in [
+            r#"{"cmd":"analyze","workload":"mmt","n":8,"parametric":true}"#,
+            r#"{"cmd":"analyze","workload":"mmt","n":8,"symbolic":"maybe"}"#,
+        ] {
+            let v = Json::parse(text).unwrap();
+            assert!(Request::from_json(&v).is_err(), "{text}");
+        }
     }
 
     #[test]

@@ -13,12 +13,12 @@
 //! classification work. `shutdown` stops the accept loop and (optionally)
 //! dumps the aggregate metrics as JSON.
 
-use crate::engine::{AnalysisMode, Engine, EngineError, Job};
+use crate::engine::{AnalysisMode, CertStatus, Engine, EngineError, Job};
 use crate::json::{obj, Json};
 use crate::metrics::Metrics;
 use crate::protocol::{error_response, AnalyzeRequest, Request};
 use crate::store::Store;
-use cme_analysis::{CancelToken, PrepassMode, WalkStrategy};
+use cme_analysis::{CancelToken, PrepassMode, SymbolicMode, WalkStrategy};
 use cme_cache::CacheConfig;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -304,8 +304,16 @@ fn run_analyze(
         threads: req.threads,
         walk: req.strategy,
         prepass: req.prepass,
+        symbolic: req.symbolic,
     };
-    let outcome = engine.run(&job);
+    let (outcome, parametric) = if req.parametric {
+        match engine.run_parametric(&job) {
+            Ok((out, status, cert)) => (Ok(out), Some((status, cert))),
+            Err(e) => (Err(e), None),
+        }
+    } else {
+        (engine.run(&job), None)
+    };
 
     done.store(true, Ordering::Release);
     if let Some(w) = watcher {
@@ -317,7 +325,7 @@ fn run_analyze(
 
     match outcome {
         Ok(out) => {
-            let metrics = obj(vec![
+            let mut metrics = obj(vec![
                 (
                     "store",
                     Json::Str(if out.from_store { "hit" } else { "miss" }.to_string()),
@@ -347,18 +355,48 @@ fn run_analyze(
                     ),
                 ),
                 (
+                    // Parametric requests force the symbolic tier on.
+                    "symbolic",
+                    Json::Str(
+                        match (req.parametric, job.symbolic) {
+                            (true, _) | (_, SymbolicMode::On) => "on",
+                            (_, SymbolicMode::Off) => "off",
+                        }
+                        .to_string(),
+                    ),
+                ),
+                (
                     // Share of this run's points the pre-pass resolved;
                     // null on store hits (nothing was classified).
                     "prepass_resolved_pct",
                     if out.from_store {
                         Json::Null
                     } else {
-                        Json::Float(
-                            100.0 * out.prepass_resolved as f64 / out.points.max(1) as f64,
-                        )
+                        Json::Float(100.0 * out.prepass_resolved as f64 / out.points.max(1) as f64)
                     },
                 ),
             ]);
+            if let (Some((status, cert)), Json::Obj(pairs)) = (parametric, &mut metrics) {
+                pairs.push((
+                    "certificate".to_string(),
+                    Json::Str(
+                        match status {
+                            CertStatus::Hit => "hit",
+                            CertStatus::New => "new",
+                        }
+                        .to_string(),
+                    ),
+                ));
+                pairs.push((
+                    "refs_closed".to_string(),
+                    Json::Int(cert.refs_closed as i64),
+                ));
+                pairs.push(("refs_total".to_string(), Json::Int(cert.refs_total as i64)));
+                pairs.push((
+                    "enumerated_points".to_string(),
+                    Json::Int(out.enumerated_points as i64),
+                ));
+            }
             obj(vec![
                 ("ok", Json::Bool(true)),
                 ("fingerprint", Json::Str(out.fingerprint.to_string())),

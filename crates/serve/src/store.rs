@@ -112,6 +112,7 @@ impl Store {
             .read(true)
             .write(true)
             .create(true)
+            .truncate(false)
             .open(&path)?;
         let mut bytes = Vec::new();
         file.read_to_end(&mut bytes)?;
@@ -132,8 +133,7 @@ impl Store {
                 break;
             }
             let fp = u128::from_le_bytes(bytes[pos + 4..pos + 20].try_into().unwrap());
-            let len =
-                u32::from_le_bytes(bytes[pos + 20..pos + 24].try_into().unwrap()) as usize;
+            let len = u32::from_le_bytes(bytes[pos + 20..pos + 24].try_into().unwrap()) as usize;
             let crc = u32::from_le_bytes(bytes[pos + 24..pos + 28].try_into().unwrap());
             let body_start = pos + HEADER_LEN;
             if body_start + len > bytes.len() {

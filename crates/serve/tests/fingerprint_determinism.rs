@@ -3,6 +3,7 @@
 //! FORTRAN source reaches the same digest — while every analysis-relevant
 //! change (subscripts, geometry, sampling options) changes the job key.
 
+use cme_analysis::SamplingOptions;
 use cme_cache::CacheConfig;
 use cme_ir::{
     fingerprint_program, normalize, structural_fingerprint, LinExpr, Program, ProgramBuilder,
@@ -10,7 +11,6 @@ use cme_ir::{
 };
 use cme_serve::engine::{job_fingerprint, AnalysisMode};
 use cme_serve::protocol::ProgramSpec;
-use cme_analysis::SamplingOptions;
 
 const N: i64 = 32;
 
@@ -108,7 +108,10 @@ fn geometry_and_options_change_job_key() {
             job_fingerprint(&p, base_cfg, &AnalysisMode::Estimate(options), None)
         );
     }
-    assert_ne!(base, job_fingerprint(&p, base_cfg, &AnalysisMode::Exact, None));
+    assert_ne!(
+        base,
+        job_fingerprint(&p, base_cfg, &AnalysisMode::Exact, None)
+    );
     assert_ne!(base, job_fingerprint(&p, base_cfg, &mode, Some(16)));
 }
 

@@ -106,7 +106,10 @@ fn cold_then_hot_is_byte_identical() {
     let hot_line = second.request_line(req).unwrap();
     let hot = Json::parse(&hot_line).unwrap();
     assert_eq!(hot.get("ok"), Some(&Json::Bool(true)));
-    assert_eq!(hot.get("metrics").unwrap().get("store").unwrap().as_str(), Some("hit"));
+    assert_eq!(
+        hot.get("metrics").unwrap().get("store").unwrap().as_str(),
+        Some("hit")
+    );
     assert_eq!(report_bytes(&cold_line), report_bytes(&hot_line));
     assert_eq!(cold.get("fingerprint"), hot.get("fingerprint"));
 
@@ -130,7 +133,8 @@ fn timeout_returns_structured_error_and_releases_worker() {
     let mut client = daemon.client();
 
     // Big enough that 1 ms cannot finish it.
-    let req = r#"{"cmd":"analyze","workload":"mmt","n":96,"mode":"exact","timeout_ms":1,"store":false}"#;
+    let req =
+        r#"{"cmd":"analyze","workload":"mmt","n":96,"mode":"exact","timeout_ms":1,"store":false}"#;
     let resp = client
         .request(&Json::parse(req).unwrap())
         .expect("a clean error response, not a dropped connection");
@@ -154,7 +158,12 @@ fn timeout_returns_structured_error_and_releases_worker() {
         .request(&Json::parse(r#"{"cmd":"stats"}"#).unwrap())
         .unwrap();
     assert_eq!(
-        stats.get("stats").unwrap().get("timeouts").unwrap().as_u64(),
+        stats
+            .get("stats")
+            .unwrap()
+            .get("timeouts")
+            .unwrap()
+            .as_u64(),
         Some(1)
     );
     daemon.shutdown();
@@ -219,7 +228,11 @@ fn malformed_requests_get_bad_request() {
     ] {
         let resp = Json::parse(&client.request_line(req).unwrap()).unwrap();
         assert_eq!(resp.get("ok"), Some(&Json::Bool(false)), "{req}");
-        assert_eq!(resp.get("kind").unwrap().as_str(), Some("bad_request"), "{req}");
+        assert_eq!(
+            resp.get("kind").unwrap().as_str(),
+            Some("bad_request"),
+            "{req}"
+        );
     }
     daemon.shutdown();
 }

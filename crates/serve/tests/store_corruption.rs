@@ -1,10 +1,10 @@
 //! On-disk store robustness: corrupt and truncated entries are detected by
 //! the length+CRC framing, skipped on load, and transparently recomputed.
 
-use cme_serve::engine::{Engine, Job};
-use cme_serve::store::{Store, StoredResult};
 use cme_cache::CacheConfig;
 use cme_ir::{Fingerprint, LinExpr, ProgramBuilder, SNode, SRef};
+use cme_serve::engine::{Engine, Job};
+use cme_serve::store::{Store, StoredResult};
 use std::io::{Seek, SeekFrom, Write};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -18,7 +18,10 @@ fn temp_dir(tag: &str) -> PathBuf {
 }
 
 fn payload(i: usize) -> String {
-    format!(r#"{{"miss_ratio":0.5,"points":{},"tag":"entry-{i}"}}"#, i * 10)
+    format!(
+        r#"{{"miss_ratio":0.5,"points":{},"tag":"entry-{i}"}}"#,
+        i * 10
+    )
 }
 
 fn result(i: usize) -> StoredResult {
@@ -83,7 +86,11 @@ fn corrupt_entry_is_skipped_and_truncated_tail_cut() {
     drop(s);
     let s = Store::open(&dir, 16).unwrap();
     assert_eq!(s.load_stats().loaded, 3);
-    assert_eq!(s.load_stats().corrupt, 1, "stale damaged frame still skipped");
+    assert_eq!(
+        s.load_stats().corrupt,
+        1,
+        "stale damaged frame still skipped"
+    );
     assert_eq!(s.load_stats().truncated_bytes, 0);
     assert_eq!(&**s.get(Fingerprint(2)).unwrap().payload, payload(2));
 
@@ -139,13 +146,16 @@ fn engine_recomputes_after_corruption() {
     };
 
     // Damage the stored payload on disk.
-    flip_byte(&dir.join("results.cmes"), HEADER_LEN as u64 + 5);
+    flip_byte(&dir.join("results.cmes"), HEADER_LEN + 5);
 
     let engine = Engine::new(Store::open(&dir, 16).unwrap());
     assert_eq!(engine.store().load_stats().corrupt, 1);
     let recomputed = engine.run(&Job::exact(&p, cfg)).unwrap();
     assert!(!recomputed.from_store, "corrupt entry must be recomputed");
-    assert_eq!(&*recomputed.payload, &*original, "recompute is byte-identical");
+    assert_eq!(
+        &*recomputed.payload, &*original,
+        "recompute is byte-identical"
+    );
     // And it is stored again.
     let hot = engine.run(&Job::exact(&p, cfg)).unwrap();
     assert!(hot.from_store);

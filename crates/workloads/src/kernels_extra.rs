@@ -67,8 +67,7 @@ pub const MXM_SRC: &str = "
 ";
 
 fn build(src: &str, params: &[(&str, i64)]) -> Program {
-    let source: SourceProgram =
-        cme_fortran::parse_with_params(src, params).expect("kernel parses");
+    let source: SourceProgram = cme_fortran::parse_with_params(src, params).expect("kernel parses");
     normalize(&source, &NormalizeOptions::default()).expect("kernel normalises")
 }
 

@@ -14,12 +14,12 @@ pub mod kernels_extra;
 pub mod suite;
 pub mod whole;
 
-pub use kernels_extra::{dgefa, livermore1, livermore5, mxm};
 pub use kernels::{
     hydro, hydro_source, mgrid, mgrid_source, mmt, mmt_source, HYDRO_SRC, MGRID_SRC, MMT_SRC,
 };
+pub use kernels_extra::{dgefa, livermore1, livermore5, mxm};
 pub use suite::{synthesize_row, table2_suite, SuiteRow, TABLE2_ROWS};
 pub use whole::{
-    applu_like, applu_like_source, swim_like, swim_like_source, tomcatv_like,
-    tomcatv_like_source, SWIM_LIKE_SRC, TOMCATV_LIKE_SRC,
+    applu_like, applu_like_source, swim_like, swim_like_source, tomcatv_like, tomcatv_like_source,
+    SWIM_LIKE_SRC, TOMCATV_LIKE_SRC,
 };

@@ -29,26 +29,166 @@ pub struct SuiteRow {
 
 /// The twenty rows of Table 2 (SPECfp95 then Perfect Club).
 pub const TABLE2_ROWS: &[SuiteRow] = &[
-    SuiteRow { name: "Tomcatv", propagateable: 0, renameable: 0, non_analysable: 0, calls: 0, analysable: 0 },
-    SuiteRow { name: "swim", propagateable: 0, renameable: 0, non_analysable: 0, calls: 5, analysable: 5 },
-    SuiteRow { name: "su2cor", propagateable: 503, renameable: 87, non_analysable: 0, calls: 150, analysable: 150 },
-    SuiteRow { name: "hydro2d", propagateable: 122, renameable: 0, non_analysable: 19, calls: 82, analysable: 82 },
-    SuiteRow { name: "mgrid", propagateable: 68, renameable: 0, non_analysable: 35, calls: 23, analysable: 2 },
-    SuiteRow { name: "applu", propagateable: 79, renameable: 0, non_analysable: 0, calls: 23, analysable: 23 },
-    SuiteRow { name: "apsi", propagateable: 1601, renameable: 0, non_analysable: 210, calls: 186, analysable: 118 },
-    SuiteRow { name: "fppp", propagateable: 83, renameable: 0, non_analysable: 3, calls: 17, analysable: 16 },
-    SuiteRow { name: "turb3D", propagateable: 759, renameable: 0, non_analysable: 75, calls: 111, analysable: 86 },
-    SuiteRow { name: "wave5", propagateable: 591, renameable: 2, non_analysable: 110, calls: 171, analysable: 127 },
-    SuiteRow { name: "CSS", propagateable: 2489, renameable: 0, non_analysable: 8, calls: 965, analysable: 965 },
-    SuiteRow { name: "LWSI", propagateable: 140, renameable: 0, non_analysable: 19, calls: 28, analysable: 18 },
-    SuiteRow { name: "MTSI", propagateable: 186, renameable: 0, non_analysable: 2, calls: 63, analysable: 63 },
-    SuiteRow { name: "NASI", propagateable: 236, renameable: 0, non_analysable: 237, calls: 75, analysable: 41 },
-    SuiteRow { name: "OCSI", propagateable: 620, renameable: 0, non_analysable: 48, calls: 244, analysable: 209 },
-    SuiteRow { name: "SDSI", propagateable: 189, renameable: 18, non_analysable: 49, calls: 129, analysable: 103 },
-    SuiteRow { name: "SMSI", propagateable: 321, renameable: 0, non_analysable: 41, calls: 53, analysable: 38 },
-    SuiteRow { name: "SRSI", propagateable: 242, renameable: 0, non_analysable: 176, calls: 50, analysable: 13 },
-    SuiteRow { name: "TFSI", propagateable: 137, renameable: 0, non_analysable: 91, calls: 44, analysable: 13 },
-    SuiteRow { name: "WSSI", propagateable: 836, renameable: 127, non_analysable: 7, calls: 185, analysable: 179 },
+    SuiteRow {
+        name: "Tomcatv",
+        propagateable: 0,
+        renameable: 0,
+        non_analysable: 0,
+        calls: 0,
+        analysable: 0,
+    },
+    SuiteRow {
+        name: "swim",
+        propagateable: 0,
+        renameable: 0,
+        non_analysable: 0,
+        calls: 5,
+        analysable: 5,
+    },
+    SuiteRow {
+        name: "su2cor",
+        propagateable: 503,
+        renameable: 87,
+        non_analysable: 0,
+        calls: 150,
+        analysable: 150,
+    },
+    SuiteRow {
+        name: "hydro2d",
+        propagateable: 122,
+        renameable: 0,
+        non_analysable: 19,
+        calls: 82,
+        analysable: 82,
+    },
+    SuiteRow {
+        name: "mgrid",
+        propagateable: 68,
+        renameable: 0,
+        non_analysable: 35,
+        calls: 23,
+        analysable: 2,
+    },
+    SuiteRow {
+        name: "applu",
+        propagateable: 79,
+        renameable: 0,
+        non_analysable: 0,
+        calls: 23,
+        analysable: 23,
+    },
+    SuiteRow {
+        name: "apsi",
+        propagateable: 1601,
+        renameable: 0,
+        non_analysable: 210,
+        calls: 186,
+        analysable: 118,
+    },
+    SuiteRow {
+        name: "fppp",
+        propagateable: 83,
+        renameable: 0,
+        non_analysable: 3,
+        calls: 17,
+        analysable: 16,
+    },
+    SuiteRow {
+        name: "turb3D",
+        propagateable: 759,
+        renameable: 0,
+        non_analysable: 75,
+        calls: 111,
+        analysable: 86,
+    },
+    SuiteRow {
+        name: "wave5",
+        propagateable: 591,
+        renameable: 2,
+        non_analysable: 110,
+        calls: 171,
+        analysable: 127,
+    },
+    SuiteRow {
+        name: "CSS",
+        propagateable: 2489,
+        renameable: 0,
+        non_analysable: 8,
+        calls: 965,
+        analysable: 965,
+    },
+    SuiteRow {
+        name: "LWSI",
+        propagateable: 140,
+        renameable: 0,
+        non_analysable: 19,
+        calls: 28,
+        analysable: 18,
+    },
+    SuiteRow {
+        name: "MTSI",
+        propagateable: 186,
+        renameable: 0,
+        non_analysable: 2,
+        calls: 63,
+        analysable: 63,
+    },
+    SuiteRow {
+        name: "NASI",
+        propagateable: 236,
+        renameable: 0,
+        non_analysable: 237,
+        calls: 75,
+        analysable: 41,
+    },
+    SuiteRow {
+        name: "OCSI",
+        propagateable: 620,
+        renameable: 0,
+        non_analysable: 48,
+        calls: 244,
+        analysable: 209,
+    },
+    SuiteRow {
+        name: "SDSI",
+        propagateable: 189,
+        renameable: 18,
+        non_analysable: 49,
+        calls: 129,
+        analysable: 103,
+    },
+    SuiteRow {
+        name: "SMSI",
+        propagateable: 321,
+        renameable: 0,
+        non_analysable: 41,
+        calls: 53,
+        analysable: 38,
+    },
+    SuiteRow {
+        name: "SRSI",
+        propagateable: 242,
+        renameable: 0,
+        non_analysable: 176,
+        calls: 50,
+        analysable: 13,
+    },
+    SuiteRow {
+        name: "TFSI",
+        propagateable: 137,
+        renameable: 0,
+        non_analysable: 91,
+        calls: 44,
+        analysable: 13,
+    },
+    SuiteRow {
+        name: "WSSI",
+        propagateable: 836,
+        renameable: 127,
+        non_analysable: 7,
+        calls: 185,
+        analysable: 179,
+    },
 ];
 
 /// The actual classes a synthesised call site carries.
@@ -103,9 +243,9 @@ pub fn synthesize_row(row: &SuiteRow) -> SourceProgram {
     // MAIN declarations: one actual variable per class.
     let mut main = Subroutine::new("MAIN");
     main.decls = vec![
-        VarDecl::array("AP", &[10, 10], 8),  // matching shape: P-able
-        VarDecl::array("AR", &[20, 20], 8),  // reshaped in callee: R-able
-        VarDecl::array("AN", &[10, 10], 4),  // element-size mismatch: N-able
+        VarDecl::array("AP", &[10, 10], 8), // matching shape: P-able
+        VarDecl::array("AR", &[20, 20], 8), // reshaped in callee: R-able
+        VarDecl::array("AN", &[10, 10], 4), // element-size mismatch: N-able
         VarDecl::array("WORK", &[10], 8),
     ];
 

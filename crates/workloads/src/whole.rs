@@ -396,12 +396,7 @@ pub fn applu_like_source(n: i64, itmax: i64) -> SourceProgram {
             "K",
             1,
             n,
-            vec![SNode::loop_(
-                "J",
-                1,
-                n,
-                vec![SNode::loop_("I", 1, n, body)],
-            )],
+            vec![SNode::loop_("J", 1, n, vec![SNode::loop_("I", 1, n, body)])],
         )];
         subs.push(sub);
     }
@@ -431,10 +426,7 @@ pub fn applu_like_source(n: i64, itmax: i64) -> SourceProgram {
     for s in 0..10usize {
         let a = fields[(s + 2) % fields.len()];
         let b = fields[(s + 3) % fields.len()];
-        loop_body.push(SNode::call(
-            "ADDF",
-            vec![Actual::var(a), Actual::var(b)],
-        ));
+        loop_body.push(SNode::call("ADDF", vec![Actual::var(a), Actual::var(b)]));
     }
     body.push(SNode::loop_("ISTEP", 1, itmax, loop_body));
     main.body = body;
@@ -504,10 +496,7 @@ mod tests {
     fn whole_programs_estimate_close_to_simulation() {
         // The Table 6 property at reduced scale: EstimateMisses within ~1 %
         // absolute of the simulator.
-        for (name, p) in [
-            ("tomcatv", tomcatv_like(24, 2)),
-            ("swim", swim_like(24, 2)),
-        ] {
+        for (name, p) in [("tomcatv", tomcatv_like(24, 2)), ("swim", swim_like(24, 2))] {
             let cfg = cme_cache::CacheConfig::new(4096, 32, 1).unwrap();
             let sim = cme_cache::Simulator::new(cfg).run(&p).miss_ratio();
             let est = cme_analysis::EstimateMisses::new(

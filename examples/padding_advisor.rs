@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cache = CacheConfig::new(2048, 32, 1)?;
 
     let before = Simulator::new(cache).run(&program).miss_ratio();
-    println!("baseline layout:   {:5.1}% misses (simulated)", 100.0 * before);
+    println!(
+        "baseline layout:   {:5.1}% misses (simulated)",
+        100.0 * before
+    );
 
     let plan = search_padding(&program, cache, &PaddingOptions::default());
     println!(
@@ -48,8 +51,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         plan.evaluations
     );
 
-    let after = Simulator::new(cache).run(&plan.apply(&program)).miss_ratio();
-    println!("padded layout:     {:5.1}% misses (simulated)", 100.0 * after);
+    let after = Simulator::new(cache)
+        .run(&plan.apply(&program))
+        .miss_ratio();
+    println!(
+        "padded layout:     {:5.1}% misses (simulated)",
+        100.0 * after
+    );
 
     assert!(
         after < before / 2.0,

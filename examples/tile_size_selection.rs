@@ -30,12 +30,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let start = Instant::now();
-    let plan = search_tiles(
-        &candidates,
-        cache,
-        SamplingOptions::paper_default(),
-        |p| cme::workloads::mmt(n, p[0], p[1]),
-    );
+    let plan = search_tiles(&candidates, cache, SamplingOptions::paper_default(), |p| {
+        cme::workloads::mmt(n, p[0], p[1])
+    });
     println!("{:>4} {:>4}  {:>10}", "BJ", "BK", "est miss %");
     for point in &plan.sweep {
         println!(

@@ -85,7 +85,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 4. Analytical prediction vs ground truth across associativities.
-    println!("\n{:<10} {:>8} {:>8} {:>9}", "cache", "sim %", "E.M %", "abs err");
+    println!(
+        "\n{:<10} {:>8} {:>8} {:>9}",
+        "cache", "sim %", "E.M %", "abs err"
+    );
     for assoc in [1u32, 2, 4] {
         let cache = CacheConfig::new(16 * 1024, 32, assoc)?;
         let sim = Simulator::new(cache).run(&program).miss_ratio();

@@ -14,6 +14,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== lint gate: rustfmt =="
+cargo fmt --check
+
+echo "== lint gate: clippy (warnings are errors) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
 echo "== tier-1 gate: offline release build =="
 cargo build --release --offline
 
@@ -41,6 +47,15 @@ echo "== hit/miss pre-pass harness =="
 # resolution rate >= 50% and pre-pass-on wall <= pre-pass-off wall.
 cargo run -p cme-bench --bin bench_prepass --release --offline -- \
     --scale "${BENCH_SCALE:-small}" --out BENCH_prepass.json
+
+echo "== symbolic-tier harness =="
+# Always at paper scale: the harness asserts byte-identical reports with
+# the tier on, a >=100x formula-vs-enumeration ratio for closed
+# references, a >=10x symbolic padding sweep, and a parametric serve
+# certificate hit with zero enumerated points — ratios that only mean
+# anything where enumeration is expensive.
+cargo run -p cme-bench --bin bench_symbolic --release --offline -- \
+    --scale paper --out BENCH_symbolic.json
 
 echo "== result-store harness =="
 # Cold vs hot query through one engine; asserts byte-identical payloads

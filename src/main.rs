@@ -165,7 +165,11 @@ fn cmd_verb(args: &[String], verb: &str) -> Result<ExitCode, CliError> {
         .ok()
         .and_then(|v| v.get("ok").and_then(Json::as_bool))
         .unwrap_or(false);
-    Ok(if ok { ExitCode::SUCCESS } else { ExitCode::from(2) })
+    Ok(if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    })
 }
 
 fn cmd_query(args: &[String]) -> Result<ExitCode, CliError> {

@@ -34,7 +34,11 @@ fn fortran_to_prediction_pipeline() {
         let cache = CacheConfig::new(8 * 1024, 32, assoc).unwrap();
         let find = FindMisses::new(&program, cache).run();
         let sim = Simulator::new(cache).run(&program);
-        assert_eq!(find.exact_misses(), Some(sim.total_misses()), "assoc {assoc}");
+        assert_eq!(
+            find.exact_misses(),
+            Some(sim.total_misses()),
+            "assoc {assoc}"
+        );
     }
 }
 
@@ -75,7 +79,9 @@ fn estimate_never_breaks_on_any_associativity_or_size() {
 fn whole_program_pipeline_with_stack_model() {
     // The Fig. 4 stack accesses flow through the entire pipeline.
     let src = cme::workloads::swim_like_source(16, 1);
-    let inlined = cme::inline::Inliner::with_stack_model().inline(&src).unwrap();
+    let inlined = cme::inline::Inliner::with_stack_model()
+        .inline(&src)
+        .unwrap();
     assert!(inlined.subroutines[0]
         .decls
         .iter()
@@ -204,7 +210,8 @@ fn common_blocks_share_storage_across_subroutines() {
     let p_common = build(common_src);
     let p_args = build(args_src);
     // Parameterless calls: census shows zero actuals, like the paper's Swim.
-    let census = cme::inline::census(&cme::fortran::parse_with_params(common_src, &[("N", 40)]).unwrap());
+    let census =
+        cme::inline::census(&cme::fortran::parse_with_params(common_src, &[("N", 40)]).unwrap());
     assert_eq!(census.total_actuals(), 0);
     assert_eq!(census.calls, 2);
     assert_eq!(census.analysable_calls, 2);
