@@ -14,6 +14,9 @@
 //! * `--iters <t>` — time steps for whole-program workloads (default 2)
 //! * `--cache <bytes>` `--line <bytes>` `--assoc <k>` — geometry
 //!   (default 32KB/32B/2)
+//! * `--geometry SIZE:ASSOC:LINE` — geometry as one string, e.g.
+//!   `48K:2:32`; overrides the three flags above and admits
+//!   non-power-of-two set counts
 //! * `--exact` — run `FindMisses` instead of `EstimateMisses`
 //! * `--simulate` — also run the trace-driven simulator for comparison
 //! * `--threads <n>` — worker threads for point classification
@@ -53,9 +56,16 @@ fn main() -> ExitCode {
     let cache_bytes: u64 = get("--cache").map_or(32 * 1024, |v| v.parse().expect("--cache"));
     let line: u64 = get("--line").map_or(32, |v| v.parse().expect("--line"));
     let assoc: u32 = get("--assoc").map_or(2, |v| v.parse().expect("--assoc"));
-    let cfg = match CacheConfig::new(cache_bytes, line, assoc) {
-        Ok(cfg) => cfg,
-        Err(e) => return fail(&e.to_string()),
+    let cfg = if let Some(spec) = get("--geometry") {
+        match CacheConfig::parse_geometry(&spec) {
+            Ok(cfg) => cfg,
+            Err(e) => return fail(&e.to_string()),
+        }
+    } else {
+        match CacheConfig::new(cache_bytes, line, assoc) {
+            Ok(cfg) => cfg,
+            Err(e) => return fail(&e.to_string()),
+        }
     };
 
     let program: Program = if let Some(path) = get("--file") {

@@ -233,6 +233,107 @@ impl fmt::Display for CacheConfig {
     }
 }
 
+/// Error parsing a [`CacheConfig`] from its compact geometry-string form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeometryError {
+    /// The string is not `SIZE:ASSOC:LINE` with integer fields.
+    Malformed(String),
+    /// The fields parsed but do not describe a valid cache.
+    Invalid(CacheConfigError),
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::Malformed(s) => {
+                write!(f, "bad geometry `{s}`: want SIZE:ASSOC:LINE, e.g. 32K:2:32")
+            }
+            GeometryError::Invalid(e) => write!(f, "bad geometry: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
+impl From<CacheConfigError> for GeometryError {
+    fn from(e: CacheConfigError) -> GeometryError {
+        GeometryError::Invalid(e)
+    }
+}
+
+/// A byte count with an optional `K`/`M` (KiB/MiB) suffix.
+fn parse_bytes(tok: &str) -> Option<u64> {
+    let (digits, mult) = match tok.as_bytes().last()? {
+        b'K' | b'k' => (&tok[..tok.len() - 1], 1024u64),
+        b'M' | b'm' => (&tok[..tok.len() - 1], 1024 * 1024),
+        _ => (tok, 1),
+    };
+    digits.parse::<u64>().ok()?.checked_mul(mult)
+}
+
+impl CacheConfig {
+    /// Parses the compact `SIZE:ASSOC:LINE` geometry string shared by every
+    /// CLI and the serve protocol: `"32K:2:32"` is a 32 KiB 2-way cache
+    /// with 32-byte lines. `SIZE` and `LINE` take optional `K`/`M`
+    /// suffixes. Geometries whose derived set count is not a power of two
+    /// (e.g. `"48K:2:32"`) are accepted and route through
+    /// [`CacheConfig::with_geometry`]'s exact-division fallback paths.
+    ///
+    /// # Errors
+    ///
+    /// [`GeometryError::Malformed`] when the string does not split into
+    /// three integer fields; [`GeometryError::Invalid`] when the fields do
+    /// not divide into a whole number of sets or a parameter is zero.
+    pub fn parse_geometry(s: &str) -> Result<CacheConfig, GeometryError> {
+        let malformed = || GeometryError::Malformed(s.to_string());
+        let mut parts = s.split(':');
+        let size = parse_bytes(parts.next().ok_or_else(malformed)?).ok_or_else(malformed)?;
+        let assoc: u32 = parts
+            .next()
+            .ok_or_else(malformed)?
+            .parse()
+            .map_err(|_| malformed())?;
+        let line = parse_bytes(parts.next().ok_or_else(malformed)?).ok_or_else(malformed)?;
+        if parts.next().is_some() {
+            return Err(malformed());
+        }
+        if size == 0 {
+            return Err(CacheConfigError::Zero { what: "cache size" }.into());
+        }
+        if line == 0 {
+            return Err(CacheConfigError::Zero { what: "line size" }.into());
+        }
+        if assoc == 0 {
+            return Err(CacheConfigError::Zero {
+                what: "associativity",
+            }
+            .into());
+        }
+        if !size.is_multiple_of(line) {
+            return Err(CacheConfigError::LineDoesNotDivideSize.into());
+        }
+        if !size.is_multiple_of(line * assoc as u64) {
+            return Err(CacheConfigError::AssocDoesNotDivide.into());
+        }
+        let num_sets = size / (line * assoc as u64);
+        Ok(CacheConfig::with_geometry(line, num_sets, assoc)?)
+    }
+
+    /// The canonical geometry string: `parse_geometry(c.geometry_string())`
+    /// reconstructs `c` exactly, for power-of-two and fallback geometries
+    /// alike. Sizes divisible by 1 MiB/1 KiB render with `M`/`K` suffixes.
+    pub fn geometry_string(&self) -> String {
+        let size = if self.size_bytes.is_multiple_of(1024 * 1024) {
+            format!("{}M", self.size_bytes >> 20)
+        } else if self.size_bytes.is_multiple_of(1024) {
+            format!("{}K", self.size_bytes >> 10)
+        } else {
+            self.size_bytes.to_string()
+        };
+        format!("{size}:{}:{}", self.assoc, self.line_bytes)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -333,6 +434,69 @@ mod tests {
         let a = CacheConfig::new(1024, 32, 2).unwrap();
         let b = CacheConfig::with_geometry(32, 16, 2).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn geometry_strings_parse() {
+        let c = CacheConfig::parse_geometry("32K:2:32").unwrap();
+        assert_eq!(c, CacheConfig::new(32 * 1024, 32, 2).unwrap());
+        assert_eq!(c.geometry_string(), "32K:2:32");
+        // Suffixes are case-insensitive; `M` means MiB.
+        assert_eq!(
+            CacheConfig::parse_geometry("1m:4:64").unwrap(),
+            CacheConfig::new(1024 * 1024, 64, 4).unwrap()
+        );
+        // Plain byte counts work for every field.
+        assert_eq!(
+            CacheConfig::parse_geometry("1024:1:32").unwrap(),
+            CacheConfig::new(1024, 32, 1).unwrap()
+        );
+        // A non-power-of-two set count routes through `with_geometry`.
+        let odd = CacheConfig::parse_geometry("48K:2:32").unwrap();
+        assert_eq!(odd, CacheConfig::with_geometry(32, 768, 2).unwrap());
+        assert_eq!(odd.num_sets(), 768);
+        assert_eq!(odd.geometry_string(), "48K:2:32");
+    }
+
+    #[test]
+    fn geometry_string_roundtrips() {
+        for c in [
+            CacheConfig::new(32 * 1024, 32, 2).unwrap(),
+            CacheConfig::new(1024 * 1024, 64, 8).unwrap(),
+            CacheConfig::with_geometry(32, 768, 2).unwrap(),
+            CacheConfig::with_geometry(24, 12, 4).unwrap(),
+            CacheConfig::with_geometry(8, 3, 1).unwrap(),
+        ] {
+            let s = c.geometry_string();
+            assert_eq!(CacheConfig::parse_geometry(&s).unwrap(), c, "{s}");
+        }
+    }
+
+    #[test]
+    fn geometry_parse_errors() {
+        for bad in ["", "32K", "32K:2", "32K:2:32:1", "x:2:32", "32K:2:zz"] {
+            assert!(
+                matches!(
+                    CacheConfig::parse_geometry(bad),
+                    Err(GeometryError::Malformed(_))
+                ),
+                "{bad}"
+            );
+        }
+        assert!(matches!(
+            CacheConfig::parse_geometry("0:2:32"),
+            Err(GeometryError::Invalid(CacheConfigError::Zero { .. }))
+        ));
+        assert!(matches!(
+            CacheConfig::parse_geometry("100:2:32"),
+            Err(GeometryError::Invalid(
+                CacheConfigError::LineDoesNotDivideSize
+            ))
+        ));
+        assert!(matches!(
+            CacheConfig::parse_geometry("96:4:32"),
+            Err(GeometryError::Invalid(CacheConfigError::AssocDoesNotDivide))
+        ));
     }
 
     #[test]

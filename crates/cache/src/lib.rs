@@ -28,6 +28,6 @@ pub mod config;
 pub mod lru;
 pub mod simulator;
 
-pub use config::{CacheConfig, CacheConfigError};
+pub use config::{CacheConfig, CacheConfigError, GeometryError};
 pub use lru::Cache;
 pub use simulator::{RefCounts, SimStats, Simulator};

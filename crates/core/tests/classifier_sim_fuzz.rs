@@ -103,6 +103,56 @@ fn findmisses_matches_simulator_on_uniform_perfect_nests() {
     }
 }
 
+/// Three-way oracle: the analytical classifier, the in-memory simulator
+/// and the trace pipeline (generate → raw wire roundtrip → streaming
+/// `TraceSim`) must all agree on these complete-reuse-vector programs.
+/// The trace leg additionally checks the cold/replacement *split*, which
+/// the in-memory simulator does not report.
+#[test]
+fn trace_replay_agrees_with_classifier_and_simulator() {
+    let mut rng = SeededRng::seed_from_u64(0xD1FF + 2);
+    for case in 0..24 {
+        let program = arb_perfect_program(&mut rng);
+        let cfg = arb_config(&mut rng);
+
+        let words = cme_trace::generate(&program).expect("fuzz addresses fit u32");
+        // Roundtrip through the raw on-the-wire encoding so the byte
+        // format sits inside the oracle loop too.
+        let mut wire = Vec::new();
+        cme_trace::write_raw(&mut wire, words.iter().copied()).unwrap();
+        let mut reader = cme_trace::TraceReader::new(&wire[..]).unwrap();
+        let stats = cme_trace::replay_reader(cfg, &mut reader).unwrap();
+
+        let sim = Simulator::new(cfg).run(&program);
+        assert_eq!(
+            stats.accesses,
+            sim.total_accesses(),
+            "case {case} cfg {cfg}: trace access count"
+        );
+        assert_eq!(
+            stats.misses(),
+            sim.total_misses(),
+            "case {case} cfg {cfg}: trace miss total vs simulator"
+        );
+
+        let report = FindMisses::new(&program, cfg).run();
+        assert_eq!(
+            report.exact_misses(),
+            Some(stats.misses()),
+            "case {case} cfg {cfg}: classifier vs trace replay"
+        );
+        let (cold, repl): (u64, u64) = report
+            .references()
+            .iter()
+            .fold((0, 0), |(c, r), rr| (c + rr.cold, r + rr.replacement));
+        assert_eq!(
+            (cold, repl),
+            (stats.cold, stats.replacement),
+            "case {case} cfg {cfg}: cold/replacement split"
+        );
+    }
+}
+
 /// The legacy full-scan walk sees the same totals on the same seed
 /// stream, so a divergence pins the blame on the skip-walk.
 #[test]

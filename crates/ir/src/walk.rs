@@ -60,6 +60,28 @@ where
     }
 }
 
+/// Visits the byte address of every access in execution order — the
+/// program's address trace, as a cache simulator (in-process or external,
+/// via `cme-trace`'s binary format) consumes it. A thin wrapper over
+/// [`for_each_access`] so the generated trace and the analytical model see
+/// exactly the same stream.
+pub fn for_each_address<F>(program: &Program, mut f: F)
+where
+    F: FnMut(i64),
+{
+    for_each_access(program, |a| {
+        f(a.addr);
+        ControlFlow::Continue(())
+    });
+}
+
+/// The full byte-address trace of the program, materialised.
+pub fn address_trace(program: &Program) -> Vec<i64> {
+    let mut out = Vec::with_capacity(program.total_accesses() as usize);
+    for_each_address(program, |addr| out.push(addr));
+    out
+}
+
 fn walk_all<F>(
     program: &Program,
     node: &LoopNode,

@@ -243,6 +243,21 @@ pub fn parametric_fingerprint(
     h.finish()
 }
 
+/// A finished (or memoised) trace replay.
+#[derive(Debug, Clone)]
+pub struct TraceOutcome {
+    pub fingerprint: Fingerprint,
+    /// The canonical trace payload; byte-identical for equal fingerprints.
+    pub payload: Arc<String>,
+    /// Whether the payload came from the store.
+    pub from_store: bool,
+    /// Addresses in the trace (recorded with stored results too).
+    pub accesses: u64,
+    /// Replay wall time (zero for store hits).
+    pub wall: Duration,
+    pub miss_ratio: f64,
+}
+
 /// The memoising analysis engine. Share it behind an `Arc`.
 #[derive(Debug)]
 pub struct Engine {
@@ -393,6 +408,67 @@ impl Engine {
         })
     }
 
+    /// Replays a binary trace (raw or framed bytes, exactly as on the
+    /// wire) against `config`, memoised under the trace fingerprint — the
+    /// FNV-1a/128 of the bytes plus the geometry, so a repeat replay of
+    /// the same trace content is answered from the store without decoding.
+    /// `threads = 1` replays serially; more run the set-partitioned
+    /// parallel replay (identical results at any count, so the thread
+    /// count is — like analyze jobs — excluded from the fingerprint).
+    ///
+    /// Errors (a malformed trace) are client-facing strings.
+    pub fn run_trace(
+        &self,
+        trace_bytes: &[u8],
+        config: CacheConfig,
+        threads: usize,
+        use_store: bool,
+    ) -> Result<TraceOutcome, String> {
+        let fp = cme_trace::trace_fingerprint(trace_bytes, &config);
+        if use_store {
+            if let Some(hit) = self.store.get(fp) {
+                Metrics::bump(&self.metrics.trace_store_hits);
+                return Ok(TraceOutcome {
+                    fingerprint: fp,
+                    payload: hit.payload,
+                    from_store: true,
+                    accesses: hit.points,
+                    wall: Duration::ZERO,
+                    miss_ratio: hit.miss_ratio,
+                });
+            }
+        }
+        Metrics::bump(&self.metrics.trace_store_misses);
+
+        let start = Instant::now();
+        let reader = cme_trace::TraceReader::new(trace_bytes).map_err(|e| format!("trace: {e}"))?;
+        let words = reader.read_to_end().map_err(|e| format!("trace: {e}"))?;
+        let stats = cme_trace::replay_parallel(config, &words, threads);
+        let wall = start.elapsed();
+
+        let payload = Arc::new(render_trace_payload(config, &stats));
+        Metrics::add(&self.metrics.trace_accesses_replayed, stats.accesses);
+        Metrics::add(&self.metrics.trace_wall_us, wall.as_micros() as u64);
+        if use_store {
+            self.store.put(
+                fp,
+                StoredResult {
+                    payload: payload.clone(),
+                    miss_ratio: stats.miss_ratio(),
+                    points: stats.accesses,
+                },
+            );
+        }
+        Ok(TraceOutcome {
+            fingerprint: fp,
+            payload,
+            from_store: false,
+            accesses: stats.accesses,
+            wall,
+            miss_ratio: stats.miss_ratio(),
+        })
+    }
+
     /// Runs a *parametric* job: an exact analysis with the symbolic tier
     /// forced on, keyed structurally so one certified kernel answers any
     /// problem size. The flow is
@@ -531,6 +607,24 @@ pub fn render_payload(
         .collect();
     fields.push(("refs", Json::Arr(refs)));
     obj(fields).render()
+}
+
+/// Renders the canonical trace payload. Like [`render_payload`], excludes
+/// wall time and thread count: equal fingerprints render equal bytes.
+pub fn render_trace_payload(config: CacheConfig, stats: &cme_trace::TraceStats) -> String {
+    use crate::json::{obj, Json};
+    obj(vec![
+        ("kind", Json::Str("trace".to_string())),
+        ("cache", Json::Str(config.to_string())),
+        ("geometry", Json::Str(config.geometry_string())),
+        ("accesses", Json::Int(stats.accesses as i64)),
+        ("hits", Json::Int(stats.hits as i64)),
+        ("cold", Json::Int(stats.cold as i64)),
+        ("replacement", Json::Int(stats.replacement as i64)),
+        ("misses", Json::Int(stats.misses() as i64)),
+        ("miss_ratio", Json::Float(stats.miss_ratio())),
+    ])
+    .render()
 }
 
 #[cfg(test)]
@@ -737,6 +831,53 @@ mod tests {
         // Exact repeat of the parametric query: answered from the store.
         let (repeat, _, _) = engine.run_parametric(&Job::exact(&p2, cfg)).unwrap();
         assert!(repeat.from_store);
+    }
+
+    /// A repeat trace replay — same bytes, same geometry — is answered
+    /// from the store with a byte-identical payload; a different geometry
+    /// or different bytes miss.
+    #[test]
+    fn trace_replay_memoises_by_content_and_geometry() {
+        use std::sync::atomic::Ordering;
+        let p = small_program();
+        let cfg = CacheConfig::new(1024, 32, 2).unwrap();
+        let engine = Engine::in_memory(8);
+        let words = cme_trace::generate(&p).unwrap();
+        let bytes = cme_trace::frame_bytes(&cfg, &words);
+
+        let cold = engine.run_trace(&bytes, cfg, 1, true).unwrap();
+        assert!(!cold.from_store);
+        assert_eq!(cold.accesses, p.total_accesses());
+        let hot = engine.run_trace(&bytes, cfg, 4, true).unwrap();
+        assert!(hot.from_store, "same content and geometry must hit");
+        assert_eq!(&*cold.payload, &*hot.payload);
+        assert_eq!(hot.accesses, cold.accesses);
+        assert_eq!(engine.metrics().trace_store_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(
+            engine.metrics().trace_store_misses.load(Ordering::Relaxed),
+            1
+        );
+
+        let other = CacheConfig::new(2048, 32, 2).unwrap();
+        let refr = engine.run_trace(&bytes, other, 1, true).unwrap();
+        assert!(!refr.from_store, "geometry is part of the key");
+
+        // The payload parses and agrees with the reference simulator.
+        let v = crate::json::Json::parse(&cold.payload).unwrap();
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("trace"));
+        let sim = cme_cache::Simulator::new(cfg).run(&p);
+        assert_eq!(v.get("misses").unwrap().as_u64(), Some(sim.total_misses()));
+    }
+
+    #[test]
+    fn malformed_trace_is_a_client_error() {
+        let engine = Engine::in_memory(8);
+        let cfg = CacheConfig::new(1024, 32, 2).unwrap();
+        // Truncated payload: framed header promising more than it carries.
+        let mut bytes = cme_trace::frame_bytes(&cfg, &[1, 2, 3, 4]);
+        bytes.truncate(bytes.len() - 2);
+        let err = engine.run_trace(&bytes, cfg, 1, true).unwrap_err();
+        assert!(err.starts_with("trace:"), "{err}");
     }
 
     #[test]

@@ -36,11 +36,11 @@ pub mod store;
 
 pub use client::Client;
 pub use engine::{
-    job_fingerprint, parametric_fingerprint, AnalysisMode, CertStatus, Engine, EngineError, Job,
-    Outcome, ParametricCert,
+    job_fingerprint, parametric_fingerprint, render_trace_payload, AnalysisMode, CertStatus,
+    Engine, EngineError, Job, Outcome, ParametricCert, TraceOutcome,
 };
 pub use json::Json;
 pub use metrics::Metrics;
-pub use protocol::{AnalyzeRequest, Mode, ProgramSpec, Request};
+pub use protocol::{AnalyzeRequest, Mode, ProgramSpec, Request, TraceRequest, TraceSource};
 pub use server::{Server, ServerOptions};
 pub use store::{Store, StoredResult};

@@ -47,6 +47,14 @@ pub struct Metrics {
     pub queue_wait_us: AtomicU64,
     /// Total microseconds of analysis wall time (store misses only).
     pub analysis_wall_us: AtomicU64,
+    /// `trace` requests answered from the result store.
+    pub trace_store_hits: AtomicU64,
+    /// `trace` requests that actually replayed.
+    pub trace_store_misses: AtomicU64,
+    /// Addresses replayed by trace requests that ran.
+    pub trace_accesses_replayed: AtomicU64,
+    /// Total microseconds of trace replay wall time (store misses only).
+    pub trace_wall_us: AtomicU64,
 }
 
 impl Metrics {
@@ -86,6 +94,10 @@ impl Metrics {
             ("parametric_cert_misses", g(&self.parametric_cert_misses)),
             ("queue_wait_us", g(&self.queue_wait_us)),
             ("analysis_wall_us", g(&self.analysis_wall_us)),
+            ("trace_store_hits", g(&self.trace_store_hits)),
+            ("trace_store_misses", g(&self.trace_store_misses)),
+            ("trace_accesses_replayed", g(&self.trace_accesses_replayed)),
+            ("trace_wall_us", g(&self.trace_wall_us)),
         ])
     }
 }

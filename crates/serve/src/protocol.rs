@@ -26,6 +26,19 @@
 //! analysed kernel answers any problem size — closed references never
 //! enumerate).
 //!
+//! The cache geometry may also be given as a single
+//! `"geometry":"SIZE:ASSOC:LINE"` string (e.g. `"32K:2:32"`), which
+//! overrides `cache`/`line`/`assoc` and — unlike them — accepts
+//! non-power-of-two set counts.
+//!
+//! `{"cmd":"trace", ...}` replays an address trace through the streaming
+//! LRU simulator. The trace is named either by `"file":"/path"` (a raw or
+//! framed binary trace on the server's filesystem) or by the same program
+//! spec fields as `analyze` (the server generates the program's access
+//! stream). Optional: `"geometry"` (overrides a framed trace's embedded
+//! geometry; required semantics match `analyze`), `"store":false`,
+//! `"threads"`.
+//!
 //! Responses always carry `"ok"`. Successful `analyze` responses embed the
 //! canonical report under `"report"` plus `"fingerprint"` and a
 //! per-request `"metrics"` object; failures carry `"error"` (message) and
@@ -33,6 +46,7 @@
 
 use crate::json::{obj, Json};
 use cme_analysis::{PrepassMode, SamplingOptions, SymbolicMode, Threads, WalkStrategy};
+use cme_cache::CacheConfig;
 use cme_ir::Program;
 use std::collections::HashMap;
 
@@ -137,6 +151,9 @@ pub struct AnalyzeRequest {
     pub size_bytes: u64,
     pub line_bytes: u64,
     pub assoc: u32,
+    /// A `"geometry":"SIZE:ASSOC:LINE"` string, pre-parsed; overrides the
+    /// three scalar fields and admits non-power-of-two set counts.
+    pub geometry: Option<CacheConfig>,
     pub mode: Mode,
     pub timeout_ms: Option<u64>,
     pub use_store: bool,
@@ -149,6 +166,26 @@ pub struct AnalyzeRequest {
     pub parametric: bool,
 }
 
+/// Where a `trace` request's address stream comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceSource {
+    /// A binary trace file (raw or framed) on the server's filesystem.
+    File(String),
+    /// Generate the access stream of a program spec.
+    Spec(ProgramSpec),
+}
+
+/// A fully parsed `trace` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRequest {
+    pub source: TraceSource,
+    /// Explicit replay geometry; `None` defers to a framed trace's embedded
+    /// geometry (or the default for raw traces and generated streams).
+    pub geometry: Option<CacheConfig>,
+    pub use_store: bool,
+    pub threads: Threads,
+}
+
 /// One request line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -156,6 +193,7 @@ pub enum Request {
     Stats,
     Shutdown,
     Analyze(Box<AnalyzeRequest>),
+    Trace(Box<TraceRequest>),
 }
 
 impl Request {
@@ -170,11 +208,12 @@ impl Request {
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
             "analyze" => Ok(Request::Analyze(Box::new(Self::analyze_from(v)?))),
+            "trace" => Ok(Request::Trace(Box::new(Self::trace_from(v)?))),
             other => Err(format!("unknown cmd `{other}`")),
         }
     }
 
-    fn analyze_from(v: &Json) -> Result<AnalyzeRequest, String> {
+    fn spec_from(v: &Json) -> Result<Option<ProgramSpec>, String> {
         let spec = if let Some(text) = v.get("source").and_then(Json::as_str) {
             let mut params = Vec::new();
             if let Some(Json::Obj(pairs)) = v.get("params") {
@@ -198,8 +237,41 @@ impl Request {
                 bk: v.get("bk").and_then(Json::as_i64),
             }
         } else {
-            return Err("analyze needs `workload` or `source`".to_string());
+            return Ok(None);
         };
+        Ok(Some(spec))
+    }
+
+    fn geometry_from(v: &Json) -> Result<Option<CacheConfig>, String> {
+        match v.get("geometry").and_then(Json::as_str) {
+            Some(s) => CacheConfig::parse_geometry(s)
+                .map(Some)
+                .map_err(|e| e.to_string()),
+            None => Ok(None),
+        }
+    }
+
+    fn trace_from(v: &Json) -> Result<TraceRequest, String> {
+        let source = if let Some(path) = v.get("file").and_then(Json::as_str) {
+            TraceSource::File(path.to_string())
+        } else if let Some(spec) = Self::spec_from(v)? {
+            TraceSource::Spec(spec)
+        } else {
+            return Err("trace needs `file`, `workload` or `source`".to_string());
+        };
+        Ok(TraceRequest {
+            source,
+            geometry: Self::geometry_from(v)?,
+            use_store: v.get("store").and_then(Json::as_bool).unwrap_or(true),
+            threads: Threads::from_flag(
+                v.get("threads").and_then(Json::as_u64).unwrap_or(0) as usize
+            ),
+        })
+    }
+
+    fn analyze_from(v: &Json) -> Result<AnalyzeRequest, String> {
+        let spec = Self::spec_from(v)?
+            .ok_or_else(|| "analyze needs `workload` or `source`".to_string())?;
 
         let mode = match v.get("mode").and_then(Json::as_str).unwrap_or("estimate") {
             "exact" => Mode::Exact,
@@ -255,6 +327,7 @@ impl Request {
                 .and_then(Json::as_u64)
                 .map(|a| a as u32)
                 .unwrap_or(2),
+            geometry: Self::geometry_from(v)?,
             mode,
             timeout_ms: v.get("timeout_ms").and_then(Json::as_u64),
             use_store: v.get("store").and_then(Json::as_bool).unwrap_or(true),
@@ -392,6 +465,50 @@ mod tests {
             let v = Json::parse(text).unwrap();
             assert!(Request::from_json(&v).is_err(), "{text}");
         }
+    }
+
+    #[test]
+    fn parses_geometry_string() {
+        let v = Json::parse(
+            r#"{"cmd":"analyze","workload":"mmt","n":8,"geometry":"48K:2:32","mode":"exact"}"#,
+        )
+        .unwrap();
+        let Request::Analyze(req) = Request::from_json(&v).unwrap() else {
+            panic!("expected analyze");
+        };
+        let geo = req.geometry.expect("geometry parsed");
+        assert_eq!(geo.num_sets(), 768, "non-power-of-two accepted");
+        assert_eq!(geo.assoc(), 2);
+
+        let v = Json::parse(r#"{"cmd":"analyze","workload":"mmt","geometry":"zz"}"#).unwrap();
+        assert!(Request::from_json(&v).is_err());
+    }
+
+    #[test]
+    fn parses_trace_requests() {
+        let v = Json::parse(r#"{"cmd":"trace","file":"/tmp/t.cmet"}"#).unwrap();
+        let Request::Trace(req) = Request::from_json(&v).unwrap() else {
+            panic!("expected trace");
+        };
+        assert_eq!(req.source, TraceSource::File("/tmp/t.cmet".to_string()));
+        assert_eq!(req.geometry, None);
+        assert!(req.use_store);
+
+        let v = Json::parse(
+            r#"{"cmd":"trace","workload":"mmt","n":8,"geometry":"32K:2:32","store":false,"threads":2}"#,
+        )
+        .unwrap();
+        let Request::Trace(req) = Request::from_json(&v).unwrap() else {
+            panic!("expected trace");
+        };
+        assert!(matches!(req.source, TraceSource::Spec(_)));
+        assert_eq!(req.geometry.unwrap().size_bytes(), 32 * 1024);
+        assert!(!req.use_store);
+        assert_eq!(req.threads, Threads::Fixed(2));
+
+        // No source at all is rejected.
+        let v = Json::parse(r#"{"cmd":"trace"}"#).unwrap();
+        assert!(Request::from_json(&v).is_err());
     }
 
     #[test]

@@ -16,7 +16,7 @@
 use crate::engine::{AnalysisMode, CertStatus, Engine, EngineError, Job};
 use crate::json::{obj, Json};
 use crate::metrics::Metrics;
-use crate::protocol::{error_response, AnalyzeRequest, Request};
+use crate::protocol::{error_response, AnalyzeRequest, Request, TraceRequest, TraceSource};
 use crate::store::Store;
 use cme_analysis::{CancelToken, PrepassMode, SymbolicMode, WalkStrategy};
 use cme_cache::CacheConfig;
@@ -157,10 +157,7 @@ impl Server {
         if let Some(path) = &self.options.metrics_dump {
             let mut snap = self.engine.metrics().snapshot();
             if let Json::Obj(pairs) = &mut snap {
-                pairs.push((
-                    "store_entries".to_string(),
-                    Json::Int(self.engine.store().len() as i64),
-                ));
+                push_store_stats(pairs, &self.engine);
             }
             std::fs::write(path, format!("{}\n", snap.render()))?;
         }
@@ -200,10 +197,7 @@ fn handle_connection(
                 Ok(Request::Stats) => {
                     let mut snap = engine.metrics().snapshot();
                     if let Json::Obj(pairs) = &mut snap {
-                        pairs.push((
-                            "store_entries".to_string(),
-                            Json::Int(engine.store().len() as i64),
-                        ));
+                        push_store_stats(pairs, engine);
                     }
                     (obj(vec![("ok", Json::Bool(true)), ("stats", snap)]), false)
                 }
@@ -218,6 +212,16 @@ fn handle_connection(
                         queue_wait.as_micros() as u64,
                     );
                     let resp = run_analyze(&req, engine, &conn, queue_wait);
+                    semaphore.release();
+                    (resp, false)
+                }
+                Ok(Request::Trace(req)) => {
+                    let queue_wait = semaphore.acquire();
+                    Metrics::add(
+                        &engine.metrics().queue_wait_us,
+                        queue_wait.as_micros() as u64,
+                    );
+                    let resp = run_trace(&req, engine, queue_wait);
                     semaphore.release();
                     (resp, false)
                 }
@@ -238,6 +242,23 @@ fn handle_connection(
     Ok(())
 }
 
+/// Appends store-shape fields to a metrics snapshot (the `stats` verb and
+/// the shutdown dump).
+fn push_store_stats(pairs: &mut Vec<(String, Json)>, engine: &Engine) {
+    pairs.push((
+        "store_entries".to_string(),
+        Json::Int(engine.store().len() as i64),
+    ));
+    pairs.push((
+        "store_disk_bytes".to_string(),
+        Json::Int(engine.store().disk_bytes() as i64),
+    ));
+    pairs.push((
+        "store_disk_frames".to_string(),
+        Json::Int(engine.store().disk_frames() as i64),
+    ));
+}
+
 fn run_analyze(
     req: &AnalyzeRequest,
     engine: &Engine,
@@ -251,12 +272,15 @@ fn run_analyze(
             return error_response("bad_request", &e);
         }
     };
-    let config = match CacheConfig::new(req.size_bytes, req.line_bytes, req.assoc) {
-        Ok(c) => c,
-        Err(e) => {
-            Metrics::bump(&engine.metrics().bad_requests);
-            return error_response("bad_request", &e.to_string());
-        }
+    let config = match req.geometry {
+        Some(g) => g,
+        None => match CacheConfig::new(req.size_bytes, req.line_bytes, req.assoc) {
+            Ok(c) => c,
+            Err(e) => {
+                Metrics::bump(&engine.metrics().bad_requests);
+                return error_response("bad_request", &e.to_string());
+            }
+        },
     };
     let cancel = match req.timeout_ms {
         Some(ms) => CancelToken::with_timeout(Duration::from_millis(ms)),
@@ -415,5 +439,74 @@ fn run_analyze(
             }
             resp
         }
+    }
+}
+
+fn run_trace(req: &TraceRequest, engine: &Engine, queue_wait: Duration) -> Json {
+    let bad = |engine: &Engine, msg: &str| {
+        Metrics::bump(&engine.metrics().bad_requests);
+        error_response("bad_request", msg)
+    };
+    let default_geometry =
+        || CacheConfig::new(32 * 1024, 32, 2).expect("default geometry is valid");
+
+    // Resolve the trace bytes and the replay geometry. Priority for the
+    // geometry: explicit request field, then a framed trace's embedded
+    // header, then the default. Generated traces are framed with the
+    // resolved geometry, so a `cme trace gen` file and a spec-sourced
+    // request over the same program share a fingerprint.
+    let (bytes, config) = match &req.source {
+        TraceSource::File(path) => {
+            let bytes = match std::fs::read(path) {
+                Ok(b) => b,
+                Err(e) => return bad(engine, &format!("trace file `{path}`: {e}")),
+            };
+            let config = match req.geometry {
+                Some(g) => g,
+                None => match cme_trace::TraceReader::new(&bytes[..]) {
+                    Err(e) => return bad(engine, &format!("trace: {e}")),
+                    Ok(r) => match r.header().map(|h| h.geometry()) {
+                        Some(Ok(g)) => g,
+                        Some(Err(e)) => return bad(engine, &format!("trace header: {e}")),
+                        None => default_geometry(),
+                    },
+                },
+            };
+            (bytes, config)
+        }
+        TraceSource::Spec(spec) => {
+            let program = match spec.build() {
+                Ok(p) => p,
+                Err(e) => return bad(engine, &e),
+            };
+            let config = req.geometry.unwrap_or_else(default_geometry);
+            let words = match cme_trace::generate(&program) {
+                Ok(w) => w,
+                Err(e) => return bad(engine, &e.to_string()),
+            };
+            (cme_trace::frame_bytes(&config, &words), config)
+        }
+    };
+
+    match engine.run_trace(&bytes, config, req.threads.count(), req.use_store) {
+        Ok(out) => {
+            let metrics = obj(vec![
+                (
+                    "store",
+                    Json::Str(if out.from_store { "hit" } else { "miss" }.to_string()),
+                ),
+                ("accesses", Json::Int(out.accesses as i64)),
+                ("wall_us", Json::Int(out.wall.as_micros() as i64)),
+                ("queue_wait_us", Json::Int(queue_wait.as_micros() as i64)),
+                ("threads", Json::Int(req.threads.count() as i64)),
+            ]);
+            obj(vec![
+                ("ok", Json::Bool(true)),
+                ("fingerprint", Json::Str(out.fingerprint.to_string())),
+                ("report", Json::Raw(out.payload.as_str().to_string())),
+                ("metrics", metrics),
+            ])
+        }
+        Err(e) => bad(engine, &e),
     }
 }

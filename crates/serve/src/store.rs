@@ -66,6 +66,8 @@ struct Inner {
     /// appends when an evicted entry is recomputed).
     on_disk: HashMap<u128, ()>,
     file: Option<File>,
+    /// Current size of the disk log in bytes (0 for in-memory stores).
+    disk_bytes: u64,
 }
 
 /// Statistics from opening an on-disk log.
@@ -97,6 +99,7 @@ impl Store {
                 tick: 0,
                 on_disk: HashMap::new(),
                 file: None,
+                disk_bytes: 0,
             }),
             capacity: capacity.max(1),
             path: None,
@@ -169,7 +172,7 @@ impl Store {
                 Err(_) => stats.corrupt += 1,
             }
         }
-        file.seek(SeekFrom::End(0))?;
+        let disk_bytes = file.seek(SeekFrom::End(0))?;
 
         Ok(Store {
             inner: Mutex::new(Inner {
@@ -177,6 +180,7 @@ impl Store {
                 tick,
                 on_disk,
                 file: Some(file),
+                disk_bytes,
             }),
             capacity: capacity.max(1),
             path: Some(path),
@@ -202,6 +206,17 @@ impl Store {
     /// Whether the in-memory cache is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Size of the on-disk log in bytes (0 for in-memory stores).
+    pub fn disk_bytes(&self) -> u64 {
+        self.inner.lock().unwrap().disk_bytes
+    }
+
+    /// Live frames in the on-disk log — frames whose payload survived the
+    /// opening CRC scan plus frames appended since (0 for in-memory stores).
+    pub fn disk_frames(&self) -> usize {
+        self.inner.lock().unwrap().on_disk.len()
     }
 
     /// Looks up a result, refreshing its LRU position.
@@ -233,6 +248,7 @@ impl Store {
             let file = inner.file.as_mut().unwrap();
             if file.write_all(&frame).and_then(|()| file.flush()).is_ok() {
                 inner.on_disk.insert(fp.0, ());
+                inner.disk_bytes += frame.len() as u64;
             }
         }
 
@@ -327,6 +343,34 @@ mod tests {
         assert_eq!(&*r.payload, r#"{"miss_ratio":0.25,"points":40}"#);
         assert_eq!(r.miss_ratio, 0.25);
         assert_eq!(r.points, 40);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disk_stats_track_appends_and_reopen() {
+        let dir = std::env::temp_dir().join(format!("cme-store-ds-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let payload = r#"{"miss_ratio":0.5,"points":10}"#;
+        let frame_len = (HEADER_LEN + payload.len()) as u64;
+        {
+            let s = Store::open(&dir, 16).unwrap();
+            assert_eq!(s.disk_bytes(), 0);
+            assert_eq!(s.disk_frames(), 0);
+            s.put(fp(1), result(payload));
+            s.put(fp(2), result(payload));
+            // A repeat put of a key already on disk appends nothing.
+            s.put(fp(1), result(payload));
+            assert_eq!(s.disk_bytes(), 2 * frame_len);
+            assert_eq!(s.disk_frames(), 2);
+        }
+        let s = Store::open(&dir, 16).unwrap();
+        assert_eq!(s.disk_bytes(), 2 * frame_len);
+        assert_eq!(s.disk_frames(), 2);
+
+        let mem = Store::in_memory(4);
+        mem.put(fp(3), result(payload));
+        assert_eq!(mem.disk_bytes(), 0);
+        assert_eq!(mem.disk_frames(), 0);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -213,6 +213,76 @@ fn disconnect_cancels_running_analysis() {
     daemon.shutdown();
 }
 
+/// The `trace` verb end to end: a spec-sourced replay runs cold, an
+/// external trace *file* of the same program and geometry hits the store
+/// (the fingerprint is over trace content + geometry, not provenance), and
+/// the payload agrees with the analyze totals' universe (accesses).
+#[test]
+fn trace_replay_cold_then_file_hot() {
+    let daemon = Daemon::start("trace");
+    let mut client = daemon.client();
+
+    let req = r#"{"cmd":"trace","workload":"mmt","n":16,"bj":8,"bk":4,"geometry":"2K:2:32"}"#;
+    let cold_line = client.request_line(req).unwrap();
+    let cold = Json::parse(&cold_line).unwrap();
+    assert_eq!(cold.get("ok"), Some(&Json::Bool(true)), "{cold_line}");
+    assert_eq!(
+        cold.get("metrics").unwrap().get("store").unwrap().as_str(),
+        Some("miss")
+    );
+    let report = cold.get("report").unwrap();
+    assert_eq!(report.get("kind").unwrap().as_str(), Some("trace"));
+    assert_eq!(report.get("geometry").unwrap().as_str(), Some("2K:2:32"));
+    let accesses = report.get("accesses").unwrap().as_u64().unwrap();
+    assert_eq!(accesses, cme_workloads::mmt(16, 8, 4).total_accesses());
+    assert!(report.get("misses").unwrap().as_u64().unwrap() > 0);
+
+    // Write the identical trace to a file and replay it by path: store hit,
+    // byte-identical report.
+    let trace_path = temp_path("trace-mmt.cmet");
+    let cfg = cme_cache::CacheConfig::parse_geometry("2K:2:32").unwrap();
+    let words = cme_trace::generate(&cme_workloads::mmt(16, 8, 4)).unwrap();
+    std::fs::write(&trace_path, cme_trace::frame_bytes(&cfg, &words)).unwrap();
+    let file_req = format!(r#"{{"cmd":"trace","file":"{}"}}"#, trace_path.display());
+    let hot_line = client.request_line(&file_req).unwrap();
+    let hot = Json::parse(&hot_line).unwrap();
+    assert_eq!(hot.get("ok"), Some(&Json::Bool(true)), "{hot_line}");
+    assert_eq!(
+        hot.get("metrics").unwrap().get("store").unwrap().as_str(),
+        Some("hit"),
+        "same content and geometry must answer from the store"
+    );
+    assert_eq!(report_bytes(&cold_line), report_bytes(&hot_line));
+    assert_eq!(cold.get("fingerprint"), hot.get("fingerprint"));
+    let _ = std::fs::remove_file(&trace_path);
+
+    let stats = client
+        .request(&Json::parse(r#"{"cmd":"stats"}"#).unwrap())
+        .unwrap();
+    let s = stats.get("stats").unwrap();
+    assert_eq!(s.get("trace_store_hits").unwrap().as_u64(), Some(1));
+    assert_eq!(s.get("trace_store_misses").unwrap().as_u64(), Some(1));
+    assert_eq!(
+        s.get("trace_accesses_replayed").unwrap().as_u64(),
+        Some(accesses)
+    );
+    // In-memory store: disk stats are present and zero.
+    assert_eq!(s.get("store_disk_bytes").unwrap().as_u64(), Some(0));
+    assert_eq!(s.get("store_disk_frames").unwrap().as_u64(), Some(0));
+
+    // A missing file is a clean bad_request.
+    let resp = Json::parse(
+        &client
+            .request_line(r#"{"cmd":"trace","file":"/nonexistent/trace.bin"}"#)
+            .unwrap(),
+    )
+    .unwrap();
+    assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(resp.get("kind").unwrap().as_str(), Some("bad_request"));
+
+    daemon.shutdown();
+}
+
 #[test]
 fn malformed_requests_get_bad_request() {
     let daemon = Daemon::start("badreq");

@@ -1,0 +1,306 @@
+//! High-throughput trace replay: per-set compact LRU stacks over any
+//! [`CacheConfig`] geometry.
+//!
+//! The replay loop is two batched passes per chunk: a tight
+//! address-to-(line, set) extraction pass using the config's
+//! `line_shift`/`set_mask` fast paths (falling back to exact Euclidean
+//! division for non-power-of-two geometries), then an LRU update pass over
+//! a flat `num_sets × assoc` line array — MRU first within each set, so a
+//! hit is usually decided by the first comparison and a miss shifts at most
+//! `assoc` words. Cold misses are told apart from replacement misses with a
+//! touched-lines set consulted only on misses.
+//!
+//! [`replay_parallel`] partitions the *sets* across the same chunk-stealing
+//! worker pool the classification engine uses
+//! ([`cme_analysis::parallel::run_chunked`]): every worker scans the full
+//! trace but simulates only its contiguous set range, which is exact — LRU
+//! state never crosses a set boundary — and merges deterministically by
+//! summing per-task tallies in task-index order.
+
+use crate::format::TraceReader;
+use cme_cache::CacheConfig;
+use std::collections::HashSet;
+use std::io::{self, Read};
+
+/// Aggregate replay counts (the trace carries no reference identity, so
+/// there is no per-reference split — totals are the cross-validation
+/// currency).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Addresses replayed.
+    pub accesses: u64,
+    /// Accesses that found their line resident.
+    pub hits: u64,
+    /// Misses on never-before-touched memory lines.
+    pub cold: u64,
+    /// Misses on lines that had been resident and were evicted.
+    pub replacement: u64,
+}
+
+impl TraceStats {
+    /// Total misses of either kind.
+    pub fn misses(&self) -> u64 {
+        self.cold + self.replacement
+    }
+
+    /// Misses over accesses (0 for an empty trace).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / self.accesses as f64
+        }
+    }
+
+    /// Component-wise sum (the parallel merge).
+    pub fn merge(&mut self, other: &TraceStats) {
+        self.accesses += other.accesses;
+        self.hits += other.hits;
+        self.cold += other.cold;
+        self.replacement += other.replacement;
+    }
+}
+
+/// Extraction batch size: big enough to amortise the two-pass split, small
+/// enough to stay in L1.
+const BATCH: usize = 4096;
+
+/// A streaming LRU cache simulator over raw addresses.
+///
+/// Feed it address slices in any chunking via [`TraceSim::replay`]; state
+/// persists across calls, so a trace can stream through a fixed-size
+/// buffer. [`TraceSim::stats`] reads the running totals at any point.
+#[derive(Debug)]
+pub struct TraceSim {
+    cfg: CacheConfig,
+    assoc: usize,
+    /// Flat `num_sets × assoc` array of resident memory lines, MRU first
+    /// within each set; `EMPTY` marks an unfilled way.
+    lines: Vec<i64>,
+    /// Every memory line ever fetched (consulted only on misses).
+    touched: HashSet<i64>,
+    stats: TraceStats,
+    /// Scratch for the batched (line, set) extraction pass.
+    batch: Vec<(i64, u32)>,
+    /// Restrict simulation to sets in `[set_lo, set_hi)` (the parallel
+    /// partition); the full range for serial replay.
+    set_lo: i64,
+    set_hi: i64,
+}
+
+/// No valid memory line: addresses are non-negative, so their lines are too.
+const EMPTY: i64 = i64::MIN;
+
+impl TraceSim {
+    /// A simulator with every way empty.
+    pub fn new(cfg: CacheConfig) -> TraceSim {
+        Self::for_sets(cfg, 0, cfg.num_sets() as i64)
+    }
+
+    /// A simulator that models only sets in `[set_lo, set_hi)` and ignores
+    /// accesses outside them — the unit of set-partitioned parallel replay.
+    /// Only the partition's ways are allocated.
+    pub fn for_sets(cfg: CacheConfig, set_lo: i64, set_hi: i64) -> TraceSim {
+        assert!(0 <= set_lo && set_lo <= set_hi && set_hi <= cfg.num_sets() as i64);
+        let assoc = cfg.assoc() as usize;
+        TraceSim {
+            cfg,
+            assoc,
+            lines: vec![EMPTY; (set_hi - set_lo) as usize * assoc],
+            touched: HashSet::new(),
+            stats: TraceStats::default(),
+            batch: Vec::with_capacity(BATCH),
+            set_lo,
+            set_hi,
+        }
+    }
+
+    /// The geometry being simulated.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Running totals.
+    pub fn stats(&self) -> TraceStats {
+        self.stats
+    }
+
+    /// Replays a slice of addresses, updating the running totals.
+    pub fn replay(&mut self, addrs: &[u32]) {
+        let mut batch = std::mem::take(&mut self.batch);
+        for chunk in addrs.chunks(BATCH) {
+            // Pass 1: batched set-index extraction (shift/mask fast paths
+            // inside `mem_line`/`set_of_line`; division fallback otherwise).
+            batch.clear();
+            for &a in chunk {
+                let line = self.cfg.mem_line(a as i64);
+                let set = self.cfg.set_of_line(line);
+                if self.set_lo <= set && set < self.set_hi {
+                    batch.push((line, (set - self.set_lo) as u32));
+                }
+            }
+            // Pass 2: LRU updates.
+            for &(line, set) in &batch {
+                self.touch(line, set as usize);
+            }
+        }
+        self.batch = batch;
+    }
+
+    #[inline]
+    fn touch(&mut self, line: i64, set: usize) {
+        self.stats.accesses += 1;
+        let ways = &mut self.lines[set * self.assoc..(set + 1) * self.assoc];
+        match ways.iter().position(|&w| w == line) {
+            Some(0) => self.stats.hits += 1,
+            Some(at) => {
+                // Hit below the MRU slot: rotate the prefix to re-rank.
+                ways[..=at].rotate_right(1);
+                ways[0] = line;
+                self.stats.hits += 1;
+            }
+            None => {
+                ways.rotate_right(1);
+                ways[0] = line;
+                if self.touched.insert(line) {
+                    self.stats.cold += 1;
+                } else {
+                    self.stats.replacement += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Replays a whole trace stream (either format variant) through a
+/// fixed-size chunk buffer — constant memory in the trace length.
+pub fn replay_reader<R: Read>(
+    cfg: CacheConfig,
+    reader: &mut TraceReader<R>,
+) -> io::Result<TraceStats> {
+    let mut sim = TraceSim::new(cfg);
+    let mut buf: Vec<u32> = Vec::with_capacity(1 << 16);
+    loop {
+        buf.clear();
+        if reader.read_chunk(&mut buf, 1 << 16)? == 0 {
+            return Ok(sim.stats());
+        }
+        sim.replay(&buf);
+    }
+}
+
+/// Set-partitioned parallel replay over an in-memory trace: the sets are
+/// split into contiguous ranges, one [`TraceSim::for_sets`] per range, run
+/// on [`cme_analysis::parallel::run_chunked`]'s chunk-stealing pool. Every
+/// worker scans the full address slice and filters; per-set LRU state is
+/// independent, so the partition is exact and the task-index-ordered merge
+/// makes the result identical to serial replay at every thread count.
+pub fn replay_parallel(cfg: CacheConfig, addrs: &[u32], threads: usize) -> TraceStats {
+    let nsets = cfg.num_sets();
+    let threads = threads.max(1);
+    if threads == 1 || nsets == 1 {
+        let mut sim = TraceSim::new(cfg);
+        sim.replay(addrs);
+        return sim.stats();
+    }
+    // More tasks than workers so the stealing queue can balance skewed
+    // set-popularity, capped by the set count itself.
+    let ntasks = (threads * 4).min(nsets as usize);
+    let tallies = cme_analysis::parallel::run_chunked(
+        threads,
+        ntasks,
+        || (),
+        |_, t| {
+            let lo = (nsets as usize * t / ntasks) as i64;
+            let hi = (nsets as usize * (t + 1) / ntasks) as i64;
+            let mut sim = TraceSim::for_sets(cfg, lo, hi);
+            sim.replay(addrs);
+            sim.stats()
+        },
+    );
+    let mut total = TraceStats::default();
+    for t in &tallies {
+        total.merge(t);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> CacheConfig {
+        CacheConfig::new(256, 32, 2).unwrap() // 4 sets, 2 ways
+    }
+
+    #[test]
+    fn sequential_scan_counts_cold_misses() {
+        let mut sim = TraceSim::new(cfg());
+        let addrs: Vec<u32> = (0..256u32).collect(); // 8 lines, 32 touches each
+        sim.replay(&addrs);
+        let s = sim.stats();
+        assert_eq!(s.accesses, 256);
+        assert_eq!(s.cold, 8);
+        assert_eq!(s.replacement, 0);
+        assert_eq!(s.hits, 248);
+    }
+
+    #[test]
+    fn thrashing_three_lines_in_two_ways() {
+        // Lines 0, 4, 8 all map to set 0 of a 2-way cache: each round trip
+        // evicts, so every access past the first three misses.
+        let addrs: Vec<u32> = [0u32, 128, 256].repeat(10);
+        let mut sim = TraceSim::new(cfg());
+        sim.replay(&addrs);
+        let s = sim.stats();
+        assert_eq!(s.accesses, 30);
+        assert_eq!(s.cold, 3);
+        assert_eq!(s.replacement, 27);
+        assert_eq!(s.hits, 0);
+    }
+
+    #[test]
+    fn lru_not_fifo() {
+        // A re-touch renews recency: 0,4,0,8,0 keeps line 0 resident.
+        let addrs = [0u32, 128, 0, 256, 0];
+        let mut sim = TraceSim::new(cfg());
+        sim.replay(&addrs);
+        let s = sim.stats();
+        assert_eq!(s.misses(), 3, "three distinct lines fetched");
+        assert_eq!(s.hits, 2, "line 0 survives both conflicts");
+    }
+
+    #[test]
+    fn chunking_is_invisible() {
+        let addrs: Vec<u32> = (0..5000u32).map(|i| (i * 89) % 4096).collect();
+        let mut whole = TraceSim::new(cfg());
+        whole.replay(&addrs);
+        let mut pieces = TraceSim::new(cfg());
+        for chunk in addrs.chunks(7) {
+            pieces.replay(chunk);
+        }
+        assert_eq!(whole.stats(), pieces.stats());
+    }
+
+    #[test]
+    fn parallel_replay_matches_serial() {
+        let addrs: Vec<u32> = (0..20_000u32)
+            .map(|i| i.wrapping_mul(2654435761) % 65536)
+            .collect();
+        for geometry in [
+            CacheConfig::new(1024, 32, 2).unwrap(),
+            CacheConfig::with_geometry(32, 12, 2).unwrap(),
+            CacheConfig::with_geometry(24, 16, 1).unwrap(),
+        ] {
+            let mut serial = TraceSim::new(geometry);
+            serial.replay(&addrs);
+            for threads in [1usize, 2, 3, 8] {
+                assert_eq!(
+                    replay_parallel(geometry, &addrs, threads),
+                    serial.stats(),
+                    "{geometry} at {threads} threads"
+                );
+            }
+        }
+    }
+}

@@ -57,6 +57,15 @@ echo "== symbolic-tier harness =="
 cargo run -p cme-bench --bin bench_symbolic --release --offline -- \
     --scale paper --out BENCH_symbolic.json
 
+echo "== trace subsystem harness =="
+# Always at paper scale: generates each workload's exact address stream,
+# asserts the cross-validation identity (replay == simulator everywhere;
+# FindMisses == replay on hydro/mgrid, >= replay on MMT with <2% drift),
+# framed-roundtrip byte identity, a store-backed engine repeat, and a
+# >=10M accesses/sec serial replay floor on the MMT trace.
+cargo run -p cme-bench --bin bench_trace --release --offline -- \
+    --scale paper --out BENCH_trace.json
+
 echo "== result-store harness =="
 # Cold vs hot query through one engine; asserts byte-identical payloads
 # (and a >=100x hot speedup at paper scale).
@@ -94,6 +103,12 @@ grep -q '"kind":"timeout"' "$SMOKE_DIR/timeout.err" \
 
 target/release/cme stats --port-file "$SMOKE_DIR/port" | grep -q '"store_hits":1' \
     || { echo "stats did not show the store hit"; exit 1; }
+
+# Trace front end: generate a framed trace file, replay it standalone.
+target/release/cme trace gen --workload mmt --n 16 --bj 8 --bk 4 \
+    --out "$SMOKE_DIR/mmt.cmet" --geometry 2K:2:32 > /dev/null
+target/release/cme trace sim --in "$SMOKE_DIR/mmt.cmet" \
+    | grep -q '"kind":"trace"' || { echo "trace sim failed"; exit 1; }
 target/release/cme shutdown --port-file "$SMOKE_DIR/port" > /dev/null
 wait "$SERVE_PID"
 [ -s "$SMOKE_DIR/metrics.json" ] || { echo "no metrics dump on shutdown"; exit 1; }

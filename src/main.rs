@@ -5,10 +5,14 @@
 //!              [--store-capacity N] [--metrics-dump P]
 //! cme query    [--addr A | --port-file P] --workload K | --file F.f
 //!              [--n N] [--iters N] [--bj N] [--bk N] [--param K=V]...
-//!              [--cache B] [--line B] [--assoc W] [--exact]
+//!              [--cache B] [--line B] [--assoc W] [--geometry S:A:L] [--exact]
 //!              [--confidence C] [--width W] [--seed S] [--timeout-ms MS]
 //!              [--no-store] [--threads N] [--strategy set-skip|legacy-scan]
 //!              [--prepass on|off] [--report-only]
+//! cme trace gen --workload K | --file F.f [--param K=V]...
+//!              [--n N] [--iters N] [--bj N] [--bk N]
+//!              --out T.cmet [--geometry S:A:L] [--raw]
+//! cme trace sim --in T.cmet [--geometry S:A:L] [--threads N]
 //! cme stats    [--addr A | --port-file P]
 //! cme shutdown [--addr A | --port-file P]
 //! ```
@@ -17,9 +21,18 @@
 //! canonical report bytes — byte-identical across store hits, threads and
 //! walk strategies, so two runs can be `diff`ed). Exit codes: 0 success,
 //! 1 usage/transport error, 2 the server answered with an error.
+//!
+//! `trace` runs locally, no daemon needed: `gen` lowers a workload or
+//! FORTRAN source and writes its exact program-order access stream as a
+//! binary trace (framed with the geometry by default, `--raw` for the bare
+//! big-endian u32 stream); `sim` replays a trace file through the
+//! streaming LRU simulator. Raw traces need an explicit `--geometry`;
+//! framed traces carry their own, which `--geometry` overrides. The same
+//! replays are available remotely via the server's `trace` verb, where
+//! repeat replays of identical content answer from the result store.
 
 use cme_serve::json::Json;
-use cme_serve::{Client, Server, ServerOptions};
+use cme_serve::{Client, ProgramSpec, Server, ServerOptions};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -35,6 +48,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "serve" => cmd_serve(rest),
         "query" => cmd_query(rest),
+        "trace" => cmd_trace(rest),
         "stats" => cmd_verb(rest, "stats"),
         "shutdown" => cmd_verb(rest, "shutdown"),
         "help" | "--help" | "-h" => {
@@ -61,12 +75,19 @@ const USAGE: &str = "usage:
                [--store-capacity N] [--metrics-dump P]
   cme query    [--addr A | --port-file P] --workload K | --file F.f
                [--n N] [--iters N] [--bj N] [--bk N] [--param K=V]...
-               [--cache B] [--line B] [--assoc W] [--exact]
+               [--cache B] [--line B] [--assoc W] [--geometry S:A:L] [--exact]
                [--confidence C] [--width W] [--seed S] [--timeout-ms MS]
                [--no-store] [--threads N] [--strategy set-skip|legacy-scan]
                [--prepass on|off] [--report-only]
+  cme trace gen --workload K | --file F.f [--param K=V]...
+               [--n N] [--iters N] [--bj N] [--bk N]
+               --out T.cmet [--geometry S:A:L] [--raw]
+  cme trace sim --in T.cmet [--geometry S:A:L] [--threads N]
   cme stats    [--addr A | --port-file P]
-  cme shutdown [--addr A | --port-file P]";
+  cme shutdown [--addr A | --port-file P]
+
+geometry strings are SIZE:ASSOC:LINE, e.g. 32K:2:32 (non-power-of-two
+set counts allowed, e.g. 48K:2:32)";
 
 enum CliError {
     Usage(String),
@@ -208,6 +229,7 @@ fn cmd_query(args: &[String]) -> Result<ExitCode, CliError> {
             "--cache" => fields.push(("cache", Json::Int(flags.parsed(flag)?))),
             "--line" => fields.push(("line", Json::Int(flags.parsed(flag)?))),
             "--assoc" => fields.push(("assoc", Json::Int(flags.parsed(flag)?))),
+            "--geometry" => fields.push(("geometry", Json::Str(flags.value(flag)?.to_string()))),
             "--exact" => mode = "exact",
             "--confidence" => fields.push(("confidence", Json::Float(flags.parsed(flag)?))),
             "--width" => fields.push(("width", Json::Float(flags.parsed(flag)?))),
@@ -257,5 +279,164 @@ fn cmd_query(args: &[String]) -> Result<ExitCode, CliError> {
     } else {
         println!("{line}");
     }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_trace(args: &[String]) -> Result<ExitCode, CliError> {
+    match args.first().map(String::as_str) {
+        Some("gen") => cmd_trace_gen(&args[1..]),
+        Some("sim") => cmd_trace_sim(&args[1..]),
+        Some(other) => Err(CliError::Usage(format!(
+            "unknown trace subcommand `{other}` (want gen or sim)"
+        ))),
+        None => Err(CliError::Usage(
+            "trace needs a subcommand: gen or sim".to_string(),
+        )),
+    }
+}
+
+fn parse_geometry(raw: &str) -> Result<cme_cache::CacheConfig, CliError> {
+    cme_cache::CacheConfig::parse_geometry(raw).map_err(|e| CliError::Usage(e.to_string()))
+}
+
+fn cmd_trace_gen(args: &[String]) -> Result<ExitCode, CliError> {
+    let mut workload: Option<String> = None;
+    let mut source: Option<String> = None;
+    let mut params: Vec<(String, i64)> = Vec::new();
+    let (mut n, mut iters) = (32i64, 2i64);
+    let (mut bj, mut bk) = (None, None);
+    let mut out: Option<PathBuf> = None;
+    let mut geometry = None;
+    let mut raw = false;
+
+    let mut flags = Flags::new(args);
+    while let Some(flag) = flags.next() {
+        match flag {
+            "--workload" => workload = Some(flags.value(flag)?.to_string()),
+            "--file" => source = Some(std::fs::read_to_string(flags.value(flag)?)?),
+            "--param" => {
+                let pair = flags.value(flag)?;
+                let (k, v) = pair
+                    .split_once('=')
+                    .ok_or_else(|| CliError::Usage(format!("--param wants K=V, got `{pair}`")))?;
+                let v: i64 = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("--param value `{v}` not an integer")))?;
+                params.push((k.to_uppercase(), v));
+            }
+            "--n" => n = flags.parsed(flag)?,
+            "--iters" => iters = flags.parsed(flag)?,
+            "--bj" => bj = Some(flags.parsed(flag)?),
+            "--bk" => bk = Some(flags.parsed(flag)?),
+            "--out" => out = Some(PathBuf::from(flags.value(flag)?)),
+            "--geometry" => geometry = Some(parse_geometry(flags.value(flag)?)?),
+            "--raw" => raw = true,
+            other => return Err(CliError::Usage(format!("unknown trace gen flag `{other}`"))),
+        }
+    }
+    let out = out.ok_or_else(|| CliError::Usage("trace gen needs --out".to_string()))?;
+    let spec = match (workload, source) {
+        (Some(name), None) => ProgramSpec::Workload {
+            name,
+            n,
+            iters,
+            bj,
+            bk,
+        },
+        (None, Some(text)) => ProgramSpec::Source { text, params },
+        _ => {
+            return Err(CliError::Usage(
+                "trace gen needs exactly one of --workload or --file".to_string(),
+            ))
+        }
+    };
+    let program = spec.build().map_err(CliError::Usage)?;
+    let words = cme_trace::generate(&program).map_err(|e| CliError::Usage(e.to_string()))?;
+    let config = match geometry {
+        Some(g) => g,
+        None => cme_cache::CacheConfig::new(32 * 1024, 32, 2).expect("default geometry is valid"),
+    };
+
+    let mut file = std::fs::File::create(&out)?;
+    let count = if raw {
+        cme_trace::write_raw(&mut file, words.iter().copied())?
+    } else {
+        cme_trace::write_framed(&mut file, &config, words.iter().copied())?
+    };
+    let bytes = file.metadata()?.len();
+    drop(file);
+
+    let summary = cme_serve::json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("out", Json::Str(out.display().to_string())),
+        (
+            "format",
+            Json::Str(if raw { "raw" } else { "framed" }.to_string()),
+        ),
+        ("geometry", Json::Str(config.geometry_string())),
+        ("accesses", Json::Int(count as i64)),
+        ("bytes", Json::Int(bytes as i64)),
+    ]);
+    println!("{}", summary.render());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_trace_sim(args: &[String]) -> Result<ExitCode, CliError> {
+    let mut input: Option<PathBuf> = None;
+    let mut geometry = None;
+    let mut threads = 1usize;
+
+    let mut flags = Flags::new(args);
+    while let Some(flag) = flags.next() {
+        match flag {
+            "--in" => input = Some(PathBuf::from(flags.value(flag)?)),
+            "--geometry" => geometry = Some(parse_geometry(flags.value(flag)?)?),
+            "--threads" => threads = flags.parsed(flag)?,
+            other => return Err(CliError::Usage(format!("unknown trace sim flag `{other}`"))),
+        }
+    }
+    let input = input.ok_or_else(|| CliError::Usage("trace sim needs --in".to_string()))?;
+
+    let file = std::fs::File::open(&input)?;
+    let mut reader = cme_trace::TraceReader::new(std::io::BufReader::new(file))?;
+    let config = match (geometry, reader.header()) {
+        (Some(g), _) => g,
+        (None, Some(h)) => h
+            .geometry()
+            .map_err(|e| CliError::Usage(format!("trace header: {e}")))?,
+        (None, None) => {
+            return Err(CliError::Usage(
+                "raw traces need --geometry (framed traces carry their own)".to_string(),
+            ))
+        }
+    };
+
+    let start = std::time::Instant::now();
+    let stats = if threads <= 1 {
+        // Serial: stream through a fixed-size buffer, constant memory.
+        cme_trace::replay_reader(config, &mut reader)?
+    } else {
+        let words = reader.read_to_end()?;
+        cme_trace::replay_parallel(config, &words, threads)
+    };
+    let wall = start.elapsed();
+
+    let per_sec = stats.accesses as f64 / wall.as_secs_f64().max(1e-9);
+    let response = cme_serve::json::obj(vec![
+        ("ok", Json::Bool(true)),
+        (
+            "report",
+            Json::Raw(cme_serve::render_trace_payload(config, &stats)),
+        ),
+        (
+            "metrics",
+            cme_serve::json::obj(vec![
+                ("wall_us", Json::Int(wall.as_micros() as i64)),
+                ("accesses_per_sec", Json::Float(per_sec)),
+                ("threads", Json::Int(threads as i64)),
+            ]),
+        ),
+    ]);
+    println!("{}", response.render());
     Ok(ExitCode::SUCCESS)
 }
