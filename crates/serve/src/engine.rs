@@ -1,5 +1,5 @@
-//! The analysis engine: fingerprint → store lookup → (reuse cache →
-//! cancellable analysis) → canonical payload.
+//! The analysis engine: fingerprint → store lookup → (single-flight →
+//! reuse cache → cancellable analysis) → canonical payload.
 //!
 //! The engine is the piece shared by the TCP server, the `cme-opt` sweeps
 //! and the benches: everything that wants memoised, cancellable analyses
@@ -7,7 +7,21 @@
 //! reuse-vector cache (reuse vectors depend only on program *structure*
 //! and line size, so padded layout variants of one program share them) and
 //! the service [`Metrics`].
+//!
+//! Identical store-backed jobs that arrive while one is already computing
+//! are *coalesced*: one leader runs the analysis, followers block on its
+//! flight slot and receive the same payload `Arc` — safe because equal
+//! fingerprints render equal bytes by construction. A leader that fails
+//! (error or panic — the flight guard publishes on `Drop`) wakes its
+//! followers to retry, each under its own deadline; nobody inherits a
+//! stranger's failure.
+//!
+//! All shared state is guarded by poison-recovering locks
+//! ([`crate::fault::lock_recover`]): a panicking worker must cost one
+//! request, not wedge every later one. Each map update is single-step, so
+//! the state behind a poisoned lock is always consistent.
 
+use crate::fault::{self, FaultSite, Faults};
 use crate::metrics::Metrics;
 use crate::store::{Store, StoredResult};
 use cme_analysis::{
@@ -20,7 +34,7 @@ use cme_ir::{
 };
 use cme_reuse::ReuseAnalysis;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Exact or sampled analysis. The embedded options' `threads` field is
@@ -115,6 +129,9 @@ pub struct Outcome {
     /// by symbolically closed references (zero for store hits — nothing
     /// was classified at all).
     pub enumerated_points: u64,
+    /// Whether this outcome was coalesced onto an identical in-flight job
+    /// (single-flight follower: same bytes, no recomputation).
+    pub coalesced: bool,
 }
 
 /// Why an analysis did not complete.
@@ -258,23 +275,114 @@ pub struct TraceOutcome {
     pub miss_ratio: f64,
 }
 
+/// What a single-flight leader hands its followers: the payload bytes and
+/// the summary numbers that ride on a response.
+type FlightResult = (Arc<String>, u64, f64);
+
+/// The state of one in-flight job fingerprint.
+enum FlightState {
+    Running,
+    /// `Ok`: the leader's bytes. `Err`: the leader failed (timeout, cancel
+    /// or panic) — followers retry under their own deadlines.
+    Done(Result<FlightResult, ()>),
+}
+
+/// One single-flight slot: followers block on `cv` until the leader
+/// publishes.
+struct Flight {
+    state: Mutex<FlightState>,
+    cv: Condvar,
+}
+
+impl Flight {
+    /// Blocks until the leader publishes, polling the follower's own
+    /// cancel token so a hung leader cannot strand a follower past its
+    /// deadline. `Ok(None)` means the leader failed: retry.
+    fn wait(
+        &self,
+        cancel: &cme_analysis::CancelToken,
+    ) -> Result<Option<FlightResult>, EngineError> {
+        let mut state = fault::lock_recover(&self.state);
+        loop {
+            match &*state {
+                FlightState::Done(Ok(result)) => return Ok(Some(result.clone())),
+                FlightState::Done(Err(())) => return Ok(None),
+                FlightState::Running => {
+                    if cancel.is_cancelled() {
+                        return Err(if cancel.deadline_exceeded() {
+                            EngineError::Timeout { points_done: 0 }
+                        } else {
+                            EngineError::Cancelled { points_done: 0 }
+                        });
+                    }
+                    let (guard, _) =
+                        fault::wait_timeout_recover(&self.cv, state, Duration::from_millis(10));
+                    state = guard;
+                }
+            }
+        }
+    }
+}
+
+/// Removes the flight slot and publishes the leader's result when dropped.
+/// Dropping without [`FlightGuard::finish`] — an unwinding panic — marks
+/// the flight failed, so followers never hang on a dead leader.
+struct FlightGuard<'e> {
+    engine: &'e Engine,
+    fp: u128,
+    flight: Arc<Flight>,
+    result: Option<Result<FlightResult, ()>>,
+}
+
+impl FlightGuard<'_> {
+    fn finish(mut self, result: Result<FlightResult, ()>) {
+        self.result = Some(result);
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        fault::lock_recover(&self.engine.inflight).remove(&self.fp);
+        let mut state = fault::lock_recover(&self.flight.state);
+        *state = FlightState::Done(self.result.take().unwrap_or(Err(())));
+        drop(state);
+        self.flight.cv.notify_all();
+    }
+}
+
 /// The memoising analysis engine. Share it behind an `Arc`.
-#[derive(Debug)]
 pub struct Engine {
     store: Store,
     reuse_cache: Mutex<HashMap<ReuseKey, Arc<ReuseAnalysis>>>,
     parametric_certs: Mutex<HashMap<Fingerprint, ParametricCert>>,
+    /// Single-flight slots: job fingerprints currently computing.
+    inflight: Mutex<HashMap<u128, Arc<Flight>>>,
     metrics: Metrics,
+    faults: Faults,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine").finish_non_exhaustive()
+    }
 }
 
 impl Engine {
     /// An engine over an existing store.
     pub fn new(store: Store) -> Engine {
+        Engine::with_faults(store, None)
+    }
+
+    /// An engine with a fault plan threaded through analyses (the store's
+    /// plan is set separately at `Store::open_with`).
+    pub fn with_faults(store: Store, faults: Faults) -> Engine {
         Engine {
             store,
             reuse_cache: Mutex::new(HashMap::new()),
             parametric_certs: Mutex::new(HashMap::new()),
+            inflight: Mutex::new(HashMap::new()),
             metrics: Metrics::new(),
+            faults,
         }
     }
 
@@ -297,7 +405,7 @@ impl Engine {
             job.config.line_bytes(),
             job.reuse_cap.map_or(u64::MAX, |c| c as u64),
         );
-        if let Some(hit) = self.reuse_cache.lock().unwrap().get(&key) {
+        if let Some(hit) = fault::lock_recover(&self.reuse_cache).get(&key) {
             Metrics::bump(&self.metrics.reuse_hits);
             return hit.clone();
         }
@@ -306,32 +414,103 @@ impl Engine {
             Some(cap) => ReuseAnalysis::analyze_capped(job.program, job.config.line_bytes(), cap),
             None => ReuseAnalysis::analyze(job.program, job.config.line_bytes()),
         });
-        self.reuse_cache.lock().unwrap().insert(key, reuse.clone());
+        fault::lock_recover(&self.reuse_cache).insert(key, reuse.clone());
         reuse
     }
 
-    /// Runs (or recalls) one job.
+    /// Runs (or recalls) one job: store lookup, then single-flight
+    /// coalescing onto an identical in-flight job, then the analysis.
     pub fn run(&self, job: &Job) -> Result<Outcome, EngineError> {
         let fp = job_fingerprint(job.program, job.config, &job.mode, job.reuse_cap);
-        if job.use_store {
-            if let Some(hit) = self.store.get(fp) {
-                Metrics::bump(&self.metrics.store_hits);
-                return Ok(Outcome {
-                    fingerprint: fp,
-                    payload: hit.payload,
-                    from_store: true,
-                    points: hit.points,
-                    wall: Duration::ZERO,
-                    miss_ratio: hit.miss_ratio,
-                    prepass_resolved: 0,
-                    symbolic_refs_closed: 0,
-                    enumerated_points: 0,
-                });
+        loop {
+            if job.use_store {
+                if let Some(hit) = self.store.get(fp) {
+                    Metrics::bump(&self.metrics.store_hits);
+                    return Ok(Outcome {
+                        fingerprint: fp,
+                        payload: hit.payload,
+                        from_store: true,
+                        points: hit.points,
+                        wall: Duration::ZERO,
+                        miss_ratio: hit.miss_ratio,
+                        prepass_resolved: 0,
+                        symbolic_refs_closed: 0,
+                        enumerated_points: 0,
+                        coalesced: false,
+                    });
+                }
+            } else {
+                // Store-less callers asked for a real run (benches measure
+                // it) — no coalescing either.
+                Metrics::bump(&self.metrics.store_misses);
+                return self.compute(job, fp);
+            }
+
+            // Claim the flight slot or join an existing one.
+            let role = {
+                let mut inflight = fault::lock_recover(&self.inflight);
+                match inflight.get(&fp.0) {
+                    Some(existing) => Err(existing.clone()),
+                    None => {
+                        let fresh = Arc::new(Flight {
+                            state: Mutex::new(FlightState::Running),
+                            cv: Condvar::new(),
+                        });
+                        inflight.insert(fp.0, fresh.clone());
+                        Ok(fresh)
+                    }
+                }
+            };
+            match role {
+                Ok(flight) => {
+                    // Leader: compute, publish to followers via the guard
+                    // (which publishes failure even on an unwinding panic).
+                    let guard = FlightGuard {
+                        engine: self,
+                        fp: fp.0,
+                        flight,
+                        result: None,
+                    };
+                    Metrics::bump(&self.metrics.store_misses);
+                    let outcome = self.compute(job, fp);
+                    match &outcome {
+                        Ok(o) => guard.finish(Ok((o.payload.clone(), o.points, o.miss_ratio))),
+                        Err(_) => guard.finish(Err(())),
+                    }
+                    return outcome;
+                }
+                Err(flight) => {
+                    // Follower: wait for the leader's bytes; on leader
+                    // failure, loop and try again (the store may have been
+                    // populated meanwhile, or we become the leader).
+                    Metrics::bump(&self.metrics.single_flight_waits);
+                    match flight.wait(&job.cancel)? {
+                        Some((payload, points, miss_ratio)) => {
+                            return Ok(Outcome {
+                                fingerprint: fp,
+                                payload,
+                                from_store: false,
+                                points,
+                                wall: Duration::ZERO,
+                                miss_ratio,
+                                prepass_resolved: 0,
+                                symbolic_refs_closed: 0,
+                                enumerated_points: 0,
+                                coalesced: true,
+                            })
+                        }
+                        None => continue,
+                    }
+                }
             }
         }
-        Metrics::bump(&self.metrics.store_misses);
+    }
 
+    /// The actual analysis: reuse vectors, cancellable walk, canonical
+    /// payload, store write-through.
+    fn compute(&self, job: &Job, fp: Fingerprint) -> Result<Outcome, EngineError> {
         let start = Instant::now();
+        fault::maybe_sleep(&self.faults, FaultSite::AnalysisDelay);
         let reuse = self.reuse_for(job);
         let report = match &job.mode {
             AnalysisMode::Exact => {
@@ -405,6 +584,7 @@ impl Engine {
             prepass_resolved,
             symbolic_refs_closed,
             enumerated_points,
+            coalesced: false,
         })
     }
 
@@ -486,10 +666,7 @@ impl Engine {
         job: &Job,
     ) -> Result<(Outcome, CertStatus, ParametricCert), EngineError> {
         let cert_key = parametric_fingerprint(job.program, job.config, job.reuse_cap);
-        let prior = self
-            .parametric_certs
-            .lock()
-            .unwrap()
+        let prior = fault::lock_recover(&self.parametric_certs)
             .get(&cert_key)
             .copied();
         let status = if prior.is_some() {
@@ -526,7 +703,7 @@ impl Engine {
             }
         };
         if !outcome.from_store {
-            self.parametric_certs.lock().unwrap().insert(cert_key, cert);
+            fault::lock_recover(&self.parametric_certs).insert(cert_key, cert);
         }
         Ok((outcome, status, cert))
     }

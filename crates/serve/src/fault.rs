@@ -1,0 +1,428 @@
+//! Deterministic fault injection and the poison-recovering lock shims.
+//!
+//! The serve tier's robustness contract extends the repo's byte-identity
+//! invariant into the failure domain: every injected (or real) fault must
+//! yield either the exact answer or a structured, retryable error — never a
+//! corrupt response, a wedged daemon, or a damaged store. This module
+//! supplies the two pieces that make the contract *testable*:
+//!
+//! * A seeded [`FaultPlan`]: a schedule of faults addressed by
+//!   (site × occurrence index). Whether occurrence `k` at site `s` fires is
+//!   a pure function of `(seed, s, k)` through the vendored SplitMix64
+//!   finaliser, so a chaos run is reproducible from its seed alone — only
+//!   the thread interleaving (which request owns which occurrence) varies.
+//!   Each site has an independent per-mille rate and an optional injection
+//!   cap (`panic=1000x1`: always fire, but at most once). A disabled plan
+//!   is `None` everywhere, so the hot path pays one pointer test.
+//! * Poison-recovering lock wrappers ([`lock_recover`], [`wait_recover`],
+//!   [`wait_timeout_recover`]): a worker panic must not wedge every later
+//!   request on a poisoned `Mutex`. All serve-tier state guarded by these
+//!   locks is kept consistent by construction at every await point (plain
+//!   maps and counters, no partially-applied multi-step updates), so
+//!   recovering the guard from a poison error is sound.
+//!
+//! The io-shims ([`shim_append`], [`shim_read_to_end`]) thread the plan
+//! through store I/O: a torn write really does leave a partial frame on
+//! disk before failing, exactly like a crash mid-`write(2)` — the store's
+//! self-healing (truncate back to the last frame boundary) is then tested
+//! against the genuine on-disk damage, not a simulation of it.
+
+use cme_poly::rng::mix64;
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Places where the plan can inject a fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// Store log append: write a partial frame, then fail (torn write).
+    TornWrite = 0,
+    /// Store/compaction bulk read: fail with an I/O error.
+    ReadError = 1,
+    /// Connection handling: delay before serving a parsed request.
+    DelayRead = 2,
+    /// Connection handling: drop the connection instead of responding.
+    DropConn = 3,
+    /// Worker: panic inside the request handler (caught by the server).
+    WorkerPanic = 4,
+    /// Engine: sleep inside the analysis (widens single-flight windows).
+    AnalysisDelay = 5,
+    /// Compaction crash point: mid temp-file write.
+    CompactTempWrite = 6,
+    /// Compaction crash point: before the temp fsync.
+    CompactFsync = 7,
+    /// Compaction crash point: before the atomic rename.
+    CompactRename = 8,
+    /// Compaction crash point: after the rename, before the in-memory swap.
+    CompactSwap = 9,
+}
+
+/// Number of distinct sites (array sizing).
+pub const SITE_COUNT: usize = 10;
+
+impl FaultSite {
+    /// All sites, in discriminant order.
+    pub const ALL: [FaultSite; SITE_COUNT] = [
+        FaultSite::TornWrite,
+        FaultSite::ReadError,
+        FaultSite::DelayRead,
+        FaultSite::DropConn,
+        FaultSite::WorkerPanic,
+        FaultSite::AnalysisDelay,
+        FaultSite::CompactTempWrite,
+        FaultSite::CompactFsync,
+        FaultSite::CompactRename,
+        FaultSite::CompactSwap,
+    ];
+
+    /// The spec-string name of the site.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultSite::TornWrite => "torn-write",
+            FaultSite::ReadError => "read-error",
+            FaultSite::DelayRead => "delay-read",
+            FaultSite::DropConn => "drop-conn",
+            FaultSite::WorkerPanic => "panic",
+            FaultSite::AnalysisDelay => "analysis-delay",
+            FaultSite::CompactTempWrite => "compact-temp",
+            FaultSite::CompactFsync => "compact-fsync",
+            FaultSite::CompactRename => "compact-rename",
+            FaultSite::CompactSwap => "compact-swap",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<FaultSite> {
+        FaultSite::ALL.iter().copied().find(|s| s.name() == name)
+    }
+}
+
+/// A seeded, deterministic fault schedule. Share it behind an `Arc`; the
+/// absence of a plan (`None`) is the zero-cost disabled state.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    /// Per-mille firing probability per site.
+    rates: [u32; SITE_COUNT],
+    /// Maximum injections per site (`u64::MAX` = unbounded).
+    caps: [u64; SITE_COUNT],
+    /// Occurrence counters: how many times each site was *reached*.
+    armed: [AtomicU64; SITE_COUNT],
+    /// How many times each site actually fired.
+    injected: [AtomicU64; SITE_COUNT],
+}
+
+/// The shape every fault-aware component stores: `None` disables
+/// injection entirely.
+pub type Faults = Option<Arc<FaultPlan>>;
+
+impl FaultPlan {
+    /// A plan from explicit per-site rates (per mille), unbounded caps.
+    pub fn with_rates(seed: u64, rates: &[(FaultSite, u32)]) -> FaultPlan {
+        let mut plan = FaultPlan {
+            seed,
+            caps: [u64::MAX; SITE_COUNT],
+            ..FaultPlan::default()
+        };
+        for &(site, rate) in rates {
+            plan.rates[site as usize] = rate.min(1000);
+        }
+        plan
+    }
+
+    /// Parses a chaos spec: comma-separated `key=value` pairs where the key
+    /// is `seed` or a site name and the value is a per-mille rate with an
+    /// optional `xN` injection cap — e.g.
+    /// `seed=42,torn-write=400,drop-conn=150,panic=1000x1`.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan {
+            caps: [u64::MAX; SITE_COUNT],
+            ..FaultPlan::default()
+        };
+        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("chaos spec `{part}`: want key=value"))?;
+            let (key, value) = (key.trim(), value.trim());
+            if key == "seed" {
+                plan.seed = value
+                    .parse()
+                    .map_err(|_| format!("chaos spec: bad seed `{value}`"))?;
+                continue;
+            }
+            let site = FaultSite::from_name(key).ok_or_else(|| {
+                let known: Vec<&str> = FaultSite::ALL.iter().map(|s| s.name()).collect();
+                format!(
+                    "chaos spec: unknown site `{key}` (known: seed, {})",
+                    known.join(", ")
+                )
+            })?;
+            let (rate, cap) = match value.split_once('x') {
+                Some((r, c)) => (
+                    r.parse::<u32>()
+                        .map_err(|_| format!("chaos spec: bad rate `{r}` for {key}"))?,
+                    c.parse::<u64>()
+                        .map_err(|_| format!("chaos spec: bad cap `{c}` for {key}"))?,
+                ),
+                None => (
+                    value
+                        .parse::<u32>()
+                        .map_err(|_| format!("chaos spec: bad rate `{value}` for {key}"))?,
+                    u64::MAX,
+                ),
+            };
+            if rate > 1000 {
+                return Err(format!("chaos spec: rate `{rate}` for {key} exceeds 1000‰"));
+            }
+            plan.rates[site as usize] = rate;
+            plan.caps[site as usize] = cap;
+        }
+        Ok(plan)
+    }
+
+    /// The plan's seed (recorded in chaos reports).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Rolls the site's next occurrence. `Some(hash)` when the fault fires;
+    /// the hash is the deterministic entropy callers shape into fault
+    /// details (torn-write cut point, delay length).
+    fn roll(&self, site: FaultSite) -> Option<u64> {
+        let i = site as usize;
+        if self.rates[i] == 0 {
+            return None;
+        }
+        let occurrence = self.armed[i].fetch_add(1, Ordering::Relaxed);
+        let h = mix64(self.seed ^ mix64(((i as u64) << 32) | occurrence));
+        if h % 1000 >= self.rates[i] as u64 {
+            return None;
+        }
+        // Enforce the cap without racing past it.
+        let mut fired = self.injected[i].load(Ordering::Relaxed);
+        loop {
+            if fired >= self.caps[i] {
+                return None;
+            }
+            match self.injected[i].compare_exchange(
+                fired,
+                fired + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(h),
+                Err(now) => fired = now,
+            }
+        }
+    }
+
+    /// Whether the site's next occurrence fires (boolean sites).
+    pub fn fires(&self, site: FaultSite) -> bool {
+        self.roll(site).is_some()
+    }
+
+    /// A delay for the site's next occurrence, when it fires: 1–20 ms for
+    /// connection reads, 10–100 ms for analysis bodies.
+    pub fn maybe_delay(&self, site: FaultSite) -> Option<Duration> {
+        let h = self.roll(site)?;
+        let ms = match site {
+            FaultSite::AnalysisDelay => 10 + (h >> 10) % 90,
+            _ => 1 + (h >> 10) % 20,
+        };
+        Some(Duration::from_millis(ms))
+    }
+
+    /// How many times the site has fired.
+    pub fn injected(&self, site: FaultSite) -> u64 {
+        self.injected[site as usize].load(Ordering::Relaxed)
+    }
+
+    /// Total injections across every site.
+    pub fn injected_total(&self) -> u64 {
+        self.injected
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// Fires a site through an optional plan (the disabled fast path).
+pub fn fires(faults: &Faults, site: FaultSite) -> bool {
+    match faults {
+        Some(plan) => plan.fires(site),
+        None => false,
+    }
+}
+
+/// Sleeps when the (optional) plan injects a delay at `site`.
+pub fn maybe_sleep(faults: &Faults, site: FaultSite) {
+    if let Some(plan) = faults {
+        if let Some(d) = plan.maybe_delay(site) {
+            std::thread::sleep(d);
+        }
+    }
+}
+
+/// The error every injected I/O fault surfaces as. The `injected:` prefix
+/// lets harnesses tell scheduled damage from real damage.
+pub fn injected_err(what: &str) -> io::Error {
+    io::Error::other(format!("injected: {what}"))
+}
+
+/// Appends `frame` to `file`, honouring an injected torn write: a firing
+/// plan writes only a prefix of the frame — real partial bytes on disk,
+/// like a crash mid-append — and then fails. The caller is responsible for
+/// truncating back to the pre-append offset.
+pub fn shim_append(file: &mut File, frame: &[u8], faults: &Faults) -> io::Result<()> {
+    if let Some(plan) = faults {
+        if let Some(h) = plan.roll(FaultSite::TornWrite) {
+            let cut = (h >> 20) as usize % frame.len().max(1);
+            let _ = file.write_all(&frame[..cut]);
+            let _ = file.flush();
+            return Err(injected_err("torn write"));
+        }
+    }
+    file.write_all(frame).and_then(|()| file.flush())
+}
+
+/// Reads the whole of `file` from the start, honouring an injected read
+/// error.
+pub fn shim_read_to_end(file: &mut File, faults: &Faults) -> io::Result<Vec<u8>> {
+    if fires(faults, FaultSite::ReadError) {
+        return Err(injected_err("read error"));
+    }
+    file.seek(SeekFrom::Start(0))?;
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)?;
+    Ok(bytes)
+}
+
+/// Locks a mutex, recovering the guard if a previous holder panicked. The
+/// serve tier's shared state is consistent at every point a panic can
+/// unwind through (single-step map/counter updates), so the data behind a
+/// poisoned lock is still valid — recovery beats wedging the daemon.
+pub fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// [`Condvar::wait`] with the same poison recovery as [`lock_recover`].
+pub fn wait_recover<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard)
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// [`Condvar::wait_timeout`] with poison recovery; returns the guard and
+/// whether the wait timed out.
+pub fn wait_timeout_recover<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: Duration,
+) -> (MutexGuard<'a, T>, bool) {
+    match cv.wait_timeout(guard, timeout) {
+        Ok((g, t)) => (g, t.timed_out()),
+        Err(poisoned) => {
+            let (g, t) = poisoned.into_inner();
+            (g, t.timed_out())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrips_rates_and_caps() {
+        let plan = FaultPlan::parse("seed=42,torn-write=400,panic=1000x2,drop-conn=0").unwrap();
+        assert_eq!(plan.seed(), 42);
+        assert_eq!(plan.rates[FaultSite::TornWrite as usize], 400);
+        assert_eq!(plan.rates[FaultSite::WorkerPanic as usize], 1000);
+        assert_eq!(plan.caps[FaultSite::WorkerPanic as usize], 2);
+        assert_eq!(plan.rates[FaultSite::DropConn as usize], 0);
+        assert!(FaultPlan::parse("bogus=10").is_err());
+        assert!(FaultPlan::parse("torn-write=2000").is_err());
+        assert!(FaultPlan::parse("torn-write").is_err());
+        assert!(FaultPlan::parse("").unwrap().injected_total() == 0);
+    }
+
+    #[test]
+    fn schedule_is_deterministic_in_seed_and_occurrence() {
+        let a = FaultPlan::parse("seed=7,drop-conn=300").unwrap();
+        let b = FaultPlan::parse("seed=7,drop-conn=300").unwrap();
+        let fired_a: Vec<bool> = (0..200).map(|_| a.fires(FaultSite::DropConn)).collect();
+        let fired_b: Vec<bool> = (0..200).map(|_| b.fires(FaultSite::DropConn)).collect();
+        assert_eq!(fired_a, fired_b, "equal seeds replay equal schedules");
+        let hits = fired_a.iter().filter(|&&f| f).count();
+        assert!(
+            (30..=90).contains(&hits),
+            "300‰ over 200 occurrences fired {hits} times"
+        );
+        let c = FaultPlan::parse("seed=8,drop-conn=300").unwrap();
+        let fired_c: Vec<bool> = (0..200).map(|_| c.fires(FaultSite::DropConn)).collect();
+        assert_ne!(fired_a, fired_c, "different seeds differ");
+    }
+
+    #[test]
+    fn caps_bound_injections() {
+        let plan = FaultPlan::parse("panic=1000x3").unwrap();
+        let fired = (0..50)
+            .filter(|_| plan.fires(FaultSite::WorkerPanic))
+            .count();
+        assert_eq!(fired, 3);
+        assert_eq!(plan.injected(FaultSite::WorkerPanic), 3);
+        assert_eq!(plan.injected_total(), 3);
+    }
+
+    #[test]
+    fn disabled_plan_never_fires() {
+        let none: Faults = None;
+        assert!(!fires(&none, FaultSite::TornWrite));
+        let zero = FaultPlan::default();
+        assert!(!(0..100).any(|_| zero.fires(FaultSite::DropConn)));
+        assert_eq!(
+            zero.armed[FaultSite::DropConn as usize].load(Ordering::Relaxed),
+            0
+        );
+    }
+
+    #[test]
+    fn lock_recover_survives_poison() {
+        let m = std::sync::Arc::new(Mutex::new(5i32));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(m.lock().is_err(), "the lock really is poisoned");
+        assert_eq!(*lock_recover(&m), 5, "recovery returns the data");
+        *lock_recover(&m) = 6;
+        assert_eq!(*lock_recover(&m), 6);
+    }
+
+    #[test]
+    fn torn_write_leaves_partial_frame_then_fails() {
+        let dir = std::env::temp_dir().join(format!("cme-fault-shim-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("log");
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)
+            .unwrap();
+        let faults: Faults = Some(Arc::new(FaultPlan::parse("torn-write=1000x1").unwrap()));
+        let frame = vec![0xABu8; 64];
+        let err = shim_append(&mut file, &frame, &faults).unwrap_err();
+        assert!(err.to_string().contains("injected"));
+        let torn = std::fs::metadata(&path).unwrap().len();
+        assert!(torn < 64, "a torn write must not complete the frame");
+        // The cap is spent: the next append goes through whole.
+        shim_append(&mut file, &frame, &faults).unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), torn + 64);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -21,6 +21,12 @@
 //!   hit/miss, points classified, strategy, threads and wall time ride on
 //!   every response; aggregate counters answer the `stats` verb and are
 //!   dumped as JSON on shutdown.
+//! * **Chaos-tested failure handling** ([`fault`]): a seeded fault plan
+//!   injects torn writes, read errors, dropped connections and worker
+//!   panics; the daemon answers every fault with either the exact bytes or
+//!   a structured retryable error — panic isolation, poison-recovering
+//!   locks, crash-safe store compaction, single-flight deduplication, load
+//!   shedding, and client retries keep it that way under load.
 //!
 //! The wire protocol ([`protocol`]) is newline-delimited JSON over TCP,
 //! hand-rolled in [`json`] — the crate (like the whole workspace) has zero
@@ -28,19 +34,21 @@
 
 pub mod client;
 pub mod engine;
+pub mod fault;
 pub mod json;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
 pub mod store;
 
-pub use client::Client;
+pub use client::{Client, RetryPolicy};
 pub use engine::{
     job_fingerprint, parametric_fingerprint, render_trace_payload, AnalysisMode, CertStatus,
     Engine, EngineError, Job, Outcome, ParametricCert, TraceOutcome,
 };
+pub use fault::{FaultPlan, FaultSite, Faults};
 pub use json::Json;
 pub use metrics::Metrics;
 pub use protocol::{AnalyzeRequest, Mode, ProgramSpec, Request, TraceRequest, TraceSource};
 pub use server::{Server, ServerOptions};
-pub use store::{Store, StoredResult};
+pub use store::{CompactStats, Store, StoredResult};

@@ -27,6 +27,15 @@ pub struct Metrics {
     pub cancelled: AtomicU64,
     /// Malformed or unbuildable requests.
     pub bad_requests: AtomicU64,
+    /// Worker panics caught and answered with a structured `internal_error`
+    /// (the daemon survived each one).
+    pub panics_caught: AtomicU64,
+    /// Requests shed with `retry_after` because the admission queue could
+    /// not meet their deadline.
+    pub shed_requests: AtomicU64,
+    /// Analyses answered by waiting on an identical in-flight job instead
+    /// of recomputing (single-flight followers).
+    pub single_flight_waits: AtomicU64,
     /// Points classified by analyses that ran to completion.
     pub points_classified: AtomicU64,
     /// Of the classified points, how many the hit/miss pre-pass resolved
@@ -83,6 +92,9 @@ impl Metrics {
             ("timeouts", g(&self.timeouts)),
             ("cancelled", g(&self.cancelled)),
             ("bad_requests", g(&self.bad_requests)),
+            ("panics_caught", g(&self.panics_caught)),
+            ("shed_requests", g(&self.shed_requests)),
+            ("single_flight_waits", g(&self.single_flight_waits)),
             ("points_classified", g(&self.points_classified)),
             ("prepass_resolved_points", g(&self.prepass_resolved_points)),
             (

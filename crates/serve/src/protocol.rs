@@ -6,9 +6,14 @@
 //! ```text
 //! {"cmd":"ping"}
 //! {"cmd":"stats"}
+//! {"cmd":"compact"}
 //! {"cmd":"shutdown"}
 //! {"cmd":"analyze", <program>, <cache>, <mode/options>}
 //! ```
+//!
+//! `ping` answers with liveness plus queue/store gauges; `compact` rewrites
+//! the on-disk result log down to its live frames and reports the byte
+//! counts.
 //!
 //! The program is either a bundled workload —
 //! `"workload":"mmt","n":64` (plus `"iters"`, `"bj"`, `"bk"` where
@@ -42,7 +47,11 @@
 //! Responses always carry `"ok"`. Successful `analyze` responses embed the
 //! canonical report under `"report"` plus `"fingerprint"` and a
 //! per-request `"metrics"` object; failures carry `"error"` (message) and
-//! `"kind"` (`"bad_request"`, `"timeout"`, `"cancelled"`).
+//! `"kind"` (`"bad_request"`, `"timeout"`, `"cancelled"`, `"retry_after"`
+//! with a `"retry_after_ms"` hint, `"internal_error"` for a caught worker
+//! panic, `"line_too_long"`, `"store_error"`). Retryable failures also
+//! carry `"retryable":true` — the job is content-addressed, so replaying
+//! it is always safe.
 
 use crate::json::{obj, Json};
 use cme_analysis::{PrepassMode, SamplingOptions, SymbolicMode, Threads, WalkStrategy};
@@ -184,6 +193,7 @@ pub struct TraceRequest {
     pub geometry: Option<CacheConfig>,
     pub use_store: bool,
     pub threads: Threads,
+    pub timeout_ms: Option<u64>,
 }
 
 /// One request line.
@@ -191,6 +201,7 @@ pub struct TraceRequest {
 pub enum Request {
     Ping,
     Stats,
+    Compact,
     Shutdown,
     Analyze(Box<AnalyzeRequest>),
     Trace(Box<TraceRequest>),
@@ -206,6 +217,7 @@ impl Request {
         match cmd {
             "ping" => Ok(Request::Ping),
             "stats" => Ok(Request::Stats),
+            "compact" => Ok(Request::Compact),
             "shutdown" => Ok(Request::Shutdown),
             "analyze" => Ok(Request::Analyze(Box::new(Self::analyze_from(v)?))),
             "trace" => Ok(Request::Trace(Box::new(Self::trace_from(v)?))),
@@ -266,6 +278,7 @@ impl Request {
             threads: Threads::from_flag(
                 v.get("threads").and_then(Json::as_u64).unwrap_or(0) as usize
             ),
+            timeout_ms: v.get("timeout_ms").and_then(Json::as_u64),
         })
     }
 

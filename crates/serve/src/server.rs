@@ -1,19 +1,28 @@
 //! The TCP front end: one lightweight reader thread per connection, with a
 //! counting semaphore bounding how many *analyses* run at once.
 //!
-//! Cheap verbs (`ping`, `stats`, `shutdown`) answer immediately on any
-//! connection; `analyze` requests first acquire an analysis permit — the
-//! time spent waiting for one is the request's queue wait, reported in its
-//! response metrics. Bounding analyses (rather than connections) means an
-//! idle client holding its connection open never starves other clients.
+//! Cheap verbs (`ping`, `stats`, `compact`, `shutdown`) answer immediately
+//! on any connection; `analyze`/`trace` requests first pass *admission*: a
+//! bounded queue that sheds load with a structured `retry_after` error when
+//! the queue is full or when queue depth × observed service time says the
+//! request's own deadline cannot be met — better an honest early no than a
+//! guaranteed-late timeout. Admitted requests then acquire an analysis
+//! permit; the time spent waiting is the request's queue wait, reported in
+//! its response metrics. Bounding analyses (rather than connections) means
+//! an idle client holding its connection open never starves other clients.
 //!
 //! While an `analyze` runs, a watcher thread `peek`s the socket: a client
 //! that disconnects mid-analysis cancels its own job through the
 //! [`CancelToken`], releasing the permit within one chunk of
-//! classification work. `shutdown` stops the accept loop and (optionally)
-//! dumps the aggregate metrics as JSON.
+//! classification work. The engine call itself runs under `catch_unwind`:
+//! a panicking worker answers *its* client with a structured
+//! `internal_error` and bumps `panics_caught` — the daemon survives.
+//! Request lines are capped at [`MAX_LINE_BYTES`]; an oversized line gets a
+//! structured error instead of unbounded buffering. `shutdown` stops the
+//! accept loop and (optionally) dumps the aggregate metrics as JSON.
 
 use crate::engine::{AnalysisMode, CertStatus, Engine, EngineError, Job};
+use crate::fault::{self, FaultSite, Faults};
 use crate::json::{obj, Json};
 use crate::metrics::Metrics;
 use crate::protocol::{error_response, AnalyzeRequest, Request, TraceRequest, TraceSource};
@@ -22,10 +31,16 @@ use cme_analysis::{CancelToken, PrepassMode, SymbolicMode, WalkStrategy};
 use cme_cache::CacheConfig;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// Hard cap on one NDJSON request line. Any realistic program spec fits in
+/// a fraction of this; past it the server answers a structured error and
+/// closes, instead of buffering an unbounded (possibly hostile) line.
+pub const MAX_LINE_BYTES: usize = 16 << 20;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -43,6 +58,10 @@ pub struct ServerOptions {
     pub port_file: Option<PathBuf>,
     /// If set, aggregate metrics are dumped here as JSON on shutdown.
     pub metrics_dump: Option<PathBuf>,
+    /// Maximum analyses waiting for a permit before new ones are shed.
+    pub max_queue: usize,
+    /// Fault-injection plan (chaos testing); `None` in production.
+    pub faults: Faults,
 }
 
 impl Default for ServerOptions {
@@ -54,37 +73,102 @@ impl Default for ServerOptions {
             store_capacity: 256,
             port_file: None,
             metrics_dump: None,
+            max_queue: 64,
+            faults: None,
         }
     }
 }
 
-/// A counting semaphore (std has none): bounds concurrent analyses.
-struct Semaphore {
-    permits: Mutex<usize>,
+/// Admission control: a counting semaphore (std has none) bounding
+/// concurrent analyses, plus the bookkeeping that lets it say *no*
+/// early — queue depth and an EWMA of observed service time.
+struct Admission {
+    permits_total: usize,
+    max_queue: usize,
+    state: Mutex<AdmissionState>,
     ready: Condvar,
+    /// EWMA of analysis service time in µs (α = 1/8).
+    avg_service_us: AtomicU64,
 }
 
-impl Semaphore {
-    fn new(permits: usize) -> Semaphore {
-        Semaphore {
-            permits: Mutex::new(permits),
+struct AdmissionState {
+    free: usize,
+    waiting: usize,
+}
+
+/// Why admission refused a request.
+struct Shed {
+    retry_after_ms: u64,
+    reason: &'static str,
+}
+
+impl Admission {
+    fn new(permits: usize, max_queue: usize) -> Admission {
+        Admission {
+            permits_total: permits.max(1),
+            max_queue,
+            state: Mutex::new(AdmissionState {
+                free: permits.max(1),
+                waiting: 0,
+            }),
             ready: Condvar::new(),
+            avg_service_us: AtomicU64::new(0),
         }
     }
 
-    /// Blocks until a permit is free; returns how long that took.
-    fn acquire(&self) -> Duration {
+    /// The expected wait for a request arriving behind `depth` others, from
+    /// the observed service time (0 until the first analysis completes).
+    fn estimated_wait_us(&self, depth: u64) -> u64 {
+        depth * self.avg_service_us.load(Ordering::Relaxed) / self.permits_total as u64
+    }
+
+    /// Jobs queued or running right now (the `ping` gauge).
+    fn depth(&self) -> u64 {
+        let s = fault::lock_recover(&self.state);
+        (s.waiting + (self.permits_total - s.free)) as u64
+    }
+
+    /// Admits the request (blocking until a permit frees, returning the
+    /// wait) or sheds it: queue full, or the projected wait already blows
+    /// the request's own deadline.
+    fn admit(&self, deadline_ms: Option<u64>) -> Result<Duration, Shed> {
         let start = Instant::now();
-        let mut permits = self.permits.lock().unwrap();
-        while *permits == 0 {
-            permits = self.ready.wait(permits).unwrap();
+        let mut s = fault::lock_recover(&self.state);
+        let depth = (s.waiting + (self.permits_total - s.free)) as u64;
+        let projected_us = self.estimated_wait_us(depth);
+        let retry_after_ms = (projected_us / 1000).clamp(1, 60_000);
+        // A free permit means no queueing at all — the queue bound only
+        // applies to requests that would actually wait.
+        if s.free == 0 && s.waiting >= self.max_queue {
+            return Err(Shed {
+                retry_after_ms,
+                reason: "admission queue is full",
+            });
         }
-        *permits -= 1;
-        start.elapsed()
+        if let Some(ms) = deadline_ms {
+            if projected_us > ms.saturating_mul(1000) {
+                return Err(Shed {
+                    retry_after_ms,
+                    reason: "projected queue wait exceeds the request deadline",
+                });
+            }
+        }
+        s.waiting += 1;
+        while s.free == 0 {
+            s = fault::wait_recover(&self.ready, s);
+        }
+        s.waiting -= 1;
+        s.free -= 1;
+        Ok(start.elapsed())
     }
 
-    fn release(&self) {
-        *self.permits.lock().unwrap() += 1;
+    /// Returns a permit and folds the observed service time into the EWMA.
+    fn release(&self, service: Duration) {
+        let us = service.as_micros() as u64;
+        let old = self.avg_service_us.load(Ordering::Relaxed);
+        let new = if old == 0 { us } else { (7 * old + us) / 8 };
+        self.avg_service_us.store(new, Ordering::Relaxed);
+        fault::lock_recover(&self.state).free += 1;
         self.ready.notify_one();
     }
 }
@@ -101,15 +185,15 @@ impl Server {
     pub fn bind(options: ServerOptions) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&options.addr)?;
         let store = match &options.store_dir {
-            Some(dir) => Store::open(dir, options.store_capacity)?,
+            Some(dir) => Store::open_with(dir, options.store_capacity, options.faults.clone())?,
             None => Store::in_memory(options.store_capacity),
         };
         if let Some(path) = &options.port_file {
             std::fs::write(path, format!("{}\n", listener.local_addr()?.port()))?;
         }
         Ok(Server {
+            engine: Arc::new(Engine::with_faults(store, options.faults.clone())),
             listener,
-            engine: Arc::new(Engine::new(store)),
             options,
         })
     }
@@ -135,9 +219,10 @@ impl Server {
         } else {
             self.options.workers
         };
-        let semaphore = Arc::new(Semaphore::new(permits));
+        let admission = Arc::new(Admission::new(permits, self.options.max_queue));
         let shutdown = Arc::new(AtomicBool::new(false));
         let local = self.local_addr()?;
+        let faults = self.options.faults.clone();
 
         for stream in self.listener.incoming() {
             if shutdown.load(Ordering::Acquire) {
@@ -145,12 +230,13 @@ impl Server {
             }
             let Ok(conn) = stream else { continue };
             let engine = self.engine.clone();
-            let semaphore = semaphore.clone();
+            let admission = admission.clone();
             let shutdown = shutdown.clone();
+            let faults = faults.clone();
             // Reader threads are cheap and die with their connection (or
             // with the process after shutdown) — no join needed.
             std::thread::spawn(move || {
-                let _ = handle_connection(conn, &engine, &semaphore, &shutdown, local);
+                let _ = handle_connection(conn, &engine, &admission, &shutdown, local, &faults);
             });
         }
 
@@ -165,20 +251,90 @@ impl Server {
     }
 }
 
+/// One request line, read under the byte cap.
+enum LineRead {
+    Line(String),
+    /// The line exceeded [`MAX_LINE_BYTES`] (buffering stopped there).
+    TooLong,
+    Eof,
+}
+
+/// Reads one `\n`-terminated line, buffering at most `cap` bytes. Invalid
+/// UTF-8 is replaced (the JSON parse then fails with a structured error).
+fn read_line_capped(reader: &mut impl BufRead, cap: usize) -> std::io::Result<LineRead> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(if buf.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line(String::from_utf8_lossy(&buf).into_owned())
+            });
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(at) => {
+                if buf.len() + at > cap {
+                    reader.consume(at + 1);
+                    return Ok(LineRead::TooLong);
+                }
+                buf.extend_from_slice(&chunk[..at]);
+                reader.consume(at + 1);
+                if buf.last() == Some(&b'\r') {
+                    buf.pop();
+                }
+                return Ok(LineRead::Line(String::from_utf8_lossy(&buf).into_owned()));
+            }
+            None => {
+                let n = chunk.len();
+                if buf.len() + n > cap {
+                    reader.consume(n);
+                    return Ok(LineRead::TooLong);
+                }
+                buf.extend_from_slice(chunk);
+                reader.consume(n);
+            }
+        }
+    }
+}
+
 fn handle_connection(
     mut conn: TcpStream,
     engine: &Engine,
-    semaphore: &Semaphore,
+    admission: &Admission,
     shutdown: &AtomicBool,
     local: SocketAddr,
+    faults: &Faults,
 ) -> std::io::Result<()> {
-    let reader = BufReader::new(conn.try_clone()?);
-    for line in reader.lines() {
-        let line = line?;
+    let mut reader = BufReader::new(conn.try_clone()?);
+    loop {
+        let line = match read_line_capped(&mut reader, MAX_LINE_BYTES)? {
+            LineRead::Eof => return Ok(()),
+            LineRead::TooLong => {
+                // Answer honestly, then close: the rest of the oversized
+                // line cannot be resynchronised cheaply.
+                Metrics::bump(&engine.metrics().bad_requests);
+                let resp = error_response(
+                    "line_too_long",
+                    &format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                );
+                let _ = write_response(&mut conn, &resp);
+                return Ok(());
+            }
+            LineRead::Line(line) => line,
+        };
         if line.trim().is_empty() {
             continue;
         }
         Metrics::bump(&engine.metrics().requests);
+
+        // Injected connection faults: a stalled read, or the daemon
+        // dropping the connection without a response (the client's
+        // transport-retry path).
+        fault::maybe_sleep(faults, FaultSite::DelayRead);
+        if fault::fires(faults, FaultSite::DropConn) {
+            return Ok(());
+        }
 
         let (response, stop) = match Json::parse(&line) {
             Err(e) => {
@@ -190,10 +346,7 @@ fn handle_connection(
                     Metrics::bump(&engine.metrics().bad_requests);
                     (error_response("bad_request", &e), false)
                 }
-                Ok(Request::Ping) => (
-                    obj(vec![("ok", Json::Bool(true)), ("pong", Json::Bool(true))]),
-                    false,
-                ),
+                Ok(Request::Ping) => (ping_response(engine, admission), false),
                 Ok(Request::Stats) => {
                     let mut snap = engine.metrics().snapshot();
                     if let Json::Obj(pairs) = &mut snap {
@@ -201,36 +354,41 @@ fn handle_connection(
                     }
                     (obj(vec![("ok", Json::Bool(true)), ("stats", snap)]), false)
                 }
+                Ok(Request::Compact) => (run_compact(engine), false),
                 Ok(Request::Shutdown) => (
                     obj(vec![("ok", Json::Bool(true)), ("bye", Json::Bool(true))]),
                     true,
                 ),
-                Ok(Request::Analyze(req)) => {
-                    let queue_wait = semaphore.acquire();
-                    Metrics::add(
-                        &engine.metrics().queue_wait_us,
-                        queue_wait.as_micros() as u64,
-                    );
-                    let resp = run_analyze(&req, engine, &conn, queue_wait);
-                    semaphore.release();
-                    (resp, false)
-                }
-                Ok(Request::Trace(req)) => {
-                    let queue_wait = semaphore.acquire();
-                    Metrics::add(
-                        &engine.metrics().queue_wait_us,
-                        queue_wait.as_micros() as u64,
-                    );
-                    let resp = run_trace(&req, engine, queue_wait);
-                    semaphore.release();
-                    (resp, false)
-                }
+                Ok(Request::Analyze(req)) => match admission.admit(req.timeout_ms) {
+                    Err(shed) => (shed_response(engine, shed), false),
+                    Ok(queue_wait) => {
+                        Metrics::add(
+                            &engine.metrics().queue_wait_us,
+                            queue_wait.as_micros() as u64,
+                        );
+                        let start = Instant::now();
+                        let resp = run_analyze(&req, engine, &conn, queue_wait, faults);
+                        admission.release(start.elapsed());
+                        (resp, false)
+                    }
+                },
+                Ok(Request::Trace(req)) => match admission.admit(req.timeout_ms) {
+                    Err(shed) => (shed_response(engine, shed), false),
+                    Ok(queue_wait) => {
+                        Metrics::add(
+                            &engine.metrics().queue_wait_us,
+                            queue_wait.as_micros() as u64,
+                        );
+                        let start = Instant::now();
+                        let resp = run_trace(&req, engine, queue_wait, faults);
+                        admission.release(start.elapsed());
+                        (resp, false)
+                    }
+                },
             },
         };
 
-        conn.write_all(response.render().as_bytes())?;
-        conn.write_all(b"\n")?;
-        conn.flush()?;
+        write_response(&mut conn, &response)?;
 
         if stop {
             shutdown.store(true, Ordering::Release);
@@ -239,24 +397,122 @@ fn handle_connection(
             return Ok(());
         }
     }
-    Ok(())
+}
+
+fn write_response(conn: &mut TcpStream, response: &Json) -> std::io::Result<()> {
+    conn.write_all(response.render().as_bytes())?;
+    conn.write_all(b"\n")?;
+    conn.flush()
+}
+
+/// The shed error: structured, explicitly retryable, with the pause the
+/// admission math suggests.
+fn shed_response(engine: &Engine, shed: Shed) -> Json {
+    Metrics::bump(&engine.metrics().shed_requests);
+    let mut resp = error_response("retry_after", shed.reason);
+    if let Json::Obj(pairs) = &mut resp {
+        pairs.push((
+            "retry_after_ms".to_string(),
+            Json::Int(shed.retry_after_ms as i64),
+        ));
+        pairs.push(("retryable".to_string(), Json::Bool(true)));
+    }
+    resp
+}
+
+/// The `ping` health verb: liveness plus the queue and store gauges an
+/// operator (or a load balancer) wants at a glance.
+fn ping_response(engine: &Engine, admission: &Admission) -> Json {
+    let store = engine.store();
+    obj(vec![
+        ("ok", Json::Bool(true)),
+        ("pong", Json::Bool(true)),
+        ("queue_depth", Json::Int(admission.depth() as i64)),
+        ("workers", Json::Int(admission.permits_total as i64)),
+        (
+            "avg_service_us",
+            Json::Int(admission.avg_service_us.load(Ordering::Relaxed) as i64),
+        ),
+        ("store_entries", Json::Int(store.len() as i64)),
+        ("store_disk_bytes", Json::Int(store.disk_bytes() as i64)),
+        ("store_live_bytes", Json::Int(store.live_bytes() as i64)),
+        ("store_dead_bytes", Json::Int(store.dead_bytes() as i64)),
+    ])
+}
+
+/// The `compact` verb: run a store compaction now, report what it did.
+fn run_compact(engine: &Engine) -> Json {
+    match engine.store().compact() {
+        Ok(stats) => obj(vec![
+            ("ok", Json::Bool(true)),
+            ("before_bytes", Json::Int(stats.before_bytes as i64)),
+            ("after_bytes", Json::Int(stats.after_bytes as i64)),
+            ("frames", Json::Int(stats.frames as i64)),
+            ("dropped_bytes", Json::Int(stats.dropped_bytes as i64)),
+        ]),
+        Err(e) => {
+            // A failed compaction resyncs the store to a consistent view,
+            // so asking again is always safe — except on a memory-only
+            // store, where there is nothing to compact, ever.
+            let retryable = e.kind() != std::io::ErrorKind::Unsupported;
+            let mut resp = error_response("store_error", &e.to_string());
+            if let (Json::Obj(pairs), true) = (&mut resp, retryable) {
+                pairs.push(("retryable".to_string(), Json::Bool(true)));
+            }
+            resp
+        }
+    }
 }
 
 /// Appends store-shape fields to a metrics snapshot (the `stats` verb and
 /// the shutdown dump).
 fn push_store_stats(pairs: &mut Vec<(String, Json)>, engine: &Engine) {
-    pairs.push((
-        "store_entries".to_string(),
-        Json::Int(engine.store().len() as i64),
-    ));
+    let store = engine.store();
+    pairs.push(("store_entries".to_string(), Json::Int(store.len() as i64)));
     pairs.push((
         "store_disk_bytes".to_string(),
-        Json::Int(engine.store().disk_bytes() as i64),
+        Json::Int(store.disk_bytes() as i64),
     ));
     pairs.push((
         "store_disk_frames".to_string(),
-        Json::Int(engine.store().disk_frames() as i64),
+        Json::Int(store.disk_frames() as i64),
     ));
+    pairs.push((
+        "store_live_bytes".to_string(),
+        Json::Int(store.live_bytes() as i64),
+    ));
+    pairs.push((
+        "store_dead_bytes".to_string(),
+        Json::Int(store.dead_bytes() as i64),
+    ));
+    pairs.push((
+        "store_append_errors".to_string(),
+        Json::Int(store.append_errors.load(Ordering::Relaxed) as i64),
+    ));
+    pairs.push((
+        "store_compactions".to_string(),
+        Json::Int(store.compactions.load(Ordering::Relaxed) as i64),
+    ));
+    pairs.push((
+        "store_compaction_errors".to_string(),
+        Json::Int(store.compaction_errors.load(Ordering::Relaxed) as i64),
+    ));
+}
+
+/// The structured answer to a caught worker panic: the daemon is fine, the
+/// job is content-addressed, the client may simply retry.
+fn panic_response(engine: &Engine, payload: &(dyn std::any::Any + Send)) -> Json {
+    Metrics::bump(&engine.metrics().panics_caught);
+    let what = payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "worker panicked".to_string());
+    let mut resp = error_response("internal_error", &format!("worker panic: {what}"));
+    if let Json::Obj(pairs) = &mut resp {
+        pairs.push(("retryable".to_string(), Json::Bool(true)));
+    }
+    resp
 }
 
 fn run_analyze(
@@ -264,6 +520,7 @@ fn run_analyze(
     engine: &Engine,
     conn: &TcpStream,
     queue_wait: Duration,
+    faults: &Faults,
 ) -> Json {
     let program = match req.spec.build() {
         Ok(p) => p,
@@ -330,14 +587,23 @@ fn run_analyze(
         prepass: req.prepass,
         symbolic: req.symbolic,
     };
-    let (outcome, parametric) = if req.parametric {
-        match engine.run_parametric(&job) {
-            Ok((out, status, cert)) => (Ok(out), Some((status, cert))),
-            Err(e) => (Err(e), None),
+    // The engine call is the panic domain: an unwinding worker (injected
+    // or real) must not tear down the connection thread, skip watcher
+    // cleanup, or leak its admission permit — all of which live outside
+    // this closure.
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        if fault::fires(faults, FaultSite::WorkerPanic) {
+            panic!("injected: worker panic");
         }
-    } else {
-        (engine.run(&job), None)
-    };
+        if req.parametric {
+            match engine.run_parametric(&job) {
+                Ok((out, status, cert)) => (Ok(out), Some((status, cert))),
+                Err(e) => (Err(e), None),
+            }
+        } else {
+            (engine.run(&job), None)
+        }
+    }));
 
     done.store(true, Ordering::Release);
     if let Some(w) = watcher {
@@ -347,12 +613,26 @@ fn run_analyze(
         let _ = conn.set_read_timeout(None);
     }
 
+    let (outcome, parametric) = match caught {
+        Ok(pair) => pair,
+        Err(panic_payload) => return panic_response(engine, panic_payload.as_ref()),
+    };
+
     match outcome {
         Ok(out) => {
             let mut metrics = obj(vec![
                 (
                     "store",
-                    Json::Str(if out.from_store { "hit" } else { "miss" }.to_string()),
+                    Json::Str(
+                        if out.from_store {
+                            "hit"
+                        } else if out.coalesced {
+                            "coalesced"
+                        } else {
+                            "miss"
+                        }
+                        .to_string(),
+                    ),
                 ),
                 ("points", Json::Int(out.points as i64)),
                 ("wall_us", Json::Int(out.wall.as_micros() as i64)),
@@ -393,7 +673,7 @@ fn run_analyze(
                     // Share of this run's points the pre-pass resolved;
                     // null on store hits (nothing was classified).
                     "prepass_resolved_pct",
-                    if out.from_store {
+                    if out.from_store || out.coalesced {
                         Json::Null
                     } else {
                         Json::Float(100.0 * out.prepass_resolved as f64 / out.points.max(1) as f64)
@@ -442,7 +722,7 @@ fn run_analyze(
     }
 }
 
-fn run_trace(req: &TraceRequest, engine: &Engine, queue_wait: Duration) -> Json {
+fn run_trace(req: &TraceRequest, engine: &Engine, queue_wait: Duration, faults: &Faults) -> Json {
     let bad = |engine: &Engine, msg: &str| {
         Metrics::bump(&engine.metrics().bad_requests);
         error_response("bad_request", msg)
@@ -488,7 +768,17 @@ fn run_trace(req: &TraceRequest, engine: &Engine, queue_wait: Duration) -> Json 
         }
     };
 
-    match engine.run_trace(&bytes, config, req.threads.count(), req.use_store) {
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        if fault::fires(faults, FaultSite::WorkerPanic) {
+            panic!("injected: worker panic");
+        }
+        engine.run_trace(&bytes, config, req.threads.count(), req.use_store)
+    }));
+    let ran = match caught {
+        Ok(ran) => ran,
+        Err(panic_payload) => return panic_response(engine, panic_payload.as_ref()),
+    };
+    match ran {
         Ok(out) => {
             let metrics = obj(vec![
                 (

@@ -118,6 +118,60 @@ fn garbled_header_truncates_from_there() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// Crash-at-any-moment coverage: truncating a three-frame log at EVERY
+/// byte offset must reopen cleanly, keep exactly the frames that were
+/// fully on disk before the cut, and leave the log appendable.
+#[test]
+fn truncation_at_every_byte_offset_preserves_whole_frames() {
+    let dir = temp_dir("trunc-sweep");
+    {
+        let s = Store::open(&dir, 16).unwrap();
+        for i in 1..=3 {
+            s.put(Fingerprint(i as u128), result(i));
+        }
+    }
+    let log = dir.join("results.cmes");
+    let full = std::fs::read(&log).unwrap();
+    // Cumulative end offset of each frame.
+    let ends: Vec<u64> = (1..=3)
+        .scan(0u64, |acc, i| {
+            *acc += HEADER_LEN + payload(i).len() as u64;
+            Some(*acc)
+        })
+        .collect();
+    assert_eq!(*ends.last().unwrap(), full.len() as u64);
+
+    for cut in 0..=full.len() {
+        std::fs::write(&log, &full[..cut]).unwrap();
+        let s = Store::open(&dir, 16).unwrap();
+        let stats = s.load_stats();
+        let whole = ends.iter().filter(|&&e| e <= cut as u64).count();
+        assert_eq!(stats.loaded, whole, "cut at byte {cut}");
+        assert_eq!(
+            stats.corrupt, 0,
+            "cut at byte {cut}: truncation is not corruption"
+        );
+        for i in 1..=3usize {
+            assert_eq!(
+                s.get(Fingerprint(i as u128)).is_some(),
+                ends[i - 1] <= cut as u64,
+                "cut at byte {cut}, frame {i}"
+            );
+        }
+        // The reopened log must still take appends that survive a reopen.
+        s.put(Fingerprint(99), result(9));
+        drop(s);
+        let s = Store::open(&dir, 16).unwrap();
+        assert_eq!(s.load_stats().loaded, whole + 1, "cut at byte {cut}");
+        assert_eq!(
+            &**s.get(Fingerprint(99)).unwrap().payload,
+            payload(9),
+            "cut at byte {cut}: fresh append readable after reopen"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// End to end through the engine: a damaged stored result is recomputed on
 /// the next query and the payload comes out byte-identical to the original.
 #[test]

@@ -2,25 +2,41 @@
 //!
 //! ```text
 //! cme serve    [--addr A] [--port-file P] [--store DIR] [--workers N]
-//!              [--store-capacity N] [--metrics-dump P]
+//!              [--store-capacity N] [--metrics-dump P] [--max-queue N]
+//!              [--chaos SPEC]
 //! cme query    [--addr A | --port-file P] --workload K | --file F.f
 //!              [--n N] [--iters N] [--bj N] [--bk N] [--param K=V]...
 //!              [--cache B] [--line B] [--assoc W] [--geometry S:A:L] [--exact]
 //!              [--confidence C] [--width W] [--seed S] [--timeout-ms MS]
 //!              [--no-store] [--threads N] [--strategy set-skip|legacy-scan]
-//!              [--prepass on|off] [--report-only]
+//!              [--prepass on|off] [--report-only] [--retries N]
 //! cme trace gen --workload K | --file F.f [--param K=V]...
 //!              [--n N] [--iters N] [--bj N] [--bk N]
 //!              --out T.cmet [--geometry S:A:L] [--raw]
 //! cme trace sim --in T.cmet [--geometry S:A:L] [--threads N]
-//! cme stats    [--addr A | --port-file P]
-//! cme shutdown [--addr A | --port-file P]
+//! cme ping     [--addr A | --port-file P] [--retries N]
+//! cme stats    [--addr A | --port-file P] [--retries N]
+//! cme compact  [--addr A | --port-file P] [--retries N]
+//! cme shutdown [--addr A | --port-file P] [--retries N]
 //! ```
 //!
 //! `query` prints the full response line (or, with `--report-only`, just the
 //! canonical report bytes — byte-identical across store hits, threads and
-//! walk strategies, so two runs can be `diff`ed). Exit codes: 0 success,
-//! 1 usage/transport error, 2 the server answered with an error.
+//! walk strategies, so two runs can be `diff`ed).
+//!
+//! Exit codes: 0 success; 1 usage error (bad flags, malformed inputs);
+//! 2 runtime error — the daemon is unreachable, the connection died
+//! mid-exchange, the server answered with a structured error, or local
+//! data (e.g. a trace file) is unusable. Transport failures print a
+//! one-line diagnostic, never a raw panic. `--retries N` reconnects with
+//! jittered exponential backoff on connection errors and on the server's
+//! `retry_after` shed response — always safe, because jobs are
+//! content-addressed.
+//!
+//! `--chaos SPEC` arms deterministic fault injection in the daemon
+//! (testing only): comma-separated `site=per-mille` pairs plus `seed=N`,
+//! with optional `xCAP` injection caps — e.g.
+//! `seed=42,torn-write=400,drop-conn=150,panic=1000x5`.
 //!
 //! `trace` runs locally, no daemon needed: `gen` lowers a workload or
 //! FORTRAN source and writes its exact program-order access stream as a
@@ -31,10 +47,12 @@
 //! replays are available remotely via the server's `trace` verb, where
 //! repeat replays of identical content answer from the result store.
 
+use cme_serve::client::{call_with_retry, RetryPolicy};
 use cme_serve::json::Json;
-use cme_serve::{Client, ProgramSpec, Server, ServerOptions};
+use cme_serve::{FaultPlan, ProgramSpec, Server, ServerOptions};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 const DEFAULT_ADDR: &str = "127.0.0.1:7199";
 
@@ -49,7 +67,9 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(rest),
         "query" => cmd_query(rest),
         "trace" => cmd_trace(rest),
+        "ping" => cmd_verb(rest, "ping"),
         "stats" => cmd_verb(rest, "stats"),
+        "compact" => cmd_verb(rest, "compact"),
         "shutdown" => cmd_verb(rest, "shutdown"),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -63,41 +83,72 @@ fn main() -> ExitCode {
             eprintln!("cme: {msg}\n\n{USAGE}");
             ExitCode::from(1)
         }
-        Err(CliError::Io(e)) => {
-            eprintln!("cme: {e}");
-            ExitCode::from(1)
+        Err(CliError::Runtime(msg)) => {
+            eprintln!("cme: {msg}");
+            ExitCode::from(2)
         }
     }
 }
 
 const USAGE: &str = "usage:
   cme serve    [--addr A] [--port-file P] [--store DIR] [--workers N]
-               [--store-capacity N] [--metrics-dump P]
+               [--store-capacity N] [--metrics-dump P] [--max-queue N]
+               [--chaos SPEC]
   cme query    [--addr A | --port-file P] --workload K | --file F.f
                [--n N] [--iters N] [--bj N] [--bk N] [--param K=V]...
                [--cache B] [--line B] [--assoc W] [--geometry S:A:L] [--exact]
                [--confidence C] [--width W] [--seed S] [--timeout-ms MS]
                [--no-store] [--threads N] [--strategy set-skip|legacy-scan]
-               [--prepass on|off] [--report-only]
+               [--prepass on|off] [--report-only] [--retries N]
   cme trace gen --workload K | --file F.f [--param K=V]...
                [--n N] [--iters N] [--bj N] [--bk N]
                --out T.cmet [--geometry S:A:L] [--raw]
   cme trace sim --in T.cmet [--geometry S:A:L] [--threads N]
-  cme stats    [--addr A | --port-file P]
-  cme shutdown [--addr A | --port-file P]
+  cme ping     [--addr A | --port-file P] [--retries N]
+  cme stats    [--addr A | --port-file P] [--retries N]
+  cme compact  [--addr A | --port-file P] [--retries N]
+  cme shutdown [--addr A | --port-file P] [--retries N]
 
 geometry strings are SIZE:ASSOC:LINE, e.g. 32K:2:32 (non-power-of-two
-set counts allowed, e.g. 48K:2:32)";
+set counts allowed, e.g. 48K:2:32)
+
+exit codes: 0 success, 1 usage, 2 runtime (daemon unreachable, connection
+died mid-exchange, server answered an error, or data is unusable)
+
+--chaos arms deterministic fault injection (testing only), e.g.
+seed=42,torn-write=400,drop-conn=150,panic=1000x5";
 
 enum CliError {
+    /// Bad flags or malformed inputs — exit 1.
     Usage(String),
-    Io(std::io::Error),
+    /// The world failed, not the invocation: unreachable daemon, dead
+    /// connection, unusable data — exit 2 with a one-line diagnostic.
+    Runtime(String),
 }
 
 impl From<std::io::Error> for CliError {
     fn from(e: std::io::Error) -> CliError {
-        CliError::Io(e)
+        CliError::Runtime(e.to_string())
     }
+}
+
+/// Renders a transport failure as a one-line, actionable diagnostic
+/// (satisfying the contract that connection trouble is exit 2, never a
+/// raw panic or an opaque os-error dump).
+fn transport_diag(addr: &str, e: &std::io::Error) -> CliError {
+    use std::io::ErrorKind;
+    CliError::Runtime(match e.kind() {
+        ErrorKind::ConnectionRefused => {
+            format!("cannot connect to {addr}: connection refused (is `cme serve` running?)")
+        }
+        ErrorKind::UnexpectedEof => {
+            format!("connection to {addr} closed mid-response (daemon gone? try --retries)")
+        }
+        ErrorKind::ConnectionReset | ErrorKind::ConnectionAborted | ErrorKind::BrokenPipe => {
+            format!("connection to {addr} dropped mid-exchange: {e} (try --retries)")
+        }
+        _ => format!("transport error talking to {addr}: {e}"),
+    })
 }
 
 /// A tiny flag cursor: `--flag value` pairs plus boolean flags.
@@ -160,6 +211,14 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, CliError> {
             "--store-capacity" => options.store_capacity = flags.parsed(flag)?,
             "--workers" => options.workers = flags.parsed(flag)?,
             "--metrics-dump" => options.metrics_dump = Some(PathBuf::from(flags.value(flag)?)),
+            "--max-queue" => options.max_queue = flags.parsed(flag)?,
+            "--chaos" => {
+                let spec = flags.value(flag)?;
+                let plan =
+                    FaultPlan::parse(spec).map_err(|e| CliError::Usage(format!("--chaos: {e}")))?;
+                eprintln!("cme serve: CHAOS MODE — injecting faults ({spec})");
+                options.faults = Some(Arc::new(plan));
+            }
             other => return Err(CliError::Usage(format!("unknown serve flag `{other}`"))),
         }
     }
@@ -171,16 +230,20 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, CliError> {
 
 fn cmd_verb(args: &[String], verb: &str) -> Result<ExitCode, CliError> {
     let (mut addr, mut port_file) = (None, None);
+    let mut retries = 0u32;
     let mut flags = Flags::new(args);
     while let Some(flag) = flags.next() {
         match flag {
             "--addr" => addr = Some(flags.value(flag)?.to_string()),
             "--port-file" => port_file = Some(PathBuf::from(flags.value(flag)?)),
+            "--retries" => retries = flags.parsed(flag)?,
             other => return Err(CliError::Usage(format!("unknown {verb} flag `{other}`"))),
         }
     }
-    let mut client = Client::connect(resolve_addr(addr, port_file)?)?;
-    let line = client.request_line(&format!(r#"{{"cmd":"{verb}"}}"#))?;
+    let addr = resolve_addr(addr, port_file)?;
+    let policy = RetryPolicy::with_retries(retries);
+    let line = call_with_retry(&addr, &format!(r#"{{"cmd":"{verb}"}}"#), &policy)
+        .map_err(|e| transport_diag(&addr, &e))?;
     println!("{line}");
     let ok = Json::parse(&line)
         .ok()
@@ -196,6 +259,7 @@ fn cmd_verb(args: &[String], verb: &str) -> Result<ExitCode, CliError> {
 fn cmd_query(args: &[String]) -> Result<ExitCode, CliError> {
     let (mut addr, mut port_file) = (None, None);
     let mut report_only = false;
+    let mut retries = 0u32;
     // Request fields, accumulated in insertion order.
     let mut fields: Vec<(&str, Json)> = vec![("cmd", Json::Str("analyze".to_string()))];
     let mut params: Vec<(String, Json)> = Vec::new();
@@ -240,6 +304,7 @@ fn cmd_query(args: &[String]) -> Result<ExitCode, CliError> {
             "--strategy" => fields.push(("strategy", Json::Str(flags.value(flag)?.to_string()))),
             "--prepass" => fields.push(("prepass", Json::Str(flags.value(flag)?.to_string()))),
             "--report-only" => report_only = true,
+            "--retries" => retries = flags.parsed(flag)?,
             other => return Err(CliError::Usage(format!("unknown query flag `{other}`"))),
         }
     }
@@ -254,8 +319,10 @@ fn cmd_query(args: &[String]) -> Result<ExitCode, CliError> {
             .collect(),
     );
 
-    let mut client = Client::connect(resolve_addr(addr, port_file)?)?;
-    let line = client.request_line(&request.render())?;
+    let addr = resolve_addr(addr, port_file)?;
+    let policy = RetryPolicy::with_retries(retries);
+    let line = call_with_retry(&addr, &request.render(), &policy)
+        .map_err(|e| transport_diag(&addr, &e))?;
     let ok = Json::parse(&line)
         .ok()
         .and_then(|v| v.get("ok").and_then(Json::as_bool))
@@ -271,10 +338,10 @@ fn cmd_query(args: &[String]) -> Result<ExitCode, CliError> {
         let start = line
             .find(r#""report":"#)
             .map(|i| i + r#""report":"#.len())
-            .ok_or_else(|| CliError::Usage("response has no report".to_string()))?;
+            .ok_or_else(|| CliError::Runtime("response has no report".to_string()))?;
         let end = line
             .rfind(r#","metrics":"#)
-            .ok_or_else(|| CliError::Usage("response has no metrics".to_string()))?;
+            .ok_or_else(|| CliError::Runtime("response has no metrics".to_string()))?;
         println!("{}", &line[start..end]);
     } else {
         println!("{line}");
@@ -397,8 +464,11 @@ fn cmd_trace_sim(args: &[String]) -> Result<ExitCode, CliError> {
     }
     let input = input.ok_or_else(|| CliError::Usage("trace sim needs --in".to_string()))?;
 
-    let file = std::fs::File::open(&input)?;
-    let mut reader = cme_trace::TraceReader::new(std::io::BufReader::new(file))?;
+    let file = std::fs::File::open(&input).map_err(|e| {
+        CliError::Runtime(format!("trace sim: cannot open {}: {e}", input.display()))
+    })?;
+    let mut reader = cme_trace::TraceReader::new(std::io::BufReader::new(file))
+        .map_err(|e| CliError::Runtime(format!("trace sim: {}: {e}", input.display())))?;
     let config = match (geometry, reader.header()) {
         (Some(g), _) => g,
         (None, Some(h)) => h
@@ -420,6 +490,17 @@ fn cmd_trace_sim(args: &[String]) -> Result<ExitCode, CliError> {
         cme_trace::replay_parallel(config, &words, threads)
     };
     let wall = start.elapsed();
+
+    // An empty replay means the input was truncated to nothing or generated
+    // from a zero-trip workload — a 0.0 miss ratio from zero accesses reads
+    // as a perfect cache and has burned people in scripted sweeps, so it is
+    // a hard error that names the file.
+    if stats.accesses == 0 {
+        return Err(CliError::Runtime(format!(
+            "trace sim: {}: trace contains no accesses (nothing to replay)",
+            input.display()
+        )));
+    }
 
     let per_sec = stats.accesses as f64 / wall.as_secs_f64().max(1e-9);
     let response = cme_serve::json::obj(vec![
