@@ -1,0 +1,223 @@
+//! Timing harness for the amortized geometry-sweep engine: evaluates a
+//! 24-cell design-space grid (sizes × associativities × line sizes) once
+//! through [`SweepPlan`] and once naively — an independent cold
+//! `FindMisses` per geometry — verifies every grid cell is byte-identical
+//! to its naive twin, measures the amortization, exercises the serve
+//! engine's sweep/store round trip, and writes the numbers to
+//! `BENCH_sweep.json`.
+//!
+//! ```text
+//! cargo run -p cme-bench --bin bench_sweep --release -- \
+//!     [--scale small|medium|paper] [--out BENCH_sweep.json]
+//! ```
+//!
+//! Both sides run serially (`Threads::Fixed(1)`): the amortization is a
+//! per-geometry work reduction — one reuse analysis per distinct line
+//! size instead of one per cell, plus closed-form classification across
+//! the whole grid — not a parallel speedup.
+//!
+//! Floors (hard process-exit failures, used by `scripts/ci.sh`):
+//! * at every scale: each of the 24 cells renders bytes identical to an
+//!   independent single-geometry run, for both the streaming and the
+//!   mixed workload; a repeat sweep through the serve engine computes
+//!   nothing (every cell answered from the store);
+//! * at `--scale paper` only (where per-geometry work is expensive enough
+//!   for the ratio to be meaningful): the shared-plan sweep must beat the
+//!   naive per-geometry loop by ≥ 5× on the streaming workload.
+
+use cme_analysis::{FindMisses, Report, SweepOptions, SweepPlan, Threads};
+use cme_bench::{secs, timed, Scale};
+use cme_cache::CacheConfig;
+use cme_ir::{LinExpr, Program, ProgramBuilder, SNode, SRef};
+use cme_serve::engine::render_payload;
+use cme_serve::{AnalysisMode, Engine, SweepJob};
+use std::time::Duration;
+
+/// The benchmark grid: 4 sizes × 3 associativities × 2 line sizes.
+const GRID: &str = "8K,16K,32K,64K:1,2,4:16,32";
+
+/// Three equal streaming arrays (the symbolic tier's showcase): every
+/// reference closes, so the sweep's cost is the two reuse analyses plus
+/// formula evaluation while the naive loop enumerates 24 times.
+fn stream3(elems: i64) -> Program {
+    let mut b = ProgramBuilder::new("stream3");
+    b.array("A", &[elems], 8);
+    b.array("B", &[elems], 8);
+    b.array("C", &[elems], 8);
+    let i = LinExpr::var("I");
+    b.push(SNode::loop_(
+        "I",
+        1,
+        elems,
+        vec![SNode::assign(
+            SRef::new("C", vec![i.clone()]),
+            vec![
+                SRef::new("A", vec![i.clone()]),
+                SRef::new("B", vec![i.clone()]),
+            ],
+        )],
+    ));
+    b.build().unwrap()
+}
+
+struct Row {
+    workload: String,
+    cells: usize,
+    points: u64,
+    naive: Duration,
+    sweep: Duration,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.naive.as_secs_f64() / self.sweep.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Runs the naive loop and the shared-plan sweep over `grid`, asserts
+/// byte-identity cell by cell, and returns the timing row.
+fn measure(name: &str, program: &Program, grid: &[CacheConfig]) -> Row {
+    // Naive: what a design-space scan costs today — an independent
+    // analysis per geometry, each rebuilding its own reuse analysis.
+    let (naive_reports, naive) = timed(|| -> Vec<Report> {
+        grid.iter()
+            .map(|g| {
+                FindMisses::new(program, *g)
+                    .threads(Threads::Fixed(1))
+                    .run()
+            })
+            .collect()
+    });
+
+    // Amortized: one plan (reuse per distinct line size), one fan-out.
+    let opts = SweepOptions {
+        threads: Threads::Fixed(1),
+        ..SweepOptions::default()
+    };
+    let (sweep_reports, sweep) = timed(|| SweepPlan::new(program, grid).run(grid, &opts));
+
+    let mut points = 0u64;
+    for ((g, naive_r), sweep_r) in grid.iter().zip(&naive_reports).zip(&sweep_reports) {
+        let naive_bytes = render_payload(program, *g, &AnalysisMode::Exact, naive_r);
+        let sweep_bytes = render_payload(program, *g, &AnalysisMode::Exact, sweep_r);
+        assert_eq!(
+            naive_bytes, sweep_bytes,
+            "{name} cell {g} diverged from its independent run"
+        );
+        points += sweep_r.total_accesses();
+    }
+    eprintln!(
+        "  {name:<16} {} cells  naive {:>9}  sweep {:>9}  ({:.1}x)",
+        grid.len(),
+        secs(naive),
+        secs(sweep),
+        naive.as_secs_f64() / sweep.as_secs_f64().max(1e-9),
+    );
+    Row {
+        workload: name.to_string(),
+        cells: grid.len(),
+        points,
+        naive,
+        sweep,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let scale = Scale::from_args();
+    let out = get("--out").unwrap_or_else(|| "BENCH_sweep.json".to_string());
+
+    let (stream_elems, hydro_n) = match scale {
+        Scale::Small => (4096i64, 24i64),
+        Scale::Medium => (16384, 60),
+        Scale::Paper => (65536, 100),
+    };
+    let grid = CacheConfig::parse_geometry_grid(GRID).expect("benchmark grid is valid");
+    eprintln!(
+        "bench_sweep: scale {}, grid {GRID} ({} cells, serial both sides)",
+        scale.label(),
+        grid.len()
+    );
+
+    let stream = stream3(stream_elems);
+    let hydro = cme_workloads::hydro(hydro_n, hydro_n);
+    let rows = [
+        measure(&format!("stream3({stream_elems})"), &stream, &grid),
+        measure(&format!("hydro({hydro_n}x{hydro_n})"), &hydro, &grid),
+    ];
+
+    // The serve round trip: a cold sweep populates the store, so the
+    // repeat sweep — and any later single query on a swept geometry — is
+    // pure lookup.
+    let engine = Engine::in_memory(grid.len() * 2);
+    let (cold, cold_wall) = timed(|| {
+        engine
+            .run_sweep(&SweepJob::exact(&hydro, grid.clone()))
+            .expect("sweep carries no deadline")
+    });
+    let (hot, hot_wall) = timed(|| {
+        engine
+            .run_sweep(&SweepJob::exact(&hydro, grid.clone()))
+            .expect("sweep carries no deadline")
+    });
+    assert_eq!(
+        cold.computed as usize,
+        grid.len(),
+        "cold sweep computes all"
+    );
+    assert_eq!(hot.computed, 0, "repeat sweep must answer from the store");
+    assert_eq!(hot.store_hits as usize, grid.len());
+    for (a, b) in cold.cells.iter().zip(&hot.cells) {
+        assert_eq!(a.payload, b.payload, "store round trip must be byte-exact");
+    }
+    eprintln!(
+        "  serve store:     cold sweep {:>9}  repeat {:>9} (0 cells recomputed)",
+        secs(cold_wall),
+        secs(hot_wall)
+    );
+
+    let row_json: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"workload\": \"{}\", \"cells\": {}, \"points\": {}, \
+                 \"naive_s\": {:.6}, \"sweep_s\": {:.6}, \"speedup\": {:.2}, \
+                 \"cells_identical\": true}}",
+                r.workload,
+                r.cells,
+                r.points,
+                r.naive.as_secs_f64(),
+                r.sweep.as_secs_f64(),
+                r.speedup()
+            )
+        })
+        .collect();
+    let json = format!
+    (
+        "{{\n  \"scale\": \"{}\",\n  \"grid\": \"{GRID}\",\n  \"cells\": {},\n  \"threads\": 1,\n  \"workloads\": [\n{}\n  ],\n  \"serve\": {{\"cold_sweep_s\": {:.6}, \"repeat_sweep_s\": {:.6}, \"repeat_computed\": {}}}\n}}\n",
+        scale.label(),
+        grid.len(),
+        row_json.join(",\n"),
+        cold_wall.as_secs_f64(),
+        hot_wall.as_secs_f64(),
+        hot.computed
+    );
+    std::fs::write(&out, &json).expect("write BENCH_sweep.json");
+    eprintln!("bench_sweep: wrote {out}");
+
+    // CI floor: the amortization must be real where per-geometry work is
+    // expensive (paper scale, streaming workload).
+    if scale == Scale::Paper {
+        let stream_row = &rows[0];
+        assert!(
+            stream_row.speedup() >= 5.0,
+            "amortization floor: sweep must be >=5x naive at paper scale, got {:.2}x",
+            stream_row.speedup()
+        );
+    }
+}

@@ -88,3 +88,31 @@ fn well_formed_file_still_succeeds() {
     );
     assert!(stdout.contains("miss ratio"), "{stdout}");
 }
+
+#[test]
+fn degenerate_geometries_exit_two_with_one_line_diagnostic() {
+    // Zero fields, a size that does not divide into ways, and a
+    // 64-bit-overflowing way size: each must be a one-line exit-2
+    // diagnostic, never a panic or a wrapped-arithmetic analysis.
+    for (geometry, needle) in [
+        ("0:1:32", "cache size"),
+        ("8K:0:32", "associativity"),
+        ("8K:1:0", "line size"),
+        ("8K:3:32", "divide"),
+        ("9223372036854775807:4:9223372036854775807", "overflows"),
+    ] {
+        let out = analyze(&["--workload", "mmt", "--n", "8", "--geometry", geometry]);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(out.status.code(), Some(2), "{geometry}: {stderr}");
+        assert!(
+            stderr.to_lowercase().contains(needle),
+            "{geometry}: diagnostic should mention {needle}: {stderr}"
+        );
+        assert_eq!(
+            stderr.trim().lines().count(),
+            1,
+            "{geometry}: diagnostic must be one line: {stderr}"
+        );
+        assert!(!stderr.contains("panicked"), "{geometry}: {stderr}");
+    }
+}

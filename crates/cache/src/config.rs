@@ -22,6 +22,12 @@ pub enum CacheConfigError {
         /// Which parameter.
         what: &'static str,
     },
+    /// A derived quantity (`assoc · line` or the total capacity) does not
+    /// fit in 64 bits — the geometry is degenerate, not a real cache.
+    Overflow {
+        /// Which derived quantity.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for CacheConfigError {
@@ -36,6 +42,9 @@ impl fmt::Display for CacheConfigError {
             }
             CacheConfigError::NotPowerOfTwo { what } => {
                 write!(f, "{what} must be a power of two")
+            }
+            CacheConfigError::Overflow { what } => {
+                write!(f, "{what} overflows 64 bits")
             }
         }
     }
@@ -117,10 +126,15 @@ impl CacheConfig {
         if !size_bytes.is_multiple_of(line_bytes) {
             return Err(CacheConfigError::LineDoesNotDivideSize);
         }
-        if !size_bytes.is_multiple_of(line_bytes * assoc as u64) {
+        let way_bytes = line_bytes
+            .checked_mul(assoc as u64)
+            .ok_or(CacheConfigError::Overflow {
+                what: "associativity x line size",
+            })?;
+        if !size_bytes.is_multiple_of(way_bytes) {
             return Err(CacheConfigError::AssocDoesNotDivide);
         }
-        let num_sets = size_bytes / (line_bytes * assoc as u64);
+        let num_sets = size_bytes / way_bytes;
         Ok(CacheConfig {
             size_bytes,
             line_bytes,
@@ -139,7 +153,8 @@ impl CacheConfig {
     ///
     /// # Errors
     ///
-    /// Returns a [`CacheConfigError`] when any parameter is zero.
+    /// Returns a [`CacheConfigError`] when any parameter is zero or the
+    /// total capacity overflows 64 bits.
     pub fn with_geometry(
         line_bytes: u64,
         num_sets: u64,
@@ -156,8 +171,12 @@ impl CacheConfig {
                 what: "associativity",
             });
         }
+        let size_bytes = line_bytes
+            .checked_mul(num_sets)
+            .and_then(|v| v.checked_mul(assoc as u64))
+            .ok_or(CacheConfigError::Overflow { what: "cache size" })?;
         Ok(CacheConfig {
-            size_bytes: line_bytes * num_sets * assoc as u64,
+            size_bytes,
             line_bytes,
             assoc,
             num_sets,
@@ -312,11 +331,47 @@ impl CacheConfig {
         if !size.is_multiple_of(line) {
             return Err(CacheConfigError::LineDoesNotDivideSize.into());
         }
-        if !size.is_multiple_of(line * assoc as u64) {
+        let way_bytes = line
+            .checked_mul(assoc as u64)
+            .ok_or(CacheConfigError::Overflow {
+                what: "associativity x line size",
+            })?;
+        if !size.is_multiple_of(way_bytes) {
             return Err(CacheConfigError::AssocDoesNotDivide.into());
         }
-        let num_sets = size / (line * assoc as u64);
+        let num_sets = size / way_bytes;
         Ok(CacheConfig::with_geometry(line, num_sets, assoc)?)
+    }
+
+    /// Parses a geometry *grid*: the `SIZE:ASSOC:LINE` form where each
+    /// field may be a comma-separated list, expanded as the cartesian
+    /// product in size-major, then associativity, then line-size order —
+    /// `"8K,16K:1,2:32"` is `[8K:1:32, 8K:2:32, 16K:1:32, 16K:2:32]`.
+    /// Every combination must itself be a valid geometry.
+    ///
+    /// # Errors
+    ///
+    /// As [`CacheConfig::parse_geometry`], for the first bad combination.
+    pub fn parse_geometry_grid(s: &str) -> Result<Vec<CacheConfig>, GeometryError> {
+        let malformed = || GeometryError::Malformed(s.to_string());
+        let mut parts = s.split(':');
+        let sizes: Vec<&str> = parts.next().ok_or_else(malformed)?.split(',').collect();
+        let assocs: Vec<&str> = parts.next().ok_or_else(malformed)?.split(',').collect();
+        let lines: Vec<&str> = parts.next().ok_or_else(malformed)?.split(',').collect();
+        if parts.next().is_some() {
+            return Err(malformed());
+        }
+        let mut grid = Vec::with_capacity(sizes.len() * assocs.len() * lines.len());
+        for size in &sizes {
+            for assoc in &assocs {
+                for line in &lines {
+                    grid.push(CacheConfig::parse_geometry(&format!(
+                        "{size}:{assoc}:{line}"
+                    ))?);
+                }
+            }
+        }
+        Ok(grid)
     }
 
     /// The canonical geometry string: `parse_geometry(c.geometry_string())`
@@ -470,6 +525,73 @@ mod tests {
             let s = c.geometry_string();
             assert_eq!(CacheConfig::parse_geometry(&s).unwrap(), c, "{s}");
         }
+    }
+
+    /// Degenerate geometries whose derived quantities overflow 64 bits are
+    /// rejected with a one-line diagnostic instead of wrapping into
+    /// nonsense set counts.
+    #[test]
+    fn overflowing_geometries_are_rejected() {
+        // line · assoc overflows while both factors are valid on their own.
+        let line = 1u64 << 63;
+        assert_eq!(
+            CacheConfig::new(line, line, 4),
+            Err(CacheConfigError::Overflow {
+                what: "associativity x line size"
+            })
+        );
+        // with_geometry: total capacity overflows.
+        assert_eq!(
+            CacheConfig::with_geometry(1 << 40, 1 << 30, 2),
+            Err(CacheConfigError::Overflow { what: "cache size" })
+        );
+        // The same rejections through the geometry-string front door.
+        assert!(matches!(
+            CacheConfig::parse_geometry("9223372036854775808:4:9223372036854775808"),
+            Err(GeometryError::Invalid(CacheConfigError::Overflow { .. }))
+        ));
+        // A size field that overflows during suffix scaling is malformed.
+        assert!(matches!(
+            CacheConfig::parse_geometry("18446744073709551615K:1:32"),
+            Err(GeometryError::Malformed(_))
+        ));
+        // The diagnostics are one line each.
+        let err = CacheConfig::parse_geometry("9223372036854775808:4:9223372036854775808")
+            .unwrap_err()
+            .to_string();
+        assert!(!err.contains('\n'), "{err}");
+        assert!(err.contains("overflows"), "{err}");
+    }
+
+    #[test]
+    fn geometry_grids_expand_in_row_major_order() {
+        let grid = CacheConfig::parse_geometry_grid("8K,16K:1,2:16,32").unwrap();
+        let want: Vec<CacheConfig> = [
+            "8K:1:16", "8K:1:32", "8K:2:16", "8K:2:32", "16K:1:16", "16K:1:32", "16K:2:16",
+            "16K:2:32",
+        ]
+        .iter()
+        .map(|s| CacheConfig::parse_geometry(s).unwrap())
+        .collect();
+        assert_eq!(grid, want);
+        // A single geometry is a 1-cell grid.
+        assert_eq!(
+            CacheConfig::parse_geometry_grid("32K:2:32").unwrap(),
+            vec![CacheConfig::parse_geometry("32K:2:32").unwrap()]
+        );
+        // One bad combination rejects the whole grid.
+        assert!(matches!(
+            CacheConfig::parse_geometry_grid("8K,100:1:32"),
+            Err(GeometryError::Invalid(_))
+        ));
+        assert!(matches!(
+            CacheConfig::parse_geometry_grid("8K:1"),
+            Err(GeometryError::Malformed(_))
+        ));
+        assert!(matches!(
+            CacheConfig::parse_geometry_grid("8K:1:32:64"),
+            Err(GeometryError::Malformed(_))
+        ));
     }
 
     #[test]

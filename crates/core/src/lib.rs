@@ -49,6 +49,7 @@ pub mod options;
 pub mod parallel;
 pub mod prepass;
 pub mod report;
+pub mod sweep;
 pub mod symbolic;
 
 pub use cancel::{CancelToken, Cancelled};
@@ -58,4 +59,5 @@ pub use find::FindMisses;
 pub use options::{PrepassMode, SamplingOptions, SymbolicMode, Threads};
 pub use prepass::{Prepass, RefVerdicts, Verdict};
 pub use report::{Coverage, RefReport, Report};
+pub use sweep::{SweepOptions, SweepPlan};
 pub use symbolic::{RefCounts, RefSymbolic, Symbolic};

@@ -239,9 +239,7 @@ pub(crate) fn classify_exhaustive(
         }
         return Some(serial_tally());
     }
-    let mut flat: Vec<i64> = Vec::new();
-    ris.for_each_point(|point| flat.extend_from_slice(point));
-    let npoints = flat.len() / dim;
+    let (flat, npoints) = classifier.program().flat_ris(r);
     if npoints <= CHUNK_POINTS && !cancel.can_cancel() {
         return Some(serial_tally());
     }

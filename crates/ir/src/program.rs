@@ -392,6 +392,25 @@ impl Program {
         &self.ris[r]
     }
 
+    /// Materialises `RIS_r` as one contiguous row-major buffer
+    /// ([`Program::depth`] entries per point, lexicographic order) and
+    /// returns it with the point count. This is the segmentation every
+    /// chunked classification engine indexes by fixed-size windows; a
+    /// caller that evaluates many cache geometries can enumerate the
+    /// constraint system once and share the rows across all of them.
+    /// Zero-depth programs return an empty buffer and zero points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn flat_ris(&self, r: RefId) -> (Vec<i64>, usize) {
+        let dim = self.depth();
+        let mut flat = Vec::new();
+        self.ris(r).for_each_point(|p| flat.extend_from_slice(p));
+        let npoints = flat.len().checked_div(dim).unwrap_or(0);
+        (flat, npoints)
+    }
+
     /// The loop chain for a statement label, outermost first.
     ///
     /// # Panics

@@ -44,8 +44,10 @@
 //! # Ok::<(), cme_ir::IrError>(())
 //! ```
 
+pub mod geometry;
 pub mod padding;
 pub mod tiling;
 
+pub use geometry::{rank_geometries, rank_geometries_in, GeometryChoice, GeometryRanking};
 pub use padding::{search_padding, search_padding_in, PaddingOptions, PaddingPlan};
 pub use tiling::{grid, search_tiles, search_tiles_in, TilePlan, TilePoint};

@@ -25,8 +25,8 @@ use crate::fault::{self, FaultSite, Faults};
 use crate::metrics::Metrics;
 use crate::store::{Store, StoredResult};
 use cme_analysis::{
-    CancelToken, EstimateMisses, FindMisses, PrepassMode, Report, SamplingOptions, SymbolicMode,
-    Threads, WalkStrategy,
+    CancelToken, EstimateMisses, FindMisses, PrepassMode, Report, SamplingOptions, SweepOptions,
+    SweepPlan, SymbolicMode, Threads, WalkStrategy,
 };
 use cme_cache::CacheConfig;
 use cme_ir::{
@@ -275,6 +275,71 @@ pub struct TraceOutcome {
     pub miss_ratio: f64,
 }
 
+/// One unit of design-space exploration: a geometry grid over one
+/// program, evaluated exactly. Each grid cell is content-addressed by
+/// its ordinary single-geometry [`job_fingerprint`], so a sweep both
+/// *answers from* and *populates* the same store as single queries.
+#[derive(Debug)]
+pub struct SweepJob<'p> {
+    pub program: &'p Program,
+    pub geometries: Vec<CacheConfig>,
+    pub cancel: CancelToken,
+    /// Consult/populate the result store per cell.
+    pub use_store: bool,
+    pub threads: Threads,
+    pub walk: WalkStrategy,
+    pub prepass: PrepassMode,
+    /// Defaults to **on** (unlike single queries): closed references
+    /// amortize across the whole grid.
+    pub symbolic: SymbolicMode,
+}
+
+impl<'p> SweepJob<'p> {
+    /// A default sweep job: exact mode, store on, auto threads, symbolic
+    /// tier on.
+    pub fn exact(program: &'p Program, geometries: Vec<CacheConfig>) -> Self {
+        SweepJob {
+            program,
+            geometries,
+            cancel: CancelToken::never(),
+            use_store: true,
+            threads: Threads::Auto,
+            walk: WalkStrategy::default(),
+            prepass: PrepassMode::default(),
+            symbolic: SymbolicMode::On,
+        }
+    }
+}
+
+/// One evaluated grid cell. `payload` is the canonical single-geometry
+/// report — byte-identical to what a lone `analyze` of this geometry
+/// returns (that is the sweep's correctness contract).
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    pub config: CacheConfig,
+    pub fingerprint: Fingerprint,
+    pub payload: Arc<String>,
+    /// Whether this cell was answered from the store.
+    pub from_store: bool,
+    pub points: u64,
+    pub miss_ratio: f64,
+    /// Exact miss count (always present for exact cells; `None` only if a
+    /// stored payload predates exact mode).
+    pub misses: Option<u64>,
+}
+
+/// A finished sweep: cells ranked by ascending miss ratio (ties keep grid
+/// order).
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    pub cells: Vec<SweepCell>,
+    pub wall: Duration,
+    /// Cells answered from the store.
+    pub store_hits: u64,
+    /// Distinct cells actually computed (duplicates and hits excluded).
+    pub computed: u64,
+}
+
 /// What a single-flight leader hands its followers: the payload bytes and
 /// the summary numbers that ride on a response.
 type FlightResult = (Arc<String>, u64, f64);
@@ -400,19 +465,31 @@ impl Engine {
     }
 
     fn reuse_for(&self, job: &Job) -> Arc<ReuseAnalysis> {
+        self.reuse_for_line(job.program, job.config.line_bytes(), job.reuse_cap)
+    }
+
+    /// The cached reuse analysis for one `(program structure, line size,
+    /// cap)` key — the geometry-independent half of every analysis, shared
+    /// across capacities, associativities and padded layouts.
+    fn reuse_for_line(
+        &self,
+        program: &Program,
+        line_bytes: u64,
+        reuse_cap: Option<usize>,
+    ) -> Arc<ReuseAnalysis> {
         let key: ReuseKey = (
-            structural_fingerprint(job.program).0,
-            job.config.line_bytes(),
-            job.reuse_cap.map_or(u64::MAX, |c| c as u64),
+            structural_fingerprint(program).0,
+            line_bytes,
+            reuse_cap.map_or(u64::MAX, |c| c as u64),
         );
         if let Some(hit) = fault::lock_recover(&self.reuse_cache).get(&key) {
             Metrics::bump(&self.metrics.reuse_hits);
             return hit.clone();
         }
         Metrics::bump(&self.metrics.reuse_misses);
-        let reuse = Arc::new(match job.reuse_cap {
-            Some(cap) => ReuseAnalysis::analyze_capped(job.program, job.config.line_bytes(), cap),
-            None => ReuseAnalysis::analyze(job.program, job.config.line_bytes()),
+        let reuse = Arc::new(match reuse_cap {
+            Some(cap) => ReuseAnalysis::analyze_capped(program, line_bytes, cap),
+            None => ReuseAnalysis::analyze(program, line_bytes),
         });
         fault::lock_recover(&self.reuse_cache).insert(key, reuse.clone());
         reuse
@@ -649,6 +726,160 @@ impl Engine {
         })
     }
 
+    /// Evaluates a geometry grid from one shared reuse analysis per
+    /// distinct line size ([`SweepPlan`]).
+    ///
+    /// Flow per cell: single-geometry fingerprint → store lookup (swept
+    /// cells and lone queries share the address space, so prior queries
+    /// pre-fill the grid and a repeat sweep is near-free) → one plan-wide
+    /// compute of the distinct missing cells → store write-through.
+    /// Sweep cells skip single-flight coalescing: store writes are
+    /// idempotent (equal fingerprints render equal bytes), so a
+    /// concurrent lone query at worst duplicates one cell's work.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError`] when the deadline passes or the client hangs up
+    /// mid-sweep; per-cell partial progress is discarded (completed
+    /// cells already written to the store stay).
+    pub fn run_sweep(&self, job: &SweepJob) -> Result<SweepOutcome, EngineError> {
+        let start = Instant::now();
+        Metrics::bump(&self.metrics.sweep_requests);
+        let n = job.geometries.len();
+        let fps: Vec<Fingerprint> = job
+            .geometries
+            .iter()
+            .map(|&g| job_fingerprint(job.program, g, &AnalysisMode::Exact, None))
+            .collect();
+        let mut cells: Vec<Option<SweepCell>> = (0..n).map(|_| None).collect();
+        if job.use_store {
+            for i in 0..n {
+                if let Some(hit) = self.store.get(fps[i]) {
+                    Metrics::bump(&self.metrics.sweep_cell_store_hits);
+                    let misses = exact_misses_of(&hit.payload);
+                    cells[i] = Some(SweepCell {
+                        config: job.geometries[i],
+                        fingerprint: fps[i],
+                        payload: hit.payload,
+                        from_store: true,
+                        points: hit.points,
+                        miss_ratio: hit.miss_ratio,
+                        misses,
+                    });
+                }
+            }
+        }
+
+        // Distinct missing cells, in grid order (duplicate geometries in
+        // one grid compute once and share the result).
+        let mut missing: Vec<usize> = Vec::new();
+        for i in 0..n {
+            if cells[i].is_none() && !missing.iter().any(|&j| fps[j] == fps[i]) {
+                missing.push(i);
+            }
+        }
+        let computed = missing.len() as u64;
+        if !missing.is_empty() {
+            fault::maybe_sleep(&self.faults, FaultSite::AnalysisDelay);
+            // One shared reuse analysis per distinct line size, via the
+            // engine-wide reuse cache (a prior single query on any line
+            // size makes this a cache hit).
+            let mut reuse: Vec<(u64, Arc<ReuseAnalysis>)> = Vec::new();
+            for &i in &missing {
+                let line = job.geometries[i].line_bytes();
+                if !reuse.iter().any(|&(l, _)| l == line) {
+                    reuse.push((line, self.reuse_for_line(job.program, line, None)));
+                }
+            }
+            let plan = SweepPlan::with_reuse(job.program, reuse);
+            let opts = SweepOptions {
+                threads: job.threads,
+                walk: job.walk,
+                prepass: job.prepass,
+                symbolic: job.symbolic,
+            };
+            let grid: Vec<CacheConfig> = missing.iter().map(|&i| job.geometries[i]).collect();
+            let reports = plan
+                .run_cancellable(&grid, &opts, &job.cancel)
+                .map_err(|c| {
+                    if job.cancel.deadline_exceeded() {
+                        Metrics::bump(&self.metrics.timeouts);
+                        EngineError::Timeout {
+                            points_done: c.points_done,
+                        }
+                    } else {
+                        Metrics::bump(&self.metrics.cancelled);
+                        EngineError::Cancelled {
+                            points_done: c.points_done,
+                        }
+                    }
+                })?;
+            for (&i, report) in missing.iter().zip(&reports) {
+                let g = job.geometries[i];
+                let points: u64 = report.references().iter().map(|r| r.analyzed).sum();
+                let payload =
+                    Arc::new(render_payload(job.program, g, &AnalysisMode::Exact, report));
+                Metrics::add(&self.metrics.points_classified, points);
+                Metrics::add(
+                    &self.metrics.symbolic_closed_points,
+                    report.symbolic_points_closed(),
+                );
+                if job.use_store {
+                    self.store.put(
+                        fps[i],
+                        StoredResult {
+                            payload: payload.clone(),
+                            miss_ratio: report.miss_ratio(),
+                            points,
+                        },
+                    );
+                }
+                cells[i] = Some(SweepCell {
+                    config: g,
+                    fingerprint: fps[i],
+                    payload,
+                    from_store: false,
+                    points,
+                    miss_ratio: report.miss_ratio(),
+                    misses: report.exact_misses(),
+                });
+            }
+            // Duplicate cells copy their computed twin.
+            for i in 0..n {
+                if cells[i].is_none() {
+                    let twin = missing
+                        .iter()
+                        .find(|&&j| fps[j] == fps[i])
+                        .copied()
+                        .expect("every missing fingerprint has a computed twin");
+                    cells[i] = cells[twin].clone();
+                }
+            }
+        }
+
+        let wall = start.elapsed();
+        Metrics::add(&self.metrics.sweep_cells, n as u64);
+        Metrics::add(&self.metrics.sweep_wall_us, wall.as_micros() as u64);
+        let mut cells: Vec<SweepCell> = cells
+            .into_iter()
+            .map(|c| c.expect("every cell is filled"))
+            .collect();
+        let store_hits = cells.iter().filter(|c| c.from_store).count() as u64;
+        // Ranked table: ascending miss ratio; stable sort keeps grid order
+        // on ties.
+        cells.sort_by(|a, b| {
+            a.miss_ratio
+                .partial_cmp(&b.miss_ratio)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        Ok(SweepOutcome {
+            cells,
+            wall,
+            store_hits,
+            computed,
+        })
+    }
+
     /// Runs a *parametric* job: an exact analysis with the symbolic tier
     /// forced on, keyed structurally so one certified kernel answers any
     /// problem size. The flow is
@@ -707,6 +938,15 @@ impl Engine {
         }
         Ok((outcome, status, cert))
     }
+}
+
+/// The `exact_misses` field of a stored payload (sweep cells answered
+/// from the store report it without recomputation).
+fn exact_misses_of(payload: &str) -> Option<u64> {
+    crate::json::Json::parse(payload)
+        .ok()?
+        .get("exact_misses")?
+        .as_u64()
 }
 
 /// Renders the canonical report payload. Deliberately excludes anything
@@ -1065,6 +1305,146 @@ mod tests {
         let mut job = Job::exact(&p, cfg);
         job.cancel = CancelToken::with_timeout(Duration::ZERO);
         match engine.run(&job) {
+            Err(EngineError::Timeout { .. }) => {}
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+
+    fn sweep_grid() -> Vec<CacheConfig> {
+        CacheConfig::parse_geometry_grid("1K,2K,4K:1,2:16,32").unwrap()
+    }
+
+    /// The sweep correctness contract at the engine level: every cell is
+    /// byte-identical to an independent single-geometry run, and the
+    /// ranked table is sorted by miss ratio.
+    #[test]
+    fn sweep_cells_match_single_queries() {
+        let p = small_program();
+        let grid = sweep_grid();
+        let engine = Engine::in_memory(64);
+        let mut job = SweepJob::exact(&p, grid.clone());
+        job.use_store = false;
+        let out = engine.run_sweep(&job).unwrap();
+        assert_eq!(out.cells.len(), grid.len());
+        assert_eq!(out.computed, grid.len() as u64);
+        for w in out.cells.windows(2) {
+            assert!(w[0].miss_ratio <= w[1].miss_ratio, "ranked ascending");
+        }
+        for cell in &out.cells {
+            let mut solo = Job::exact(&p, cell.config);
+            solo.use_store = false;
+            let reference = engine.run(&solo).unwrap();
+            assert_eq!(&*cell.payload, &*reference.payload, "{}", cell.config);
+            assert_eq!(cell.fingerprint, reference.fingerprint);
+            assert_eq!(cell.points, reference.points);
+        }
+    }
+
+    /// Sweep-then-query store addressing: after a grid sweep, a single
+    /// query on any swept geometry is a store hit, byte-identical to its
+    /// sweep cell — and a repeat sweep computes nothing.
+    #[test]
+    fn sweep_populates_store_for_single_queries() {
+        use std::sync::atomic::Ordering;
+        let p = small_program();
+        let grid = sweep_grid();
+        let engine = Engine::in_memory(64);
+        let out = engine
+            .run_sweep(&SweepJob::exact(&p, grid.clone()))
+            .unwrap();
+        assert_eq!(out.store_hits, 0);
+        assert_eq!(out.computed, grid.len() as u64);
+        for cell in &out.cells {
+            let hot = engine.run(&Job::exact(&p, cell.config)).unwrap();
+            assert!(hot.from_store, "{} must be a store hit", cell.config);
+            assert_eq!(&*hot.payload, &*cell.payload, "{}", cell.config);
+        }
+        let repeat = engine
+            .run_sweep(&SweepJob::exact(&p, grid.clone()))
+            .unwrap();
+        assert_eq!(repeat.computed, 0, "repeat sweep is all store hits");
+        assert_eq!(repeat.store_hits, grid.len() as u64);
+        for (a, b) in out.cells.iter().zip(&repeat.cells) {
+            assert_eq!(a.fingerprint, b.fingerprint);
+            assert_eq!(&*a.payload, &*b.payload);
+            assert_eq!(a.misses, b.misses, "store hits recover exact misses");
+        }
+        assert_eq!(
+            engine
+                .metrics()
+                .sweep_cell_store_hits
+                .load(Ordering::Relaxed),
+            grid.len() as u64
+        );
+        // The converse direction: a lone query pre-fills its sweep cell.
+        let fresh = Engine::in_memory(64);
+        fresh.run(&Job::exact(&p, grid[3])).unwrap();
+        let seeded = fresh.run_sweep(&SweepJob::exact(&p, grid.clone())).unwrap();
+        assert_eq!(seeded.store_hits, 1, "prior query answers its cell");
+        assert_eq!(seeded.computed, grid.len() as u64 - 1);
+    }
+
+    /// Sweep results are invariant across threads x strategy x
+    /// prepass/symbolic modes, and duplicate grid cells compute once.
+    #[test]
+    fn sweep_is_mode_invariant_and_dedups() {
+        let p = small_program();
+        let grid = sweep_grid();
+        let engine = Engine::in_memory(64);
+        let mut base = SweepJob::exact(&p, grid.clone());
+        base.use_store = false;
+        let baseline = engine.run_sweep(&base).unwrap();
+        for (threads, walk, prepass, symbolic) in [
+            (
+                Threads::Fixed(1),
+                WalkStrategy::LegacyScan,
+                PrepassMode::Off,
+                SymbolicMode::Off,
+            ),
+            (
+                Threads::Fixed(4),
+                WalkStrategy::SetSkip,
+                PrepassMode::On,
+                SymbolicMode::Off,
+            ),
+            (
+                Threads::Fixed(8),
+                WalkStrategy::SetSkip,
+                PrepassMode::Off,
+                SymbolicMode::On,
+            ),
+        ] {
+            let mut job = SweepJob::exact(&p, grid.clone());
+            job.use_store = false;
+            job.threads = threads;
+            job.walk = walk;
+            job.prepass = prepass;
+            job.symbolic = symbolic;
+            let got = engine.run_sweep(&job).unwrap();
+            for (a, b) in baseline.cells.iter().zip(&got.cells) {
+                assert_eq!(a.fingerprint, b.fingerprint, "rank order must agree");
+                assert_eq!(&*a.payload, &*b.payload, "{:?}", (threads, walk, prepass));
+            }
+        }
+        // Duplicate geometries: one compute, identical twin cells.
+        let mut dup = SweepJob::exact(&p, vec![grid[0], grid[1], grid[0]]);
+        dup.use_store = false;
+        let out = engine.run_sweep(&dup).unwrap();
+        assert_eq!(out.computed, 2);
+        let twins: Vec<&SweepCell> = out.cells.iter().filter(|c| c.config == grid[0]).collect();
+        assert_eq!(twins.len(), 2);
+        assert_eq!(&*twins[0].payload, &*twins[1].payload);
+    }
+
+    /// A sweep under an expired deadline fails with a timeout.
+    #[test]
+    fn sweep_timeout_surfaces_as_engine_error() {
+        let p = small_program();
+        let engine = Engine::in_memory(8);
+        let mut job = SweepJob::exact(&p, sweep_grid());
+        job.use_store = false;
+        job.cancel = CancelToken::with_timeout(Duration::ZERO);
+        match engine.run_sweep(&job) {
             Err(EngineError::Timeout { .. }) => {}
             other => panic!("expected timeout, got {other:?}"),
         }

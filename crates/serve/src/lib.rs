@@ -44,7 +44,8 @@ pub mod store;
 pub use client::{Client, RetryPolicy};
 pub use engine::{
     job_fingerprint, parametric_fingerprint, render_trace_payload, AnalysisMode, CertStatus,
-    Engine, EngineError, Job, Outcome, ParametricCert, TraceOutcome,
+    Engine, EngineError, Job, Outcome, ParametricCert, SweepCell, SweepJob, SweepOutcome,
+    TraceOutcome,
 };
 pub use fault::{FaultPlan, FaultSite, Faults};
 pub use json::Json;

@@ -56,6 +56,14 @@ pub struct Metrics {
     pub queue_wait_us: AtomicU64,
     /// Total microseconds of analysis wall time (store misses only).
     pub analysis_wall_us: AtomicU64,
+    /// `sweep` requests received.
+    pub sweep_requests: AtomicU64,
+    /// Grid cells evaluated across all sweeps (hits and computes alike).
+    pub sweep_cells: AtomicU64,
+    /// Sweep cells answered from the result store.
+    pub sweep_cell_store_hits: AtomicU64,
+    /// Total microseconds of sweep wall time (lookup + compute).
+    pub sweep_wall_us: AtomicU64,
     /// `trace` requests answered from the result store.
     pub trace_store_hits: AtomicU64,
     /// `trace` requests that actually replayed.
@@ -106,6 +114,10 @@ impl Metrics {
             ("parametric_cert_misses", g(&self.parametric_cert_misses)),
             ("queue_wait_us", g(&self.queue_wait_us)),
             ("analysis_wall_us", g(&self.analysis_wall_us)),
+            ("sweep_requests", g(&self.sweep_requests)),
+            ("sweep_cells", g(&self.sweep_cells)),
+            ("sweep_cell_store_hits", g(&self.sweep_cell_store_hits)),
+            ("sweep_wall_us", g(&self.sweep_wall_us)),
             ("trace_store_hits", g(&self.trace_store_hits)),
             ("trace_store_misses", g(&self.trace_store_misses)),
             ("trace_accesses_replayed", g(&self.trace_accesses_replayed)),

@@ -36,6 +36,17 @@
 //! overrides `cache`/`line`/`assoc` and — unlike them — accepts
 //! non-power-of-two set counts.
 //!
+//! `{"cmd":"sweep", ...}` evaluates a whole geometry *grid* over one
+//! program from one shared reuse analysis per line size, returning a
+//! ranked miss-count table. The grid is `"grid":"8K,16K,32K:1,2:16,32"`
+//! (comma-lists per `SIZE:ASSOC:LINE` field, cartesian product) and/or an
+//! explicit `"geometries":["32K:2:32", ...]` array. Program spec, knobs
+//! (`"timeout_ms"`, `"store"`, `"threads"`, `"strategy"`, `"prepass"`,
+//! `"symbolic"` — **on** by default here) match `analyze`; each cell is
+//! content-addressed by its ordinary single-geometry fingerprint, so
+//! sweeps and lone queries share the store in both directions.
+//! `"reports":true` embeds each cell's full canonical report.
+//!
 //! `{"cmd":"trace", ...}` replays an address trace through the streaming
 //! LRU simulator. The trace is named either by `"file":"/path"` (a raw or
 //! framed binary trace on the server's filesystem) or by the same program
@@ -196,6 +207,30 @@ pub struct TraceRequest {
     pub timeout_ms: Option<u64>,
 }
 
+/// A fully parsed `sweep` request: one program, a grid of geometries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRequest {
+    pub spec: ProgramSpec,
+    /// The grid, expanded and validated (from `"grid"` and/or
+    /// `"geometries"`), in request order.
+    pub geometries: Vec<CacheConfig>,
+    pub timeout_ms: Option<u64>,
+    pub use_store: bool,
+    pub threads: Threads,
+    pub strategy: WalkStrategy,
+    pub prepass: PrepassMode,
+    /// Defaults to **on** for sweeps: closed references amortize across
+    /// the grid (results are identical either way).
+    pub symbolic: SymbolicMode,
+    /// Embed each cell's full report payload in the response (off by
+    /// default: the ranked table alone is much smaller).
+    pub include_reports: bool,
+}
+
+/// Cells per sweep request; a guard against accidental
+/// million-combination grids, not a scaling limit.
+pub const MAX_SWEEP_CELLS: usize = 1024;
+
 /// One request line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -205,6 +240,7 @@ pub enum Request {
     Shutdown,
     Analyze(Box<AnalyzeRequest>),
     Trace(Box<TraceRequest>),
+    Sweep(Box<SweepRequest>),
 }
 
 impl Request {
@@ -221,6 +257,7 @@ impl Request {
             "shutdown" => Ok(Request::Shutdown),
             "analyze" => Ok(Request::Analyze(Box::new(Self::analyze_from(v)?))),
             "trace" => Ok(Request::Trace(Box::new(Self::trace_from(v)?))),
+            "sweep" => Ok(Request::Sweep(Box::new(Self::sweep_from(v)?))),
             other => Err(format!("unknown cmd `{other}`")),
         }
     }
@@ -282,6 +319,75 @@ impl Request {
         })
     }
 
+    fn strategy_from(v: &Json) -> Result<WalkStrategy, String> {
+        match v.get("strategy").and_then(Json::as_str) {
+            None | Some("set-skip") => Ok(WalkStrategy::SetSkip),
+            Some("legacy-scan") => Ok(WalkStrategy::LegacyScan),
+            Some(other) => Err(format!("unknown strategy `{other}`")),
+        }
+    }
+
+    fn prepass_from(v: &Json) -> Result<PrepassMode, String> {
+        match v.get("prepass").and_then(Json::as_str) {
+            None | Some("on") => Ok(PrepassMode::On),
+            Some("off") => Ok(PrepassMode::Off),
+            Some(other) => Err(format!("unknown prepass mode `{other}`")),
+        }
+    }
+
+    /// The symbolic knob; `default` differs per verb (off for `analyze`,
+    /// on for `sweep`).
+    fn symbolic_from(v: &Json, default: SymbolicMode) -> Result<SymbolicMode, String> {
+        match v.get("symbolic").and_then(Json::as_str) {
+            None => Ok(default),
+            Some("off") => Ok(SymbolicMode::Off),
+            Some("on") => Ok(SymbolicMode::On),
+            Some(other) => Err(format!("unknown symbolic mode `{other}`")),
+        }
+    }
+
+    fn sweep_from(v: &Json) -> Result<SweepRequest, String> {
+        let spec =
+            Self::spec_from(v)?.ok_or_else(|| "sweep needs `workload` or `source`".to_string())?;
+        let mut geometries: Vec<CacheConfig> = Vec::new();
+        if let Some(grid) = v.get("grid").and_then(Json::as_str) {
+            geometries.extend(CacheConfig::parse_geometry_grid(grid).map_err(|e| e.to_string())?);
+        }
+        if let Some(items) = v.get("geometries") {
+            let items = items
+                .as_arr()
+                .ok_or("`geometries` must be an array of geometry strings")?;
+            for item in items {
+                let s = item
+                    .as_str()
+                    .ok_or("`geometries` must be an array of geometry strings")?;
+                geometries.push(CacheConfig::parse_geometry(s).map_err(|e| e.to_string())?);
+            }
+        }
+        if geometries.is_empty() {
+            return Err("sweep needs a `grid` string or non-empty `geometries` array".to_string());
+        }
+        if geometries.len() > MAX_SWEEP_CELLS {
+            return Err(format!(
+                "sweep grid has {} cells; the limit is {MAX_SWEEP_CELLS}",
+                geometries.len()
+            ));
+        }
+        Ok(SweepRequest {
+            spec,
+            geometries,
+            timeout_ms: v.get("timeout_ms").and_then(Json::as_u64),
+            use_store: v.get("store").and_then(Json::as_bool).unwrap_or(true),
+            threads: Threads::from_flag(
+                v.get("threads").and_then(Json::as_u64).unwrap_or(0) as usize
+            ),
+            strategy: Self::strategy_from(v)?,
+            prepass: Self::prepass_from(v)?,
+            symbolic: Self::symbolic_from(v, SymbolicMode::On)?,
+            include_reports: v.get("reports").and_then(Json::as_bool).unwrap_or(false),
+        })
+    }
+
     fn analyze_from(v: &Json) -> Result<AnalyzeRequest, String> {
         let spec = Self::spec_from(v)?
             .ok_or_else(|| "analyze needs `workload` or `source`".to_string())?;
@@ -308,23 +414,9 @@ impl Request {
             other => return Err(format!("unknown mode `{other}`")),
         };
 
-        let strategy = match v.get("strategy").and_then(Json::as_str) {
-            None | Some("set-skip") => WalkStrategy::SetSkip,
-            Some("legacy-scan") => WalkStrategy::LegacyScan,
-            Some(other) => return Err(format!("unknown strategy `{other}`")),
-        };
-
-        let prepass = match v.get("prepass").and_then(Json::as_str) {
-            None | Some("on") => PrepassMode::On,
-            Some("off") => PrepassMode::Off,
-            Some(other) => return Err(format!("unknown prepass mode `{other}`")),
-        };
-
-        let symbolic = match v.get("symbolic").and_then(Json::as_str) {
-            None | Some("off") => SymbolicMode::Off,
-            Some("on") => SymbolicMode::On,
-            Some(other) => return Err(format!("unknown symbolic mode `{other}`")),
-        };
+        let strategy = Self::strategy_from(v)?;
+        let prepass = Self::prepass_from(v)?;
+        let symbolic = Self::symbolic_from(v, SymbolicMode::Off)?;
 
         let parametric = v.get("parametric").and_then(Json::as_bool).unwrap_or(false);
         if parametric && !matches!(mode, Mode::Exact) {
@@ -522,6 +614,70 @@ mod tests {
         // No source at all is rejected.
         let v = Json::parse(r#"{"cmd":"trace"}"#).unwrap();
         assert!(Request::from_json(&v).is_err());
+    }
+
+    #[test]
+    fn parses_sweep_requests() {
+        let v = Json::parse(r#"{"cmd":"sweep","workload":"mmt","n":8,"grid":"8K,16K:1,2:32"}"#)
+            .unwrap();
+        let Request::Sweep(req) = Request::from_json(&v).unwrap() else {
+            panic!("expected sweep");
+        };
+        assert_eq!(req.geometries.len(), 4);
+        assert_eq!(
+            req.geometries[0],
+            CacheConfig::parse_geometry("8K:1:32").unwrap()
+        );
+        assert_eq!(req.symbolic, SymbolicMode::On, "sweep defaults symbolic on");
+        assert_eq!(req.prepass, PrepassMode::On);
+        assert!(req.use_store);
+        assert!(!req.include_reports);
+
+        // An explicit geometries array appends after the grid, and knobs
+        // parse like analyze's.
+        let v = Json::parse(
+            r#"{"cmd":"sweep","workload":"mmt","n":8,"grid":"8K:1:32","geometries":["48K:2:32"],"symbolic":"off","store":false,"threads":2,"reports":true,"timeout_ms":99}"#,
+        )
+        .unwrap();
+        let Request::Sweep(req) = Request::from_json(&v).unwrap() else {
+            panic!("expected sweep");
+        };
+        assert_eq!(req.geometries.len(), 2);
+        assert_eq!(req.geometries[1].num_sets(), 768);
+        assert_eq!(req.symbolic, SymbolicMode::Off);
+        assert!(!req.use_store);
+        assert_eq!(req.threads, Threads::Fixed(2));
+        assert!(req.include_reports);
+        assert_eq!(req.timeout_ms, Some(99));
+    }
+
+    #[test]
+    fn rejects_bad_sweeps() {
+        for text in [
+            // No grid and no geometries.
+            r#"{"cmd":"sweep","workload":"mmt","n":8}"#,
+            // Empty geometries array.
+            r#"{"cmd":"sweep","workload":"mmt","n":8,"geometries":[]}"#,
+            // A degenerate combination inside the grid.
+            r#"{"cmd":"sweep","workload":"mmt","n":8,"grid":"8K,0:1:32"}"#,
+            // Non-string geometry entries.
+            r#"{"cmd":"sweep","workload":"mmt","n":8,"geometries":[32768]}"#,
+            // No program.
+            r#"{"cmd":"sweep","grid":"8K:1:32"}"#,
+        ] {
+            let v = Json::parse(text).unwrap();
+            assert!(Request::from_json(&v).is_err(), "{text}");
+        }
+        // The cell cap rejects runaway grids (600 x 2 x 1 = 1200 cells,
+        // each individually valid).
+        let sizes: Vec<String> = (1..=600).map(|i| (i * 64).to_string()).collect();
+        let text = format!(
+            r#"{{"cmd":"sweep","workload":"mmt","n":8,"grid":"{}:1,2:32"}}"#,
+            sizes.join(",")
+        );
+        let v = Json::parse(&text).unwrap();
+        let err = Request::from_json(&v).unwrap_err();
+        assert!(err.contains("limit"), "{err}");
     }
 
     #[test]

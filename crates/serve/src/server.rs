@@ -21,11 +21,13 @@
 //! structured error instead of unbounded buffering. `shutdown` stops the
 //! accept loop and (optionally) dumps the aggregate metrics as JSON.
 
-use crate::engine::{AnalysisMode, CertStatus, Engine, EngineError, Job};
+use crate::engine::{AnalysisMode, CertStatus, Engine, EngineError, Job, SweepJob};
 use crate::fault::{self, FaultSite, Faults};
 use crate::json::{obj, Json};
 use crate::metrics::Metrics;
-use crate::protocol::{error_response, AnalyzeRequest, Request, TraceRequest, TraceSource};
+use crate::protocol::{
+    error_response, AnalyzeRequest, Request, SweepRequest, TraceRequest, TraceSource,
+};
 use crate::store::Store;
 use cme_analysis::{CancelToken, PrepassMode, SymbolicMode, WalkStrategy};
 use cme_cache::CacheConfig;
@@ -372,6 +374,19 @@ fn handle_connection(
                         (resp, false)
                     }
                 },
+                Ok(Request::Sweep(req)) => match admission.admit(req.timeout_ms) {
+                    Err(shed) => (shed_response(engine, shed), false),
+                    Ok(queue_wait) => {
+                        Metrics::add(
+                            &engine.metrics().queue_wait_us,
+                            queue_wait.as_micros() as u64,
+                        );
+                        let start = Instant::now();
+                        let resp = run_sweep(&req, engine, &conn, queue_wait, faults);
+                        admission.release(start.elapsed());
+                        (resp, false)
+                    }
+                },
                 Ok(Request::Trace(req)) => match admission.admit(req.timeout_ms) {
                     Err(shed) => (shed_response(engine, shed), false),
                     Ok(queue_wait) => {
@@ -515,6 +530,165 @@ fn panic_response(engine: &Engine, payload: &(dyn std::any::Any + Send)) -> Json
     resp
 }
 
+/// A disconnect watcher for a long-running job: while the job runs, a
+/// thread `peek`s the socket, and a client that hangs up cancels its own
+/// job through the [`CancelToken`]. `peek` never consumes pipelined
+/// request bytes.
+struct Watch {
+    done: Arc<AtomicBool>,
+    watcher: Option<std::thread::JoinHandle<()>>,
+}
+
+fn watch_disconnect(conn: &TcpStream, cancel: &CancelToken) -> Watch {
+    let done = Arc::new(AtomicBool::new(false));
+    let watcher = conn.try_clone().ok().map(|watch_conn| {
+        let cancel = cancel.clone();
+        let done = done.clone();
+        let _ = watch_conn.set_read_timeout(Some(Duration::from_millis(50)));
+        std::thread::spawn(move || {
+            let mut buf = [0u8; 1];
+            while !done.load(Ordering::Acquire) {
+                match watch_conn.peek(&mut buf) {
+                    Ok(0) => {
+                        cancel.cancel(); // orderly client EOF
+                        return;
+                    }
+                    Ok(_) => std::thread::sleep(Duration::from_millis(20)),
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut => {}
+                    Err(_) => {
+                        cancel.cancel(); // connection reset
+                        return;
+                    }
+                }
+            }
+        })
+    });
+    Watch { done, watcher }
+}
+
+impl Watch {
+    /// Stops the watcher once the job completes and restores blocking
+    /// reads (the watcher's read timeout is a property of the shared
+    /// socket) for the request loop.
+    fn finish(self, conn: &TcpStream) {
+        self.done.store(true, Ordering::Release);
+        if let Some(w) = self.watcher {
+            let _ = w.join();
+            let _ = conn.set_read_timeout(None);
+        }
+    }
+}
+
+fn run_sweep(
+    req: &SweepRequest,
+    engine: &Engine,
+    conn: &TcpStream,
+    queue_wait: Duration,
+    faults: &Faults,
+) -> Json {
+    let program = match req.spec.build() {
+        Ok(p) => p,
+        Err(e) => {
+            Metrics::bump(&engine.metrics().bad_requests);
+            return error_response("bad_request", &e);
+        }
+    };
+    let cancel = match req.timeout_ms {
+        Some(ms) => CancelToken::with_timeout(Duration::from_millis(ms)),
+        None => CancelToken::new(),
+    };
+    let watch = watch_disconnect(conn, &cancel);
+
+    let job = SweepJob {
+        program: &program,
+        geometries: req.geometries.clone(),
+        cancel: cancel.clone(),
+        use_store: req.use_store,
+        threads: req.threads,
+        walk: req.strategy,
+        prepass: req.prepass,
+        symbolic: req.symbolic,
+    };
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        if fault::fires(faults, FaultSite::WorkerPanic) {
+            panic!("injected: worker panic");
+        }
+        engine.run_sweep(&job)
+    }));
+    watch.finish(conn);
+
+    let outcome = match caught {
+        Ok(out) => out,
+        Err(panic_payload) => return panic_response(engine, panic_payload.as_ref()),
+    };
+    match outcome {
+        Ok(out) => {
+            let cells: Vec<Json> = out
+                .cells
+                .iter()
+                .map(|c| {
+                    let mut pairs = vec![
+                        (
+                            "geometry".to_string(),
+                            Json::Str(c.config.geometry_string()),
+                        ),
+                        (
+                            "fingerprint".to_string(),
+                            Json::Str(c.fingerprint.to_string()),
+                        ),
+                        ("miss_ratio".to_string(), Json::Float(c.miss_ratio)),
+                        (
+                            "misses".to_string(),
+                            match c.misses {
+                                Some(m) => Json::Int(m as i64),
+                                None => Json::Null,
+                            },
+                        ),
+                        ("points".to_string(), Json::Int(c.points as i64)),
+                        (
+                            "store".to_string(),
+                            Json::Str(if c.from_store { "hit" } else { "miss" }.to_string()),
+                        ),
+                    ];
+                    if req.include_reports {
+                        pairs.push((
+                            "report".to_string(),
+                            Json::Raw(c.payload.as_str().to_string()),
+                        ));
+                    }
+                    Json::Obj(pairs)
+                })
+                .collect();
+            let metrics = obj(vec![
+                ("cells", Json::Int(out.cells.len() as i64)),
+                ("store_hits", Json::Int(out.store_hits as i64)),
+                ("computed", Json::Int(out.computed as i64)),
+                ("wall_us", Json::Int(out.wall.as_micros() as i64)),
+                ("queue_wait_us", Json::Int(queue_wait.as_micros() as i64)),
+                ("threads", Json::Int(req.threads.count() as i64)),
+            ]);
+            obj(vec![
+                ("ok", Json::Bool(true)),
+                ("cells", Json::Arr(cells)),
+                ("metrics", metrics),
+            ])
+        }
+        Err(err) => {
+            let (kind, points_done) = match err {
+                EngineError::Timeout { points_done } => ("timeout", points_done),
+                EngineError::Cancelled { points_done } => ("cancelled", points_done),
+            };
+            let mut resp = error_response(kind, &err.to_string());
+            if let Json::Obj(pairs) = &mut resp {
+                pairs.push(("points_done".to_string(), Json::Int(points_done as i64)));
+            }
+            resp
+        }
+    }
+}
+
 fn run_analyze(
     req: &AnalyzeRequest,
     engine: &Engine,
@@ -544,33 +718,7 @@ fn run_analyze(
         None => CancelToken::new(),
     };
 
-    // Watch the connection while the analysis runs: a client that hangs up
-    // cancels its own job. `peek` never consumes pipelined request bytes.
-    let done = Arc::new(AtomicBool::new(false));
-    let watcher = conn.try_clone().ok().map(|watch_conn| {
-        let cancel = cancel.clone();
-        let done = done.clone();
-        let _ = watch_conn.set_read_timeout(Some(Duration::from_millis(50)));
-        std::thread::spawn(move || {
-            let mut buf = [0u8; 1];
-            while !done.load(Ordering::Acquire) {
-                match watch_conn.peek(&mut buf) {
-                    Ok(0) => {
-                        cancel.cancel(); // orderly client EOF
-                        return;
-                    }
-                    Ok(_) => std::thread::sleep(Duration::from_millis(20)),
-                    Err(e)
-                        if e.kind() == std::io::ErrorKind::WouldBlock
-                            || e.kind() == std::io::ErrorKind::TimedOut => {}
-                    Err(_) => {
-                        cancel.cancel(); // connection reset
-                        return;
-                    }
-                }
-            }
-        })
-    });
+    let watch = watch_disconnect(conn, &cancel);
 
     let job = Job {
         program: &program,
@@ -605,13 +753,7 @@ fn run_analyze(
         }
     }));
 
-    done.store(true, Ordering::Release);
-    if let Some(w) = watcher {
-        let _ = w.join();
-        // The watcher's read timeout is a property of the shared socket;
-        // restore blocking reads for the request loop.
-        let _ = conn.set_read_timeout(None);
-    }
+    watch.finish(conn);
 
     let (outcome, parametric) = match caught {
         Ok(pair) => pair,

@@ -306,3 +306,79 @@ fn malformed_requests_get_bad_request() {
     }
     daemon.shutdown();
 }
+
+#[test]
+fn sweep_populates_store_and_matches_single_queries() {
+    let daemon = Daemon::start("sweep");
+    let mut client = daemon.client();
+
+    // A 2x2x1 grid sweep with per-cell reports included.
+    let sweep_req =
+        r#"{"cmd":"sweep","workload":"mmt","n":24,"grid":"8K,16K:1,2:32","reports":true}"#;
+    let sweep_line = client.request_line(sweep_req).unwrap();
+    let sweep = Json::parse(&sweep_line).unwrap();
+    assert_eq!(sweep.get("ok"), Some(&Json::Bool(true)), "{sweep_line}");
+    let metrics = sweep.get("metrics").unwrap();
+    assert_eq!(metrics.get("cells").unwrap().as_u64(), Some(4));
+    assert_eq!(metrics.get("store_hits").unwrap().as_u64(), Some(0));
+    assert_eq!(metrics.get("computed").unwrap().as_u64(), Some(4));
+    let Some(Json::Arr(cells)) = sweep.get("cells") else {
+        panic!("sweep response has a cells array: {sweep_line}");
+    };
+    assert_eq!(cells.len(), 4);
+
+    // Cells are ranked by ascending miss ratio.
+    let ratios: Vec<f64> = cells
+        .iter()
+        .map(|c| match c.get("miss_ratio").unwrap() {
+            Json::Float(v) => *v,
+            Json::Int(v) => *v as f64,
+            other => panic!("miss_ratio is a number, got {other:?}"),
+        })
+        .collect();
+    assert!(ratios.windows(2).all(|w| w[0] <= w[1]), "{ratios:?}");
+
+    // A later single query on any swept geometry is a store hit, and its
+    // payload is byte-identical to that cell's report.
+    for cell in cells {
+        let geometry = cell.get("geometry").unwrap().as_str().unwrap();
+        let req = format!(
+            r#"{{"cmd":"analyze","workload":"mmt","n":24,"geometry":"{geometry}","mode":"exact"}}"#
+        );
+        let line = client.request_line(&req).unwrap();
+        let single = Json::parse(&line).unwrap();
+        assert_eq!(single.get("ok"), Some(&Json::Bool(true)), "{line}");
+        assert_eq!(
+            single
+                .get("metrics")
+                .unwrap()
+                .get("store")
+                .unwrap()
+                .as_str(),
+            Some("hit"),
+            "swept geometry {geometry} must be a store hit"
+        );
+        assert_eq!(single.get("fingerprint"), cell.get("fingerprint"));
+        assert_eq!(
+            Json::parse(report_bytes(&line)).ok().as_ref(),
+            cell.get("report"),
+            "{geometry}"
+        );
+    }
+
+    // A repeat sweep answers every cell from the store.
+    let repeat = Json::parse(&client.request_line(sweep_req).unwrap()).unwrap();
+    let metrics = repeat.get("metrics").unwrap();
+    assert_eq!(metrics.get("store_hits").unwrap().as_u64(), Some(4));
+    assert_eq!(metrics.get("computed").unwrap().as_u64(), Some(0));
+
+    let stats = client
+        .request(&Json::parse(r#"{"cmd":"stats"}"#).unwrap())
+        .unwrap();
+    let s = stats.get("stats").unwrap();
+    assert_eq!(s.get("sweep_requests").unwrap().as_u64(), Some(2));
+    assert_eq!(s.get("sweep_cells").unwrap().as_u64(), Some(8));
+    assert_eq!(s.get("sweep_cell_store_hits").unwrap().as_u64(), Some(4));
+
+    daemon.shutdown();
+}

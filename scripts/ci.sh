@@ -72,6 +72,16 @@ echo "== result-store harness =="
 cargo run -p cme-bench --bin bench_serve --release --offline -- \
     --scale "${BENCH_SCALE:-small}" --out BENCH_serve.json
 
+echo "== geometry-sweep harness =="
+# Always at paper scale: a 24-cell grid (sizes x assocs x line sizes)
+# through one shared SweepPlan vs a naive per-geometry loop. Asserts
+# every grid cell byte-identical to its independent single-geometry run,
+# a repeat sweep answered entirely from the store, and the amortization
+# floor: the shared-plan sweep >=5x faster than naive on the streaming
+# workload (a serial win — both sides run one thread).
+cargo run -p cme-bench --bin bench_sweep --release --offline -- \
+    --scale paper --out BENCH_sweep.json
+
 echo "== serve smoke test (hard 180 s timeout) =="
 # The smoke script kills its daemon on every exit path; the hard timeout
 # here turns an injected or accidental hang into a fast CI failure

@@ -54,6 +54,28 @@ target/release/cme stats --port-file "$SMOKE_DIR/port" | grep -q '"store_hits":1
 target/release/cme compact --port-file "$SMOKE_DIR/port" | grep -q '"ok":true' \
     || { echo "compact verb failed"; exit 1; }
 
+# Geometry sweep: a grid sweep ranks every cell and populates the store,
+# so a later single query on any swept geometry is a hot hit and a repeat
+# sweep recomputes nothing.
+SWEEP=(target/release/cme sweep --port-file "$SMOKE_DIR/port"
+       --workload mmt --n 24 --grid 4K,8K:1,2:32)
+"${SWEEP[@]}" > "$SMOKE_DIR/sweep.json"
+grep -q '"computed":4' "$SMOKE_DIR/sweep.json" \
+    || { echo "sweep did not compute its 4 cells"; cat "$SMOKE_DIR/sweep.json"; exit 1; }
+target/release/cme query --port-file "$SMOKE_DIR/port" \
+    --workload mmt --n 24 --exact --geometry 8K:2:32 | grep -q '"store":"hit"' \
+    || { echo "swept geometry was not a store hit"; exit 1; }
+"${SWEEP[@]}" | grep -q '"computed":0' \
+    || { echo "repeat sweep recomputed cells"; exit 1; }
+
+# A degenerate sweep grid is a structured exit-2 error, not a crash.
+rc=0
+target/release/cme sweep --port-file "$SMOKE_DIR/port" \
+    --workload mmt --n 24 --grid 8K,0:1:32 2> "$SMOKE_DIR/sweep.err" || rc=$?
+[ "$rc" -eq 2 ] || { echo "degenerate sweep grid exited $rc, want 2"; exit 1; }
+grep -q '"kind":"bad_request"' "$SMOKE_DIR/sweep.err" \
+    || { echo "degenerate grid was not a bad_request"; cat "$SMOKE_DIR/sweep.err"; exit 1; }
+
 # Trace front end: generate a framed trace file, replay it standalone.
 target/release/cme trace gen --workload mmt --n 16 --bj 8 --bk 4 \
     --out "$SMOKE_DIR/mmt.cmet" --geometry 2K:2:32 > /dev/null

@@ -66,6 +66,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "serve" => cmd_serve(rest),
         "query" => cmd_query(rest),
+        "sweep" => cmd_sweep(rest),
         "trace" => cmd_trace(rest),
         "ping" => cmd_verb(rest, "ping"),
         "stats" => cmd_verb(rest, "stats"),
@@ -100,6 +101,12 @@ const USAGE: &str = "usage:
                [--confidence C] [--width W] [--seed S] [--timeout-ms MS]
                [--no-store] [--threads N] [--strategy set-skip|legacy-scan]
                [--prepass on|off] [--report-only] [--retries N]
+  cme sweep    [--addr A | --port-file P] --workload K | --file F.f
+               [--n N] [--iters N] [--bj N] [--bk N] [--param K=V]...
+               --grid SIZES:ASSOCS:LINES | --geometry S:A:L...
+               [--timeout-ms MS] [--no-store] [--threads N]
+               [--strategy set-skip|legacy-scan] [--prepass on|off]
+               [--symbolic on|off] [--reports] [--table] [--retries N]
   cme trace gen --workload K | --file F.f [--param K=V]...
                [--n N] [--iters N] [--bj N] [--bk N]
                --out T.cmet [--geometry S:A:L] [--raw]
@@ -110,7 +117,8 @@ const USAGE: &str = "usage:
   cme shutdown [--addr A | --port-file P] [--retries N]
 
 geometry strings are SIZE:ASSOC:LINE, e.g. 32K:2:32 (non-power-of-two
-set counts allowed, e.g. 48K:2:32)
+set counts allowed, e.g. 48K:2:32); sweep grids take comma lists per
+field, e.g. 8K,16K,32K:1,2:16,32 expands to 12 geometries
 
 exit codes: 0 success, 1 usage, 2 runtime (daemon unreachable, connection
 died mid-exchange, server answered an error, or data is unusable)
@@ -343,6 +351,116 @@ fn cmd_query(args: &[String]) -> Result<ExitCode, CliError> {
             .rfind(r#","metrics":"#)
             .ok_or_else(|| CliError::Runtime("response has no metrics".to_string()))?;
         println!("{}", &line[start..end]);
+    } else {
+        println!("{line}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_sweep(args: &[String]) -> Result<ExitCode, CliError> {
+    let (mut addr, mut port_file) = (None, None);
+    let mut table = false;
+    let mut retries = 0u32;
+    // Request fields, accumulated in insertion order.
+    let mut fields: Vec<(&str, Json)> = vec![("cmd", Json::Str("sweep".to_string()))];
+    let mut params: Vec<(String, Json)> = Vec::new();
+    let mut geometries: Vec<Json> = Vec::new();
+
+    let mut flags = Flags::new(args);
+    while let Some(flag) = flags.next() {
+        match flag {
+            "--addr" => addr = Some(flags.value(flag)?.to_string()),
+            "--port-file" => port_file = Some(PathBuf::from(flags.value(flag)?)),
+            "--workload" => fields.push(("workload", Json::Str(flags.value(flag)?.to_string()))),
+            "--file" => {
+                let path = flags.value(flag)?;
+                let text = std::fs::read_to_string(path)?;
+                fields.push(("source", Json::Str(text)));
+            }
+            "--param" => {
+                let raw = flags.value(flag)?;
+                let (k, v) = raw
+                    .split_once('=')
+                    .ok_or_else(|| CliError::Usage(format!("--param wants K=V, got `{raw}`")))?;
+                let v: i64 = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("--param value `{v}` not an integer")))?;
+                params.push((k.to_string(), Json::Int(v)));
+            }
+            "--n" => fields.push(("n", Json::Int(flags.parsed(flag)?))),
+            "--iters" => fields.push(("iters", Json::Int(flags.parsed(flag)?))),
+            "--bj" => fields.push(("bj", Json::Int(flags.parsed(flag)?))),
+            "--bk" => fields.push(("bk", Json::Int(flags.parsed(flag)?))),
+            "--grid" => fields.push(("grid", Json::Str(flags.value(flag)?.to_string()))),
+            "--geometry" => geometries.push(Json::Str(flags.value(flag)?.to_string())),
+            "--timeout-ms" => fields.push(("timeout_ms", Json::Int(flags.parsed(flag)?))),
+            "--no-store" => fields.push(("store", Json::Bool(false))),
+            "--threads" => fields.push(("threads", Json::Int(flags.parsed(flag)?))),
+            "--strategy" => fields.push(("strategy", Json::Str(flags.value(flag)?.to_string()))),
+            "--prepass" => fields.push(("prepass", Json::Str(flags.value(flag)?.to_string()))),
+            "--symbolic" => fields.push(("symbolic", Json::Str(flags.value(flag)?.to_string()))),
+            "--reports" => fields.push(("reports", Json::Bool(true))),
+            "--table" => table = true,
+            "--retries" => retries = flags.parsed(flag)?,
+            other => return Err(CliError::Usage(format!("unknown sweep flag `{other}`"))),
+        }
+    }
+    if !geometries.is_empty() {
+        fields.push(("geometries", Json::Arr(geometries)));
+    }
+    if !params.is_empty() {
+        fields.push(("params", Json::Obj(params)));
+    }
+    let request = Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    );
+
+    let addr = resolve_addr(addr, port_file)?;
+    let policy = RetryPolicy::with_retries(retries);
+    let line = call_with_retry(&addr, &request.render(), &policy)
+        .map_err(|e| transport_diag(&addr, &e))?;
+    let parsed = Json::parse(&line).ok();
+    let ok = parsed
+        .as_ref()
+        .and_then(|v| v.get("ok").and_then(Json::as_bool))
+        .unwrap_or(false);
+    if !ok {
+        eprintln!("{line}");
+        return Ok(ExitCode::from(2));
+    }
+    if table {
+        // Human-readable ranking: one row per cell, best geometry first.
+        let resp = parsed.expect("ok implies parsed");
+        let Some(Json::Arr(cells)) = resp.get("cells") else {
+            return Err(CliError::Runtime("response has no cells".to_string()));
+        };
+        println!(
+            "{:<4} {:>12} {:>12} {:>10} {:>6} geometry",
+            "rank", "miss_ratio", "misses", "points", "store"
+        );
+        for (rank, cell) in cells.iter().enumerate() {
+            let num = |k: &str| match cell.get(k) {
+                Some(Json::Int(v)) => *v as f64,
+                Some(Json::Float(v)) => *v,
+                _ => f64::NAN,
+            };
+            let misses = match cell.get("misses") {
+                Some(Json::Int(v)) => v.to_string(),
+                _ => "-".to_string(),
+            };
+            println!(
+                "{:<4} {:>12.6} {:>12} {:>10} {:>6} {}",
+                rank + 1,
+                num("miss_ratio"),
+                misses,
+                num("points") as u64,
+                cell.get("store").and_then(Json::as_str).unwrap_or("?"),
+                cell.get("geometry").and_then(Json::as_str).unwrap_or("?"),
+            );
+        }
     } else {
         println!("{line}");
     }
